@@ -1,0 +1,27 @@
+//! Benchmarks of the synthetic dataset generators (Table 1 substrate).
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::SyntheticSpec;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("breast_cancer_like", SyntheticSpec::breast_cancer_like()),
+        ("mnist2_6_like_3pct", SyntheticSpec::mnist2_6_like().scaled(0.03)),
+        ("ijcnn1_like_5pct", SyntheticSpec::ijcnn1_like().scaled(0.05)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || SmallRng::seed_from_u64(7),
+                |mut rng| spec.generate(&mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

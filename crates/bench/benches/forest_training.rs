@@ -1,0 +1,41 @@
+//! Benchmarks of random-forest training (the substrate retrained repeatedly
+//! by Algorithm 1's weighting loop).
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_bench::{small_image, small_tabular};
+use wdte_trees::{ForestParams, RandomForest, TreeParams};
+
+fn bench_training(c: &mut Criterion) {
+    let tabular = small_tabular();
+    let image = small_image();
+    let mut group = c.benchmark_group("forest_training");
+    group.sample_size(10);
+    for &trees in &[10usize, 30] {
+        group.bench_function(format!("tabular_{trees}_trees"), |b| {
+            b.iter_batched(
+                || SmallRng::seed_from_u64(1),
+                |mut rng| RandomForest::fit(&tabular, &ForestParams::with_trees(trees), &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("image_784_features_10_trees", |b| {
+        b.iter_batched(
+            || SmallRng::seed_from_u64(2),
+            |mut rng| {
+                let params = ForestParams {
+                    num_trees: 10,
+                    tree: TreeParams { max_depth: Some(10), ..TreeParams::default() },
+                    ..ForestParams::default()
+                };
+                RandomForest::fit(&image, &params, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

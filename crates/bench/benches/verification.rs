@@ -1,0 +1,26 @@
+//! Benchmarks of black-box watermark verification.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_bench::small_tabular;
+use wdte_core::{verify_ownership, OwnershipClaim, Signature, WatermarkConfig, Watermarker};
+
+fn bench_verification(c: &mut Criterion) {
+    let dataset = small_tabular();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::random(12, 0.5, &mut rng);
+    let config = WatermarkConfig { num_trees: 12, ..WatermarkConfig::fast() };
+    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
+
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(20);
+    group.bench_function("verify_ownership", |b| {
+        b.iter(|| verify_ownership(&outcome.model, &claim))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmarks of watermark creation (Algorithm 1), the paper's primary
+//! contribution, across trigger-set sizes.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_bench::small_tabular;
+use wdte_core::{Signature, WatermarkConfig, Watermarker};
+
+fn bench_embedding(c: &mut Criterion) {
+    let dataset = small_tabular();
+    let mut group = c.benchmark_group("watermark_embedding");
+    group.sample_size(10);
+    for &trigger_fraction in &[0.01f64, 0.02, 0.04] {
+        group.bench_function(format!("trigger_{}pct", (trigger_fraction * 100.0) as u32), |b| {
+            b.iter_batched(
+                || SmallRng::seed_from_u64(3),
+                |mut rng| {
+                    let signature = Signature::random(12, 0.5, &mut rng);
+                    let config = WatermarkConfig {
+                        num_trees: 12,
+                        trigger_fraction,
+                        ..WatermarkConfig::fast()
+                    };
+                    Watermarker::new(config).embed(&dataset, &signature, &mut rng).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! # wdte-bench
+//!
+//! Shared fixtures for the Criterion benchmark suite: small, deterministic
+//! datasets and pre-trained models reused across benchmarks so each bench
+//! measures the operation of interest rather than setup cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::{Dataset, SyntheticSpec};
+
+/// Deterministic RNG used by every benchmark fixture.
+pub fn bench_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0xBE5C)
+}
+
+/// A small breast-cancer-like dataset (fast to train on).
+pub fn small_tabular() -> Dataset {
+    SyntheticSpec::breast_cancer_like().generate(&mut bench_rng())
+}
+
+/// A reduced image-like dataset exercising the high-dimensional code path.
+pub fn small_image() -> Dataset {
+    SyntheticSpec::mnist2_6_like().scaled(0.03).generate(&mut bench_rng())
+}
+
+/// A reduced clustered, imbalanced dataset.
+pub fn small_clustered() -> Dataset {
+    SyntheticSpec::ijcnn1_like().scaled(0.05).generate(&mut bench_rng())
+}

@@ -1,0 +1,145 @@
+//! Watermark suppression analysis (Section 3.3).
+//!
+//! To suppress the watermark, the attacker must recognize which verification
+//! queries belong to the trigger set and answer them differently. The paper
+//! argues this is impossible because the trigger set is sampled from the
+//! training distribution and therefore indistinguishable from ordinary test
+//! data. This module quantifies that claim: a distinguisher scores every
+//! query by how anomalous the model's per-tree voting behaviour looks, and
+//! we measure the ROC AUC of separating trigger instances from ordinary
+//! test instances. An AUC close to 0.5 means the attacker can do no better
+//! than random guessing.
+
+use serde::{Deserialize, Serialize};
+use wdte_data::{roc_auc, Dataset, Label};
+use wdte_trees::RandomForest;
+
+/// How the distinguisher scores a query instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuppressionScore {
+    /// Fraction of trees disagreeing with the majority vote: trigger
+    /// instances of a watermarked model have a fixed fraction of
+    /// "dissenting" trees (the 1-bits), so this is the strongest signal an
+    /// attacker could plausibly use without knowing the signature.
+    VoteDisagreement,
+    /// Absolute distance of the positive-vote share from 0.5: measures how
+    /// "confident" the ensemble is; trigger instances might look less
+    /// confident than clean data.
+    VoteMargin,
+}
+
+/// Result of the suppression analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuppressionReport {
+    /// Scoring function used by the distinguisher.
+    pub score: SuppressionScore,
+    /// ROC AUC of separating trigger (positive) from test (negative)
+    /// queries; 0.5 = indistinguishable.
+    pub auc: f64,
+    /// Scores assigned to trigger instances.
+    pub trigger_scores: Vec<f64>,
+    /// Scores assigned to ordinary test instances.
+    pub test_scores: Vec<f64>,
+}
+
+/// Scores one instance under the chosen distinguisher.
+pub fn suppression_score(model: &RandomForest, instance: &[f64], score: SuppressionScore) -> f64 {
+    let positive_fraction = model.positive_vote_fraction(instance);
+    match score {
+        SuppressionScore::VoteDisagreement => {
+            // Fraction of trees voting against the majority.
+            positive_fraction.min(1.0 - positive_fraction)
+        }
+        SuppressionScore::VoteMargin => 0.5 - (positive_fraction - 0.5).abs(),
+    }
+}
+
+/// Runs the suppression analysis: scores all trigger and test instances and
+/// computes the distinguisher's AUC.
+pub fn evaluate_suppression(
+    model: &RandomForest,
+    trigger_set: &Dataset,
+    test_set: &Dataset,
+    score: SuppressionScore,
+) -> SuppressionReport {
+    let trigger_scores: Vec<f64> =
+        trigger_set.iter().map(|(instance, _)| suppression_score(model, instance, score)).collect();
+    let test_scores: Vec<f64> =
+        test_set.iter().map(|(instance, _)| suppression_score(model, instance, score)).collect();
+    let labels: Vec<Label> = std::iter::repeat(Label::Positive)
+        .take(trigger_scores.len())
+        .chain(std::iter::repeat(Label::Negative).take(test_scores.len()))
+        .collect();
+    let scores: Vec<f64> = trigger_scores.iter().chain(test_scores.iter()).copied().collect();
+    let auc = roc_auc(&labels, &scores);
+    SuppressionReport { score, auc, trigger_scores, test_scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WatermarkConfig;
+    use crate::signature::Signature;
+    use crate::watermark::Watermarker;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdte_data::SyntheticSpec;
+
+    #[test]
+    fn scores_lie_in_the_unit_interval() {
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut SmallRng::seed_from_u64(61));
+        let mut rng = SmallRng::seed_from_u64(62);
+        let forest = wdte_trees::RandomForest::fit(
+            &dataset,
+            &wdte_trees::ForestParams::with_trees(9),
+            &mut rng,
+        );
+        for (instance, _) in dataset.iter().take(20) {
+            for score in [SuppressionScore::VoteDisagreement, SuppressionScore::VoteMargin] {
+                let value = suppression_score(&forest, instance, score);
+                assert!((0.0..=0.5 + 1e-12).contains(&value), "score {value} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn report_collects_scores_for_both_groups() {
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.8).generate(&mut SmallRng::seed_from_u64(63));
+        let mut rng = SmallRng::seed_from_u64(64);
+        let (train, test) = dataset.split_stratified(0.75, &mut rng);
+        let signature = Signature::random(12, 0.5, &mut rng);
+        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 12, ..WatermarkConfig::fast() });
+        let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
+        let report = evaluate_suppression(
+            &outcome.model,
+            &outcome.trigger_set,
+            &test,
+            SuppressionScore::VoteDisagreement,
+        );
+        assert_eq!(report.trigger_scores.len(), outcome.trigger_set.len());
+        assert_eq!(report.test_scores.len(), test.len());
+        assert!((0.0..=1.0).contains(&report.auc));
+    }
+
+    #[test]
+    fn distinguisher_has_limited_power_against_balanced_signatures() {
+        // With a 50%-ones signature, exactly half of the trees dissent on
+        // trigger instances, which can look similar to genuinely ambiguous
+        // test instances. We only require that the distinguisher is not
+        // perfect (AUC well below 1.0); the experiment binary reports the
+        // exact value.
+        let dataset = SyntheticSpec::breast_cancer_like().generate(&mut SmallRng::seed_from_u64(65));
+        let mut rng = SmallRng::seed_from_u64(66);
+        let (train, test) = dataset.split_stratified(0.75, &mut rng);
+        let signature = Signature::random(16, 0.5, &mut rng);
+        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 16, ..WatermarkConfig::fast() });
+        let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
+        let report = evaluate_suppression(
+            &outcome.model,
+            &outcome.trigger_set,
+            &test,
+            SuppressionScore::VoteMargin,
+        );
+        assert!(report.auc < 0.999, "suppression distinguisher should not be perfect, got {}", report.auc);
+    }
+}

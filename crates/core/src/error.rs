@@ -1,0 +1,84 @@
+//! Error type of the watermarking scheme.
+
+use std::fmt;
+
+/// Errors produced during watermark creation or verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatermarkError {
+    /// The signature length does not match the requested ensemble size.
+    SignatureLengthMismatch {
+        /// Number of bits in the signature.
+        signature_bits: usize,
+        /// Number of trees requested.
+        num_trees: usize,
+    },
+    /// The training set is too small for the requested trigger-set size.
+    TriggerTooLarge {
+        /// Requested trigger-set size.
+        requested: usize,
+        /// Available training instances.
+        available: usize,
+    },
+    /// The training set is empty or otherwise unusable.
+    EmptyTrainingSet,
+    /// The weighting loop of `TrainWithTrigger` could not force the required
+    /// behaviour on the trigger set within the configured budget.
+    TriggerForcingFailed {
+        /// Which of the two sub-ensembles failed (`"T0"` or `"T1"`).
+        ensemble: &'static str,
+        /// Number of retraining rounds performed.
+        rounds: usize,
+        /// Fraction of (tree, trigger instance) pairs already compliant.
+        compliance: f64,
+    },
+    /// A degenerate signature (all zeros or all ones) was rejected by a
+    /// caller that requires both sub-ensembles to be non-empty.
+    DegenerateSignature,
+}
+
+impl fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatermarkError::SignatureLengthMismatch { signature_bits, num_trees } => write!(
+                f,
+                "signature has {signature_bits} bits but the ensemble has {num_trees} trees"
+            ),
+            WatermarkError::TriggerTooLarge { requested, available } => {
+                write!(f, "trigger set of {requested} instances requested but only {available} available")
+            }
+            WatermarkError::EmptyTrainingSet => write!(f, "training set is empty"),
+            WatermarkError::TriggerForcingFailed { ensemble, rounds, compliance } => write!(
+                f,
+                "could not force trigger behaviour on {ensemble} after {rounds} rounds (compliance {:.1}%)",
+                compliance * 100.0
+            ),
+            WatermarkError::DegenerateSignature => {
+                write!(f, "signature must contain at least one 0 bit and at least one 1 bit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatermarkError {}
+
+/// Convenience result alias for the watermarking crate.
+pub type WatermarkResult<T> = Result<T, WatermarkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = WatermarkError::SignatureLengthMismatch { signature_bits: 8, num_trees: 16 };
+        assert!(err.to_string().contains('8') && err.to_string().contains("16"));
+        let err = WatermarkError::TriggerForcingFailed { ensemble: "T1", rounds: 30, compliance: 0.875 };
+        assert!(err.to_string().contains("T1") && err.to_string().contains("87.5"));
+    }
+
+    #[test]
+    fn errors_compare() {
+        assert_eq!(WatermarkError::EmptyTrainingSet, WatermarkError::EmptyTrainingSet);
+        assert_ne!(WatermarkError::EmptyTrainingSet, WatermarkError::DegenerateSignature);
+    }
+}

@@ -1,0 +1,55 @@
+//! # wdte-core
+//!
+//! The watermarking scheme of *Watermarking Decision Tree Ensembles*
+//! (Calzavara, Cazzaro, Gera, Orlando — EDBT 2025): multi-bit, trigger-set
+//! based watermark creation for random forests without bootstrap
+//! (Algorithm 1), black-box verification, and the attack simulations of the
+//! security evaluation (detection, suppression and forgery).
+//!
+//! ## Overview
+//!
+//! * [`Signature`] — the owner's bit string `σ`, one bit per tree.
+//! * [`Watermarker`] / [`WatermarkConfig`] — watermark creation: grid
+//!   search, the `Adjust(H)` heuristic, the `TrainWithTrigger` weighting
+//!   loop and the interleaving of the `T0`/`T1` sub-ensembles.
+//! * [`OwnershipClaim`] / [`verify_ownership`] — the black-box verification
+//!   protocol between owner, suspect and judge.
+//! * [`attack`] — the detection, suppression and forgery attacks evaluated
+//!   in Section 4.2 of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod config;
+pub mod error;
+pub mod signature;
+pub mod verify;
+pub mod watermark;
+
+pub use attack::{
+    detect_signature, evaluate_detection, evaluate_suppression, forge_trigger_set, run_forgery_attack,
+    DetectionFeature, DetectionReport, DetectionStrategy, ForgedInstance, ForgeryAttackConfig,
+    ForgeryAttackResult, SuppressionReport, SuppressionScore,
+};
+pub use config::{WatermarkConfig, WeightSchedule};
+pub use error::{WatermarkError, WatermarkResult};
+pub use signature::Signature;
+pub use verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
+pub use watermark::{
+    adjust_hyperparameters, train_with_trigger, trigger_compliance, watermark_holds,
+    EmbeddingDiagnostics, TriggerTrainingDiagnostics, WatermarkOutcome, Watermarker,
+};
+
+/// Commonly used types, re-exported for `use wdte_core::prelude::*`.
+pub mod prelude {
+    pub use crate::attack::{
+        evaluate_detection, evaluate_suppression, run_forgery_attack, DetectionFeature, DetectionReport,
+        DetectionStrategy, ForgeryAttackConfig, ForgeryAttackResult, SuppressionReport, SuppressionScore,
+    };
+    pub use crate::config::{WatermarkConfig, WeightSchedule};
+    pub use crate::error::{WatermarkError, WatermarkResult};
+    pub use crate::signature::Signature;
+    pub use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
+    pub use crate::watermark::{watermark_holds, WatermarkOutcome, Watermarker};
+}

@@ -1,0 +1,165 @@
+//! Minimal CSV loading/saving for labeled datasets.
+//!
+//! The synthetic generators make the experiments self-contained, but the
+//! loader lets users drop in the real MNIST2-6 / breast-cancer / ijcnn1
+//! dumps (features followed by a numeric label column) and rerun every
+//! experiment unchanged.
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, DataResult};
+use crate::label::Label;
+use crate::matrix::DenseMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Which column of the CSV holds the class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// The first column is the label; the rest are features.
+    First,
+    /// The last column is the label; the rest are features.
+    Last,
+}
+
+/// Parses a labeled dataset from CSV text.
+///
+/// * `has_header` skips the first line.
+/// * Labels may use the `{-1, +1}` or `{0, 1}` convention.
+pub fn parse_csv(reader: impl Read, label_column: LabelColumn, has_header: bool, name: &str) -> DataResult<Dataset> {
+    let reader = BufReader::new(reader);
+    let mut features = DenseMatrix::zeros(0, 0);
+    let mut labels = Vec::new();
+    let mut row_buffer: Vec<f64> = Vec::new();
+    for (line_number, line) in reader.lines().enumerate() {
+        let line = line?;
+        let human_line = line_number + 1;
+        if has_header && line_number == 0 {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row_buffer.clear();
+        for field in trimmed.split(',') {
+            let value: f64 = field.trim().parse().map_err(|_| DataError::Parse {
+                line: human_line,
+                message: format!("cannot parse '{}' as a number", field.trim()),
+            })?;
+            row_buffer.push(value);
+        }
+        if row_buffer.len() < 2 {
+            return Err(DataError::Parse {
+                line: human_line,
+                message: "each record needs at least one feature and a label".into(),
+            });
+        }
+        let label_value = match label_column {
+            LabelColumn::First => row_buffer.remove(0),
+            LabelColumn::Last => row_buffer.pop().expect("length checked above"),
+        };
+        let label = Label::from_f64(label_value).map_err(|_| DataError::Parse {
+            line: human_line,
+            message: format!("label value {label_value} is not in {{-1, 0, +1}}"),
+        })?;
+        features.push_row(&row_buffer)?;
+        labels.push(label);
+    }
+    if labels.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    Dataset::new(name, features, labels)
+}
+
+/// Loads a labeled dataset from a CSV file on disk.
+pub fn load_csv(path: impl AsRef<Path>, label_column: LabelColumn, has_header: bool) -> DataResult<Dataset> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset").to_string();
+    let file = std::fs::File::open(path)?;
+    parse_csv(file, label_column, has_header, &name)
+}
+
+/// Writes a dataset as CSV with the label in the last column (using the
+/// `{-1, +1}` convention).
+pub fn write_csv(dataset: &Dataset, mut writer: impl Write) -> DataResult<()> {
+    for (row, label) in dataset.iter() {
+        let mut record = String::with_capacity(row.len() * 8);
+        for value in row {
+            record.push_str(&format!("{value},"));
+        }
+        record.push_str(&format!("{}", label.as_i8()));
+        writeln!(writer, "{record}")?;
+    }
+    Ok(())
+}
+
+/// Saves a dataset to a CSV file on disk (label last, no header).
+pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> DataResult<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(dataset, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_label_last_with_header() {
+        let text = "f1,f2,label\n0.1,0.2,1\n0.3,0.4,-1\n";
+        let dataset = parse_csv(text.as_bytes(), LabelColumn::Last, true, "demo").unwrap();
+        assert_eq!(dataset.len(), 2);
+        assert_eq!(dataset.num_features(), 2);
+        assert_eq!(dataset.label(0), Label::Positive);
+        assert_eq!(dataset.label(1), Label::Negative);
+        assert_eq!(dataset.instance(1), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn parse_label_first_and_zero_one_labels() {
+        let text = "1,0.5,0.25\n0,0.75,0.5\n";
+        let dataset = parse_csv(text.as_bytes(), LabelColumn::First, false, "demo").unwrap();
+        assert_eq!(dataset.label(0), Label::Positive);
+        assert_eq!(dataset.label(1), Label::Negative);
+        assert_eq!(dataset.instance(0), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_numbers_and_bad_labels() {
+        let bad_number = "0.1,zzz,1\n";
+        let err = parse_csv(bad_number.as_bytes(), LabelColumn::Last, false, "x").unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+
+        let bad_label = "0.1,0.2,7\n";
+        let err = parse_csv(bad_label.as_bytes(), LabelColumn::Last, false, "x").unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        let err = parse_csv("".as_bytes(), LabelColumn::Last, false, "x").unwrap_err();
+        assert_eq!(err, DataError::EmptyDataset);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "0.1,0.2,1\n\n0.3,0.4,-1\n\n";
+        let dataset = parse_csv(text.as_bytes(), LabelColumn::Last, false, "demo").unwrap();
+        assert_eq!(dataset.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_csv() {
+        let text = "0.1,0.2,1\n0.3,0.4,-1\n0.5,0.6,1\n";
+        let dataset = parse_csv(text.as_bytes(), LabelColumn::Last, false, "demo").unwrap();
+        let mut buffer = Vec::new();
+        write_csv(&dataset, &mut buffer).unwrap();
+        let reparsed = parse_csv(buffer.as_slice(), LabelColumn::Last, false, "demo").unwrap();
+        assert_eq!(reparsed.len(), dataset.len());
+        assert_eq!(reparsed.labels(), dataset.labels());
+        for i in 0..dataset.len() {
+            for (a, b) in reparsed.instance(i).iter().zip(dataset.instance(i)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

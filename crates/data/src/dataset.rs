@@ -1,0 +1,396 @@
+//! Labeled datasets: a dense feature matrix paired with binary labels.
+
+use crate::error::{DataError, DataResult};
+use crate::label::{ClassCounts, Label};
+use crate::matrix::DenseMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset of real-valued feature vectors and binary labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"mnist2-6-synth"`).
+    pub name: String,
+    features: DenseMatrix,
+    labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that the number of labels matches the
+    /// number of feature rows.
+    pub fn new(name: impl Into<String>, features: DenseMatrix, labels: Vec<Label>) -> DataResult<Self> {
+        if features.rows() != labels.len() {
+            return Err(DataError::LabelCountMismatch { rows: features.rows(), labels: labels.len() });
+        }
+        Ok(Self { name: name.into(), features, labels })
+    }
+
+    /// Number of instances.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per instance.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Borrow of the feature matrix.
+    #[inline]
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// Borrow of the label vector.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Feature vector of a single instance.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn instance(&self, index: usize) -> &[f64] {
+        self.features.row(index)
+    }
+
+    /// Label of a single instance.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn label(&self, index: usize) -> Label {
+        self.labels[index]
+    }
+
+    /// Iterator over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> {
+        self.features.iter_rows().zip(self.labels.iter().copied())
+    }
+
+    /// Weighted class counts over the whole dataset (unit weights).
+    pub fn class_counts(&self) -> ClassCounts {
+        let mut counts = ClassCounts::new();
+        for &label in &self.labels {
+            counts.add(label, 1.0);
+        }
+        counts
+    }
+
+    /// Class distribution as `(positive_fraction, negative_fraction)`;
+    /// this is the "Distribution" column of Table 1.
+    pub fn class_distribution(&self) -> (f64, f64) {
+        let counts = self.class_counts();
+        let total = counts.total();
+        if total == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (counts.positive / total, counts.negative / total)
+        }
+    }
+
+    /// Copies the given instance indices (order preserved, duplicates
+    /// allowed) into a new dataset.
+    pub fn select(&self, indices: &[usize]) -> DataResult<Dataset> {
+        let features = self.features.select_rows(indices)?;
+        let mut labels = Vec::with_capacity(indices.len());
+        for &index in indices {
+            if index >= self.labels.len() {
+                return Err(DataError::IndexOutOfBounds { index, len: self.labels.len() });
+            }
+            labels.push(self.labels[index]);
+        }
+        Dataset::new(self.name.clone(), features, labels)
+    }
+
+    /// Returns a copy of the dataset with every label flipped
+    /// (`(x, y) -> (x, -y)`), as used to build `D'_trigger` in Algorithm 1.
+    pub fn with_flipped_labels(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            features: self.features.clone(),
+            labels: self.labels.iter().map(|l| l.flipped()).collect(),
+        }
+    }
+
+    /// Returns a copy with the labels of the listed indices flipped.
+    pub fn with_labels_flipped_at(&self, indices: &[usize]) -> DataResult<Dataset> {
+        let mut labels = self.labels.clone();
+        for &index in indices {
+            if index >= labels.len() {
+                return Err(DataError::IndexOutOfBounds { index, len: labels.len() });
+            }
+            labels[index] = labels[index].flipped();
+        }
+        Ok(Dataset { name: self.name.clone(), features: self.features.clone(), labels })
+    }
+
+    /// Concatenates two datasets with the same dimensionality.
+    pub fn concat(&self, other: &Dataset) -> DataResult<Dataset> {
+        if !self.is_empty() && !other.is_empty() && self.num_features() != other.num_features() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.num_features(),
+                found: other.num_features(),
+            });
+        }
+        let mut features = self.features.clone();
+        for row in other.features.iter_rows() {
+            features.push_row(row)?;
+        }
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset::new(self.name.clone(), features, labels)
+    }
+
+    /// Min-max normalizes all features into `[0, 1]` in place and returns
+    /// the per-column ranges used.
+    pub fn normalize(&mut self) -> Vec<(f64, f64)> {
+        self.features.normalize_min_max()
+    }
+
+    /// Random train/test split. `train_fraction` is the share of instances
+    /// placed in the training set; the split is shuffled but *not*
+    /// stratified (see [`Dataset::split_stratified`] for the stratified
+    /// variant used by the experiments).
+    pub fn split_train_test<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must lie in (0, 1), got {train_fraction}"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let split = ((self.len() as f64) * train_fraction).round() as usize;
+        let split = split.clamp(1, self.len().saturating_sub(1).max(1));
+        let train = self.select(&indices[..split]).expect("indices are in range");
+        let test = self.select(&indices[split..]).expect("indices are in range");
+        (train, test)
+    }
+
+    /// Stratified train/test split preserving the class distribution in
+    /// both partitions.
+    pub fn split_stratified<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must lie in (0, 1), got {train_fraction}"
+        );
+        let mut train_indices = Vec::new();
+        let mut test_indices = Vec::new();
+        for class in Label::ALL {
+            let mut class_indices: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            class_indices.shuffle(rng);
+            let split = ((class_indices.len() as f64) * train_fraction).round() as usize;
+            let split = split.min(class_indices.len());
+            train_indices.extend_from_slice(&class_indices[..split]);
+            test_indices.extend_from_slice(&class_indices[split..]);
+        }
+        train_indices.shuffle(rng);
+        test_indices.shuffle(rng);
+        let train = self.select(&train_indices).expect("indices are in range");
+        let test = self.select(&test_indices).expect("indices are in range");
+        (train, test)
+    }
+
+    /// Stratified random subsample of `target` instances, used to reduce
+    /// ijcnn1 to 10,000 instances as described in the paper's evaluation.
+    pub fn stratified_subsample<R: Rng + ?Sized>(&self, target: usize, rng: &mut R) -> DataResult<Dataset> {
+        if target == 0 || self.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        if target >= self.len() {
+            return Ok(self.clone());
+        }
+        let fraction = target as f64 / self.len() as f64;
+        let mut selected = Vec::with_capacity(target);
+        for class in Label::ALL {
+            let mut class_indices: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            class_indices.shuffle(rng);
+            let take = ((class_indices.len() as f64) * fraction).round() as usize;
+            selected.extend_from_slice(&class_indices[..take.min(class_indices.len())]);
+        }
+        // Round-off can leave us slightly off target; trim or top up.
+        selected.shuffle(rng);
+        selected.truncate(target);
+        while selected.len() < target {
+            let candidate = rng.gen_range(0..self.len());
+            if !selected.contains(&candidate) {
+                selected.push(candidate);
+            }
+        }
+        self.select(&selected)
+    }
+
+    /// Samples `k` distinct instance indices uniformly at random; this is
+    /// the `Sample(D_train, k)` step that draws the trigger set.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        let k = k.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(k);
+        indices
+    }
+}
+
+/// Summary statistics of a dataset, mirroring a row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of instances.
+    pub instances: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Fraction of positive instances.
+    pub positive_fraction: f64,
+    /// Fraction of negative instances.
+    pub negative_fraction: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let (positive_fraction, negative_fraction) = dataset.class_distribution();
+        Self {
+            name: dataset.name.clone(),
+            instances: dataset.len(),
+            features: dataset.num_features(),
+            positive_fraction,
+            negative_fraction,
+        }
+    }
+
+    /// Renders the class distribution the way Table 1 prints it,
+    /// e.g. `"51%/49%"`.
+    pub fn distribution_string(&self) -> String {
+        format!(
+            "{:.0}%/{:.0}%",
+            self.positive_fraction * 100.0,
+            self.negative_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let labels: Vec<Label> =
+            (0..n).map(|i| if i % 3 == 0 { Label::Positive } else { Label::Negative }).collect();
+        Dataset::new("toy", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn new_validates_label_count() {
+        let features = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(Dataset::new("bad", features, vec![Label::Positive]).is_err());
+    }
+
+    #[test]
+    fn class_distribution_sums_to_one() {
+        let dataset = toy(30);
+        let (pos, neg) = dataset.class_distribution();
+        assert!((pos + neg - 1.0).abs() < 1e-12);
+        assert!(pos > 0.0 && neg > 0.0);
+    }
+
+    #[test]
+    fn select_and_flip() {
+        let dataset = toy(9);
+        let subset = dataset.select(&[0, 3, 6]).unwrap();
+        assert_eq!(subset.len(), 3);
+        assert!(subset.labels().iter().all(|&l| l == Label::Positive));
+        let flipped = subset.with_flipped_labels();
+        assert!(flipped.labels().iter().all(|&l| l == Label::Negative));
+        assert_eq!(flipped.features(), subset.features());
+    }
+
+    #[test]
+    fn flip_at_specific_indices() {
+        let dataset = toy(6);
+        let flipped = dataset.with_labels_flipped_at(&[0, 1]).unwrap();
+        assert_eq!(flipped.label(0), dataset.label(0).flipped());
+        assert_eq!(flipped.label(1), dataset.label(1).flipped());
+        assert_eq!(flipped.label(2), dataset.label(2));
+        assert!(dataset.with_labels_flipped_at(&[99]).is_err());
+    }
+
+    #[test]
+    fn concat_appends_instances() {
+        let a = toy(4);
+        let b = toy(3);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.instance(4), b.instance(0));
+    }
+
+    #[test]
+    fn split_partitions_every_instance_exactly_once() {
+        let dataset = toy(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (train, test) = dataset.split_train_test(0.8, &mut rng);
+        assert_eq!(train.len() + test.len(), dataset.len());
+        assert_eq!(train.len(), 40);
+    }
+
+    #[test]
+    fn stratified_split_preserves_distribution() {
+        let dataset = toy(300);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (train, test) = dataset.split_stratified(0.7, &mut rng);
+        let (full_pos, _) = dataset.class_distribution();
+        let (train_pos, _) = train.class_distribution();
+        let (test_pos, _) = test.class_distribution();
+        assert!((train_pos - full_pos).abs() < 0.05);
+        assert!((test_pos - full_pos).abs() < 0.05);
+    }
+
+    #[test]
+    fn stratified_subsample_hits_target_size() {
+        let dataset = toy(200);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let small = dataset.stratified_subsample(50, &mut rng).unwrap();
+        assert_eq!(small.len(), 50);
+        let (full_pos, _) = dataset.class_distribution();
+        let (small_pos, _) = small.class_distribution();
+        assert!((full_pos - small_pos).abs() < 0.1);
+        // Asking for more than available returns a copy.
+        assert_eq!(dataset.stratified_subsample(500, &mut rng).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let dataset = toy(40);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let indices = dataset.sample_indices(10, &mut rng);
+        assert_eq!(indices.len(), 10);
+        let mut unique = indices.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn stats_render_table1_style_distribution() {
+        let dataset = toy(30);
+        let stats = DatasetStats::of(&dataset);
+        assert_eq!(stats.instances, 30);
+        assert_eq!(stats.features, 2);
+        assert!(stats.distribution_string().contains('%'));
+    }
+}

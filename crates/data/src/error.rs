@@ -1,0 +1,107 @@
+//! Error type shared by the dataset substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, loading or manipulating datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A matrix or dataset was built from rows of inconsistent length.
+    DimensionMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of columns actually found.
+        found: usize,
+    },
+    /// The number of labels does not match the number of rows.
+    LabelCountMismatch {
+        /// Number of rows in the feature matrix.
+        rows: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An operation required a non-empty dataset but received an empty one.
+    EmptyDataset,
+    /// A label value outside the supported binary set was encountered.
+    InvalidLabel(f64),
+    /// A split fraction or similar ratio was outside `(0, 1)`.
+    InvalidFraction(f64),
+    /// An index referred to a row or column that does not exist.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Size of the indexed dimension.
+        len: usize,
+    },
+    /// A CSV record could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// Wrapper around I/O failures while loading or saving datasets.
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected} columns, found {found}")
+            }
+            DataError::LabelCountMismatch { rows, labels } => {
+                write!(f, "label count mismatch: {rows} rows but {labels} labels")
+            }
+            DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            DataError::InvalidLabel(v) => write!(f, "invalid binary label value {v}"),
+            DataError::InvalidFraction(v) => write!(f, "fraction {v} outside the open interval (0, 1)"),
+            DataError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err.to_string())
+    }
+}
+
+/// Convenience result alias for the data crate.
+pub type DataResult<T> = Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch_mentions_both_sizes() {
+        let err = DataError::DimensionMismatch { expected: 4, found: 7 };
+        let text = err.to_string();
+        assert!(text.contains('4') && text.contains('7'));
+    }
+
+    #[test]
+    fn display_parse_error_mentions_line() {
+        let err = DataError::Parse { line: 12, message: "bad float".into() };
+        assert!(err.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DataError::EmptyDataset, DataError::EmptyDataset);
+        assert_ne!(DataError::EmptyDataset, DataError::InvalidLabel(0.5));
+    }
+}

@@ -1,0 +1,103 @@
+//! K-fold cross-validation splits, used by the grid-search substrate.
+
+use crate::dataset::Dataset;
+use crate::label::Label;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One cross-validation fold: the held-out validation indices and the
+/// remaining training indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the instances used for training in this fold.
+    pub train_indices: Vec<usize>,
+    /// Indices of the instances held out for validation in this fold.
+    pub validation_indices: Vec<usize>,
+}
+
+/// Produces `k` stratified cross-validation folds over `dataset`.
+///
+/// Every instance appears in exactly one validation fold; class proportions
+/// are approximately preserved in each fold. `k` is clamped to the dataset
+/// size and must be at least 2.
+pub fn stratified_k_folds<R: Rng + ?Sized>(dataset: &Dataset, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "cross validation requires at least 2 folds");
+    let k = k.min(dataset.len().max(2));
+    // Assign each instance to a fold, spreading each class round-robin so
+    // the class proportions stay balanced even for small minority classes.
+    let mut fold_of = vec![0usize; dataset.len()];
+    for class in Label::ALL {
+        let mut class_indices: Vec<usize> =
+            (0..dataset.len()).filter(|&i| dataset.label(i) == class).collect();
+        class_indices.shuffle(rng);
+        for (position, index) in class_indices.into_iter().enumerate() {
+            fold_of[index] = position % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let validation_indices: Vec<usize> =
+                (0..dataset.len()).filter(|&i| fold_of[i] == fold).collect();
+            let train_indices: Vec<usize> =
+                (0..dataset.len()).filter(|&i| fold_of[i] != fold).collect();
+            Fold { train_indices, validation_indices }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DenseMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<Label> =
+            (0..n).map(|i| if i % 5 == 0 { Label::Positive } else { Label::Negative }).collect();
+        Dataset::new("toy", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_all_instances() {
+        let dataset = toy(47);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let folds = stratified_k_folds(&dataset, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; dataset.len()];
+        for fold in &folds {
+            assert_eq!(fold.train_indices.len() + fold.validation_indices.len(), dataset.len());
+            for &i in &fold.validation_indices {
+                seen[i] += 1;
+            }
+            for &i in &fold.validation_indices {
+                assert!(!fold.train_indices.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&count| count == 1));
+    }
+
+    #[test]
+    fn folds_keep_minority_class_in_most_folds() {
+        let dataset = toy(100); // 20 positives
+        let mut rng = SmallRng::seed_from_u64(3);
+        let folds = stratified_k_folds(&dataset, 4, &mut rng);
+        for fold in &folds {
+            let positives = fold
+                .validation_indices
+                .iter()
+                .filter(|&&i| dataset.label(i) == Label::Positive)
+                .count();
+            assert_eq!(positives, 5, "each fold should hold an equal share of the minority class");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn at_least_two_folds_required() {
+        let dataset = toy(10);
+        let mut rng = SmallRng::seed_from_u64(0);
+        stratified_k_folds(&dataset, 1, &mut rng);
+    }
+}

@@ -1,0 +1,283 @@
+//! Binary class labels.
+//!
+//! The paper restricts the watermarking scheme to binary classification with
+//! labels in `{-1, +1}`; multi-class tasks are handled by one-vs-rest
+//! decompositions built on top of this type.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+
+/// A binary class label, following the paper's `{-1, +1}` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Label {
+    /// The negative class, encoded as `-1`.
+    Negative,
+    /// The positive class, encoded as `+1`.
+    Positive,
+}
+
+impl Label {
+    /// All labels, in a fixed order (negative first).
+    pub const ALL: [Label; 2] = [Label::Negative, Label::Positive];
+
+    /// Returns the opposite label. Used when flipping trigger-set labels
+    /// (`D'_trigger = {(x, -y)}` in Algorithm 1).
+    #[inline]
+    pub fn flipped(self) -> Label {
+        match self {
+            Label::Negative => Label::Positive,
+            Label::Positive => Label::Negative,
+        }
+    }
+
+    /// Numeric encoding used by the paper (`-1.0` / `+1.0`).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Label::Negative => -1.0,
+            Label::Positive => 1.0,
+        }
+    }
+
+    /// Signed integer encoding (`-1` / `+1`).
+    #[inline]
+    pub fn as_i8(self) -> i8 {
+        match self {
+            Label::Negative => -1,
+            Label::Positive => 1,
+        }
+    }
+
+    /// Index into per-class arrays: negative is `0`, positive is `1`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Label::Negative => 0,
+            Label::Positive => 1,
+        }
+    }
+
+    /// Builds a label from a per-class array index.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<Label> {
+        match index {
+            0 => Some(Label::Negative),
+            1 => Some(Label::Positive),
+            _ => None,
+        }
+    }
+
+    /// Parses a numeric label. Accepts the `{-1, +1}` convention as well as
+    /// the `{0, 1}` convention common in CSV dumps of sklearn datasets.
+    pub fn from_f64(value: f64) -> Result<Label, DataError> {
+        if value == -1.0 || value == 0.0 {
+            Ok(Label::Negative)
+        } else if value == 1.0 {
+            Ok(Label::Positive)
+        } else {
+            Err(DataError::InvalidLabel(value))
+        }
+    }
+
+    /// `true` for the positive class.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Label::Positive)
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Negative => write!(f, "-1"),
+            Label::Positive => write!(f, "+1"),
+        }
+    }
+}
+
+impl std::ops::Not for Label {
+    type Output = Label;
+
+    fn not(self) -> Label {
+        self.flipped()
+    }
+}
+
+/// Counts of instances per class; used for class-distribution reporting
+/// (Table 1) and for majority decisions inside tree leaves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Weighted count of negative instances.
+    pub negative: f64,
+    /// Weighted count of positive instances.
+    pub positive: f64,
+}
+
+impl ClassCounts {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` to the class of `label`.
+    #[inline]
+    pub fn add(&mut self, label: Label, weight: f64) {
+        match label {
+            Label::Negative => self.negative += weight,
+            Label::Positive => self.positive += weight,
+        }
+    }
+
+    /// Removes `weight` from the class of `label`.
+    #[inline]
+    pub fn remove(&mut self, label: Label, weight: f64) {
+        match label {
+            Label::Negative => self.negative -= weight,
+            Label::Positive => self.positive -= weight,
+        }
+    }
+
+    /// Total weight across both classes.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.negative + self.positive
+    }
+
+    /// Weighted count for a specific class.
+    #[inline]
+    pub fn count(&self, label: Label) -> f64 {
+        match label {
+            Label::Negative => self.negative,
+            Label::Positive => self.positive,
+        }
+    }
+
+    /// The class with the larger weighted count. Ties go to the negative
+    /// class, mirroring the deterministic tie-break used by the forest.
+    #[inline]
+    pub fn majority(&self) -> Label {
+        if self.positive > self.negative {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// Fraction of positive weight, in `[0, 1]`. Returns `0.5` for an empty
+    /// counter so that callers can treat it as maximally uncertain.
+    #[inline]
+    pub fn positive_fraction(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.5
+        } else {
+            self.positive / total
+        }
+    }
+
+    /// Gini impurity of the weighted class distribution.
+    #[inline]
+    pub fn gini(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p_pos = self.positive / total;
+        let p_neg = self.negative / total;
+        1.0 - p_pos * p_pos - p_neg * p_neg
+    }
+
+    /// Shannon entropy (base 2) of the weighted class distribution.
+    #[inline]
+    pub fn entropy(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut entropy = 0.0;
+        for count in [self.negative, self.positive] {
+            if count > 0.0 {
+                let p = count / total;
+                entropy -= p * p.log2();
+            }
+        }
+        entropy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipping_is_an_involution() {
+        for label in Label::ALL {
+            assert_eq!(label.flipped().flipped(), label);
+            assert_eq!(!(!label), label);
+        }
+    }
+
+    #[test]
+    fn numeric_round_trip() {
+        assert_eq!(Label::from_f64(-1.0).unwrap(), Label::Negative);
+        assert_eq!(Label::from_f64(0.0).unwrap(), Label::Negative);
+        assert_eq!(Label::from_f64(1.0).unwrap(), Label::Positive);
+        assert_eq!(Label::Positive.as_f64(), 1.0);
+        assert_eq!(Label::Negative.as_i8(), -1);
+        assert!(Label::from_f64(0.25).is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for label in Label::ALL {
+            assert_eq!(Label::from_index(label.index()), Some(label));
+        }
+        assert_eq!(Label::from_index(2), None);
+    }
+
+    #[test]
+    fn display_matches_paper_convention() {
+        assert_eq!(Label::Positive.to_string(), "+1");
+        assert_eq!(Label::Negative.to_string(), "-1");
+    }
+
+    #[test]
+    fn class_counts_majority_and_total() {
+        let mut counts = ClassCounts::new();
+        counts.add(Label::Positive, 2.0);
+        counts.add(Label::Negative, 3.0);
+        assert_eq!(counts.total(), 5.0);
+        assert_eq!(counts.majority(), Label::Negative);
+        counts.add(Label::Positive, 2.0);
+        assert_eq!(counts.majority(), Label::Positive);
+        counts.remove(Label::Positive, 4.0);
+        assert_eq!(counts.majority(), Label::Negative);
+    }
+
+    #[test]
+    fn majority_tie_breaks_negative() {
+        let mut counts = ClassCounts::new();
+        counts.add(Label::Positive, 1.0);
+        counts.add(Label::Negative, 1.0);
+        assert_eq!(counts.majority(), Label::Negative);
+    }
+
+    #[test]
+    fn gini_and_entropy_extremes() {
+        let mut pure = ClassCounts::new();
+        pure.add(Label::Positive, 10.0);
+        assert!(pure.gini().abs() < 1e-12);
+        assert!(pure.entropy().abs() < 1e-12);
+
+        let mut balanced = ClassCounts::new();
+        balanced.add(Label::Positive, 5.0);
+        balanced.add(Label::Negative, 5.0);
+        assert!((balanced.gini() - 0.5).abs() < 1e-12);
+        assert!((balanced.entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_fraction_of_empty_counter_is_half() {
+        assert_eq!(ClassCounts::new().positive_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,242 @@
+//! Evaluation metrics for binary classifiers.
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+
+/// A 2x2 confusion matrix for binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Positive instances predicted positive.
+    pub true_positive: usize,
+    /// Negative instances predicted negative.
+    pub true_negative: usize,
+    /// Negative instances predicted positive.
+    pub false_positive: usize,
+    /// Positive instances predicted negative.
+    pub false_negative: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel slices of true and predicted
+    /// labels.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[Label], predicted: &[Label]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "label slices must have equal length");
+        let mut matrix = ConfusionMatrix::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (Label::Positive, Label::Positive) => matrix.true_positive += 1,
+                (Label::Negative, Label::Negative) => matrix.true_negative += 1,
+                (Label::Negative, Label::Positive) => matrix.false_positive += 1,
+                (Label::Positive, Label::Negative) => matrix.false_negative += 1,
+            }
+        }
+        matrix
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    }
+
+    /// Fraction of correct predictions. Returns `0.0` for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.true_positive + self.true_negative) as f64 / total as f64
+        }
+    }
+
+    /// Precision of the positive class (`TP / (TP + FP)`). Returns `0.0`
+    /// when no positive predictions were made.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class (`TP / (TP + FN)`). Returns `0.0` when
+    /// there are no positive instances.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall. Returns `0.0` when both are
+    /// zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Balanced accuracy: mean of per-class recalls. Useful for the heavily
+    /// imbalanced ijcnn1-like dataset (10%/90%).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let pos_denom = self.true_positive + self.false_negative;
+        let neg_denom = self.true_negative + self.false_positive;
+        let pos_recall = if pos_denom == 0 { 0.0 } else { self.true_positive as f64 / pos_denom as f64 };
+        let neg_recall = if neg_denom == 0 { 0.0 } else { self.true_negative as f64 / neg_denom as f64 };
+        (pos_recall + neg_recall) / 2.0
+    }
+}
+
+/// Fraction of positions where the two label slices agree.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy(truth: &[Label], predicted: &[Label]) -> f64 {
+    ConfusionMatrix::from_predictions(truth, predicted).accuracy()
+}
+
+/// Area under the ROC curve for scores where larger means "more positive".
+///
+/// Computed via the Mann-Whitney U statistic; ties contribute 1/2. Returns
+/// `0.5` when either class is absent (no ranking information).
+pub fn roc_auc(truth: &[Label], scores: &[f64]) -> f64 {
+    assert_eq!(truth.len(), scores.len(), "scores must align with labels");
+    let positives: Vec<f64> = truth
+        .iter()
+        .zip(scores)
+        .filter(|(l, _)| l.is_positive())
+        .map(|(_, &s)| s)
+        .collect();
+    let negatives: Vec<f64> = truth
+        .iter()
+        .zip(scores)
+        .filter(|(l, _)| !l.is_positive())
+        .map(|(_, &s)| s)
+        .collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in &positives {
+        for &n in &negatives {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positives.len() as f64 * negatives.len() as f64)
+}
+
+/// Mean and (population) standard deviation of a sample.
+///
+/// This is the statistic pair the watermark-detection attacker computes over
+/// per-tree depths and leaf counts (Table 2), and the statistic the
+/// hyper-parameter adjustment heuristic of Algorithm 1 uses.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, variance.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Label = Label::Positive;
+    const N: Label = Label::Negative;
+
+    #[test]
+    fn confusion_matrix_counts_all_cells() {
+        let truth = [P, P, N, N, P];
+        let predicted = [P, N, N, P, P];
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        assert_eq!(m.true_positive, 2);
+        assert_eq!(m.false_negative, 1);
+        assert_eq!(m.true_negative, 1);
+        assert_eq!(m.false_positive, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_have_unit_metrics() {
+        let truth = [P, N, P, N];
+        let m = ConfusionMatrix::from_predictions(&truth, &truth);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_metrics_default_to_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_penalizes_majority_voting_on_imbalanced_data() {
+        // 9 negatives, 1 positive, classifier always says negative.
+        let truth = [N, N, N, N, N, N, N, N, N, P];
+        let predicted = [N; 10];
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        assert!((m.accuracy() - 0.9).abs() < 1e-12);
+        assert!((m.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_perfect_ranking_is_one() {
+        let truth = [N, N, P, P];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&truth, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_reverse_ranking_is_zero() {
+        let truth = [P, P, N, N];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!(roc_auc(&truth, &scores).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_missing_classes() {
+        let truth = [P, N];
+        let scores = [0.5, 0.5];
+        assert!((roc_auc(&truth, &scores) - 0.5).abs() < 1e-12);
+        assert_eq!(roc_auc(&[P, P], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn mean_std_of_constant_sample_has_zero_std() {
+        let (mean, std) = mean_std(&[3.0, 3.0, 3.0]);
+        assert_eq!(mean, 3.0);
+        assert_eq!(std, 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let (mean, std) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((mean - 5.0).abs() < 1e-12);
+        assert!((std - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::{linf_distance, ConfusionMatrix, Dataset, DenseMatrix, Label, SyntheticSpec};
+
+fn arbitrary_labels(len: usize) -> impl Strategy<Value = Vec<Label>> {
+    proptest::collection::vec(prop_oneof![Just(Label::Negative), Just(Label::Positive)], len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normalization_always_lands_in_unit_interval(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1000.0f64..1000.0, 5), 2..30)
+    ) {
+        let mut matrix = DenseMatrix::from_rows(&rows).unwrap();
+        matrix.normalize_min_max();
+        for row in matrix.iter_rows() {
+            for &value in row {
+                prop_assert!((0.0..=1.0).contains(&value));
+            }
+        }
+    }
+
+    #[test]
+    fn linf_distance_is_a_metric_on_random_vectors(
+        a in proptest::collection::vec(-10.0f64..10.0, 8),
+        b in proptest::collection::vec(-10.0f64..10.0, 8),
+        c in proptest::collection::vec(-10.0f64..10.0, 8)
+    ) {
+        let dab = linf_distance(&a, &b);
+        let dba = linf_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!(linf_distance(&a, &a) == 0.0, "identity");
+        let dac = linf_distance(&a, &c);
+        let dcb = linf_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb + 1e-12, "triangle inequality");
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_is_bounded_and_consistent(
+        truth_bits in proptest::collection::vec(any::<bool>(), 1..60),
+        predicted_bits in proptest::collection::vec(any::<bool>(), 1..60)
+    ) {
+        let len = truth_bits.len().min(predicted_bits.len());
+        let to_labels = |bits: &[bool]| -> Vec<Label> {
+            bits.iter().take(len).map(|&b| if b { Label::Positive } else { Label::Negative }).collect()
+        };
+        let truth = to_labels(&truth_bits);
+        let predicted = to_labels(&predicted_bits);
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        prop_assert_eq!(m.total(), len);
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        let agreeing = truth.iter().zip(&predicted).filter(|(a, b)| a == b).count();
+        prop_assert!((m.accuracy() - agreeing as f64 / len as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_flips_are_involutive_per_dataset(labels in arbitrary_labels(20)) {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let dataset = Dataset::new("prop", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap();
+        let double_flipped = dataset.with_flipped_labels().with_flipped_labels();
+        prop_assert_eq!(double_flipped.labels(), dataset.labels());
+    }
+
+    #[test]
+    fn stratified_split_partitions_exactly(seed in 0u64..1000, fraction in 0.2f64..0.8) {
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.3)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let (train, test) = dataset.split_stratified(fraction, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn sampled_indices_are_unique_and_in_range(seed in 0u64..1000, k in 1usize..50) {
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let indices = dataset.sample_indices(k, &mut rng);
+        prop_assert_eq!(indices.len(), k.min(dataset.len()));
+        let mut unique = indices.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), indices.len());
+        prop_assert!(indices.iter().all(|&i| i < dataset.len()));
+    }
+}

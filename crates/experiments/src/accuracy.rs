@@ -1,0 +1,205 @@
+//! Accuracy experiments (Section 4.1): Table 1, Figure 3a and Figure 3b.
+
+use crate::datasets::PaperDataset;
+use crate::settings::ExperimentSettings;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wdte_core::{Signature, Watermarker};
+use wdte_data::DatasetStats;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of instances after preprocessing.
+    pub instances: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Class distribution rendered like the paper (`"51%/49%"`).
+    pub distribution: String,
+}
+
+/// Regenerates Table 1 (dataset statistics).
+pub fn table1(settings: &ExperimentSettings) -> Vec<Table1Row> {
+    PaperDataset::ALL
+        .iter()
+        .map(|&dataset| {
+            let stats: DatasetStats = dataset.stats(settings.dataset_scale(dataset), settings.seed);
+            Table1Row {
+                dataset: dataset.name().to_string(),
+                instances: stats.instances,
+                features: stats.features,
+                distribution: stats.distribution_string(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 1 in the paper's layout.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("{:<15} {:>10} {:>10} {:>14}", "Dataset", "Instances", "Features", "Distribution");
+    for row in rows {
+        println!(
+            "{:<15} {:>10} {:>10} {:>14}",
+            row.dataset, row.instances, row.features, row.distribution
+        );
+    }
+}
+
+/// One measurement point of Figure 3a or 3b: watermarked vs standard test
+/// accuracy for a given sweep value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Sweep value: the trigger-set fraction (Figure 3a) or the percentage
+    /// of 1 bits in the signature (Figure 3b).
+    pub sweep_value: f64,
+    /// Test accuracy of the watermarked model.
+    pub watermarked_accuracy: f64,
+    /// Test accuracy of a standard model trained with the same pipeline.
+    pub standard_accuracy: f64,
+    /// Whether the embedding reached full compliance on the trigger set.
+    pub compliant: bool,
+}
+
+/// Sweep values of Figure 3a (trigger-set fraction of the training set).
+pub fn figure3a_sweep(settings: &ExperimentSettings) -> Vec<f64> {
+    if settings.full_scale {
+        vec![0.010, 0.015, 0.020, 0.025, 0.030, 0.035, 0.040]
+    } else {
+        vec![0.010, 0.020, 0.030, 0.040]
+    }
+}
+
+/// Sweep values of Figure 3b (percentage of bits set to 1).
+pub fn figure3b_sweep(settings: &ExperimentSettings) -> Vec<f64> {
+    if settings.full_scale {
+        vec![0.10, 0.20, 0.30, 0.40, 0.50, 0.60]
+    } else {
+        vec![0.10, 0.30, 0.50, 0.60]
+    }
+}
+
+/// Runs one accuracy measurement: embed a watermark with the given trigger
+/// fraction and share of 1-bits, and compare against the standard baseline.
+/// `sweep_value` is the x-axis value recorded for the figure being produced
+/// (trigger fraction for Figure 3a, ones percentage for Figure 3b).
+pub fn accuracy_point(
+    settings: &ExperimentSettings,
+    dataset: PaperDataset,
+    trigger_fraction: f64,
+    ones_fraction: f64,
+    sweep_value: f64,
+    seed_offset: u64,
+) -> AccuracyPoint {
+    let (train, test) = dataset.load_split(settings.dataset_scale(dataset), settings.seed);
+    let mut rng = SmallRng::seed_from_u64(settings.seed ^ (seed_offset.wrapping_mul(0x9E37_79B9)));
+    let mut config = settings.watermark_config(dataset);
+    config.trigger_fraction = trigger_fraction;
+    let num_trees = config.num_trees;
+    let signature = Signature::random(num_trees, ones_fraction, &mut rng);
+    let watermarker = Watermarker::new(config);
+    let outcome = watermarker
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding with non-strict config always returns a model");
+    let baseline = watermarker.train_baseline(&train, &mut rng);
+    let compliant = outcome
+        .diagnostics
+        .t0
+        .as_ref()
+        .map_or(true, |d| d.compliant)
+        && outcome.diagnostics.t1.as_ref().map_or(true, |d| d.compliant);
+    AccuracyPoint {
+        dataset: dataset.name().to_string(),
+        sweep_value,
+        watermarked_accuracy: outcome.model.accuracy(&test),
+        standard_accuracy: baseline.accuracy(&test),
+        compliant,
+    }
+}
+
+/// Regenerates Figure 3a: accuracy vs trigger-set size for a fixed 50%-ones
+/// signature.
+pub fn figure3a(settings: &ExperimentSettings) -> Vec<AccuracyPoint> {
+    let mut points = Vec::new();
+    for &dataset in &PaperDataset::ALL {
+        for (i, &fraction) in figure3a_sweep(settings).iter().enumerate() {
+            points.push(accuracy_point(settings, dataset, fraction, 0.5, fraction, i as u64 + 1));
+        }
+    }
+    points
+}
+
+/// Regenerates Figure 3b: accuracy vs share of 1-bits for a fixed 2% trigger
+/// set.
+pub fn figure3b(settings: &ExperimentSettings) -> Vec<AccuracyPoint> {
+    let mut points = Vec::new();
+    for &dataset in &PaperDataset::ALL {
+        for (i, &ones) in figure3b_sweep(settings).iter().enumerate() {
+            points.push(accuracy_point(settings, dataset, 0.02, ones, ones, 100 + i as u64));
+        }
+    }
+    points
+}
+
+/// Prints an accuracy sweep as the series the paper plots.
+pub fn print_accuracy_series(points: &[AccuracyPoint], sweep_label: &str) {
+    println!(
+        "{:<15} {:>12} {:>12} {:>12} {:>10}",
+        "Dataset", sweep_label, "WM RF", "Standard RF", "Compliant"
+    );
+    for point in points {
+        println!(
+            "{:<15} {:>12.3} {:>12.4} {:>12.4} {:>10}",
+            point.dataset,
+            point.sweep_value,
+            point.watermarked_accuracy,
+            point.standard_accuracy,
+            if point.compliant { "yes" } else { "no" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> ExperimentSettings {
+        ExperimentSettings { seed: 11, ..ExperimentSettings::laptop() }
+    }
+
+    #[test]
+    fn table1_has_three_rows_with_paper_feature_counts() {
+        let rows = table1(&tiny_settings());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].features, 784);
+        assert_eq!(rows[1].features, 30);
+        assert_eq!(rows[2].features, 22);
+        assert!(rows.iter().all(|r| r.distribution.contains('%')));
+    }
+
+    #[test]
+    fn sweeps_match_the_paper_ranges_at_full_scale() {
+        let full = ExperimentSettings::full();
+        assert_eq!(figure3a_sweep(&full).len(), 7);
+        assert_eq!(figure3b_sweep(&full), vec![0.10, 0.20, 0.30, 0.40, 0.50, 0.60]);
+    }
+
+    #[test]
+    fn accuracy_point_on_the_small_dataset_behaves_like_the_paper() {
+        // Only the smallest dataset is exercised in unit tests to keep the
+        // suite fast; the binaries cover all three.
+        let settings = tiny_settings();
+        let point = accuracy_point(&settings, PaperDataset::BreastCancer, 0.02, 0.5, 0.02, 1);
+        assert!(point.standard_accuracy > 0.85, "standard accuracy {}", point.standard_accuracy);
+        assert!(
+            point.standard_accuracy - point.watermarked_accuracy < 0.10,
+            "accuracy drop too large: standard {} vs watermarked {}",
+            point.standard_accuracy,
+            point.watermarked_accuracy
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3a: test accuracy of watermarked vs standard random
+//! forests while the trigger-set fraction sweeps.
+use wdte_experiments::accuracy::{figure3a, print_accuracy_series};
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Figure 3a: accuracy vs |D_trigger| / |D_train| (signature 50% ones)");
+    let points = figure3a(&settings);
+    print_accuracy_series(&points, "trigger frac");
+    save_json("fig3a", &points);
+}

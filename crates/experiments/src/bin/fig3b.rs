@@ -1,0 +1,13 @@
+//! Regenerates Figure 3b: test accuracy of watermarked vs standard random
+//! forests while the share of 1-bits in the signature sweeps.
+use wdte_experiments::accuracy::{figure3b, print_accuracy_series};
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Figure 3b: accuracy vs % of 1-bits (trigger set = 2% of training data)");
+    let points = figure3b(&settings);
+    print_accuracy_series(&points, "% bit 1");
+    save_json("fig3b", &points);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4: forged trigger-set size as a function of the
+//! distortion bound ε on the MNIST2-6 stand-in.
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::security::{figure4, prepare_security_setup, print_figure4};
+use wdte_experiments::{ExperimentSettings, PaperDataset};
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Figure 4: forged trigger-set size vs epsilon (MNIST2-6)");
+    let setup = prepare_security_setup(&settings, PaperDataset::Mnist26);
+    let points = figure4(&settings, &setup);
+    print_figure4(&points);
+    save_json("fig4", &points);
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 5: forged MNIST-like instances for increasing ε,
+//! rendered as ASCII art and PGM files, plus the accuracy of a standard
+//! ensemble on the original vs forged trigger sets.
+use wdte_experiments::report::{ascii_image, print_header, results_dir, save_json, write_pgm};
+use wdte_experiments::security::{figure5, prepare_security_setup};
+use wdte_experiments::{ExperimentSettings, PaperDataset};
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Figure 5: forged instances for epsilon in {0.3, 0.5, 0.7}");
+    let setup = prepare_security_setup(&settings, PaperDataset::Mnist26);
+    let examples = figure5(&settings, &setup);
+    let side = (setup.test.num_features() as f64).sqrt().round() as usize;
+    std::fs::create_dir_all(results_dir()).ok();
+    for example in &examples {
+        println!(
+            "epsilon {:.1}: distortion {:.3}, baseline accuracy original trigger {:.2} vs forged trigger {:.2}",
+            example.epsilon,
+            example.distortion,
+            example.baseline_accuracy_on_original_trigger,
+            example.baseline_accuracy_on_forged_trigger
+        );
+        println!("{}", ascii_image(&example.instance, side));
+        let path = results_dir().join(format!("fig5_eps{:.1}.pgm", example.epsilon));
+        if write_pgm(&example.instance, side, &path).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+    if examples.is_empty() {
+        println!("no instance could be forged at the configured budget; rerun with --full or a larger --time-ms");
+    }
+    save_json("fig5", &examples);
+}

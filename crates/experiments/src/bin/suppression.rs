@@ -1,0 +1,17 @@
+//! Extra experiment: quantifies the watermark-suppression claim of §3.3 by
+//! measuring how well a distinguisher separates trigger queries from
+//! ordinary test queries (AUC ≈ 0.5 means indistinguishable).
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::security::{prepare_security_setup, print_suppression, suppression_row};
+use wdte_experiments::{ExperimentSettings, PaperDataset};
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Suppression analysis: trigger vs test distinguishability");
+    let rows: Vec<_> = PaperDataset::ALL
+        .iter()
+        .map(|&dataset| suppression_row(&prepare_security_setup(&settings, dataset)))
+        .collect();
+    print_suppression(&rows);
+    save_json("suppression", &rows);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 1: dataset statistics.
+use wdte_experiments::accuracy::{print_table1, table1};
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Table 1: dataset statistics");
+    let rows = table1(&settings);
+    print_table1(&rows);
+    save_json("table1", &rows);
+}

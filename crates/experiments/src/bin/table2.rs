@@ -1,0 +1,17 @@
+//! Regenerates Table 2: watermark detection attacks (mean±std bands and
+//! sharp mean threshold) on per-tree depth and leaf counts.
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::security::{prepare_security_setup, print_table2, table2_rows};
+use wdte_experiments::{ExperimentSettings, PaperDataset};
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Table 2: watermark detection (cells are 'bands / threshold')");
+    let mut rows = Vec::new();
+    for dataset in PaperDataset::ALL {
+        let setup = prepare_security_setup(&settings, dataset);
+        rows.extend(table2_rows(&setup));
+    }
+    print_table2(&rows);
+    save_json("table2", &rows);
+}

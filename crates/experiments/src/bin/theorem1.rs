@@ -1,0 +1,18 @@
+//! Extra experiment: validates the 3SAT → forgery reduction of Theorem 1 by
+//! comparing the forgery-based decision procedure against a DPLL solver on
+//! random 3CNF instances.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_experiments::report::{print_header, save_json};
+use wdte_experiments::theorem1::{print_reduction_checks, run_reduction_checks};
+use wdte_experiments::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args();
+    print_header("Theorem 1 validation: 3SAT vs forgery reduction");
+    let rounds = if settings.full_scale { 60 } else { 24 };
+    let mut rng = SmallRng::seed_from_u64(settings.seed);
+    let checks = run_reduction_checks(rounds, &mut rng);
+    print_reduction_checks(&checks);
+    save_json("theorem1", &checks);
+}

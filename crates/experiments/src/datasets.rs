@@ -1,0 +1,107 @@
+//! The paper's three evaluation datasets (synthetic stand-ins) and the
+//! preprocessing applied to them (normalization, the ijcnn1 stratified
+//! reduction, train/test splits).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wdte_data::{Dataset, DatasetStats, SyntheticSpec};
+
+/// The three datasets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// MNIST digits 2 vs 6 (784 features).
+    Mnist26,
+    /// Wisconsin breast cancer (30 features).
+    BreastCancer,
+    /// ijcnn1, reduced to 10,000 instances by stratified sampling.
+    Ijcnn1,
+}
+
+impl PaperDataset {
+    /// All datasets in Table 1 order.
+    pub const ALL: [PaperDataset; 3] = [PaperDataset::Mnist26, PaperDataset::BreastCancer, PaperDataset::Ijcnn1];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Mnist26 => "MNIST2-6",
+            PaperDataset::BreastCancer => "breast-cancer",
+            PaperDataset::Ijcnn1 => "ijcnn1",
+        }
+    }
+
+    /// The synthetic specification standing in for this dataset.
+    pub fn spec(&self) -> SyntheticSpec {
+        match self {
+            PaperDataset::Mnist26 => SyntheticSpec::mnist2_6_like(),
+            PaperDataset::BreastCancer => SyntheticSpec::breast_cancer_like(),
+            PaperDataset::Ijcnn1 => SyntheticSpec::ijcnn1_like(),
+        }
+    }
+
+    /// Generates the dataset at the given scale factor, applying the same
+    /// preprocessing as the paper: `[0, 1]` normalization for every dataset
+    /// and the stratified reduction to half the instances for ijcnn1
+    /// (20,000 → 10,000 in the paper).
+    pub fn load(&self, scale: f64, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut dataset = self.spec().scaled(scale).generate(&mut rng);
+        if *self == PaperDataset::Ijcnn1 {
+            let target = (dataset.len() / 2).max(30);
+            dataset = dataset.stratified_subsample(target, &mut rng).expect("subsample target is valid");
+        }
+        dataset.normalize();
+        dataset
+    }
+
+    /// Generates the dataset and splits it into train/test partitions
+    /// (stratified, 80/20).
+    pub fn load_split(&self, scale: f64, seed: u64) -> (Dataset, Dataset) {
+        let dataset = self.load(scale, seed);
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(1));
+        dataset.split_stratified(0.8, &mut rng)
+    }
+
+    /// Table 1 statistics of the generated dataset.
+    pub fn stats(&self, scale: f64, seed: u64) -> DatasetStats {
+        DatasetStats::of(&self.load(scale, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(PaperDataset::Mnist26.name(), "MNIST2-6");
+        assert_eq!(PaperDataset::BreastCancer.name(), "breast-cancer");
+        assert_eq!(PaperDataset::Ijcnn1.name(), "ijcnn1");
+    }
+
+    #[test]
+    fn ijcnn_is_halved_by_the_stratified_reduction() {
+        let full = PaperDataset::Ijcnn1.spec().scaled(0.05);
+        let loaded = PaperDataset::Ijcnn1.load(0.05, 3);
+        assert_eq!(loaded.len(), full.instances / 2);
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_seed() {
+        let (a_train, a_test) = PaperDataset::BreastCancer.load_split(0.3, 7);
+        let (b_train, b_test) = PaperDataset::BreastCancer.load_split(0.3, 7);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_test, b_test);
+        assert!(!a_test.is_empty());
+    }
+
+    #[test]
+    fn stats_report_paper_shapes() {
+        let stats = PaperDataset::BreastCancer.stats(1.0, 1);
+        assert_eq!(stats.features, 30);
+        assert_eq!(stats.instances, 569);
+        let stats = PaperDataset::Mnist26.stats(0.02, 1);
+        assert_eq!(stats.features, 784);
+    }
+}

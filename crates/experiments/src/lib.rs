@@ -1,0 +1,34 @@
+//! # wdte-experiments
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section, plus two extra checks (suppression distinguisher and
+//! Theorem 1 validation). Each experiment is a library function paired with
+//! a thin binary:
+//!
+//! | Paper artefact | Module | Binary |
+//! |----------------|--------|--------|
+//! | Table 1 (dataset statistics) | [`accuracy::table1`] | `table1` |
+//! | Figure 3a (accuracy vs trigger size) | [`accuracy::figure3a`] | `fig3a` |
+//! | Figure 3b (accuracy vs share of 1-bits) | [`accuracy::figure3b`] | `fig3b` |
+//! | Table 2 (watermark detection) | [`security::table2_rows`] | `table2` |
+//! | Figure 4 (forged trigger size vs ε) | [`security::figure4`] | `fig4` |
+//! | Figure 5 (forged instances) | [`security::figure5`] | `fig5` |
+//! | Suppression analysis (§3.3) | [`security::suppression_row`] | `suppression` |
+//! | Theorem 1 validation | [`theorem1`] | `theorem1` |
+//!
+//! All binaries accept `--full` for paper-scale parameters and default to a
+//! laptop-sized configuration that preserves the qualitative trends; see
+//! [`settings::ExperimentSettings`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod datasets;
+pub mod report;
+pub mod security;
+pub mod settings;
+pub mod theorem1;
+
+pub use datasets::PaperDataset;
+pub use settings::ExperimentSettings;

@@ -1,0 +1,104 @@
+//! Reporting helpers shared by the experiment binaries: console tables and
+//! machine-readable JSON dumps under `results/`.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment results are written (`results/` under the
+/// current working directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Serializes a result structure to `results/<name>.json`, creating the
+/// directory if needed. Failures are reported on stderr but never abort the
+/// experiment (the console output remains the primary artefact).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialize {name}: {err}"),
+    }
+}
+
+/// Prints a section header in the style used by all experiment binaries.
+pub fn print_header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(8)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(8)));
+}
+
+/// Writes a grayscale image (`values` in `[0, 1]`, row-major) as an ASCII
+/// rendering; used to visualize forged MNIST-like instances (Figure 5)
+/// without any image dependency.
+pub fn ascii_image(values: &[f64], side: usize) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::with_capacity((side + 1) * side);
+    for row in 0..side {
+        for col in 0..side {
+            let value = values.get(row * side + col).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+            let shade = (value * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[shade]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a binary PGM (P2 ASCII variant) image file for a `[0, 1]`-valued
+/// row-major pixel buffer. Returns the written path.
+pub fn write_pgm(values: &[f64], side: usize, path: &Path) -> std::io::Result<()> {
+    let mut content = format!("P2\n{side} {side}\n255\n");
+    for row in 0..side {
+        for col in 0..side {
+            let value = values.get(row * side + col).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+            content.push_str(&format!("{} ", (value * 255.0).round() as u8));
+        }
+        content.push('\n');
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_image_has_one_row_per_line() {
+        let image = ascii_image(&[0.0, 1.0, 0.5, 0.25], 2);
+        let lines: Vec<&str> = image.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert!(lines[0].contains('@'));
+    }
+
+    #[test]
+    fn ascii_image_clamps_out_of_range_values() {
+        let image = ascii_image(&[-3.0, 7.0], 1);
+        assert!(image.starts_with(' ') || image.starts_with('@'));
+    }
+
+    #[test]
+    fn pgm_writer_produces_a_valid_header() {
+        let dir = std::env::temp_dir().join("wdte-pgm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.pgm");
+        write_pgm(&[0.0, 0.5, 1.0, 0.25], 2, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("P2\n2 2\n255\n"));
+        assert!(content.contains("255"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

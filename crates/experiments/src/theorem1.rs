@@ -1,0 +1,120 @@
+//! Empirical validation of Theorem 1 (the 3SAT → forgery reduction).
+//!
+//! Not a table or figure of the paper, but a direct check of its central
+//! theoretical claim: random 3CNF formulas are converted into tree
+//! ensembles, and the forgery solver's verdict is compared against a
+//! reference DPLL SAT solver. Agreement on every instance means the
+//! reduction (and the solver substrate standing in for Z3) behaves exactly
+//! as the proof requires.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wdte_solver::{cnf_to_ensemble, solve_via_forgery, Cnf, DpllSolver, ReductionOutcome, SatResult, SolverConfig};
+
+/// Result of one reduction check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionCheck {
+    /// Number of propositional variables.
+    pub variables: usize,
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Verdict of the reference DPLL solver.
+    pub dpll_satisfiable: bool,
+    /// Verdict of the forgery-based decision procedure.
+    pub forgery_satisfiable: Option<bool>,
+    /// Whether the two verdicts agree.
+    pub agree: bool,
+    /// Wall-clock milliseconds of the forgery-based procedure.
+    pub forgery_ms: f64,
+    /// Total leaves of the reduced ensemble (the size driver of forgery
+    /// difficulty).
+    pub ensemble_leaves: usize,
+}
+
+/// Runs the reduction check over a grid of clause/variable ratios.
+pub fn run_reduction_checks<R: rand::Rng + ?Sized>(rounds: usize, rng: &mut R) -> Vec<ReductionCheck> {
+    let mut checks = Vec::new();
+    for round in 0..rounds {
+        let variables = 4 + round % 5;
+        let clauses = 3 + (round % 8) * 3;
+        let formula = Cnf::random(variables, clauses, rng);
+        checks.push(check_formula(&formula));
+    }
+    checks
+}
+
+/// Checks a single formula.
+pub fn check_formula(formula: &Cnf) -> ReductionCheck {
+    let dpll = DpllSolver.solve(formula);
+    let ensemble = cnf_to_ensemble(formula);
+    let start = Instant::now();
+    let forgery = solve_via_forgery(formula, SolverConfig::default());
+    let forgery_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let dpll_satisfiable = matches!(dpll, SatResult::Satisfiable(_));
+    let forgery_satisfiable = match forgery {
+        ReductionOutcome::Satisfiable(_) => Some(true),
+        ReductionOutcome::Unsatisfiable => Some(false),
+        ReductionOutcome::Unknown => None,
+    };
+    let agree = forgery_satisfiable.map_or(false, |f| f == dpll_satisfiable);
+    ReductionCheck {
+        variables: formula.num_variables,
+        clauses: formula.clauses.len(),
+        dpll_satisfiable,
+        forgery_satisfiable,
+        agree,
+        forgery_ms,
+        ensemble_leaves: ensemble.total_leaves(),
+    }
+}
+
+/// Prints the reduction checks.
+pub fn print_reduction_checks(checks: &[ReductionCheck]) {
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>8} {:>12} {:>10}",
+        "vars", "clauses", "DPLL", "forgery", "agree", "forgery ms", "leaves"
+    );
+    for check in checks {
+        println!(
+            "{:>6} {:>8} {:>8} {:>10} {:>8} {:>12.2} {:>10}",
+            check.variables,
+            check.clauses,
+            if check.dpll_satisfiable { "SAT" } else { "UNSAT" },
+            match check.forgery_satisfiable {
+                Some(true) => "SAT",
+                Some(false) => "UNSAT",
+                None => "unknown",
+            },
+            if check.agree { "yes" } else { "NO" },
+            check.forgery_ms,
+            check.ensemble_leaves
+        );
+    }
+    let agreeing = checks.iter().filter(|c| c.agree).count();
+    println!("agreement: {agreeing}/{} instances", checks.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let checks = run_reduction_checks(12, &mut rng);
+        assert_eq!(checks.len(), 12);
+        assert!(checks.iter().all(|c| c.agree), "reduction must agree with DPLL on every instance");
+        assert!(checks.iter().any(|c| c.dpll_satisfiable));
+        assert!(checks.iter().all(|c| c.ensemble_leaves >= c.clauses));
+    }
+
+    #[test]
+    fn paper_example_checks_out() {
+        let check = check_formula(&Cnf::paper_example());
+        assert!(check.dpll_satisfiable);
+        assert_eq!(check.forgery_satisfiable, Some(true));
+        assert!(check.agree);
+    }
+}

@@ -1,0 +1,320 @@
+//! Intervals and axis-aligned boxes over the feature space.
+//!
+//! Decision-tree prediction paths induce axis-aligned regions whose bounds
+//! come from `x[f] <= v` tests: the lower bound is *exclusive* (taking the
+//! right branch means `x > v`) and the upper bound is *inclusive* (taking
+//! the left branch means `x <= v`). The forgery solver additionally
+//! intersects these regions with closed L∞ balls and the closed `[0, 1]`
+//! data domain, so intervals track the openness of each endpoint
+//! explicitly.
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly half-open) interval of the real line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower endpoint (may be `-inf`).
+    pub lo: f64,
+    /// Whether the lower endpoint itself belongs to the interval.
+    pub lo_inclusive: bool,
+    /// Upper endpoint (may be `+inf`).
+    pub hi: f64,
+    /// Whether the upper endpoint itself belongs to the interval.
+    pub hi_inclusive: bool,
+}
+
+impl Interval {
+    /// The whole real line.
+    pub fn unbounded() -> Self {
+        Self { lo: f64::NEG_INFINITY, lo_inclusive: false, hi: f64::INFINITY, hi_inclusive: false }
+    }
+
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        Self { lo, lo_inclusive: true, hi, hi_inclusive: true }
+    }
+
+    /// Tree-path interval `(lo, hi]`: the region selected by taking a right
+    /// branch at threshold `lo` and a left branch at threshold `hi`.
+    pub fn tree_path(lo: f64, hi: f64) -> Self {
+        Self { lo, lo_inclusive: false, hi, hi_inclusive: true }
+    }
+
+    /// `true` if the interval contains at least one point.
+    pub fn is_feasible(&self) -> bool {
+        if self.lo < self.hi {
+            true
+        } else if self.lo == self.hi {
+            self.lo_inclusive && self.hi_inclusive && self.lo.is_finite()
+        } else {
+            false
+        }
+    }
+
+    /// `true` if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        let above = if self.lo_inclusive { value >= self.lo } else { value > self.lo };
+        let below = if self.hi_inclusive { value <= self.hi } else { value < self.hi };
+        above && below
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_inclusive) = if self.lo > other.lo {
+            (self.lo, self.lo_inclusive)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_inclusive)
+        } else {
+            (self.lo, self.lo_inclusive && other.lo_inclusive)
+        };
+        let (hi, hi_inclusive) = if self.hi < other.hi {
+            (self.hi, self.hi_inclusive)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_inclusive)
+        } else {
+            (self.hi, self.hi_inclusive && other.hi_inclusive)
+        };
+        Interval { lo, lo_inclusive, hi, hi_inclusive }
+    }
+
+    /// A concrete point inside the interval, preferring `preferred` when it
+    /// already lies inside (used to keep forged instances close to the
+    /// reference instance). Returns `None` for infeasible intervals.
+    pub fn witness(&self, preferred: Option<f64>) -> Option<f64> {
+        if !self.is_feasible() {
+            return None;
+        }
+        if let Some(p) = preferred {
+            if self.contains(p) {
+                return Some(p);
+            }
+        }
+        // Degenerate single-point interval.
+        if self.lo == self.hi {
+            return Some(self.lo);
+        }
+        let lo_finite = self.lo.is_finite();
+        let hi_finite = self.hi.is_finite();
+        let candidate = match (lo_finite, hi_finite) {
+            (true, true) => (self.lo + self.hi) / 2.0,
+            (true, false) => self.lo + 1.0,
+            (false, true) => self.hi - 1.0,
+            (false, false) => 0.0,
+        };
+        if self.contains(candidate) {
+            Some(candidate)
+        } else if self.hi_inclusive && hi_finite {
+            Some(self.hi)
+        } else if self.lo_inclusive && lo_finite {
+            Some(self.lo)
+        } else {
+            // Feasible open interval but the midpoint fell outside due to
+            // rounding; nudge towards the interior.
+            let nudged = self.lo + (self.hi - self.lo) * 0.25;
+            self.contains(nudged).then_some(nudged)
+        }
+    }
+}
+
+/// An axis-aligned box: one interval per feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxRegion {
+    intervals: Vec<Interval>,
+}
+
+impl BoxRegion {
+    /// The unconstrained box over `dims` features.
+    pub fn unbounded(dims: usize) -> Self {
+        Self { intervals: vec![Interval::unbounded(); dims] }
+    }
+
+    /// Builds a box from explicit per-feature intervals.
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        Self { intervals }
+    }
+
+    /// Builds the box of a decision-tree leaf from its raw
+    /// `(lower, upper)` path bounds (exclusive lower, inclusive upper).
+    pub fn from_tree_bounds(bounds: &[(f64, f64)]) -> Self {
+        Self { intervals: bounds.iter().map(|&(lo, hi)| Interval::tree_path(lo, hi)).collect() }
+    }
+
+    /// The closed L∞ ball of radius `epsilon` around `center`, intersected
+    /// with nothing else.
+    pub fn linf_ball(center: &[f64], epsilon: f64) -> Self {
+        Self {
+            intervals: center.iter().map(|&c| Interval::closed(c - epsilon, c + epsilon)).collect(),
+        }
+    }
+
+    /// The closed hyper-cube `[lo, hi]^dims` (e.g. the `[0, 1]` data
+    /// domain).
+    pub fn cube(dims: usize, lo: f64, hi: f64) -> Self {
+        Self { intervals: vec![Interval::closed(lo, hi); dims] }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Per-feature intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// `true` if every per-feature interval is feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.intervals.iter().all(Interval::is_feasible)
+    }
+
+    /// `true` if `point` lies inside the box.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dims()`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dims(), "dimensionality mismatch");
+        self.intervals.iter().zip(point).all(|(interval, &value)| interval.contains(value))
+    }
+
+    /// Component-wise intersection of two boxes.
+    ///
+    /// # Panics
+    /// Panics if the boxes have different dimensionality.
+    pub fn intersect(&self, other: &BoxRegion) -> BoxRegion {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        BoxRegion {
+            intervals: self
+                .intervals
+                .iter()
+                .zip(&other.intervals)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+
+    /// Like [`BoxRegion::intersect`] but returns `None` as soon as any
+    /// dimension becomes infeasible (cheaper for the solver's forward
+    /// checking).
+    pub fn intersect_feasible(&self, other: &BoxRegion) -> Option<BoxRegion> {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        let mut intervals = Vec::with_capacity(self.dims());
+        for (a, b) in self.intervals.iter().zip(&other.intervals) {
+            let merged = a.intersect(b);
+            if !merged.is_feasible() {
+                return None;
+            }
+            intervals.push(merged);
+        }
+        Some(BoxRegion { intervals })
+    }
+
+    /// A concrete point inside the box, preferring the coordinates of
+    /// `preferred` wherever they already satisfy the box. Returns `None`
+    /// for infeasible boxes.
+    pub fn witness(&self, preferred: Option<&[f64]>) -> Option<Vec<f64>> {
+        let mut point = Vec::with_capacity(self.dims());
+        for (index, interval) in self.intervals.iter().enumerate() {
+            let preference = preferred.map(|p| p[index]);
+            point.push(interval.witness(preference)?);
+        }
+        Some(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_interval_contains_its_endpoints() {
+        let i = Interval::closed(0.0, 1.0);
+        assert!(i.contains(0.0));
+        assert!(i.contains(1.0));
+        assert!(!i.contains(-0.1));
+        assert!(i.is_feasible());
+    }
+
+    #[test]
+    fn tree_path_interval_excludes_lower_endpoint() {
+        let i = Interval::tree_path(0.5, 0.8);
+        assert!(!i.contains(0.5));
+        assert!(i.contains(0.5000001));
+        assert!(i.contains(0.8));
+        assert!(!i.contains(0.8000001));
+    }
+
+    #[test]
+    fn degenerate_intervals() {
+        assert!(Interval::closed(0.3, 0.3).is_feasible());
+        assert!(Interval::closed(0.3, 0.3).contains(0.3));
+        assert!(!Interval::tree_path(0.3, 0.3).is_feasible());
+        assert!(!Interval::closed(0.4, 0.3).is_feasible());
+    }
+
+    #[test]
+    fn intersection_keeps_the_tighter_bound_and_openness() {
+        let a = Interval::tree_path(0.2, 0.9);
+        let b = Interval::closed(0.0, 0.5);
+        let c = a.intersect(&b);
+        assert_eq!(c.lo, 0.2);
+        assert!(!c.lo_inclusive);
+        assert_eq!(c.hi, 0.5);
+        assert!(c.hi_inclusive);
+        // Equal endpoints: inclusiveness is the conjunction.
+        let d = Interval::closed(0.2, 0.9).intersect(&Interval::tree_path(0.2, 0.9));
+        assert!(!d.lo_inclusive);
+        assert!(d.hi_inclusive);
+    }
+
+    #[test]
+    fn witness_prefers_the_reference_value() {
+        let i = Interval::closed(0.0, 1.0);
+        assert_eq!(i.witness(Some(0.42)), Some(0.42));
+        assert_eq!(i.witness(Some(3.0)), Some(0.5));
+        assert_eq!(Interval::closed(0.3, 0.3).witness(None), Some(0.3));
+        assert_eq!(Interval::closed(0.4, 0.1).witness(None), None);
+        // Unbounded intervals still produce something finite.
+        let w = Interval::unbounded().witness(None).unwrap();
+        assert!(w.is_finite());
+    }
+
+    #[test]
+    fn box_from_tree_bounds_and_containment() {
+        let bounds = [(f64::NEG_INFINITY, 0.5), (0.2, f64::INFINITY)];
+        let region = BoxRegion::from_tree_bounds(&bounds);
+        assert!(region.contains(&[0.5, 0.3]));
+        assert!(!region.contains(&[0.6, 0.3]));
+        assert!(!region.contains(&[0.5, 0.2])); // lower bound exclusive
+    }
+
+    #[test]
+    fn box_intersection_and_feasibility() {
+        let a = BoxRegion::cube(2, 0.0, 1.0);
+        let ball = BoxRegion::linf_ball(&[0.9, 0.9], 0.2);
+        let merged = a.intersect(&ball);
+        assert!(merged.is_feasible());
+        assert!(merged.contains(&[1.0, 0.95]));
+        assert!(!merged.contains(&[0.6, 0.95]));
+
+        let disjoint = BoxRegion::linf_ball(&[5.0, 5.0], 0.1);
+        assert!(a.intersect_feasible(&disjoint).is_none());
+        assert!(a.intersect_feasible(&ball).is_some());
+    }
+
+    #[test]
+    fn box_witness_prefers_reference_coordinates() {
+        let region = BoxRegion::new(vec![Interval::closed(0.0, 1.0), Interval::tree_path(0.6, 0.9)]);
+        let witness = region.witness(Some(&[0.3, 0.1])).unwrap();
+        assert_eq!(witness[0], 0.3); // reference kept where possible
+        assert!(witness[1] > 0.6 && witness[1] <= 0.9); // moved where necessary
+        assert!(region.contains(&witness));
+    }
+
+    #[test]
+    fn infeasible_box_has_no_witness() {
+        let region = BoxRegion::new(vec![Interval::closed(0.0, 1.0), Interval::closed(2.0, 1.0)]);
+        assert!(!region.is_feasible());
+        assert!(region.witness(None).is_none());
+    }
+}

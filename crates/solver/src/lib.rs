@@ -1,0 +1,39 @@
+//! # wdte-solver
+//!
+//! Constraint-solving substrate for the *Watermarking Decision Tree
+//! Ensembles* reproduction, standing in for the Z3 SMT solver used by the
+//! paper's forgery experiments:
+//!
+//! * [`interval`] — intervals and axis-aligned boxes with explicit endpoint
+//!   openness, matching the geometry of decision-tree prediction paths.
+//! * [`forge`] — a DPLL-style branch-and-prune solver that searches for an
+//!   instance realizing a required per-tree output pattern, optionally
+//!   within an L∞ ball of a reference instance (the watermark forgery
+//!   problem of Definition 1).
+//! * [`sat`] — 3CNF formulas and a reference DPLL SAT solver.
+//! * [`reduction`] — the 3SAT → forgery reduction of Theorem 1, used to
+//!   validate the NP-hardness construction end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forge;
+pub mod interval;
+pub mod reduction;
+pub mod sat;
+
+pub use forge::{satisfies_pattern, ForgeryOutcome, ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig};
+pub use interval::{BoxRegion, Interval};
+pub use reduction::{
+    assignment_to_instance, clause_to_tree, cnf_to_ensemble, instance_to_assignment, solve_via_forgery,
+    ReductionOutcome,
+};
+pub use sat::{Clause, Cnf, DpllSolver, Literal, SatResult};
+
+/// Commonly used types, re-exported for `use wdte_solver::prelude::*`.
+pub mod prelude {
+    pub use crate::forge::{ForgeryOutcome, ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig};
+    pub use crate::interval::{BoxRegion, Interval};
+    pub use crate::reduction::{cnf_to_ensemble, solve_via_forgery, ReductionOutcome};
+    pub use crate::sat::{Clause, Cnf, DpllSolver, Literal, SatResult};
+}

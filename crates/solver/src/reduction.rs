@@ -1,0 +1,205 @@
+//! The 3SAT → watermark-forgery reduction of Theorem 1.
+//!
+//! Each clause of a 3CNF formula becomes a decision tree of depth at most
+//! three whose `+1` leaves encode the sufficient conditions for satisfying
+//! the clause; the formula is satisfiable iff the forgery problem on the
+//! resulting ensemble has a solution for label `+1` and the all-zeros
+//! signature. This module implements the conversion function `⟦·⟧` of the
+//! paper and the two directions of the solution translation, allowing the
+//! reduction to be validated empirically against the reference DPLL solver.
+
+use crate::forge::{ForgeryOutcome, ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig};
+use crate::sat::{Clause, Cnf, Literal};
+use wdte_data::{ClassCounts, Label};
+use wdte_trees::{DecisionTree, Node, RandomForest};
+
+/// Converts a single clause into a decision tree over `num_variables`
+/// features, following the inductive definition `⟦ψ⟧` of the paper: every
+/// internal node tests `x[var] <= 0` (left = false, right = true), and a
+/// branch that already satisfies the clause ends in a `+1` leaf.
+pub fn clause_to_tree(clause: &Clause, num_variables: usize) -> DecisionTree {
+    let mut nodes = Vec::new();
+    build_clause(&clause.literals, &mut nodes);
+    DecisionTree::from_nodes(nodes, num_variables)
+}
+
+/// Recursively builds the arena for a suffix of the clause's literals and
+/// returns the index of the subtree root.
+fn build_clause(literals: &[Literal], nodes: &mut Vec<Node>) -> usize {
+    let (first, rest) = literals.split_first().expect("clauses are non-empty");
+    if rest.is_empty() {
+        // ⟦l⟧: a single test on the literal's variable.
+        let (left_label, right_label) = if first.negated {
+            (Label::Positive, Label::Negative)
+        } else {
+            (Label::Negative, Label::Positive)
+        };
+        let slot = nodes.len();
+        nodes.push(Node::Internal { feature: first.variable, threshold: 0.0, left: 0, right: 0 });
+        let left = nodes.len();
+        nodes.push(Node::Leaf { label: left_label, counts: ClassCounts::new() });
+        let right = nodes.len();
+        nodes.push(Node::Leaf { label: right_label, counts: ClassCounts::new() });
+        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+        return slot;
+    }
+    // ⟦l ∨ ψ'⟧: the branch where l is true short-circuits to +1, the other
+    // branch recurses into the rest of the clause.
+    let slot = nodes.len();
+    nodes.push(Node::Internal { feature: first.variable, threshold: 0.0, left: 0, right: 0 });
+    if first.negated {
+        // l = ¬x: x <= 0 (false) satisfies the literal → left leaf +1.
+        let left = nodes.len();
+        nodes.push(Node::Leaf { label: Label::Positive, counts: ClassCounts::new() });
+        let right = build_clause(rest, nodes);
+        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+    } else {
+        // l = x: x > 0 (true) satisfies the literal → right leaf +1.
+        let left = build_clause(rest, nodes);
+        let right = nodes.len();
+        nodes.push(Node::Leaf { label: Label::Positive, counts: ClassCounts::new() });
+        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+    }
+    slot
+}
+
+/// Converts a 3CNF formula into a tree ensemble (`⟦φ⟧`), one tree per
+/// clause.
+pub fn cnf_to_ensemble(formula: &Cnf) -> RandomForest {
+    assert!(!formula.clauses.is_empty(), "the reduction needs at least one clause");
+    let trees = formula
+        .clauses
+        .iter()
+        .map(|clause| clause_to_tree(clause, formula.num_variables))
+        .collect();
+    RandomForest::from_trees(trees)
+}
+
+/// Translates a boolean assignment into a feature vector for the reduced
+/// ensemble (`true` → `+1.0`, `false` → `-1.0`).
+pub fn assignment_to_instance(assignment: &[bool]) -> Vec<f64> {
+    assignment.iter().map(|&value| if value { 1.0 } else { -1.0 }).collect()
+}
+
+/// Translates a forged instance back into a boolean assignment
+/// (`x[j] > 0` → `true`), as described in the proof of Theorem 1.
+pub fn instance_to_assignment(instance: &[f64]) -> Vec<bool> {
+    instance.iter().map(|&value| value > 0.0).collect()
+}
+
+/// Result of deciding a formula through the forgery reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReductionOutcome {
+    /// The forgery solver found an instance; the translated assignment is
+    /// returned.
+    Satisfiable(Vec<bool>),
+    /// The forgery problem is unsatisfiable, hence so is the formula.
+    Unsatisfiable,
+    /// The solver budget was exhausted before a conclusion.
+    Unknown,
+}
+
+/// Decides satisfiability of a 3CNF formula by running the forgery solver
+/// on the reduced ensemble with label `+1` and the all-zeros signature,
+/// exactly as in the proof of Theorem 1.
+pub fn solve_via_forgery(formula: &Cnf, config: SolverConfig) -> ReductionOutcome {
+    let ensemble = cnf_to_ensemble(formula);
+    let index = LeafIndex::new(&ensemble);
+    let query = ForgeryQuery {
+        required: vec![Label::Positive; ensemble.num_trees()],
+        reference: None,
+    };
+    let solver = ForgerySolver::new(config.unconstrained_domain());
+    match solver.solve(&index, &query) {
+        ForgeryOutcome::Forged { instance, .. } => {
+            ReductionOutcome::Satisfiable(instance_to_assignment(&instance))
+        }
+        ForgeryOutcome::Unsatisfiable { .. } => ReductionOutcome::Unsatisfiable,
+        ForgeryOutcome::BudgetExhausted { .. } => ReductionOutcome::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{DpllSolver, SatResult};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_reduction_matches_figure_2_shape() {
+        let formula = Cnf::paper_example();
+        let ensemble = cnf_to_ensemble(&formula);
+        assert_eq!(ensemble.num_trees(), 2);
+        // First clause (x0 ∨ x1): depth 2, second clause (x1 ∨ x2 ∨ ¬x3): depth 3.
+        assert_eq!(ensemble.trees()[0].depth(), 2);
+        assert_eq!(ensemble.trees()[1].depth(), 3);
+    }
+
+    #[test]
+    fn ensemble_prediction_agrees_with_clause_semantics() {
+        let formula = Cnf::paper_example();
+        let ensemble = cnf_to_ensemble(&formula);
+        // Exhaustively compare tree predictions with clause truth values.
+        for bits in 0..16u32 {
+            let assignment: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let instance = assignment_to_instance(&assignment);
+            for (tree, clause) in ensemble.trees().iter().zip(&formula.clauses) {
+                let predicted_true = tree.predict(&instance) == Label::Positive;
+                assert_eq!(
+                    predicted_true,
+                    clause.eval(&assignment),
+                    "tree and clause disagree on {assignment:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn satisfiable_formulas_are_forgeable_and_vice_versa() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut seen_sat = 0;
+        let mut seen_unsat = 0;
+        for round in 0..40 {
+            let num_variables = 4 + round % 4;
+            // Over-constrained ratios produce a healthy mix of SAT/UNSAT.
+            let num_clauses = 3 + (round % 9) * 3;
+            let formula = Cnf::random(num_variables, num_clauses, &mut rng);
+            let ground_truth = DpllSolver.solve(&formula);
+            let via_forgery = solve_via_forgery(&formula, SolverConfig::default());
+            match (ground_truth, via_forgery) {
+                (SatResult::Satisfiable(_), ReductionOutcome::Satisfiable(assignment)) => {
+                    assert!(formula.eval(&assignment), "forgery-derived assignment must satisfy the formula");
+                    seen_sat += 1;
+                }
+                (SatResult::Unsatisfiable, ReductionOutcome::Unsatisfiable) => {
+                    seen_unsat += 1;
+                }
+                (truth, reduced) => {
+                    panic!("reduction disagreed with DPLL: {truth:?} vs {reduced:?}");
+                }
+            }
+        }
+        assert!(seen_sat > 0 && seen_unsat > 0, "test should exercise both outcomes (sat={seen_sat}, unsat={seen_unsat})");
+    }
+
+    #[test]
+    fn round_trip_translations_are_inverse_on_sign() {
+        let assignment = vec![true, false, true];
+        let instance = assignment_to_instance(&assignment);
+        assert_eq!(instance, vec![1.0, -1.0, 1.0]);
+        assert_eq!(instance_to_assignment(&instance), assignment);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_yields_unsatisfiable_forgery() {
+        let formula = Cnf::new(
+            1,
+            vec![
+                Clause::new(vec![Literal::positive(0)]),
+                Clause::new(vec![Literal::negative(0)]),
+            ],
+        );
+        assert_eq!(solve_via_forgery(&formula, SolverConfig::default()), ReductionOutcome::Unsatisfiable);
+    }
+}

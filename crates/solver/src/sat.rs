@@ -1,0 +1,360 @@
+//! 3CNF formulas and a reference DPLL SAT solver.
+//!
+//! The paper's NP-hardness proof (Theorem 1) reduces 3SAT to the watermark
+//! forgery problem. This module provides the 3CNF side of that reduction —
+//! formula representation, a random-instance generator and a small DPLL
+//! solver with unit propagation — so the reduction can be cross-checked
+//! end-to-end: a formula is satisfiable iff the forgery solver finds an
+//! instance for the reduced ensemble.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal: a propositional variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Zero-based variable index.
+    pub variable: usize,
+    /// `true` when the literal is the negation of the variable.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// Positive literal of `variable`.
+    pub fn positive(variable: usize) -> Self {
+        Self { variable, negated: false }
+    }
+
+    /// Negative literal of `variable`.
+    pub fn negative(variable: usize) -> Self {
+        Self { variable, negated: true }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.variable] ^ self.negated
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!x{}", self.variable)
+        } else {
+            write!(f, "x{}", self.variable)
+        }
+    }
+}
+
+/// A clause: a disjunction of at most three literals (3CNF).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clause {
+    /// The literals of the clause (1 to 3 of them).
+    pub literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Builds a clause, validating the 3CNF arity.
+    ///
+    /// # Panics
+    /// Panics if the clause is empty or has more than three literals.
+    pub fn new(literals: Vec<Literal>) -> Self {
+        assert!(
+            (1..=3).contains(&literals.len()),
+            "3CNF clauses have between one and three literals"
+        );
+        Self { literals }
+    }
+
+    /// Evaluates the clause under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.literals.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A 3CNF formula: a conjunction of clauses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    /// Number of propositional variables (indexed `0..num_variables`).
+    pub num_variables: usize,
+    /// The clauses of the formula.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Builds a formula, validating that every literal refers to a declared
+    /// variable.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range variable index.
+    pub fn new(num_variables: usize, clauses: Vec<Clause>) -> Self {
+        for clause in &clauses {
+            for literal in &clause.literals {
+                assert!(literal.variable < num_variables, "literal refers to an undeclared variable");
+            }
+        }
+        Self { num_variables, clauses }
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_variables, "assignment must cover every variable");
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// The example formula of the paper, `(x1 ∨ x2) ∧ (x2 ∨ x3 ∨ ¬x4)`,
+    /// with variables renumbered from zero.
+    pub fn paper_example() -> Self {
+        Cnf::new(
+            4,
+            vec![
+                Clause::new(vec![Literal::positive(0), Literal::positive(1)]),
+                Clause::new(vec![Literal::positive(1), Literal::positive(2), Literal::negative(3)]),
+            ],
+        )
+    }
+
+    /// Generates a random 3CNF formula with exactly three literals per
+    /// clause over distinct variables.
+    ///
+    /// # Panics
+    /// Panics if fewer than three variables are requested.
+    pub fn random<R: Rng + ?Sized>(num_variables: usize, num_clauses: usize, rng: &mut R) -> Self {
+        assert!(num_variables >= 3, "random 3CNF needs at least three variables");
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                let mut variables: Vec<usize> = (0..num_variables).collect();
+                variables.shuffle(rng);
+                let literals = variables
+                    .into_iter()
+                    .take(3)
+                    .map(|variable| Literal { variable, negated: rng.gen_bool(0.5) })
+                    .collect();
+                Clause::new(literals)
+            })
+            .collect();
+        Cnf::new(num_variables, clauses)
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SatResult {
+    /// The formula is satisfiable; a model is provided.
+    Satisfiable(Vec<bool>),
+    /// The formula is unsatisfiable.
+    Unsatisfiable,
+}
+
+impl SatResult {
+    /// The satisfying assignment, if any.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Satisfiable(model) => Some(model),
+            SatResult::Unsatisfiable => None,
+        }
+    }
+}
+
+/// A small DPLL solver with unit propagation, used as ground truth when
+/// validating the 3SAT→forgery reduction.
+#[derive(Debug, Clone, Default)]
+pub struct DpllSolver;
+
+impl DpllSolver {
+    /// Decides satisfiability of a CNF formula.
+    pub fn solve(&self, formula: &Cnf) -> SatResult {
+        let mut assignment: Vec<Option<bool>> = vec![None; formula.num_variables];
+        if Self::search(formula, &mut assignment) {
+            let model = assignment.into_iter().map(|v| v.unwrap_or(false)).collect();
+            SatResult::Satisfiable(model)
+        } else {
+            SatResult::Unsatisfiable
+        }
+    }
+
+    fn search(formula: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to a fixed point.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut propagated = false;
+            for clause in &formula.clauses {
+                let mut unassigned = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for literal in &clause.literals {
+                    match assignment[literal.variable] {
+                        Some(value) => {
+                            if value ^ literal.negated {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(*literal);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // Conflict: undo the propagations made at this level.
+                        for &variable in &trail {
+                            assignment[variable] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let literal = unassigned.expect("exactly one unassigned literal");
+                        assignment[literal.variable] = Some(!literal.negated);
+                        trail.push(literal.variable);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+
+        // Pick the first unassigned variable and branch.
+        match assignment.iter().position(|v| v.is_none()) {
+            None => {
+                // Full assignment: formula must be satisfied (no conflict was
+                // detected and no clause is left unresolved).
+                let model: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
+                let ok = formula.eval(&model);
+                if !ok {
+                    for &variable in &trail {
+                        assignment[variable] = None;
+                    }
+                }
+                ok
+            }
+            Some(variable) => {
+                for value in [true, false] {
+                    assignment[variable] = Some(value);
+                    if Self::search(formula, assignment) {
+                        return true;
+                    }
+                    assignment[variable] = None;
+                }
+                for &propagated in &trail {
+                    assignment[propagated] = None;
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn literal_evaluation() {
+        let assignment = [true, false];
+        assert!(Literal::positive(0).eval(&assignment));
+        assert!(!Literal::negative(0).eval(&assignment));
+        assert!(!Literal::positive(1).eval(&assignment));
+        assert!(Literal::negative(1).eval(&assignment));
+        assert_eq!(Literal::negative(1).to_string(), "!x1");
+    }
+
+    #[test]
+    #[should_panic(expected = "between one and three literals")]
+    fn clauses_are_at_most_ternary() {
+        Clause::new(vec![
+            Literal::positive(0),
+            Literal::positive(1),
+            Literal::positive(2),
+            Literal::positive(3),
+        ]);
+    }
+
+    #[test]
+    fn paper_example_is_satisfiable() {
+        let formula = Cnf::paper_example();
+        let result = DpllSolver.solve(&formula);
+        let model = result.model().expect("the paper's example is satisfiable");
+        assert!(formula.eval(model));
+    }
+
+    #[test]
+    fn simple_unsatisfiable_formula_is_detected() {
+        // (x0) ∧ (¬x0)
+        let formula = Cnf::new(
+            1,
+            vec![
+                Clause::new(vec![Literal::positive(0)]),
+                Clause::new(vec![Literal::negative(0)]),
+            ],
+        );
+        assert_eq!(DpllSolver.solve(&formula), SatResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn pigeonhole_like_unsat_instance() {
+        // All eight clauses over three variables: unsatisfiable.
+        let mut clauses = Vec::new();
+        for mask in 0..8u32 {
+            let literals = (0..3)
+                .map(|v| Literal { variable: v, negated: mask & (1 << v) != 0 })
+                .collect();
+            clauses.push(Clause::new(literals));
+        }
+        let formula = Cnf::new(3, clauses);
+        assert_eq!(DpllSolver.solve(&formula), SatResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn solver_models_always_satisfy_the_formula() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        for round in 0..30 {
+            let num_variables = 5 + (round % 5);
+            let num_clauses = 3 + round;
+            let formula = Cnf::random(num_variables, num_clauses, &mut rng);
+            if let SatResult::Satisfiable(model) = DpllSolver.solve(&formula) {
+                assert!(formula.eval(&model), "solver returned a non-model");
+            } else {
+                // Unsatisfiability of random instances is cross-checked by
+                // brute force for small variable counts.
+                let n = formula.num_variables;
+                assert!(n <= 12, "brute-force check only feasible for small n");
+                let mut any = false;
+                for bits in 0..(1u32 << n) {
+                    let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+                    if formula.eval(&assignment) {
+                        any = true;
+                        break;
+                    }
+                }
+                assert!(!any, "solver claimed UNSAT but a model exists");
+            }
+        }
+    }
+
+    #[test]
+    fn random_formula_has_requested_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let formula = Cnf::random(6, 10, &mut rng);
+        assert_eq!(formula.num_variables, 6);
+        assert_eq!(formula.clauses.len(), 10);
+        for clause in &formula.clauses {
+            assert_eq!(clause.literals.len(), 3);
+            let mut variables: Vec<usize> = clause.literals.iter().map(|l| l.variable).collect();
+            variables.sort_unstable();
+            variables.dedup();
+            assert_eq!(variables.len(), 3, "clause variables must be distinct");
+        }
+    }
+}

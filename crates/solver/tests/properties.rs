@@ -1,0 +1,96 @@
+//! Property-based tests for the constraint-solving substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::SyntheticSpec;
+use wdte_solver::{
+    cnf_to_ensemble, instance_to_assignment, satisfies_pattern, BoxRegion, Cnf, DpllSolver, ForgeryOutcome,
+    ForgeryQuery, ForgerySolver, Interval, LeafIndex, SatResult, SolverConfig,
+};
+use wdte_trees::{ForestParams, RandomForest};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_intersection_is_sound(
+        a_lo in -5.0f64..5.0, a_span in 0.0f64..5.0,
+        b_lo in -5.0f64..5.0, b_span in 0.0f64..5.0,
+        probe in -10.0f64..10.0
+    ) {
+        let a = Interval::closed(a_lo, a_lo + a_span);
+        let b = Interval::tree_path(b_lo, b_lo + b_span);
+        let merged = a.intersect(&b);
+        // Soundness: a point is in the intersection iff it is in both.
+        prop_assert_eq!(merged.contains(probe), a.contains(probe) && b.contains(probe));
+    }
+
+    #[test]
+    fn box_witness_is_always_inside_the_box(
+        lows in proptest::collection::vec(-2.0f64..2.0, 4),
+        spans in proptest::collection::vec(0.01f64..2.0, 4)
+    ) {
+        let intervals: Vec<Interval> = lows
+            .iter()
+            .zip(&spans)
+            .map(|(&lo, &span)| Interval::closed(lo, lo + span))
+            .collect();
+        let region = BoxRegion::new(intervals);
+        let witness = region.witness(None).expect("non-degenerate boxes are feasible");
+        prop_assert!(region.contains(&witness));
+    }
+
+    #[test]
+    fn forged_solutions_always_satisfy_their_pattern(seed in 0u64..150) {
+        // Ask the solver to reproduce the prediction pattern of a real
+        // instance (always satisfiable); whatever it returns must satisfy
+        // the pattern exactly.
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let forest = RandomForest::fit(&dataset, &ForestParams::with_trees(5), &mut rng);
+        let index = LeafIndex::new(&forest);
+        let reference: Vec<f64> = dataset.instance(0).to_vec();
+        let required = forest.predict_all(&reference);
+        let query = ForgeryQuery { required: required.clone(), reference: Some((&reference, 0.3)) };
+        match ForgerySolver::new(SolverConfig::fast()).solve(&index, &query) {
+            ForgeryOutcome::Forged { instance, .. } => {
+                prop_assert!(satisfies_pattern(&forest, &instance, &required));
+                for (forged, original) in instance.iter().zip(&reference) {
+                    prop_assert!((forged - original).abs() <= 0.3 + 1e-9);
+                }
+            }
+            ForgeryOutcome::Unsatisfiable { .. } => {
+                prop_assert!(false, "a self-consistent pattern cannot be unsatisfiable");
+            }
+            ForgeryOutcome::BudgetExhausted { .. } => {
+                // Acceptable under the fast budget; nothing to check.
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_satisfiability_on_random_formulas(
+        seed in 0u64..300, variables in 3usize..7, clauses in 1usize..15
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let formula = Cnf::random(variables, clauses, &mut rng);
+        let dpll_sat = matches!(DpllSolver.solve(&formula), SatResult::Satisfiable(_));
+        let ensemble = cnf_to_ensemble(&formula);
+        let index = LeafIndex::new(&ensemble);
+        let query = ForgeryQuery {
+            required: vec![wdte_data::Label::Positive; ensemble.num_trees()],
+            reference: None,
+        };
+        let solver = ForgerySolver::new(SolverConfig::default().unconstrained_domain());
+        match solver.solve(&index, &query) {
+            ForgeryOutcome::Forged { instance, .. } => {
+                prop_assert!(dpll_sat, "forgery found a model for an unsatisfiable formula");
+                prop_assert!(formula.eval(&instance_to_assignment(&instance)));
+            }
+            ForgeryOutcome::Unsatisfiable { .. } => prop_assert!(!dpll_sat),
+            ForgeryOutcome::BudgetExhausted { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # wdte — Watermarking Decision Tree Ensembles
+//!
+//! Facade crate re-exporting the full public API of the reproduction of
+//! *Watermarking Decision Tree Ensembles* (Calzavara, Cazzaro, Gera,
+//! Orlando — EDBT 2025).
+//!
+//! The workspace is organised in four library crates, all re-exported here:
+//!
+//! * [`data`] — dataset substrate: dense matrices, synthetic dataset
+//!   generators standing in for MNIST2-6 / breast-cancer / ijcnn1,
+//!   train/test splits, stratified sampling and evaluation metrics.
+//! * [`trees`] — weighted CART decision trees, random forests *without*
+//!   bootstrap exposing per-tree predictions, and grid-search tuning.
+//! * [`solver`] — the constraint-solving substrate replacing Z3: leaf-box
+//!   DPLL search for forging ensemble output patterns under an L∞ bound,
+//!   plus the 3SAT→ensemble reduction of Theorem 1.
+//! * [`core`] — the paper's contribution: watermark creation (Algorithm 1),
+//!   black-box verification, and the detection / suppression / forgery
+//!   attack simulations of the security evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wdte::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! // A small learnable synthetic dataset (stand-in for breast-cancer).
+//! let dataset = SyntheticSpec::breast_cancer_like().scaled(0.5).generate(&mut rng);
+//! let (train, test) = dataset.split_train_test(0.8, &mut rng);
+//!
+//! // Watermark a 16-tree random forest with an 8-one signature.
+//! let signature = Signature::random(16, 0.5, &mut rng);
+//! let config = WatermarkConfig {
+//!     num_trees: 16,
+//!     trigger_fraction: 0.02,
+//!     ..WatermarkConfig::fast()
+//! };
+//! let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
+//!
+//! // Black-box verification succeeds for the true owner.
+//! let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test.clone());
+//! let verdict = verify_ownership(&outcome.model, &claim);
+//! assert!(verdict.verified);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wdte_core as core;
+pub use wdte_data as data;
+pub use wdte_solver as solver;
+pub use wdte_trees as trees;
+
+/// Commonly used types, re-exported for `use wdte::prelude::*`.
+pub mod prelude {
+    pub use wdte_core::prelude::*;
+    pub use wdte_data::prelude::*;
+    pub use wdte_solver::prelude::*;
+    pub use wdte_trees::prelude::*;
+}

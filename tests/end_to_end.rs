@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through watermark embedding, verification and the attack simulations,
+//! driven exclusively through the public facade crate.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte::prelude::*;
+use wdte_core::{forge_trigger_set, watermark_holds};
+use wdte_solver::LeafIndex;
+
+fn pipeline(seed: u64, num_trees: usize) -> (wdte_data::Dataset, wdte_data::Dataset, WatermarkOutcome) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::random(num_trees, 0.5, &mut rng);
+    let config = WatermarkConfig { num_trees, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
+    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).expect("embedding succeeds");
+    (train, test, outcome)
+}
+
+#[test]
+fn embed_verify_and_attack_pipeline() {
+    let (train, test, outcome) = pipeline(1001, 14);
+
+    // The watermark property holds structurally…
+    assert!(watermark_holds(&outcome.model, &outcome.signature, &outcome.trigger_set));
+
+    // …and through the black-box verification protocol.
+    let claim = OwnershipClaim::new(outcome.signature.clone(), outcome.trigger_set.clone(), test.clone());
+    let report = verify_ownership(&outcome.model, &claim);
+    assert!(report.verified);
+    assert_eq!(report.bit_agreement, 1.0);
+
+    // Accuracy stays in the same regime as an unwatermarked model.
+    let mut rng = SmallRng::seed_from_u64(55);
+    let config = WatermarkConfig { num_trees: 14, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
+    let baseline = Watermarker::new(config).train_baseline(&train, &mut rng);
+    let baseline_accuracy = baseline.accuracy(&test);
+    let watermarked_accuracy = outcome.model.accuracy(&test);
+    assert!(baseline_accuracy > 0.85);
+    assert!(baseline_accuracy - watermarked_accuracy < 0.1);
+
+    // Detection attacks cannot fully reconstruct the signature.
+    for feature in [DetectionFeature::Depth, DetectionFeature::Leaves] {
+        let report = evaluate_detection(
+            &outcome.model,
+            &outcome.signature,
+            feature,
+            DetectionStrategy::MeanThreshold,
+        );
+        assert!(
+            report.correct < outcome.model.num_trees(),
+            "sharp-threshold detection should not perfectly recover the signature"
+        );
+    }
+
+    // Suppression distinguisher output is a valid AUC.
+    let suppression = evaluate_suppression(
+        &outcome.model,
+        &outcome.trigger_set,
+        &test,
+        SuppressionScore::VoteDisagreement,
+    );
+    assert!((0.0..=1.0).contains(&suppression.auc));
+}
+
+#[test]
+fn forgery_attack_is_harder_at_small_epsilon() {
+    let (_train, test, outcome) = pipeline(2002, 12);
+    let leaf_index = LeafIndex::new(&outcome.model);
+    let mut rng = SmallRng::seed_from_u64(77);
+    let fake = Signature::random(outcome.model.num_trees(), 0.5, &mut rng);
+    let mut forged_counts = Vec::new();
+    for epsilon in [0.05, 0.5, 0.95] {
+        let config = ForgeryAttackConfig {
+            num_fake_signatures: 1,
+            ones_fraction: 0.5,
+            epsilon,
+            solver: SolverConfig::fast(),
+            max_instances: Some(25),
+        };
+        let result = forge_trigger_set(&outcome.model, &leaf_index, &test, &fake, &config);
+        // Any forged instance must respect the distortion bound.
+        for forged in &result.forged {
+            assert!(forged.distortion <= epsilon + 1e-9);
+        }
+        forged_counts.push(result.forged_count());
+    }
+    assert!(
+        forged_counts[0] <= forged_counts[2],
+        "larger distortion budgets should never make forgery harder: {forged_counts:?}"
+    );
+}
+
+#[test]
+fn verification_fails_for_forged_claims_built_without_the_solver() {
+    let (train, test, outcome) = pipeline(3003, 10);
+    let mut rng = SmallRng::seed_from_u64(88);
+    // An attacker who simply relabels random training data cannot satisfy
+    // the verification pattern for a random fake signature.
+    let fake_signature = Signature::random(10, 0.5, &mut rng);
+    let fake_trigger_indices = train.sample_indices(outcome.trigger_set.len(), &mut rng);
+    let fake_trigger = train.select(&fake_trigger_indices).unwrap();
+    let claim = OwnershipClaim::new(fake_signature, fake_trigger, test);
+    let report = verify_ownership(&outcome.model, &claim);
+    assert!(!report.verified);
+    assert!(report.bit_agreement < 0.95);
+}
+
+#[test]
+fn facade_prelude_exposes_the_full_pipeline() {
+    // Compile-time check that the facade re-exports everything the README
+    // quickstart needs; a tiny end-to-end run guards against regressions.
+    let mut rng = SmallRng::seed_from_u64(4004);
+    let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.75, &mut rng);
+    let signature = Signature::random(8, 0.5, &mut rng);
+    let config = WatermarkConfig { num_trees: 8, ..WatermarkConfig::fast() };
+    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
+    assert!(verify_ownership(&outcome.model, &claim).verified);
+}

@@ -1,0 +1,46 @@
+//! Integration test of the Theorem 1 reduction through the facade: the
+//! forgery-based decision procedure must agree with the DPLL solver, and
+//! the reduced ensembles must behave like the formulas they encode.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte::prelude::*;
+use wdte_data::Label;
+use wdte_solver::{assignment_to_instance, Clause, Literal, SatResult};
+
+#[test]
+fn reduction_decision_matches_dpll_on_a_batch_of_random_formulas() {
+    let mut rng = SmallRng::seed_from_u64(91);
+    for round in 0..15 {
+        let formula = Cnf::random(4 + round % 3, 4 + round * 2, &mut rng);
+        let dpll = DpllSolver.solve(&formula);
+        let reduced = solve_via_forgery(&formula, SolverConfig::default());
+        match (dpll, reduced) {
+            (SatResult::Satisfiable(_), ReductionOutcome::Satisfiable(model)) => {
+                assert!(formula.eval(&model));
+            }
+            (SatResult::Unsatisfiable, ReductionOutcome::Unsatisfiable) => {}
+            (a, b) => panic!("disagreement between DPLL and forgery reduction: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn reduced_ensemble_votes_like_the_formula() {
+    // (x0 ∨ ¬x1) ∧ (x1 ∨ x2): check the ensemble unanimously predicts +1
+    // exactly on satisfying assignments.
+    let formula = Cnf::new(
+        3,
+        vec![
+            Clause::new(vec![Literal::positive(0), Literal::negative(1)]),
+            Clause::new(vec![Literal::positive(1), Literal::positive(2)]),
+        ],
+    );
+    let ensemble = cnf_to_ensemble(&formula);
+    for bits in 0..8u32 {
+        let assignment: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+        let instance = assignment_to_instance(&assignment);
+        let all_positive = ensemble.predict_all(&instance).iter().all(|&l| l == Label::Positive);
+        assert_eq!(all_positive, formula.eval(&assignment));
+    }
+}
