@@ -16,7 +16,10 @@ fn bench_forgery(c: &mut Criterion) {
     group.sample_size(10);
     for &num_trees in &[8usize, 16] {
         let signature = Signature::random(num_trees, 0.5, &mut rng);
-        let config = WatermarkConfig { num_trees, ..WatermarkConfig::fast() };
+        let config = WatermarkConfig {
+            num_trees,
+            ..WatermarkConfig::fast()
+        };
         let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
         let index = LeafIndex::new(&outcome.model);
         let fake = Signature::random(num_trees, 0.5, &mut rng);

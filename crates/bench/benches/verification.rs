@@ -10,7 +10,10 @@ fn bench_verification(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(4);
     let (train, test) = dataset.split_stratified(0.8, &mut rng);
     let signature = Signature::random(12, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees: 12, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 12,
+        ..WatermarkConfig::fast()
+    };
     let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
     let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
 

@@ -1,0 +1,238 @@
+//! Offline API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored under `crates/compat/` because the build environment has no
+//! registry access.
+//!
+//! Implements the surface the `wdte-bench` suite uses: `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter` / `iter_batched`, and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, then timed for the configured number of samples; the
+//! min/median/mean of the per-sample time are printed to stdout and
+//! appended to `target/bench-results/<group>.json` so runs can be recorded
+//! and compared (the repository keeps committed baselines produced from
+//! this output).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; all variants behave the same in
+/// this shim (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large routine input: one iteration per batch in real criterion.
+    LargeInput,
+    /// Exactly one iteration per batch.
+    PerIteration,
+}
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Fastest observed sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean sample.
+    pub mean: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Per-iteration timing callback target.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run_samples(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run_samples(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run_samples<F: FnMut() -> Duration>(&mut self, mut one_sample: F) {
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        let _ = one_sample();
+        let mut times: Vec<Duration> = (0..self.sample_size.max(1)).map(|_| one_sample()).collect();
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        self.result = Some(Sampled {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / times.len() as u32,
+            samples: times.len(),
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<(String, Sampled)>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark and records its timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let sampled = bencher.result.expect("benchmark closure must call iter/iter_batched");
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name, id, sampled.min, sampled.median, sampled.mean, sampled.samples
+        );
+        self.results.push((id, sampled));
+        self
+    }
+
+    /// Finishes the group, writing its JSON report.
+    pub fn finish(self) {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        json.push_str("  \"benchmarks\": {\n");
+        for (i, (id, s)) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    \"{}\": {{ \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {} }}{}\n",
+                id,
+                s.min.as_nanos(),
+                s.median.as_nanos(),
+                s.mean.as_nanos(),
+                s.samples,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  }\n}\n");
+        let dir = std::path::Path::new("target").join("bench-results");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.name));
+            if std::fs::write(&path, &json).is_ok() {
+                println!("[bench report written to {}]", path.display());
+            }
+        }
+        self.criterion.finished_groups += 1;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    finished_groups: usize,
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI filtering is not
+    /// supported by the shim, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group("standalone");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_records() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim_self_test");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(group.results.len(), 2);
+        assert!(group.results.iter().all(|(_, s)| s.samples == 3));
+        group.finish();
+        assert_eq!(criterion.finished_groups, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline API-compatible subset of the
+//! [`rand_distr`](https://crates.io/crates/rand_distr) crate, vendored under
+//! `crates/compat/` because the build environment has no registry access.
+//!
+//! Provides the [`Distribution`] trait and a Box–Muller [`Normal`]
+//! distribution — the only pieces the workspace uses (Gaussian noise in the
+//! synthetic dataset generators).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, StandardSample};
+
+/// Types that can generate samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or NaN.
+    BadVariance,
+    /// The mean was NaN.
+    MeanTooSmall,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; fails for a negative or NaN standard
+    /// deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-aware on purpose
+        if !(std_dev >= 0.0) || !std_dev.is_finite() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform. One of the two generated variates is
+        // discarded to keep the distribution stateless (`&self`).
+        let mut u1 = f64::standard_sample(rng);
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = f64::standard_sample(rng);
+        }
+        let u2 = f64::standard_sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_moments_are_roughly_correct() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_collapses_to_the_mean() {
+        let normal = Normal::new(1.5, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(normal.sample(&mut rng), 1.5);
+        }
+    }
+}

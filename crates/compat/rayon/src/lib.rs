@@ -1,0 +1,232 @@
+//! Offline API-compatible subset of the
+//! [`rayon`](https://crates.io/crates/rayon) crate, vendored under
+//! `crates/compat/` because the build environment has no registry access.
+//!
+//! Implements the narrow data-parallel surface the workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `zip`, `map` and
+//! `collect()` into a `Vec` — on top of `std::thread::scope`. Items are
+//! chunked across `available_parallelism()` worker threads and results are
+//! returned in input order, so the observable behaviour (including
+//! determinism of seed-per-item pipelines) matches real rayon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// An eager parallel iterator over an already-materialized list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs this iterator with another, element by element.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in parallel (on `collect`).
+    pub fn map<U: Send, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collects the items back into a vector (no-op pass-through).
+    pub fn collect(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, U: Send, F> ParMap<T, F>
+where
+    F: Fn(T) -> U + Sync,
+{
+    /// Runs the mapped pipeline across worker threads and collects results
+    /// in input order.
+    pub fn collect(self) -> Vec<U> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+thread_local! {
+    /// Set while this thread is executing a batch on behalf of an outer
+    /// `parallel_map`; nested parallel iterators then run serially on the
+    /// same thread instead of spawning another fan-out (real rayon
+    /// achieves the same by scheduling nested jobs on its fixed pool).
+    /// Without this, nested `par_iter`s — grid search over grid points,
+    /// each fitting a forest of trees — would spawn up to `ncpu²` OS
+    /// threads.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 || IN_WORKER.get() {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = n.div_ceil(threads);
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(chunk_len.min(items.len()));
+        pending.push(std::mem::replace(&mut items, tail));
+    }
+
+    std::thread::scope(|scope| {
+        let mut slots: &mut [Option<U>] = &mut results;
+        for batch in pending {
+            let (head, tail) = slots.split_at_mut(batch.len());
+            slots = tail;
+            scope.spawn(move || {
+                IN_WORKER.set(true);
+                for (slot, item) in head.iter_mut().zip(batch) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot is written by exactly one worker"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits users import wholesale, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[9], 81);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn zip_pairs_elements() {
+        let a = vec![1, 2, 3];
+        let b = vec!["x", "y", "z"];
+        let pairs: Vec<(i32, &str)> = a.par_iter().zip(b.par_iter()).map(|(&n, &s)| (n, s)).collect();
+        assert_eq!(pairs, vec![(1, "x"), (2, "y"), (3, "z")]);
+    }
+
+    #[test]
+    fn work_actually_crosses_threads() {
+        // Not a strict guarantee (single-core machines run serially), but on
+        // multi-core CI this exercises the scoped-thread path.
+        let ids: Vec<std::thread::ThreadId> =
+            (0..64usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    fn nested_parallel_iterators_run_serially_inside_workers() {
+        // The inner par_iter must not fan out again: everything an outer
+        // batch does stays on its worker thread.
+        let results: Vec<Vec<std::thread::ThreadId>> = (0..8usize)
+            .into_par_iter()
+            .map(|_| {
+                let outer_thread = std::thread::current().id();
+                let inner: Vec<std::thread::ThreadId> =
+                    (0..4usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+                assert!(inner.iter().all(|&id| id == outer_thread));
+                inner
+            })
+            .collect();
+        assert_eq!(results.len(), 8);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

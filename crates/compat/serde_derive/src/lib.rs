@@ -1,0 +1,412 @@
+//! Offline replacement for serde's `#[derive(Serialize, Deserialize)]`,
+//! companion to the vendored `serde` shim in `crates/compat/serde`.
+//!
+//! The macros parse the annotated item directly from the proc-macro token
+//! stream (no `syn`/`quote`, which are unavailable offline) and emit
+//! implementations of the shim's `Serialize`/`Deserialize` traits, which
+//! route through the self-describing `serde::Value` data model.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! named-field structs and enums with unit, tuple and struct variants,
+//! all without generic parameters. Field and variant attributes
+//! (`#[serde(...)]`) are not supported and doc comments are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct FieldDef {
+    name: String,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<FieldDef>),
+}
+
+#[derive(Debug)]
+struct VariantDef {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum ItemDef {
+    Struct { name: String, fields: Vec<FieldDef> },
+    Enum { name: String, variants: Vec<VariantDef> },
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        ItemDef::Struct { name, fields } => serialize_struct(name, fields),
+        ItemDef::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        ItemDef::Struct { name, fields } => deserialize_struct(name, fields),
+        ItemDef::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> ItemDef {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("generic type `{name}` is not supported by the offline serde derive")
+            }
+            Some(_) => continue,
+            None => panic!("missing body for `{name}`"),
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => ItemDef::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => ItemDef::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &mut core::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(group)) = tokens.peek() {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning field names in
+/// declaration order. Commas inside `<...>` or any bracketed group do not
+/// terminate a field.
+fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(FieldDef { name });
+    }
+    fields
+}
+
+/// Skips one type expression, stopping after the separating comma (or at
+/// the end of the stream).
+fn skip_type(tokens: &mut core::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<VariantDef> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner = group.stream();
+                tokens.next();
+                VariantShape::Struct(parse_fields(inner))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                tokens.next();
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(VariantDef { name, shape });
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any_token = false;
+    let mut trailing_comma = false;
+    for token in body {
+        any_token = true;
+        trailing_comma = false;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any_token {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[FieldDef]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "__entries.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::to_value(&self.{0})));\n",
+            field.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Map(__entries)\n\
+         }}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[FieldDef]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        inits.push_str(&format!(
+            "{0}: ::serde::Deserialize::from_value(::serde::map_get(__entries, \"{0}\")?)?,\n",
+            field.name
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         let __entries = __value.as_map().ok_or_else(|| \
+         ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+         ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[VariantDef]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{v}(__f0) => {{\n\
+                     let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                     __outer.push((::std::string::String::from(\"{v}\"), \
+                     ::serde::Serialize::to_value(__f0)));\n\
+                     ::serde::Value::Map(__outer)\n}}\n"
+                ));
+            }
+            VariantShape::Tuple(count) => {
+                let binders: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                let mut pushes = String::new();
+                for binder in &binders {
+                    pushes.push_str(&format!(
+                        "__items.push(::serde::Serialize::to_value({binder}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v}({binder_list}) => {{\n\
+                     let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                     __outer.push((::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Seq(__items)));\n\
+                     ::serde::Value::Map(__outer)\n}}\n",
+                    binder_list = binders.join(", "),
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binder_list: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut pushes = String::new();
+                for field in fields {
+                    pushes.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value({0})));\n",
+                        field.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {binders} }} => {{\n\
+                     let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                     __outer.push((::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Map(__fields)));\n\
+                     ::serde::Value::Map(__outer)\n}}\n",
+                    binders = binder_list.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[VariantDef]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{v}\" => return ::core::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantShape::Tuple(count) => {
+                let mut items = String::new();
+                for i in 0..*count {
+                    items.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let __items = __inner.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", \"{name}::{v}\"))?;\n\
+                     if __items.len() != {count} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::new(\
+                     \"wrong tuple arity for {name}::{v}\"));\n}}\n\
+                     ::core::result::Result::Ok({name}::{v}({items}))\n}}\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut inits = String::new();
+                for field in fields {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get(__fields, \"{0}\")?)?,\n",
+                        field.name
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let __fields = __inner.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"map\", \"{name}::{v}\"))?;\n\
+                     ::core::result::Result::Ok({name}::{v} {{\n{inits}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         if let ::core::option::Option::Some(__name) = __value.as_str() {{\n\
+         match __name {{\n\
+         {unit_arms}\
+         __other => return ::core::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+         }}\n}}\n\
+         let __entries = __value.as_map().ok_or_else(|| \
+         ::serde::DeError::expected(\"string or single-key map\", \"{name}\"))?;\n\
+         if __entries.len() != 1 {{\n\
+         return ::core::result::Result::Err(::serde::DeError::expected(\
+         \"single-key map\", \"{name}\"));\n}}\n\
+         let (__key, __inner) = &__entries[0];\n\
+         match __key.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::core::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}

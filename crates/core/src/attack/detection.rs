@@ -129,7 +129,13 @@ pub fn detect_signature(
             DetectionStrategy::MeanThreshold => Some(value > mean),
         })
         .collect();
-    DetectionGuess { feature, strategy, mean, std, guesses }
+    DetectionGuess {
+        feature,
+        strategy,
+        mean,
+        std,
+        guesses,
+    }
 }
 
 /// Runs a detection attack and scores it against the true signature.
@@ -173,17 +179,26 @@ mod tests {
         // Build an ensemble where the first half is shallow and the second
         // half is deep, with a signature marking the deep ones as bit 1:
         // a best case for the attacker, used to validate the scoring logic.
-        let dataset: Dataset =
-            SyntheticSpec::breast_cancer_like().scaled(0.5).generate(&mut SmallRng::seed_from_u64(50));
+        let dataset: Dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.5)
+            .generate(&mut SmallRng::seed_from_u64(50));
         let mut rng = SmallRng::seed_from_u64(51);
         let shallow = RandomForest::fit(
             &dataset,
-            &ForestParams { num_trees: 4, tree: TreeParams::with_max_depth(1), ..ForestParams::default() },
+            &ForestParams {
+                num_trees: 4,
+                tree: TreeParams::with_max_depth(1),
+                ..ForestParams::default()
+            },
             &mut rng,
         );
         let deep = RandomForest::fit(
             &dataset,
-            &ForestParams { num_trees: 4, tree: TreeParams::with_max_depth(10), ..ForestParams::default() },
+            &ForestParams {
+                num_trees: 4,
+                tree: TreeParams::with_max_depth(10),
+                ..ForestParams::default()
+            },
             &mut rng,
         );
         let mut trees = shallow.trees().to_vec();
@@ -196,37 +211,55 @@ mod tests {
     #[test]
     fn sharp_threshold_identifies_an_obviously_leaky_ensemble() {
         let (forest, signature) = forest_with_mixed_sizes();
-        let report =
-            evaluate_detection(&forest, &signature, DetectionFeature::Depth, DetectionStrategy::MeanThreshold);
+        let report = evaluate_detection(
+            &forest,
+            &signature,
+            DetectionFeature::Depth,
+            DetectionStrategy::MeanThreshold,
+        );
         assert_eq!(report.uncertain, 0);
         assert_eq!(report.correct + report.wrong, 8);
-        assert!(report.guessed_accuracy() > 0.9, "attack should succeed on a deliberately leaky ensemble");
+        assert!(
+            report.guessed_accuracy() > 0.9,
+            "attack should succeed on a deliberately leaky ensemble"
+        );
     }
 
     #[test]
     fn band_strategy_reports_uncertain_trees() {
         let (forest, signature) = forest_with_mixed_sizes();
-        let report =
-            evaluate_detection(&forest, &signature, DetectionFeature::Leaves, DetectionStrategy::MeanStdBands);
+        let report = evaluate_detection(
+            &forest,
+            &signature,
+            DetectionFeature::Leaves,
+            DetectionStrategy::MeanStdBands,
+        );
         assert_eq!(report.correct + report.wrong + report.uncertain, 8);
         assert!(report.std > 0.0);
     }
 
     #[test]
     fn identical_trees_leave_the_band_attacker_fully_uncertain() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.3).generate(&mut SmallRng::seed_from_u64(52));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.3)
+            .generate(&mut SmallRng::seed_from_u64(52));
         let mut rng = SmallRng::seed_from_u64(53);
         // Hard structural cap makes every tree identical in depth and leaves.
         let params = ForestParams {
             num_trees: 6,
-            tree: TreeParams { max_depth: Some(3), max_leaves: Some(8), ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: Some(3),
+                max_leaves: Some(8),
+                ..TreeParams::default()
+            },
             ..ForestParams::default()
         };
         let forest = RandomForest::fit(&dataset, &params, &mut rng);
         let values = structural_values(&forest, DetectionFeature::Depth);
         let (_, std) = wdte_data::mean_std(&values);
         if std == 0.0 {
-            let guess = detect_signature(&forest, DetectionFeature::Depth, DetectionStrategy::MeanStdBands);
+            let guess =
+                detect_signature(&forest, DetectionFeature::Depth, DetectionStrategy::MeanStdBands);
             // With zero variance nothing is strictly below mean-std or above
             // mean+std, so every tree is uncertain.
             assert!(guess.guesses.iter().all(|g| g.is_none()));

@@ -126,7 +126,16 @@ pub fn forge_trigger_set(
             match solver.solve(leaf_index, &query) {
                 wdte_solver::ForgeryOutcome::Forged { instance: forged, .. } => {
                     let distortion = linf_distance(&forged, instance);
-                    (index, Some(ForgedInstance { source_index: index, label, instance: forged, distortion }), false)
+                    (
+                        index,
+                        Some(ForgedInstance {
+                            source_index: index,
+                            label,
+                            instance: forged,
+                            distortion,
+                        }),
+                        false,
+                    )
                 }
                 wdte_solver::ForgeryOutcome::Unsatisfiable { .. } => (index, None, false),
                 wdte_solver::ForgeryOutcome::BudgetExhausted { .. } => (index, None, true),
@@ -189,11 +198,16 @@ mod tests {
     use wdte_solver::satisfies_pattern;
 
     fn watermarked_setup() -> (RandomForest, Dataset) {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.7).generate(&mut SmallRng::seed_from_u64(71));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.7)
+            .generate(&mut SmallRng::seed_from_u64(71));
         let mut rng = SmallRng::seed_from_u64(72);
         let (train, test) = dataset.split_stratified(0.75, &mut rng);
         let signature = Signature::random(10, 0.5, &mut rng);
-        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 10, ..WatermarkConfig::fast() });
+        let watermarker = Watermarker::new(WatermarkConfig {
+            num_trees: 10,
+            ..WatermarkConfig::fast()
+        });
         let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
         (outcome.model, test)
     }
@@ -219,7 +233,10 @@ mod tests {
                 .collect();
             assert!(satisfies_pattern(&model, &forged.instance, &required));
             for &value in &forged.instance {
-                assert!((0.0..=1.0).contains(&value), "forged values must stay in the data domain");
+                assert!(
+                    (0.0..=1.0).contains(&value),
+                    "forged values must stay in the data domain"
+                );
             }
         }
     }
@@ -240,7 +257,10 @@ mod tests {
             &leaf_index,
             &test,
             &fake,
-            &ForgeryAttackConfig { epsilon: 0.05, ..base.clone() },
+            &ForgeryAttackConfig {
+                epsilon: 0.05,
+                ..base.clone()
+            },
         );
         let loose = forge_trigger_set(
             &model,

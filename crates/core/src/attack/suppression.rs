@@ -62,17 +62,25 @@ pub fn evaluate_suppression(
     test_set: &Dataset,
     score: SuppressionScore,
 ) -> SuppressionReport {
-    let trigger_scores: Vec<f64> =
-        trigger_set.iter().map(|(instance, _)| suppression_score(model, instance, score)).collect();
-    let test_scores: Vec<f64> =
-        test_set.iter().map(|(instance, _)| suppression_score(model, instance, score)).collect();
-    let labels: Vec<Label> = std::iter::repeat(Label::Positive)
-        .take(trigger_scores.len())
-        .chain(std::iter::repeat(Label::Negative).take(test_scores.len()))
+    let trigger_scores: Vec<f64> = trigger_set
+        .iter()
+        .map(|(instance, _)| suppression_score(model, instance, score))
+        .collect();
+    let test_scores: Vec<f64> = test_set
+        .iter()
+        .map(|(instance, _)| suppression_score(model, instance, score))
+        .collect();
+    let labels: Vec<Label> = std::iter::repeat_n(Label::Positive, trigger_scores.len())
+        .chain(std::iter::repeat_n(Label::Negative, test_scores.len()))
         .collect();
     let scores: Vec<f64> = trigger_scores.iter().chain(test_scores.iter()).copied().collect();
     let auc = roc_auc(&labels, &scores);
-    SuppressionReport { score, auc, trigger_scores, test_scores }
+    SuppressionReport {
+        score,
+        auc,
+        trigger_scores,
+        test_scores,
+    }
 }
 
 #[cfg(test)]
@@ -87,13 +95,12 @@ mod tests {
 
     #[test]
     fn scores_lie_in_the_unit_interval() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut SmallRng::seed_from_u64(61));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(61));
         let mut rng = SmallRng::seed_from_u64(62);
-        let forest = wdte_trees::RandomForest::fit(
-            &dataset,
-            &wdte_trees::ForestParams::with_trees(9),
-            &mut rng,
-        );
+        let forest =
+            wdte_trees::RandomForest::fit(&dataset, &wdte_trees::ForestParams::with_trees(9), &mut rng);
         for (instance, _) in dataset.iter().take(20) {
             for score in [SuppressionScore::VoteDisagreement, SuppressionScore::VoteMargin] {
                 let value = suppression_score(&forest, instance, score);
@@ -104,11 +111,16 @@ mod tests {
 
     #[test]
     fn report_collects_scores_for_both_groups() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.8).generate(&mut SmallRng::seed_from_u64(63));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.8)
+            .generate(&mut SmallRng::seed_from_u64(63));
         let mut rng = SmallRng::seed_from_u64(64);
         let (train, test) = dataset.split_stratified(0.75, &mut rng);
         let signature = Signature::random(12, 0.5, &mut rng);
-        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 12, ..WatermarkConfig::fast() });
+        let watermarker = Watermarker::new(WatermarkConfig {
+            num_trees: 12,
+            ..WatermarkConfig::fast()
+        });
         let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
         let report = evaluate_suppression(
             &outcome.model,
@@ -132,7 +144,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(66);
         let (train, test) = dataset.split_stratified(0.75, &mut rng);
         let signature = Signature::random(16, 0.5, &mut rng);
-        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 16, ..WatermarkConfig::fast() });
+        let watermarker = Watermarker::new(WatermarkConfig {
+            num_trees: 16,
+            ..WatermarkConfig::fast()
+        });
         let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
         let report = evaluate_suppression(
             &outcome.model,
@@ -140,6 +155,10 @@ mod tests {
             &test,
             SuppressionScore::VoteMargin,
         );
-        assert!(report.auc < 0.999, "suppression distinguisher should not be perfect, got {}", report.auc);
+        assert!(
+            report.auc < 0.999,
+            "suppression distinguisher should not be perfect, got {}",
+            report.auc
+        );
     }
 }

@@ -100,7 +100,11 @@ impl WatermarkConfig {
             feature_subset: FeatureSubset::Sqrt,
             grid: None,
             grid_folds: 2,
-            tree_params: TreeParams { max_depth: Some(8), max_leaves: Some(64), ..TreeParams::default() },
+            tree_params: TreeParams {
+                max_depth: Some(8),
+                max_leaves: Some(64),
+                ..TreeParams::default()
+            },
             adjust_hyperparams: true,
             weight_schedule: WeightSchedule::Multiplicative(3.0),
             max_weight_rounds: 25,

@@ -70,15 +70,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let err = WatermarkError::SignatureLengthMismatch { signature_bits: 8, num_trees: 16 };
+        let err = WatermarkError::SignatureLengthMismatch {
+            signature_bits: 8,
+            num_trees: 16,
+        };
         assert!(err.to_string().contains('8') && err.to_string().contains("16"));
-        let err = WatermarkError::TriggerForcingFailed { ensemble: "T1", rounds: 30, compliance: 0.875 };
+        let err = WatermarkError::TriggerForcingFailed {
+            ensemble: "T1",
+            rounds: 30,
+            compliance: 0.875,
+        };
         assert!(err.to_string().contains("T1") && err.to_string().contains("87.5"));
     }
 
     #[test]
     fn errors_compare() {
         assert_eq!(WatermarkError::EmptyTrainingSet, WatermarkError::EmptyTrainingSet);
-        assert_ne!(WatermarkError::EmptyTrainingSet, WatermarkError::DegenerateSignature);
+        assert_ne!(
+            WatermarkError::EmptyTrainingSet,
+            WatermarkError::DegenerateSignature
+        );
     }
 }

@@ -45,7 +45,8 @@ pub use watermark::{
 pub mod prelude {
     pub use crate::attack::{
         evaluate_detection, evaluate_suppression, run_forgery_attack, DetectionFeature, DetectionReport,
-        DetectionStrategy, ForgeryAttackConfig, ForgeryAttackResult, SuppressionReport, SuppressionScore,
+        DetectionStrategy, ForgeryAttackConfig, ForgeryAttackResult, SuppressionReport,
+        SuppressionScore,
     };
     pub use crate::config::{WatermarkConfig, WeightSchedule};
     pub use crate::error::{WatermarkError, WatermarkResult};

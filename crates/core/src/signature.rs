@@ -51,7 +51,10 @@ impl Signature {
     /// set to 1", Figure 3b sweeps the percentage).
     pub fn random<R: Rng + ?Sized>(length: usize, ones_fraction: f64, rng: &mut R) -> Self {
         assert!(length >= 1, "a signature needs at least one bit");
-        assert!((0.0..=1.0).contains(&ones_fraction), "ones fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ones_fraction),
+            "ones fraction must be in [0, 1]"
+        );
         let ones = ((length as f64) * ones_fraction).round() as usize;
         let ones = ones.min(length);
         let mut bits = vec![false; length];
@@ -171,7 +174,13 @@ mod tests {
     #[test]
     fn random_signature_has_exact_ones_count() {
         let mut rng = SmallRng::seed_from_u64(1);
-        for &(length, fraction, expected) in &[(10usize, 0.5f64, 5usize), (90, 0.5, 45), (20, 0.1, 2), (7, 1.0, 7), (8, 0.0, 0)] {
+        for &(length, fraction, expected) in &[
+            (10usize, 0.5f64, 5usize),
+            (90, 0.5, 45),
+            (20, 0.1, 2),
+            (7, 1.0, 7),
+            (8, 0.0, 0),
+        ] {
             let signature = Signature::random(length, fraction, &mut rng);
             assert_eq!(signature.len(), length);
             assert_eq!(signature.ones(), expected, "length {length} fraction {fraction}");

@@ -51,7 +51,11 @@ pub struct OwnershipClaim {
 impl OwnershipClaim {
     /// Builds a claim from the owner's artefacts.
     pub fn new(signature: Signature, trigger_set: Dataset, test_set: Dataset) -> Self {
-        Self { signature, trigger_set, test_set }
+        Self {
+            signature,
+            trigger_set,
+            test_set,
+        }
     }
 
     /// The full verification batch Charlie sends to the model: trigger and
@@ -62,7 +66,7 @@ impl OwnershipClaim {
         let combined = self.trigger_set.concat(&self.test_set).expect("claim datasets are compatible");
         let mut origin: Vec<Option<usize>> = (0..self.trigger_set.len())
             .map(Some)
-            .chain(std::iter::repeat(None).take(self.test_set.len()))
+            .chain(std::iter::repeat_n(None, self.test_set.len()))
             .collect();
         let mut order: Vec<usize> = (0..combined.len()).collect();
         order.shuffle(rng);
@@ -109,7 +113,9 @@ pub fn verify_ownership<O: ModelOracle>(model: &O, claim: &OwnershipClaim) -> Ve
     let mut total_bits = 0usize;
     for (position, (instance, _)) in batch.iter().enumerate() {
         let responses = model.query(instance);
-        let Some(trigger_index) = origin[position] else { continue };
+        let Some(trigger_index) = origin[position] else {
+            continue;
+        };
         let label = claim.trigger_set.label(trigger_index);
         let mut all_match = responses.len() == claim.signature.len();
         for (i, &response) in responses.iter().enumerate().take(claim.signature.len()) {
@@ -124,8 +130,17 @@ pub fn verify_ownership<O: ModelOracle>(model: &O, claim: &OwnershipClaim) -> Ve
         instance_matches[trigger_index] = all_match;
     }
     let verified = !instance_matches.is_empty() && instance_matches.iter().all(|&m| m);
-    let bit_agreement = if total_bits == 0 { 0.0 } else { matching_bits as f64 / total_bits as f64 };
-    VerificationReport { verified, instance_matches, bit_agreement, queries_issued: batch.len() }
+    let bit_agreement = if total_bits == 0 {
+        0.0
+    } else {
+        matching_bits as f64 / total_bits as f64
+    };
+    VerificationReport {
+        verified,
+        instance_matches,
+        bit_agreement,
+        queries_issued: batch.len(),
+    }
 }
 
 #[cfg(test)]
@@ -138,11 +153,16 @@ mod tests {
     use wdte_data::SyntheticSpec;
 
     fn embed() -> (Dataset, Dataset, crate::watermark::WatermarkOutcome, Watermarker) {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.8).generate(&mut SmallRng::seed_from_u64(31));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.8)
+            .generate(&mut SmallRng::seed_from_u64(31));
         let mut rng = SmallRng::seed_from_u64(32);
         let (train, test) = dataset.split_stratified(0.75, &mut rng);
         let signature = Signature::random(12, 0.5, &mut rng);
-        let watermarker = Watermarker::new(WatermarkConfig { num_trees: 12, ..WatermarkConfig::fast() });
+        let watermarker = Watermarker::new(WatermarkConfig {
+            num_trees: 12,
+            ..WatermarkConfig::fast()
+        });
         let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
         (train, test, outcome, watermarker)
     }
@@ -150,7 +170,11 @@ mod tests {
     #[test]
     fn genuine_owner_verifies_successfully() {
         let (_, test, outcome, _) = embed();
-        let claim = OwnershipClaim::new(outcome.signature.clone(), outcome.trigger_set.clone(), test.clone());
+        let claim = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
         let report = verify_ownership(&outcome.model, &claim);
         assert!(report.verified);
         assert!((report.bit_agreement - 1.0).abs() < 1e-12);
@@ -200,11 +224,18 @@ mod tests {
     #[test]
     fn verification_batch_disguises_trigger_instances() {
         let (_, test, outcome, _) = embed();
-        let claim = OwnershipClaim::new(outcome.signature.clone(), outcome.trigger_set.clone(), test.clone());
+        let claim = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
         let mut rng = SmallRng::seed_from_u64(43);
         let (batch, origin) = claim.verification_batch(&mut rng);
         assert_eq!(batch.len(), outcome.trigger_set.len() + test.len());
-        assert_eq!(origin.iter().filter(|o| o.is_some()).count(), outcome.trigger_set.len());
+        assert_eq!(
+            origin.iter().filter(|o| o.is_some()).count(),
+            outcome.trigger_set.len()
+        );
         // Every trigger instance appears exactly once.
         let mut seen: Vec<usize> = origin.iter().flatten().copied().collect();
         seen.sort_unstable();

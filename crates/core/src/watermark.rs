@@ -105,7 +105,10 @@ impl Watermarker {
         }
         let k = ((train.len() as f64) * config.trigger_fraction).round().max(1.0) as usize;
         if k >= train.len() {
-            return Err(WatermarkError::TriggerTooLarge { requested: k, available: train.len() });
+            return Err(WatermarkError::TriggerTooLarge {
+                requested: k,
+                available: train.len(),
+            });
         }
 
         // Step 1: hyper-parameter search (GridSearch in Algorithm 1).
@@ -116,7 +119,11 @@ impl Watermarker {
         };
         let (tuned_params, grid_accuracy) = match &config.grid {
             Some(grid) => {
-                let search = GridSearch { grid: grid.clone(), folds: config.grid_folds, base_params: base };
+                let search = GridSearch {
+                    grid: grid.clone(),
+                    folds: config.grid_folds,
+                    base_params: base,
+                };
                 let result = search.run(train, rng);
                 (result.best_params, result.best_accuracy)
             }
@@ -146,8 +153,7 @@ impl Watermarker {
                 tree: adjusted_tree_params,
                 feature_subset: config.feature_subset,
             };
-            let (forest, diag) =
-                train_with_trigger(train, &trigger_indices, &params, config, rng);
+            let (forest, diag) = train_with_trigger(train, &trigger_indices, &params, config, rng);
             if config.strict && !diag.compliant {
                 return Err(WatermarkError::TriggerForcingFailed {
                     ensemble: "T0",
@@ -206,7 +212,11 @@ impl Watermarker {
             signature: signature.clone(),
             tuned_params,
             adjusted_tree_params,
-            diagnostics: EmbeddingDiagnostics { grid_accuracy, t0: t0_diag, t1: t1_diag },
+            diagnostics: EmbeddingDiagnostics {
+                grid_accuracy,
+                t0: t0_diag,
+                t1: t1_diag,
+            },
         })
     }
 
@@ -222,7 +232,11 @@ impl Watermarker {
         };
         let params = match &config.grid {
             Some(grid) => {
-                let search = GridSearch { grid: grid.clone(), folds: config.grid_folds, base_params: base };
+                let search = GridSearch {
+                    grid: grid.clone(),
+                    folds: config.grid_folds,
+                    base_params: base,
+                };
                 search.run(train, rng).best_params
             }
             None => base,
@@ -264,6 +278,23 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
     config: &WatermarkConfig,
     rng: &mut R,
 ) -> (RandomForest, TriggerTrainingDiagnostics) {
+    // Feature sort order is weight-independent, so every retraining round
+    // below reuses the dataset-level presorted columns; building them here
+    // (rather than lazily inside the first round's parallel tree training)
+    // keeps the one-time cost out of the per-tree hot path. Label-flipped
+    // datasets share the original training set's cache (see
+    // `Dataset::with_labels_flipped_at`), so `T1` rounds are free too.
+    match params.tree.strategy {
+        wdte_trees::SplitStrategy::Exact => {
+            let _ = dataset.presort();
+        }
+        wdte_trees::SplitStrategy::Histogram { bins } => {
+            // Same clamp as tree training, so this warms the exact cache
+            // entry the rounds will hit.
+            let _ = dataset.binning(bins.clamp(2, u16::MAX as usize));
+        }
+        wdte_trees::SplitStrategy::ExactNaive => {}
+    }
     let mut weights = vec![1.0; dataset.len()];
     let mut current_params = *params;
     let mut relaxations = 0usize;
@@ -274,7 +305,7 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
         rounds += 1;
         let forest = RandomForest::fit_weighted(dataset, &weights, &current_params, rng);
         let compliance = trigger_compliance(&forest, dataset, trigger_indices);
-        let is_better = best.as_ref().map_or(true, |(_, c)| compliance > *c);
+        let is_better = best.as_ref().is_none_or(|(_, c)| compliance > *c);
         if is_better {
             best = Some((forest, compliance));
         }
@@ -286,7 +317,7 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
         }
         // Escape hatch: if the adjusted budget is too tight to isolate the
         // trigger instances, relax it one step every `relax_after` rounds.
-        if config.relax_after > 0 && rounds % config.relax_after == 0 {
+        if config.relax_after > 0 && rounds.is_multiple_of(config.relax_after) {
             current_params.tree = current_params.tree.relaxed();
             relaxations += 1;
         }
@@ -296,10 +327,7 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
     }
 
     let (forest, compliance) = best.expect("at least one round runs");
-    let max_trigger_weight = trigger_indices
-        .iter()
-        .map(|&i| weights[i])
-        .fold(0.0f64, f64::max);
+    let max_trigger_weight = trigger_indices.iter().map(|&i| weights[i]).fold(0.0f64, f64::max);
     let diagnostics = TriggerTrainingDiagnostics {
         rounds,
         compliant: compliance >= 1.0,
@@ -355,11 +383,16 @@ mod tests {
     use wdte_trees::FeatureSubset;
 
     fn small_train() -> Dataset {
-        SyntheticSpec::breast_cancer_like().scaled(0.6).generate(&mut SmallRng::seed_from_u64(21))
+        SyntheticSpec::breast_cancer_like()
+            .scaled(0.6)
+            .generate(&mut SmallRng::seed_from_u64(21))
     }
 
     fn fast_config(num_trees: usize) -> WatermarkConfig {
-        WatermarkConfig { num_trees, ..WatermarkConfig::fast() }
+        WatermarkConfig {
+            num_trees,
+            ..WatermarkConfig::fast()
+        }
     }
 
     #[test]
@@ -400,7 +433,9 @@ mod tests {
         let train = small_train();
         let mut rng = SmallRng::seed_from_u64(2);
         let signature = Signature::random(8, 0.5, &mut rng);
-        let err = Watermarker::new(fast_config(12)).embed(&train, &signature, &mut rng).unwrap_err();
+        let err = Watermarker::new(fast_config(12))
+            .embed(&train, &signature, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, WatermarkError::SignatureLengthMismatch { .. }));
     }
 
@@ -409,7 +444,10 @@ mod tests {
         let train = small_train();
         let mut rng = SmallRng::seed_from_u64(3);
         let signature = Signature::random(4, 0.5, &mut rng);
-        let config = WatermarkConfig { trigger_fraction: 1.5, ..fast_config(4) };
+        let config = WatermarkConfig {
+            trigger_fraction: 1.5,
+            ..fast_config(4)
+        };
         let err = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap_err();
         assert!(matches!(err, WatermarkError::TriggerTooLarge { .. }));
     }
@@ -429,11 +467,14 @@ mod tests {
     fn adjust_shrinks_the_structural_budget() {
         let train = small_train();
         let mut rng = SmallRng::seed_from_u64(7);
-        let tuned = ForestParams { num_trees: 10, ..ForestParams::default() };
+        let tuned = ForestParams {
+            num_trees: 10,
+            ..ForestParams::default()
+        };
         let adjusted = adjust_hyperparameters(&train, &tuned, &mut rng);
         let probe = RandomForest::fit(&train, &tuned, &mut SmallRng::seed_from_u64(7));
-        let mean_depth = probe.tree_stats().iter().map(|s| s.depth as f64).sum::<f64>()
-            / probe.num_trees() as f64;
+        let mean_depth =
+            probe.tree_stats().iter().map(|s| s.depth as f64).sum::<f64>() / probe.num_trees() as f64;
         assert!(adjusted.max_depth.unwrap() as f64 <= mean_depth);
         assert!(adjusted.max_leaves.is_some());
     }
@@ -464,11 +505,19 @@ mod tests {
         let config = fast_config(6);
         let params = ForestParams {
             num_trees: 6,
-            tree: TreeParams { max_depth: Some(8), max_leaves: Some(64), ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: Some(8),
+                max_leaves: Some(64),
+                ..TreeParams::default()
+            },
             feature_subset: FeatureSubset::Sqrt,
         };
         let (forest, diag) = train_with_trigger(&flipped, &trigger_indices, &params, &config, &mut rng);
-        assert!(diag.compliant, "compliance only reached {:.2} after {} rounds", diag.compliance, diag.rounds);
+        assert!(
+            diag.compliant,
+            "compliance only reached {:.2} after {} rounds",
+            diag.compliance, diag.rounds
+        );
         for &index in &trigger_indices {
             for tree in forest.trees() {
                 assert_eq!(tree.predict(flipped.instance(index)), flipped.label(index));

@@ -25,7 +25,12 @@ pub enum LabelColumn {
 ///
 /// * `has_header` skips the first line.
 /// * Labels may use the `{-1, +1}` or `{0, 1}` convention.
-pub fn parse_csv(reader: impl Read, label_column: LabelColumn, has_header: bool, name: &str) -> DataResult<Dataset> {
+pub fn parse_csv(
+    reader: impl Read,
+    label_column: LabelColumn,
+    has_header: bool,
+    name: &str,
+) -> DataResult<Dataset> {
     let reader = BufReader::new(reader);
     let mut features = DenseMatrix::zeros(0, 0);
     let mut labels = Vec::new();
@@ -72,7 +77,11 @@ pub fn parse_csv(reader: impl Read, label_column: LabelColumn, has_header: bool,
 }
 
 /// Loads a labeled dataset from a CSV file on disk.
-pub fn load_csv(path: impl AsRef<Path>, label_column: LabelColumn, has_header: bool) -> DataResult<Dataset> {
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    label_column: LabelColumn,
+    has_header: bool,
+) -> DataResult<Dataset> {
     let path = path.as_ref();
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset").to_string();
     let file = std::fs::File::open(path)?;

@@ -3,17 +3,71 @@
 use crate::error::{DataError, DataResult};
 use crate::label::{ClassCounts, Label};
 use crate::matrix::DenseMatrix;
+use crate::presort::{Binning, Presort};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Lazily built, shared training-time views of a dataset's features: the
+/// per-feature presorted order and any quantile binnings requested so far.
+///
+/// The cache is keyed purely by the *feature matrix*, which label edits do
+/// not touch — so the label-flipped copies Algorithm 1 trains on share the
+/// cache of the original training set, and the dozens of reweighted
+/// retraining rounds of `TrainWithTrigger` all reuse one presort.
+#[derive(Debug, Default)]
+pub struct TrainingCache {
+    presort: OnceLock<Arc<Presort>>,
+    binnings: Mutex<Vec<(usize, Arc<Binning>)>>,
+}
 
 /// A labeled dataset of real-valued feature vectors and binary labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # NaN handling
+///
+/// Like [`DenseMatrix`], the constructors accept non-finite feature
+/// values; training orders them deterministically with `total_cmp` and
+/// never places split thresholds next to them (see the `DenseMatrix`
+/// documentation). Labels are always finite by construction.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Human-readable dataset name (e.g. `"mnist2-6-synth"`).
     pub name: String,
     features: DenseMatrix,
     labels: Vec<Label>,
+    /// Shared across clones and label-flipped copies; rebuilt on feature
+    /// mutation (`normalize`).
+    cache: Arc<TrainingCache>,
+}
+
+/// Equality ignores the derived training cache.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.features == other.features && self.labels == other.labels
+    }
+}
+
+impl Serialize for Dataset {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("features".to_string(), self.features.to_value()),
+            ("labels".to_string(), self.labels.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "Dataset"))?;
+        Ok(Dataset {
+            name: String::from_value(serde::map_get(entries, "name")?)?,
+            features: DenseMatrix::from_value(serde::map_get(entries, "features")?)?,
+            labels: Vec::from_value(serde::map_get(entries, "labels")?)?,
+            cache: Arc::default(),
+        })
+    }
 }
 
 impl Dataset {
@@ -21,9 +75,42 @@ impl Dataset {
     /// number of feature rows.
     pub fn new(name: impl Into<String>, features: DenseMatrix, labels: Vec<Label>) -> DataResult<Self> {
         if features.rows() != labels.len() {
-            return Err(DataError::LabelCountMismatch { rows: features.rows(), labels: labels.len() });
+            return Err(DataError::LabelCountMismatch {
+                rows: features.rows(),
+                labels: labels.len(),
+            });
         }
-        Ok(Self { name: name.into(), features, labels })
+        Ok(Self {
+            name: name.into(),
+            features,
+            labels,
+            cache: Arc::default(),
+        })
+    }
+
+    /// The presorted per-feature view of the features, built on first use
+    /// and cached for the lifetime of the feature matrix. Clones of the
+    /// dataset and label-flipped copies share the same cache, so repeated
+    /// forest training (Algorithm 1's retraining loop, grid search on the
+    /// same dataset) pays the `O(d · n log n)` sort exactly once.
+    pub fn presort(&self) -> Arc<Presort> {
+        self.cache
+            .presort
+            .get_or_init(|| Arc::new(Presort::build(&self.features)))
+            .clone()
+    }
+
+    /// The quantile binning of the features for `max_bins` bins, built on
+    /// first use (per distinct `max_bins`) and cached like
+    /// [`Dataset::presort`].
+    pub fn binning(&self, max_bins: usize) -> Arc<Binning> {
+        let mut binnings = self.cache.binnings.lock().expect("binning cache poisoned");
+        if let Some((_, binning)) = binnings.iter().find(|(bins, _)| *bins == max_bins) {
+            return binning.clone();
+        }
+        let binning = Arc::new(Binning::build(&self.presort(), max_bins));
+        binnings.push((max_bins, binning.clone()));
+        binning
     }
 
     /// Number of instances.
@@ -107,7 +194,10 @@ impl Dataset {
         let mut labels = Vec::with_capacity(indices.len());
         for &index in indices {
             if index >= self.labels.len() {
-                return Err(DataError::IndexOutOfBounds { index, len: self.labels.len() });
+                return Err(DataError::IndexOutOfBounds {
+                    index,
+                    len: self.labels.len(),
+                });
             }
             labels.push(self.labels[index]);
         }
@@ -116,24 +206,38 @@ impl Dataset {
 
     /// Returns a copy of the dataset with every label flipped
     /// (`(x, y) -> (x, -y)`), as used to build `D'_trigger` in Algorithm 1.
+    ///
+    /// The copy shares this dataset's training cache: flipping labels does
+    /// not change the feature matrix, so presorted columns stay valid.
     pub fn with_flipped_labels(&self) -> Dataset {
         Dataset {
             name: self.name.clone(),
             features: self.features.clone(),
             labels: self.labels.iter().map(|l| l.flipped()).collect(),
+            cache: Arc::clone(&self.cache),
         }
     }
 
-    /// Returns a copy with the labels of the listed indices flipped.
+    /// Returns a copy with the labels of the listed indices flipped; like
+    /// [`Dataset::with_flipped_labels`], the copy shares the training
+    /// cache of the original.
     pub fn with_labels_flipped_at(&self, indices: &[usize]) -> DataResult<Dataset> {
         let mut labels = self.labels.clone();
         for &index in indices {
             if index >= labels.len() {
-                return Err(DataError::IndexOutOfBounds { index, len: labels.len() });
+                return Err(DataError::IndexOutOfBounds {
+                    index,
+                    len: labels.len(),
+                });
             }
             labels[index] = labels[index].flipped();
         }
-        Ok(Dataset { name: self.name.clone(), features: self.features.clone(), labels })
+        Ok(Dataset {
+            name: self.name.clone(),
+            features: self.features.clone(),
+            labels,
+            cache: Arc::clone(&self.cache),
+        })
     }
 
     /// Concatenates two datasets with the same dimensionality.
@@ -154,16 +258,24 @@ impl Dataset {
     }
 
     /// Min-max normalizes all features into `[0, 1]` in place and returns
-    /// the per-column ranges used.
+    /// the per-column ranges used. Mutating the features invalidates the
+    /// training cache, so this dataset (and only this one — clones keep
+    /// the old cache for their unchanged features) starts fresh.
     pub fn normalize(&mut self) -> Vec<(f64, f64)> {
-        self.features.normalize_min_max()
+        let ranges = self.features.normalize_min_max();
+        self.cache = Arc::default();
+        ranges
     }
 
     /// Random train/test split. `train_fraction` is the share of instances
     /// placed in the training set; the split is shuffled but *not*
     /// stratified (see [`Dataset::split_stratified`] for the stratified
     /// variant used by the experiments).
-    pub fn split_train_test<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+    pub fn split_train_test<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
         assert!(
             train_fraction > 0.0 && train_fraction < 1.0,
             "train fraction must lie in (0, 1), got {train_fraction}"
@@ -179,7 +291,11 @@ impl Dataset {
 
     /// Stratified train/test split preserving the class distribution in
     /// both partitions.
-    pub fn split_stratified<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+    pub fn split_stratified<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
         assert!(
             train_fraction > 0.0 && train_fraction < 1.0,
             "train fraction must lie in (0, 1), got {train_fraction}"
@@ -204,7 +320,11 @@ impl Dataset {
 
     /// Stratified random subsample of `target` instances, used to reduce
     /// ijcnn1 to 10,000 instances as described in the paper's evaluation.
-    pub fn stratified_subsample<R: Rng + ?Sized>(&self, target: usize, rng: &mut R) -> DataResult<Dataset> {
+    pub fn stratified_subsample<R: Rng + ?Sized>(
+        &self,
+        target: usize,
+        rng: &mut R,
+    ) -> DataResult<Dataset> {
         if target == 0 || self.is_empty() {
             return Err(DataError::EmptyDataset);
         }
@@ -290,8 +410,15 @@ mod tests {
 
     fn toy(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
-        let labels: Vec<Label> =
-            (0..n).map(|i| if i % 3 == 0 { Label::Positive } else { Label::Negative }).collect();
+        let labels: Vec<Label> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
+            .collect();
         Dataset::new("toy", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
     }
 
@@ -383,6 +510,34 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn presort_cache_is_shared_with_label_flipped_copies() {
+        let dataset = toy(20);
+        let presort = dataset.presort();
+        // Flipped copies reuse the same presort (pointer-equal Arc).
+        let flipped = dataset.with_flipped_labels();
+        assert!(std::sync::Arc::ptr_eq(&presort, &flipped.presort()));
+        let partial = dataset.with_labels_flipped_at(&[0, 1]).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&presort, &partial.presort()));
+        // Repeated calls return the same instance.
+        assert!(std::sync::Arc::ptr_eq(&presort, &dataset.presort()));
+        // Binnings are cached per bin count.
+        let b8 = dataset.binning(8);
+        assert!(std::sync::Arc::ptr_eq(&b8, &dataset.binning(8)));
+        assert!(!std::sync::Arc::ptr_eq(&b8, &dataset.binning(16)));
+    }
+
+    #[test]
+    fn normalize_invalidates_the_presort_cache() {
+        let mut dataset = toy(10);
+        let before = dataset.presort();
+        dataset.normalize();
+        let after = dataset.presort();
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+        // The new presort reflects the normalized values.
+        assert!(after.sorted_values(0).iter().all(|v| (0.0..=1.0).contains(v)));
     }
 
     #[test]

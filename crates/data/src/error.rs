@@ -47,7 +47,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} columns, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} columns, found {found}"
+                )
             }
             DataError::LabelCountMismatch { rows, labels } => {
                 write!(f, "label count mismatch: {rows} rows but {labels} labels")
@@ -81,14 +84,20 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch_mentions_both_sizes() {
-        let err = DataError::DimensionMismatch { expected: 4, found: 7 };
+        let err = DataError::DimensionMismatch {
+            expected: 4,
+            found: 7,
+        };
         let text = err.to_string();
         assert!(text.contains('4') && text.contains('7'));
     }
 
     #[test]
     fn display_parse_error_mentions_line() {
-        let err = DataError::Parse { line: 12, message: "bad float".into() };
+        let err = DataError::Parse {
+            line: 12,
+            message: "bad float".into(),
+        };
         assert!(err.to_string().contains("line 12"));
     }
 

@@ -38,9 +38,11 @@ pub fn stratified_k_folds<R: Rng + ?Sized>(dataset: &Dataset, k: usize, rng: &mu
         .map(|fold| {
             let validation_indices: Vec<usize> =
                 (0..dataset.len()).filter(|&i| fold_of[i] == fold).collect();
-            let train_indices: Vec<usize> =
-                (0..dataset.len()).filter(|&i| fold_of[i] != fold).collect();
-            Fold { train_indices, validation_indices }
+            let train_indices: Vec<usize> = (0..dataset.len()).filter(|&i| fold_of[i] != fold).collect();
+            Fold {
+                train_indices,
+                validation_indices,
+            }
         })
         .collect()
 }
@@ -54,8 +56,15 @@ mod tests {
 
     fn toy(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
-        let labels: Vec<Label> =
-            (0..n).map(|i| if i % 5 == 0 { Label::Positive } else { Label::Negative }).collect();
+        let labels: Vec<Label> = (0..n)
+            .map(|i| {
+                if i % 5 == 0 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
+            .collect();
         Dataset::new("toy", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
     }
 
@@ -67,7 +76,10 @@ mod tests {
         assert_eq!(folds.len(), 5);
         let mut seen = vec![0usize; dataset.len()];
         for fold in &folds {
-            assert_eq!(fold.train_indices.len() + fold.validation_indices.len(), dataset.len());
+            assert_eq!(
+                fold.train_indices.len() + fold.validation_indices.len(),
+                dataset.len()
+            );
             for &i in &fold.validation_indices {
                 seen[i] += 1;
             }
@@ -89,7 +101,10 @@ mod tests {
                 .iter()
                 .filter(|&&i| dataset.label(i) == Label::Positive)
                 .count();
-            assert_eq!(positives, 5, "each fold should hold an equal share of the minority class");
+            assert_eq!(
+                positives, 5,
+                "each fold should hold an equal share of the minority class"
+            );
         }
     }
 

@@ -20,14 +20,16 @@ pub mod folds;
 pub mod label;
 pub mod matrix;
 pub mod metrics;
+pub mod presort;
 pub mod synth;
 
-pub use dataset::{Dataset, DatasetStats};
+pub use dataset::{Dataset, DatasetStats, TrainingCache};
 pub use error::{DataError, DataResult};
 pub use folds::{stratified_k_folds, Fold};
 pub use label::{ClassCounts, Label};
-pub use matrix::{l2_distance, linf_distance, DenseMatrix};
+pub use matrix::{l2_distance, linf_distance, ColumnMajor, DenseMatrix};
 pub use metrics::{accuracy, mean_std, roc_auc, ConfusionMatrix};
+pub use presort::{Binning, Presort};
 pub use synth::{SyntheticSpec, SyntheticStyle};
 
 /// Commonly used types, re-exported for `use wdte_data::prelude::*`.
@@ -37,7 +39,8 @@ pub mod prelude {
     pub use crate::error::{DataError, DataResult};
     pub use crate::folds::{stratified_k_folds, Fold};
     pub use crate::label::{ClassCounts, Label};
-    pub use crate::matrix::{l2_distance, linf_distance, DenseMatrix};
+    pub use crate::matrix::{l2_distance, linf_distance, ColumnMajor, DenseMatrix};
     pub use crate::metrics::{accuracy, mean_std, roc_auc, ConfusionMatrix};
+    pub use crate::presort::{Binning, Presort};
     pub use crate::synth::{SyntheticSpec, SyntheticStyle};
 }

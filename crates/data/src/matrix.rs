@@ -8,6 +8,17 @@ use crate::error::{DataError, DataResult};
 use serde::{Deserialize, Serialize};
 
 /// Dense, row-major matrix of `f64` features.
+///
+/// # NaN handling
+///
+/// Constructors accept any `f64`, including `NaN` and infinities, so that
+/// raw CSV loads never fail on malformed values. All training-time
+/// comparisons order feature values with [`f64::total_cmp`], under which
+/// `NaN` sorts *after* `+inf`; the split search additionally refuses to
+/// place a threshold adjacent to a non-finite value, so instances with
+/// `NaN` in the tested feature deterministically fall into the right
+/// child (`x <= t` is `false` for `NaN`). Callers that want to reject
+/// `NaN` outright can check [`DenseMatrix::has_non_finite`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DenseMatrix {
     rows: usize,
@@ -18,7 +29,9 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a matrix from a flat row-major buffer.
     ///
-    /// Returns an error if `values.len() != rows * cols`.
+    /// Returns an error if `values.len() != rows * cols`. `NaN` values are
+    /// accepted; see the type-level documentation for how they behave
+    /// during training.
     pub fn from_vec(rows: usize, cols: usize, values: Vec<f64>) -> DataResult<Self> {
         if values.len() != rows * cols {
             return Err(DataError::DimensionMismatch {
@@ -33,22 +46,37 @@ impl DenseMatrix {
     /// length.
     pub fn from_rows(rows: &[Vec<f64>]) -> DataResult<Self> {
         if rows.is_empty() {
-            return Ok(Self { rows: 0, cols: 0, values: Vec::new() });
+            return Ok(Self {
+                rows: 0,
+                cols: 0,
+                values: Vec::new(),
+            });
         }
         let cols = rows[0].len();
         let mut values = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
-                return Err(DataError::DimensionMismatch { expected: cols, found: row.len() });
+                return Err(DataError::DimensionMismatch {
+                    expected: cols,
+                    found: row.len(),
+                });
             }
             values.extend_from_slice(row);
         }
-        Ok(Self { rows: rows.len(), cols, values })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            values,
+        })
     }
 
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, values: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            values: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows (instances).
@@ -128,11 +156,18 @@ impl DenseMatrix {
         let mut values = Vec::with_capacity(indices.len() * self.cols);
         for &index in indices {
             if index >= self.rows {
-                return Err(DataError::IndexOutOfBounds { index, len: self.rows });
+                return Err(DataError::IndexOutOfBounds {
+                    index,
+                    len: self.rows,
+                });
             }
             values.extend_from_slice(self.row(index));
         }
-        Ok(DenseMatrix { rows: indices.len(), cols: self.cols, values })
+        Ok(DenseMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            values,
+        })
     }
 
     /// Appends a row to the matrix. The first appended row fixes the number
@@ -142,7 +177,10 @@ impl DenseMatrix {
             self.cols = row.len();
         }
         if row.len() != self.cols {
-            return Err(DataError::DimensionMismatch { expected: self.cols, found: row.len() });
+            return Err(DataError::DimensionMismatch {
+                expected: self.cols,
+                found: row.len(),
+            });
         }
         self.values.extend_from_slice(row);
         self.rows += 1;
@@ -192,13 +230,20 @@ impl DenseMatrix {
     /// training split) to this matrix, clamping into `[0, 1]`.
     pub fn apply_min_max(&mut self, ranges: &[(f64, f64)]) -> DataResult<()> {
         if ranges.len() != self.cols {
-            return Err(DataError::DimensionMismatch { expected: self.cols, found: ranges.len() });
+            return Err(DataError::DimensionMismatch {
+                expected: self.cols,
+                found: ranges.len(),
+            });
         }
         for row_index in 0..self.rows {
             for (col, &(min, max)) in ranges.iter().enumerate() {
                 let span = max - min;
                 let value = self.value(row_index, col);
-                let normalized = if span > 0.0 { ((value - min) / span).clamp(0.0, 1.0) } else { 0.0 };
+                let normalized = if span > 0.0 {
+                    ((value - min) / span).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 self.set(row_index, col, normalized);
             }
         }
@@ -209,6 +254,79 @@ impl DenseMatrix {
     pub fn as_slice(&self) -> &[f64] {
         &self.values
     }
+
+    /// `true` if any stored value is `NaN` or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.values.iter().any(|v| !v.is_finite())
+    }
+
+    /// Builds a column-major copy of the matrix.
+    ///
+    /// The split search scans one feature at a time; in the row-major
+    /// layout those reads stride by `cols()` elements, which is
+    /// cache-hostile for wide data (784-feature images touch a new cache
+    /// line per sample). The column-major view makes per-feature scans
+    /// fully sequential. It is built once per dataset and shared by every
+    /// tree (see `Dataset::presort`).
+    pub fn to_column_major(&self) -> ColumnMajor {
+        let mut values = vec![0.0; self.values.len()];
+        for (row_index, row) in self.iter_rows().enumerate() {
+            for (col, &value) in row.iter().enumerate() {
+                values[col * self.rows + row_index] = value;
+            }
+        }
+        ColumnMajor {
+            rows: self.rows,
+            cols: self.cols,
+            values,
+        }
+    }
+}
+
+/// Column-major view of a feature matrix: all values of feature `f` are
+/// contiguous, so per-feature scans are sequential reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMajor {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl ColumnMajor {
+    /// Number of rows (instances).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of one feature column (all instances, in row order).
+    ///
+    /// # Panics
+    /// Panics if `col >= cols()`.
+    #[inline]
+    pub fn column(&self, col: usize) -> &[f64] {
+        assert!(
+            col < self.cols,
+            "column {col} out of bounds for {} columns",
+            self.cols
+        );
+        &self.values[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Single element access.
+    ///
+    /// # Panics
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.values[col * self.rows + row]
+    }
 }
 
 /// L∞ (Chebyshev) distance between two feature vectors.
@@ -216,7 +334,11 @@ impl DenseMatrix {
 /// # Panics
 /// Panics if the two slices have different lengths.
 pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "L-infinity distance requires equal dimensionality");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "L-infinity distance requires equal dimensionality"
+    );
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
@@ -282,7 +404,8 @@ mod tests {
 
     #[test]
     fn normalization_maps_into_unit_interval() {
-        let mut m = DenseMatrix::from_rows(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]).unwrap();
+        let mut m =
+            DenseMatrix::from_rows(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]).unwrap();
         let ranges = m.normalize_min_max();
         assert_eq!(ranges, vec![(0.0, 10.0), (10.0, 30.0)]);
         assert_eq!(m.row(0), &[0.0, 0.0]);
@@ -310,6 +433,31 @@ mod tests {
     fn distances() {
         assert_eq!(linf_distance(&[0.0, 1.0, 3.0], &[1.0, 1.0, 0.5]), 2.5);
         assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_major_matches_row_major() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let cm = m.to_column_major();
+        assert_eq!(cm.rows(), 3);
+        assert_eq!(cm.cols(), 2);
+        assert_eq!(cm.column(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(cm.column(1), &[2.0, 4.0, 6.0]);
+        for row in 0..3 {
+            for col in 0..2 {
+                assert_eq!(cm.value(row, col), m.value(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let finite = DenseMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(!finite.has_non_finite());
+        let with_nan = DenseMatrix::from_rows(&[vec![1.0, f64::NAN]]).unwrap();
+        assert!(with_nan.has_non_finite());
+        let with_inf = DenseMatrix::from_rows(&[vec![f64::INFINITY]]).unwrap();
+        assert!(with_inf.has_non_finite());
     }
 
     #[test]

@@ -23,7 +23,11 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics if the slices have different lengths.
     pub fn from_predictions(truth: &[Label], predicted: &[Label]) -> Self {
-        assert_eq!(truth.len(), predicted.len(), "label slices must have equal length");
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "label slices must have equal length"
+        );
         let mut matrix = ConfusionMatrix::default();
         for (&t, &p) in truth.iter().zip(predicted) {
             match (t, p) {
@@ -90,8 +94,16 @@ impl ConfusionMatrix {
     pub fn balanced_accuracy(&self) -> f64 {
         let pos_denom = self.true_positive + self.false_negative;
         let neg_denom = self.true_negative + self.false_positive;
-        let pos_recall = if pos_denom == 0 { 0.0 } else { self.true_positive as f64 / pos_denom as f64 };
-        let neg_recall = if neg_denom == 0 { 0.0 } else { self.true_negative as f64 / neg_denom as f64 };
+        let pos_recall = if pos_denom == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / pos_denom as f64
+        };
+        let neg_recall = if neg_denom == 0 {
+            0.0
+        } else {
+            self.true_negative as f64 / neg_denom as f64
+        };
         (pos_recall + neg_recall) / 2.0
     }
 }

@@ -102,7 +102,11 @@ impl SyntheticSpec {
 
     /// The three paper datasets, in Table 1 order.
     pub fn paper_trio() -> Vec<SyntheticSpec> {
-        vec![Self::mnist2_6_like(), Self::breast_cancer_like(), Self::ijcnn1_like()]
+        vec![
+            Self::mnist2_6_like(),
+            Self::breast_cancer_like(),
+            Self::ijcnn1_like(),
+        ]
     }
 
     /// Returns a copy with the instance count scaled by `factor`
@@ -120,7 +124,10 @@ impl SyntheticSpec {
     /// seed reproduces the same dataset bit-for-bit.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
         assert!(self.features >= 1, "need at least one feature");
-        assert!(self.informative_features >= 1, "need at least one informative feature");
+        assert!(
+            self.informative_features >= 1,
+            "need at least one informative feature"
+        );
         assert!(
             self.positive_fraction > 0.0 && self.positive_fraction < 1.0,
             "positive fraction must be in (0, 1)"
@@ -132,9 +139,15 @@ impl SyntheticSpec {
         let mut rows = Vec::with_capacity(self.instances);
         let mut labels = Vec::with_capacity(self.instances);
         match self.style {
-            SyntheticStyle::ImageLike => self.generate_image_like(positives, negatives, &mut rows, &mut labels, rng),
-            SyntheticStyle::Tabular => self.generate_tabular(positives, negatives, &mut rows, &mut labels, rng),
-            SyntheticStyle::Clustered => self.generate_clustered(positives, negatives, &mut rows, &mut labels, rng),
+            SyntheticStyle::ImageLike => {
+                self.generate_image_like(positives, negatives, &mut rows, &mut labels, rng)
+            }
+            SyntheticStyle::Tabular => {
+                self.generate_tabular(positives, negatives, &mut rows, &mut labels, rng)
+            }
+            SyntheticStyle::Clustered => {
+                self.generate_clustered(positives, negatives, &mut rows, &mut labels, rng)
+            }
         }
 
         // Shuffle instances and apply label noise.
@@ -216,9 +229,10 @@ impl SyntheticSpec {
             mean_neg[feature] = base - direction * separation / 2.0;
         }
         let noise = Normal::new(0.0, self.noise_std).expect("valid std");
-        for (count, label, means) in
-            [(positives, Label::Positive, &mean_pos), (negatives, Label::Negative, &mean_neg)]
-        {
+        for (count, label, means) in [
+            (positives, Label::Positive, &mean_pos),
+            (negatives, Label::Negative, &mean_neg),
+        ] {
             for _ in 0..count {
                 let row: Vec<f64> = means.iter().map(|&m| m + noise.sample(rng)).collect();
                 rows.push(row);
@@ -244,12 +258,16 @@ impl SyntheticSpec {
         let pos_clusters = sample_cluster_centers(4, informative, rng);
         let neg_clusters = sample_cluster_centers(6, informative, rng);
         let noise = Normal::new(0.0, self.noise_std).expect("valid std");
-        for (count, label, clusters) in
-            [(positives, Label::Positive, &pos_clusters), (negatives, Label::Negative, &neg_clusters)]
-        {
+        for (count, label, clusters) in [
+            (positives, Label::Positive, &pos_clusters),
+            (negatives, Label::Negative, &neg_clusters),
+        ] {
             for _ in 0..count {
                 let center = &clusters[rng.gen_range(0..clusters.len())];
                 let mut row = Vec::with_capacity(self.features);
+                // An index loop (not an iterator chain) keeps the RNG call
+                // order explicit, which generated datasets depend on.
+                #[allow(clippy::needless_range_loop)]
                 for feature in 0..self.features {
                     let value = if feature < informative {
                         (center[feature] + noise.sample(rng)).clamp(0.0, 1.0)
@@ -450,10 +468,13 @@ mod tests {
         }
         let mut correct = 0usize;
         for (row, label) in test.iter() {
-            let dist = |means: &[f64]| -> f64 {
-                means.iter().zip(row).map(|(m, v)| (m - v) * (m - v)).sum()
+            let dist =
+                |means: &[f64]| -> f64 { means.iter().zip(row).map(|(m, v)| (m - v) * (m - v)).sum() };
+            let predicted = if dist(&mean_pos) < dist(&mean_neg) {
+                Label::Positive
+            } else {
+                Label::Negative
             };
-            let predicted = if dist(&mean_pos) < dist(&mean_neg) { Label::Positive } else { Label::Negative };
             if predicted == label {
                 correct += 1;
             }

@@ -39,7 +39,10 @@ pub fn table1(settings: &ExperimentSettings) -> Vec<Table1Row> {
 
 /// Prints Table 1 in the paper's layout.
 pub fn print_table1(rows: &[Table1Row]) {
-    println!("{:<15} {:>10} {:>10} {:>14}", "Dataset", "Instances", "Features", "Distribution");
+    println!(
+        "{:<15} {:>10} {:>10} {:>14}",
+        "Dataset", "Instances", "Features", "Distribution"
+    );
     for row in rows {
         println!(
             "{:<15} {:>10} {:>10} {:>14}",
@@ -106,12 +109,8 @@ pub fn accuracy_point(
         .embed(&train, &signature, &mut rng)
         .expect("embedding with non-strict config always returns a model");
     let baseline = watermarker.train_baseline(&train, &mut rng);
-    let compliant = outcome
-        .diagnostics
-        .t0
-        .as_ref()
-        .map_or(true, |d| d.compliant)
-        && outcome.diagnostics.t1.as_ref().map_or(true, |d| d.compliant);
+    let compliant = outcome.diagnostics.t0.as_ref().is_none_or(|d| d.compliant)
+        && outcome.diagnostics.t1.as_ref().is_none_or(|d| d.compliant);
     AccuracyPoint {
         dataset: dataset.name().to_string(),
         sweep_value,
@@ -127,7 +126,14 @@ pub fn figure3a(settings: &ExperimentSettings) -> Vec<AccuracyPoint> {
     let mut points = Vec::new();
     for &dataset in &PaperDataset::ALL {
         for (i, &fraction) in figure3a_sweep(settings).iter().enumerate() {
-            points.push(accuracy_point(settings, dataset, fraction, 0.5, fraction, i as u64 + 1));
+            points.push(accuracy_point(
+                settings,
+                dataset,
+                fraction,
+                0.5,
+                fraction,
+                i as u64 + 1,
+            ));
         }
     }
     points
@@ -139,7 +145,14 @@ pub fn figure3b(settings: &ExperimentSettings) -> Vec<AccuracyPoint> {
     let mut points = Vec::new();
     for &dataset in &PaperDataset::ALL {
         for (i, &ones) in figure3b_sweep(settings).iter().enumerate() {
-            points.push(accuracy_point(settings, dataset, 0.02, ones, ones, 100 + i as u64));
+            points.push(accuracy_point(
+                settings,
+                dataset,
+                0.02,
+                ones,
+                ones,
+                100 + i as u64,
+            ));
         }
     }
     points
@@ -168,7 +181,10 @@ mod tests {
     use super::*;
 
     fn tiny_settings() -> ExperimentSettings {
-        ExperimentSettings { seed: 11, ..ExperimentSettings::laptop() }
+        ExperimentSettings {
+            seed: 11,
+            ..ExperimentSettings::laptop()
+        }
     }
 
     #[test]
@@ -194,7 +210,11 @@ mod tests {
         // suite fast; the binaries cover all three.
         let settings = tiny_settings();
         let point = accuracy_point(&settings, PaperDataset::BreastCancer, 0.02, 0.5, 0.02, 1);
-        assert!(point.standard_accuracy > 0.85, "standard accuracy {}", point.standard_accuracy);
+        assert!(
+            point.standard_accuracy > 0.85,
+            "standard accuracy {}",
+            point.standard_accuracy
+        );
         assert!(
             point.standard_accuracy - point.watermarked_accuracy < 0.10,
             "accuracy drop too large: standard {} vs watermarked {}",

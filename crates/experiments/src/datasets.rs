@@ -20,7 +20,11 @@ pub enum PaperDataset {
 
 impl PaperDataset {
     /// All datasets in Table 1 order.
-    pub const ALL: [PaperDataset; 3] = [PaperDataset::Mnist26, PaperDataset::BreastCancer, PaperDataset::Ijcnn1];
+    pub const ALL: [PaperDataset; 3] = [
+        PaperDataset::Mnist26,
+        PaperDataset::BreastCancer,
+        PaperDataset::Ijcnn1,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -49,7 +53,9 @@ impl PaperDataset {
         let mut dataset = self.spec().scaled(scale).generate(&mut rng);
         if *self == PaperDataset::Ijcnn1 {
             let target = (dataset.len() / 2).max(30);
-            dataset = dataset.stratified_subsample(target, &mut rng).expect("subsample target is valid");
+            dataset = dataset
+                .stratified_subsample(target, &mut rng)
+                .expect("subsample target is valid");
         }
         dataset.normalize();
         dataset

@@ -37,9 +37,17 @@ pub fn prepare_security_setup(settings: &ExperimentSettings, dataset: PaperDatas
     let config = settings.watermark_config(dataset);
     let signature = Signature::random(config.num_trees, 0.5, &mut rng);
     let watermarker = Watermarker::new(config);
-    let outcome = watermarker.embed(&train, &signature, &mut rng).expect("non-strict embedding succeeds");
+    let outcome = watermarker
+        .embed(&train, &signature, &mut rng)
+        .expect("non-strict embedding succeeds");
     let baseline = watermarker.train_baseline(&train, &mut rng);
-    SecuritySetup { dataset, train, test, outcome, baseline }
+    SecuritySetup {
+        dataset,
+        train,
+        test,
+        outcome,
+        baseline,
+    }
 }
 
 /// One row of Table 2 (a dataset × hyper-parameter × strategy cell).
@@ -319,7 +327,10 @@ mod tests {
     fn security_pipeline_runs_end_to_end_on_the_small_dataset() {
         let settings = fast_settings();
         let setup = prepare_security_setup(&settings, PaperDataset::BreastCancer);
-        assert_eq!(setup.outcome.model.num_trees(), settings.num_trees(PaperDataset::BreastCancer));
+        assert_eq!(
+            setup.outcome.model.num_trees(),
+            settings.num_trees(PaperDataset::BreastCancer)
+        );
 
         let rows = table2_rows(&setup);
         assert_eq!(rows.len(), 2);
@@ -328,7 +339,10 @@ mod tests {
                 row.bands_correct + row.bands_wrong + row.bands_uncertain,
                 setup.outcome.model.num_trees()
             );
-            assert_eq!(row.threshold_correct + row.threshold_wrong, setup.outcome.model.num_trees());
+            assert_eq!(
+                row.threshold_correct + row.threshold_wrong,
+                setup.outcome.model.num_trees()
+            );
         }
 
         let suppression = suppression_row(&setup);

@@ -60,8 +60,11 @@ impl ExperimentSettings {
     /// Parses settings from an explicit argument slice (testable variant of
     /// [`Self::from_args`]).
     pub fn from_arg_slice(args: &[String]) -> Self {
-        let mut settings =
-            if args.iter().any(|a| a == "--full") { Self::full() } else { Self::laptop() };
+        let mut settings = if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::laptop()
+        };
         for (position, arg) in args.iter().enumerate() {
             let next = args.get(position + 1);
             match arg.as_str() {
@@ -144,7 +147,11 @@ impl ExperimentSettings {
                 feature_subset: FeatureSubset::Sqrt,
                 grid: None,
                 grid_folds: 2,
-                tree_params: TreeParams { max_depth: Some(10), max_leaves: Some(128), ..TreeParams::default() },
+                tree_params: TreeParams {
+                    max_depth: Some(10),
+                    max_leaves: Some(128),
+                    ..TreeParams::default()
+                },
                 adjust_hyperparams: true,
                 weight_schedule: WeightSchedule::Multiplicative(3.0),
                 max_weight_rounds: 25,

@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use wdte_solver::{cnf_to_ensemble, solve_via_forgery, Cnf, DpllSolver, ReductionOutcome, SatResult, SolverConfig};
+use wdte_solver::{
+    cnf_to_ensemble, solve_via_forgery, Cnf, DpllSolver, ReductionOutcome, SatResult, SolverConfig,
+};
 
 /// Result of one reduction check.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,7 +58,7 @@ pub fn check_formula(formula: &Cnf) -> ReductionCheck {
         ReductionOutcome::Unsatisfiable => Some(false),
         ReductionOutcome::Unknown => None,
     };
-    let agree = forgery_satisfiable.map_or(false, |f| f == dpll_satisfiable);
+    let agree = forgery_satisfiable == Some(dpll_satisfiable);
     ReductionCheck {
         variables: formula.num_variables,
         clauses: formula.clauses.len(),
@@ -105,7 +107,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2024);
         let checks = run_reduction_checks(12, &mut rng);
         assert_eq!(checks.len(), 12);
-        assert!(checks.iter().all(|c| c.agree), "reduction must agree with DPLL on every instance");
+        assert!(
+            checks.iter().all(|c| c.agree),
+            "reduction must agree with DPLL on every instance"
+        );
         assert!(checks.iter().any(|c| c.dpll_satisfiable));
         assert!(checks.iter().all(|c| c.ensemble_leaves >= c.clauses));
     }

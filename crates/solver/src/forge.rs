@@ -43,7 +43,10 @@ impl LeafIndex {
                     .collect()
             })
             .collect();
-        Self { per_tree, num_features }
+        Self {
+            per_tree,
+            num_features,
+        }
     }
 
     /// Number of trees indexed.
@@ -83,14 +86,22 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        Self { max_nodes: 2_000_000, time_budget_ms: 10_000, domain: Some((0.0, 1.0)) }
+        Self {
+            max_nodes: 2_000_000,
+            time_budget_ms: 10_000,
+            domain: Some((0.0, 1.0)),
+        }
     }
 }
 
 impl SolverConfig {
     /// A tight budget for unit tests and quick experiments.
     pub fn fast() -> Self {
-        Self { max_nodes: 200_000, time_budget_ms: 1_000, domain: Some((0.0, 1.0)) }
+        Self {
+            max_nodes: 200_000,
+            time_budget_ms: 1_000,
+            domain: Some((0.0, 1.0)),
+        }
     }
 
     /// No data-domain constraint (used by the 3SAT reduction).
@@ -114,7 +125,11 @@ impl<'a> ForgeryQuery<'a> {
     /// Builds the per-tree required predictions from a signature bit-string
     /// and a target label, following the paper's convention: tree `i` must
     /// predict `label` iff bit `i` is 0, and the opposite label otherwise.
-    pub fn from_signature_bits(bits: &[bool], label: Label, reference: Option<(&'a [f64], f64)>) -> Self {
+    pub fn from_signature_bits(
+        bits: &[bool],
+        label: Label,
+        reference: Option<(&'a [f64], f64)>,
+    ) -> Self {
         let required = bits.iter().map(|&bit| if bit { label.flipped() } else { label }).collect();
         Self { required, reference }
     }
@@ -192,7 +207,11 @@ impl ForgerySolver {
             None => BoxRegion::unbounded(dims),
         };
         if let Some((reference, epsilon)) = query.reference {
-            assert_eq!(reference.len(), dims, "reference instance dimensionality mismatch");
+            assert_eq!(
+                reference.len(),
+                dims,
+                "reference instance dimensionality mismatch"
+            );
             base = base.intersect(&BoxRegion::linf_ball(reference, epsilon));
             if !base.is_feasible() {
                 return ForgeryOutcome::Unsatisfiable { nodes_explored: 0 };
@@ -231,13 +250,16 @@ impl ForgerySolver {
             budget_hit: false,
         };
         match search.descend(0, base) {
-            Some(instance) => {
-                ForgeryOutcome::Forged { instance, nodes_explored: search.nodes_explored }
-            }
-            None if search.budget_hit => {
-                ForgeryOutcome::BudgetExhausted { nodes_explored: search.nodes_explored }
-            }
-            None => ForgeryOutcome::Unsatisfiable { nodes_explored: search.nodes_explored },
+            Some(instance) => ForgeryOutcome::Forged {
+                instance,
+                nodes_explored: search.nodes_explored,
+            },
+            None if search.budget_hit => ForgeryOutcome::BudgetExhausted {
+                nodes_explored: search.nodes_explored,
+            },
+            None => ForgeryOutcome::Unsatisfiable {
+                nodes_explored: search.nodes_explored,
+            },
         }
     }
 }
@@ -269,7 +291,7 @@ impl<'a> Search<'a> {
             // Checking the clock on every node would be wasteful; every
             // 1024 nodes keeps the overhead negligible while still
             // enforcing the budget tightly enough for the experiments.
-            if self.nodes_explored % 1024 == 0 && Instant::now() > self.deadline {
+            if self.nodes_explored.is_multiple_of(1024) && Instant::now() > self.deadline {
                 self.budget_hit = true;
                 return None;
             }
@@ -304,9 +326,20 @@ mod tests {
     fn stump(num_features: usize, feature: usize, threshold: f64) -> DecisionTree {
         DecisionTree::from_nodes(
             vec![
-                Node::Internal { feature, threshold, left: 1, right: 2 },
-                Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-                Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf {
+                    label: Label::Negative,
+                    counts: ClassCounts::new(),
+                },
+                Node::Leaf {
+                    label: Label::Positive,
+                    counts: ClassCounts::new(),
+                },
             ],
             num_features,
         )
@@ -318,25 +351,79 @@ mod tests {
         //                    tree 2 = x1<=2 ? (x2<=4 ? +1 : -1) : (x3<=6 ? -1 : +1)
         let tree1 = DecisionTree::from_nodes(
             vec![
-                Node::Internal { feature: 0, threshold: 5.0, left: 1, right: 4 },
-                Node::Internal { feature: 1, threshold: 3.0, left: 2, right: 3 },
-                Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
-                Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-                Node::Internal { feature: 2, threshold: 7.0, left: 5, right: 6 },
-                Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-                Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
+                Node::Internal {
+                    feature: 0,
+                    threshold: 5.0,
+                    left: 1,
+                    right: 4,
+                },
+                Node::Internal {
+                    feature: 1,
+                    threshold: 3.0,
+                    left: 2,
+                    right: 3,
+                },
+                Node::Leaf {
+                    label: Label::Positive,
+                    counts: ClassCounts::new(),
+                },
+                Node::Leaf {
+                    label: Label::Negative,
+                    counts: ClassCounts::new(),
+                },
+                Node::Internal {
+                    feature: 2,
+                    threshold: 7.0,
+                    left: 5,
+                    right: 6,
+                },
+                Node::Leaf {
+                    label: Label::Negative,
+                    counts: ClassCounts::new(),
+                },
+                Node::Leaf {
+                    label: Label::Positive,
+                    counts: ClassCounts::new(),
+                },
             ],
             3,
         );
         let tree2 = DecisionTree::from_nodes(
             vec![
-                Node::Internal { feature: 0, threshold: 2.0, left: 1, right: 4 },
-                Node::Internal { feature: 1, threshold: 4.0, left: 2, right: 3 },
-                Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
-                Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-                Node::Internal { feature: 2, threshold: 6.0, left: 5, right: 6 },
-                Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-                Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
+                Node::Internal {
+                    feature: 0,
+                    threshold: 2.0,
+                    left: 1,
+                    right: 4,
+                },
+                Node::Internal {
+                    feature: 1,
+                    threshold: 4.0,
+                    left: 2,
+                    right: 3,
+                },
+                Node::Leaf {
+                    label: Label::Positive,
+                    counts: ClassCounts::new(),
+                },
+                Node::Leaf {
+                    label: Label::Negative,
+                    counts: ClassCounts::new(),
+                },
+                Node::Internal {
+                    feature: 2,
+                    threshold: 6.0,
+                    left: 5,
+                    right: 6,
+                },
+                Node::Leaf {
+                    label: Label::Negative,
+                    counts: ClassCounts::new(),
+                },
+                Node::Leaf {
+                    label: Label::Positive,
+                    counts: ClassCounts::new(),
+                },
             ],
             3,
         );
@@ -359,7 +446,10 @@ mod tests {
         // Two identical stumps cannot disagree with each other.
         let forest = RandomForest::from_trees(vec![stump(1, 0, 0.5), stump(1, 0, 0.5)]);
         let index = LeafIndex::new(&forest);
-        let query = ForgeryQuery { required: vec![Label::Positive, Label::Negative], reference: None };
+        let query = ForgeryQuery {
+            required: vec![Label::Positive, Label::Negative],
+            reference: None,
+        };
         let solver = ForgerySolver::default();
         let outcome = solver.solve(&index, &query);
         assert!(matches!(outcome, ForgeryOutcome::Unsatisfiable { .. }));
@@ -371,12 +461,21 @@ mod tests {
         let index = LeafIndex::new(&forest);
         let reference = [0.1, 0.3];
         // Requiring the positive side (x0 > 0.5) within eps=0.1 of x0=0.1 is impossible…
-        let tight = ForgeryQuery { required: vec![Label::Positive], reference: Some((&reference, 0.1)) };
+        let tight = ForgeryQuery {
+            required: vec![Label::Positive],
+            reference: Some((&reference, 0.1)),
+        };
         let solver = ForgerySolver::default();
-        assert!(matches!(solver.solve(&index, &tight), ForgeryOutcome::Unsatisfiable { .. }));
+        assert!(matches!(
+            solver.solve(&index, &tight),
+            ForgeryOutcome::Unsatisfiable { .. }
+        ));
         // …but possible with eps=0.6, and the witness stays inside the ball
         // and inside [0, 1].
-        let loose = ForgeryQuery { required: vec![Label::Positive], reference: Some((&reference, 0.6)) };
+        let loose = ForgeryQuery {
+            required: vec![Label::Positive],
+            reference: Some((&reference, 0.6)),
+        };
         let outcome = solver.solve(&index, &loose);
         let instance = outcome.instance().expect("solvable with a larger ball");
         assert!(instance[0] > 0.5 && instance[0] <= 0.7 + 1e-9);
@@ -389,7 +488,10 @@ mod tests {
         let forest = RandomForest::from_trees(vec![stump(3, 0, 0.5)]);
         let index = LeafIndex::new(&forest);
         let reference = [0.2, 0.77, 0.33];
-        let query = ForgeryQuery { required: vec![Label::Positive], reference: Some((&reference, 0.9)) };
+        let query = ForgeryQuery {
+            required: vec![Label::Positive],
+            reference: Some((&reference, 0.9)),
+        };
         let outcome = ForgerySolver::default().solve(&index, &query);
         let instance = outcome.instance().unwrap();
         // Features 1 and 2 are untested by the stump: they keep the
@@ -402,16 +504,35 @@ mod tests {
     fn budget_exhaustion_is_reported() {
         // A real forest with a tiny node budget: the solver must give up
         // rather than hang.
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut SmallRng::seed_from_u64(1));
-        let forest = RandomForest::fit(&dataset, &ForestParams::with_trees(20), &mut SmallRng::seed_from_u64(2));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(1));
+        let forest = RandomForest::fit(
+            &dataset,
+            &ForestParams::with_trees(20),
+            &mut SmallRng::seed_from_u64(2),
+        );
         let index = LeafIndex::new(&forest);
         // Alternating required labels make the pattern hard to realize.
         let required: Vec<Label> = (0..forest.num_trees())
-            .map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
             .collect();
         let reference = vec![0.5; dataset.num_features()];
-        let query = ForgeryQuery { required, reference: Some((&reference, 0.05)) };
-        let solver = ForgerySolver::new(SolverConfig { max_nodes: 50, time_budget_ms: 10_000, domain: Some((0.0, 1.0)) });
+        let query = ForgeryQuery {
+            required,
+            reference: Some((&reference, 0.05)),
+        };
+        let solver = ForgerySolver::new(SolverConfig {
+            max_nodes: 50,
+            time_budget_ms: 10_000,
+            domain: Some((0.0, 1.0)),
+        });
         let outcome = solver.solve(&index, &query);
         // With 50 nodes we either conclude quickly or hit the budget; both
         // are acceptable, but a Forged result must actually satisfy the
@@ -423,8 +544,14 @@ mod tests {
 
     #[test]
     fn forged_instances_on_trained_forests_satisfy_their_pattern() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.5).generate(&mut SmallRng::seed_from_u64(5));
-        let forest = RandomForest::fit(&dataset, &ForestParams::with_trees(9), &mut SmallRng::seed_from_u64(6));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.5)
+            .generate(&mut SmallRng::seed_from_u64(5));
+        let forest = RandomForest::fit(
+            &dataset,
+            &ForestParams::with_trees(9),
+            &mut SmallRng::seed_from_u64(6),
+        );
         let index = LeafIndex::new(&forest);
         assert_eq!(index.num_trees(), 9);
         assert!(index.total_leaves() >= 9);
@@ -432,7 +559,10 @@ mod tests {
         // instance: trivially satisfiable, and the solver must confirm it.
         let reference: Vec<f64> = dataset.instance(0).to_vec();
         let required = forest.predict_all(&reference);
-        let query = ForgeryQuery { required: required.clone(), reference: Some((&reference, 0.2)) };
+        let query = ForgeryQuery {
+            required: required.clone(),
+            reference: Some((&reference, 0.2)),
+        };
         let outcome = ForgerySolver::default().solve(&index, &query);
         let instance = outcome.instance().expect("self-consistent pattern must be satisfiable");
         assert!(satisfies_pattern(&forest, instance, &required));
@@ -441,7 +571,10 @@ mod tests {
     #[test]
     fn from_signature_bits_maps_bits_to_required_labels() {
         let query = ForgeryQuery::from_signature_bits(&[false, true, false], Label::Positive, None);
-        assert_eq!(query.required, vec![Label::Positive, Label::Negative, Label::Positive]);
+        assert_eq!(
+            query.required,
+            vec![Label::Positive, Label::Negative, Label::Positive]
+        );
         let query = ForgeryQuery::from_signature_bits(&[true], Label::Negative, None);
         assert_eq!(query.required, vec![Label::Positive]);
     }

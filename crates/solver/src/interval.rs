@@ -26,18 +26,33 @@ pub struct Interval {
 impl Interval {
     /// The whole real line.
     pub fn unbounded() -> Self {
-        Self { lo: f64::NEG_INFINITY, lo_inclusive: false, hi: f64::INFINITY, hi_inclusive: false }
+        Self {
+            lo: f64::NEG_INFINITY,
+            lo_inclusive: false,
+            hi: f64::INFINITY,
+            hi_inclusive: false,
+        }
     }
 
     /// Closed interval `[lo, hi]`.
     pub fn closed(lo: f64, hi: f64) -> Self {
-        Self { lo, lo_inclusive: true, hi, hi_inclusive: true }
+        Self {
+            lo,
+            lo_inclusive: true,
+            hi,
+            hi_inclusive: true,
+        }
     }
 
     /// Tree-path interval `(lo, hi]`: the region selected by taking a right
     /// branch at threshold `lo` and a left branch at threshold `hi`.
     pub fn tree_path(lo: f64, hi: f64) -> Self {
-        Self { lo, lo_inclusive: false, hi, hi_inclusive: true }
+        Self {
+            lo,
+            lo_inclusive: false,
+            hi,
+            hi_inclusive: true,
+        }
     }
 
     /// `true` if the interval contains at least one point.
@@ -53,8 +68,16 @@ impl Interval {
 
     /// `true` if `value` lies inside the interval.
     pub fn contains(&self, value: f64) -> bool {
-        let above = if self.lo_inclusive { value >= self.lo } else { value > self.lo };
-        let below = if self.hi_inclusive { value <= self.hi } else { value < self.hi };
+        let above = if self.lo_inclusive {
+            value >= self.lo
+        } else {
+            value > self.lo
+        };
+        let below = if self.hi_inclusive {
+            value <= self.hi
+        } else {
+            value < self.hi
+        };
         above && below
     }
 
@@ -74,7 +97,12 @@ impl Interval {
         } else {
             (self.hi, self.hi_inclusive && other.hi_inclusive)
         };
-        Interval { lo, lo_inclusive, hi, hi_inclusive }
+        Interval {
+            lo,
+            lo_inclusive,
+            hi,
+            hi_inclusive,
+        }
     }
 
     /// A concrete point inside the interval, preferring `preferred` when it
@@ -125,7 +153,9 @@ pub struct BoxRegion {
 impl BoxRegion {
     /// The unconstrained box over `dims` features.
     pub fn unbounded(dims: usize) -> Self {
-        Self { intervals: vec![Interval::unbounded(); dims] }
+        Self {
+            intervals: vec![Interval::unbounded(); dims],
+        }
     }
 
     /// Builds a box from explicit per-feature intervals.
@@ -136,7 +166,9 @@ impl BoxRegion {
     /// Builds the box of a decision-tree leaf from its raw
     /// `(lower, upper)` path bounds (exclusive lower, inclusive upper).
     pub fn from_tree_bounds(bounds: &[(f64, f64)]) -> Self {
-        Self { intervals: bounds.iter().map(|&(lo, hi)| Interval::tree_path(lo, hi)).collect() }
+        Self {
+            intervals: bounds.iter().map(|&(lo, hi)| Interval::tree_path(lo, hi)).collect(),
+        }
     }
 
     /// The closed L∞ ball of radius `epsilon` around `center`, intersected
@@ -150,7 +182,9 @@ impl BoxRegion {
     /// The closed hyper-cube `[lo, hi]^dims` (e.g. the `[0, 1]` data
     /// domain).
     pub fn cube(dims: usize, lo: f64, hi: f64) -> Self {
-        Self { intervals: vec![Interval::closed(lo, hi); dims] }
+        Self {
+            intervals: vec![Interval::closed(lo, hi); dims],
+        }
     }
 
     /// Number of feature dimensions.
@@ -174,7 +208,10 @@ impl BoxRegion {
     /// Panics if `point.len() != dims()`.
     pub fn contains(&self, point: &[f64]) -> bool {
         assert_eq!(point.len(), self.dims(), "dimensionality mismatch");
-        self.intervals.iter().zip(point).all(|(interval, &value)| interval.contains(value))
+        self.intervals
+            .iter()
+            .zip(point)
+            .all(|(interval, &value)| interval.contains(value))
     }
 
     /// Component-wise intersection of two boxes.

@@ -22,7 +22,9 @@ pub mod interval;
 pub mod reduction;
 pub mod sat;
 
-pub use forge::{satisfies_pattern, ForgeryOutcome, ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig};
+pub use forge::{
+    satisfies_pattern, ForgeryOutcome, ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig,
+};
 pub use interval::{BoxRegion, Interval};
 pub use reduction::{
     assignment_to_instance, clause_to_tree, cnf_to_ensemble, instance_to_assignment, solve_via_forgery,

@@ -35,30 +35,67 @@ fn build_clause(literals: &[Literal], nodes: &mut Vec<Node>) -> usize {
             (Label::Negative, Label::Positive)
         };
         let slot = nodes.len();
-        nodes.push(Node::Internal { feature: first.variable, threshold: 0.0, left: 0, right: 0 });
+        nodes.push(Node::Internal {
+            feature: first.variable,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+        });
         let left = nodes.len();
-        nodes.push(Node::Leaf { label: left_label, counts: ClassCounts::new() });
+        nodes.push(Node::Leaf {
+            label: left_label,
+            counts: ClassCounts::new(),
+        });
         let right = nodes.len();
-        nodes.push(Node::Leaf { label: right_label, counts: ClassCounts::new() });
-        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+        nodes.push(Node::Leaf {
+            label: right_label,
+            counts: ClassCounts::new(),
+        });
+        nodes[slot] = Node::Internal {
+            feature: first.variable,
+            threshold: 0.0,
+            left,
+            right,
+        };
         return slot;
     }
     // ⟦l ∨ ψ'⟧: the branch where l is true short-circuits to +1, the other
     // branch recurses into the rest of the clause.
     let slot = nodes.len();
-    nodes.push(Node::Internal { feature: first.variable, threshold: 0.0, left: 0, right: 0 });
+    nodes.push(Node::Internal {
+        feature: first.variable,
+        threshold: 0.0,
+        left: 0,
+        right: 0,
+    });
     if first.negated {
         // l = ¬x: x <= 0 (false) satisfies the literal → left leaf +1.
         let left = nodes.len();
-        nodes.push(Node::Leaf { label: Label::Positive, counts: ClassCounts::new() });
+        nodes.push(Node::Leaf {
+            label: Label::Positive,
+            counts: ClassCounts::new(),
+        });
         let right = build_clause(rest, nodes);
-        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+        nodes[slot] = Node::Internal {
+            feature: first.variable,
+            threshold: 0.0,
+            left,
+            right,
+        };
     } else {
         // l = x: x > 0 (true) satisfies the literal → right leaf +1.
         let left = build_clause(rest, nodes);
         let right = nodes.len();
-        nodes.push(Node::Leaf { label: Label::Positive, counts: ClassCounts::new() });
-        nodes[slot] = Node::Internal { feature: first.variable, threshold: 0.0, left, right };
+        nodes.push(Node::Leaf {
+            label: Label::Positive,
+            counts: ClassCounts::new(),
+        });
+        nodes[slot] = Node::Internal {
+            feature: first.variable,
+            threshold: 0.0,
+            left,
+            right,
+        };
     }
     slot
 }
@@ -66,7 +103,10 @@ fn build_clause(literals: &[Literal], nodes: &mut Vec<Node>) -> usize {
 /// Converts a 3CNF formula into a tree ensemble (`⟦φ⟧`), one tree per
 /// clause.
 pub fn cnf_to_ensemble(formula: &Cnf) -> RandomForest {
-    assert!(!formula.clauses.is_empty(), "the reduction needs at least one clause");
+    assert!(
+        !formula.clauses.is_empty(),
+        "the reduction needs at least one clause"
+    );
     let trees = formula
         .clauses
         .iter()
@@ -169,7 +209,10 @@ mod tests {
             let via_forgery = solve_via_forgery(&formula, SolverConfig::default());
             match (ground_truth, via_forgery) {
                 (SatResult::Satisfiable(_), ReductionOutcome::Satisfiable(assignment)) => {
-                    assert!(formula.eval(&assignment), "forgery-derived assignment must satisfy the formula");
+                    assert!(
+                        formula.eval(&assignment),
+                        "forgery-derived assignment must satisfy the formula"
+                    );
                     seen_sat += 1;
                 }
                 (SatResult::Unsatisfiable, ReductionOutcome::Unsatisfiable) => {
@@ -180,7 +223,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_sat > 0 && seen_unsat > 0, "test should exercise both outcomes (sat={seen_sat}, unsat={seen_unsat})");
+        assert!(
+            seen_sat > 0 && seen_unsat > 0,
+            "test should exercise both outcomes (sat={seen_sat}, unsat={seen_unsat})"
+        );
     }
 
     #[test]
@@ -200,6 +246,9 @@ mod tests {
                 Clause::new(vec![Literal::negative(0)]),
             ],
         );
-        assert_eq!(solve_via_forgery(&formula, SolverConfig::default()), ReductionOutcome::Unsatisfiable);
+        assert_eq!(
+            solve_via_forgery(&formula, SolverConfig::default()),
+            ReductionOutcome::Unsatisfiable
+        );
     }
 }

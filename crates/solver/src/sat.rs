@@ -24,12 +24,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal of `variable`.
     pub fn positive(variable: usize) -> Self {
-        Self { variable, negated: false }
+        Self {
+            variable,
+            negated: false,
+        }
     }
 
     /// Negative literal of `variable`.
     pub fn negative(variable: usize) -> Self {
-        Self { variable, negated: true }
+        Self {
+            variable,
+            negated: true,
+        }
     }
 
     /// Evaluates the literal under an assignment.
@@ -92,15 +98,25 @@ impl Cnf {
     pub fn new(num_variables: usize, clauses: Vec<Clause>) -> Self {
         for clause in &clauses {
             for literal in &clause.literals {
-                assert!(literal.variable < num_variables, "literal refers to an undeclared variable");
+                assert!(
+                    literal.variable < num_variables,
+                    "literal refers to an undeclared variable"
+                );
             }
         }
-        Self { num_variables, clauses }
+        Self {
+            num_variables,
+            clauses,
+        }
     }
 
     /// Evaluates the formula under a full assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        assert_eq!(assignment.len(), self.num_variables, "assignment must cover every variable");
+        assert_eq!(
+            assignment.len(),
+            self.num_variables,
+            "assignment must cover every variable"
+        );
         self.clauses.iter().all(|c| c.eval(assignment))
     }
 
@@ -111,7 +127,11 @@ impl Cnf {
             4,
             vec![
                 Clause::new(vec![Literal::positive(0), Literal::positive(1)]),
-                Clause::new(vec![Literal::positive(1), Literal::positive(2), Literal::negative(3)]),
+                Clause::new(vec![
+                    Literal::positive(1),
+                    Literal::positive(2),
+                    Literal::negative(3),
+                ]),
             ],
         )
     }
@@ -130,7 +150,10 @@ impl Cnf {
                 let literals = variables
                     .into_iter()
                     .take(3)
-                    .map(|variable| Literal { variable, negated: rng.gen_bool(0.5) })
+                    .map(|variable| Literal {
+                        variable,
+                        negated: rng.gen_bool(0.5),
+                    })
                     .collect();
                 Clause::new(literals)
             })
@@ -308,7 +331,10 @@ mod tests {
         let mut clauses = Vec::new();
         for mask in 0..8u32 {
             let literals = (0..3)
-                .map(|v| Literal { variable: v, negated: mask & (1 << v) != 0 })
+                .map(|v| Literal {
+                    variable: v,
+                    negated: mask & (1 << v) != 0,
+                })
                 .collect();
             clauses.push(Clause::new(literals));
         }

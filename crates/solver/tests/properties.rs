@@ -5,8 +5,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wdte_data::SyntheticSpec;
 use wdte_solver::{
-    cnf_to_ensemble, instance_to_assignment, satisfies_pattern, BoxRegion, Cnf, DpllSolver, ForgeryOutcome,
-    ForgeryQuery, ForgerySolver, Interval, LeafIndex, SatResult, SolverConfig,
+    cnf_to_ensemble, instance_to_assignment, satisfies_pattern, BoxRegion, Cnf, DpllSolver,
+    ForgeryOutcome, ForgeryQuery, ForgerySolver, Interval, LeafIndex, SatResult, SolverConfig,
 };
 use wdte_trees::{ForestParams, RandomForest};
 

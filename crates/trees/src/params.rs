@@ -3,18 +3,48 @@
 use serde::{Deserialize, Serialize};
 
 /// Impurity criterion used to score candidate splits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SplitCriterion {
     /// Gini impurity (CART default).
+    #[default]
     Gini,
     /// Shannon entropy / information gain.
     Entropy,
 }
 
-impl Default for SplitCriterion {
-    fn default() -> Self {
-        SplitCriterion::Gini
-    }
+/// Algorithm used to search for the best split of a node.
+///
+/// All strategies optimize the same weighted impurity objective; they
+/// differ in how candidate thresholds are enumerated and what per-node
+/// work costs:
+///
+/// * [`SplitStrategy::Exact`] — presorted CART: per-feature sorted orders
+///   are computed **once per dataset** (`Dataset::presort`), kept
+///   partitioned per node through training, and scanned sequentially from
+///   a column-major buffer. Equivalent splits to the naive algorithm with
+///   no per-node sorting. This is the default.
+/// * [`SplitStrategy::Histogram`] — LightGBM-style: feature values are
+///   pre-bucketed into at most `bins` per-dataset quantile bins
+///   (`Dataset::binning`); each node accumulates one weighted class
+///   histogram per feature and only bin edges are candidate thresholds.
+///   `O(s + bins)` per feature per node; an approximation suited to wide
+///   data such as the 784-feature image workload.
+/// * [`SplitStrategy::ExactNaive`] — the reference implementation that
+///   re-sorts a gathered `(value, label, weight)` column for every
+///   feature at every node. Kept as the parity oracle for `Exact` and as
+///   the baseline the training benchmarks compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SplitStrategy {
+    /// Presorted exact split search (default).
+    #[default]
+    Exact,
+    /// Quantile-histogram approximate split search.
+    Histogram {
+        /// Maximum number of bins per feature (clamped to `2..=65535`).
+        bins: usize,
+    },
+    /// Naive per-node-sort exact search (reference/baseline).
+    ExactNaive,
 }
 
 /// Structural hyper-parameters of a single decision tree.
@@ -36,6 +66,8 @@ pub struct TreeParams {
     pub min_samples_leaf: usize,
     /// Impurity criterion.
     pub criterion: SplitCriterion,
+    /// Split search algorithm (exact presorted by default).
+    pub strategy: SplitStrategy,
 }
 
 impl Default for TreeParams {
@@ -46,6 +78,7 @@ impl Default for TreeParams {
             min_samples_split: 2,
             min_samples_leaf: 1,
             criterion: SplitCriterion::Gini,
+            strategy: SplitStrategy::Exact,
         }
     }
 }
@@ -53,7 +86,15 @@ impl Default for TreeParams {
 impl TreeParams {
     /// Convenience constructor bounding depth only.
     pub fn with_max_depth(depth: usize) -> Self {
-        Self { max_depth: Some(depth), ..Self::default() }
+        Self {
+            max_depth: Some(depth),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy using the given split-search strategy.
+    pub fn with_strategy(&self, strategy: SplitStrategy) -> Self {
+        Self { strategy, ..*self }
     }
 
     /// Returns a copy with both structural budgets replaced. This is the
@@ -61,7 +102,11 @@ impl TreeParams {
     /// (`Adjust(H)`), which tightens depth and leaf count to
     /// `mean - std` of the values observed in a standard ensemble.
     pub fn with_budget(&self, max_depth: Option<usize>, max_leaves: Option<usize>) -> Self {
-        Self { max_depth, max_leaves, ..*self }
+        Self {
+            max_depth,
+            max_leaves,
+            ..*self
+        }
     }
 
     /// Returns a copy with the structural budget relaxed by one step:
@@ -81,11 +126,12 @@ impl TreeParams {
 /// The paper trains random forests *without bootstrap* in which "each tree
 /// is a classifier trained on a subset of the features of the entire
 /// training set"; this enum controls the size of that per-tree subset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum FeatureSubset {
     /// Use all features (degenerates to bagging-free, fully-correlated trees).
     All,
     /// Use `sqrt(d)` features, the common random-forest default.
+    #[default]
     Sqrt,
     /// Use a fixed fraction of the features (clamped to at least one).
     Fraction(f64),
@@ -105,12 +151,6 @@ impl FeatureSubset {
     }
 }
 
-impl Default for FeatureSubset {
-    fn default() -> Self {
-        FeatureSubset::Sqrt
-    }
-}
-
 /// Hyper-parameters of a random forest without bootstrap.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ForestParams {
@@ -124,14 +164,21 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        Self { num_trees: 100, tree: TreeParams::default(), feature_subset: FeatureSubset::Sqrt }
+        Self {
+            num_trees: 100,
+            tree: TreeParams::default(),
+            feature_subset: FeatureSubset::Sqrt,
+        }
     }
 }
 
 impl ForestParams {
     /// Convenience constructor for an `m`-tree forest with default trees.
     pub fn with_trees(num_trees: usize) -> Self {
-        Self { num_trees, ..Self::default() }
+        Self {
+            num_trees,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy using the given per-tree parameters.
@@ -155,7 +202,10 @@ mod tests {
 
     #[test]
     fn budget_override_keeps_other_fields() {
-        let params = TreeParams { min_samples_leaf: 5, ..TreeParams::default() };
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
         let adjusted = params.with_budget(Some(4), Some(9));
         assert_eq!(adjusted.max_depth, Some(4));
         assert_eq!(adjusted.max_leaves, Some(9));

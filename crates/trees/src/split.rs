@@ -1,4 +1,21 @@
 //! Weighted best-split search for CART trees.
+//!
+//! [`best_split`] is the *naive reference* search
+//! ([`crate::SplitStrategy::ExactNaive`]): it gathers and re-sorts a
+//! `(value, label, weight)` column for every candidate feature at every
+//! node. The production strategies — presorted exact and quantile
+//! histogram — live in [`crate::splitter`] and avoid all per-node sorting;
+//! this implementation is kept as their parity oracle and benchmark
+//! baseline.
+//!
+//! Note on the oracle's arithmetic: the gain scoring was refactored to the
+//! algebraically equivalent fused Gini form ([`children_impurity`]) shared
+//! with the production strategies. Scores can differ from the original
+//! seed implementation by rounding ulps, which may flip near-tie argmax
+//! decisions; the parity guarantee is therefore *Exact ≡ ExactNaive as
+//! implemented here* (bit-for-bit, enforced by
+//! `tests/strategy_parity.rs`), with identical split *semantics* to the
+//! seed (same candidate enumeration, thresholds, and zero-gain policy).
 
 use crate::params::SplitCriterion;
 use wdte_data::{ClassCounts, DenseMatrix, Label};
@@ -20,6 +37,10 @@ pub struct Split {
     pub left_samples: usize,
     /// Number of samples sent to the right child.
     pub right_samples: usize,
+    /// For histogram splits, the bin index whose upper edge is the
+    /// threshold (`None` for exact splits). Used to partition nodes by
+    /// precomputed bin codes instead of raw value comparisons.
+    pub bin: Option<usize>,
 }
 
 /// Impurity of weighted class counts under the chosen criterion.
@@ -28,6 +49,67 @@ pub fn impurity(counts: &ClassCounts, criterion: SplitCriterion) -> f64 {
     match criterion {
         SplitCriterion::Gini => counts.gini(),
         SplitCriterion::Entropy => counts.entropy(),
+    }
+}
+
+/// Weighted impurity of a candidate partition:
+/// `(w_l/T)·I(left) + (w_r/T)·I(right)`.
+///
+/// Shared by every split-search implementation so their floating-point
+/// results are bit-identical (the presorted/naive parity guarantee). For
+/// Gini the algebraic identity `(w/T)·gini = 2·pos·neg/(w·T)` cuts the
+/// division count per evaluated boundary from six to two — and the
+/// `2/T` factor is constant per node, so callers pass it precomputed as
+/// `gini_scale` (see [`gini_scale`]), leaving two pipelinable divisions
+/// in the hottest expression of forest training.
+///
+/// Callers must ensure both children have positive total weight.
+#[inline]
+pub fn children_impurity(
+    left: &ClassCounts,
+    right: &ClassCounts,
+    total_weight: f64,
+    gini_scale: f64,
+    criterion: SplitCriterion,
+) -> f64 {
+    match criterion {
+        SplitCriterion::Gini => {
+            // Fused over the common denominator: one division per boundary
+            // (`p_l·n_l/w_l + p_r·n_r/w_r = (p_l·n_l·w_r + p_r·n_r·w_l)/(w_l·w_r)`).
+            let left_weight = left.total();
+            let right_weight = right.total();
+            let numerator = left.positive * left.negative * right_weight
+                + right.positive * right.negative * left_weight;
+            numerator / (left_weight * right_weight) * gini_scale
+        }
+        SplitCriterion::Entropy => {
+            (left.total() / total_weight) * left.entropy()
+                + (right.total() / total_weight) * right.entropy()
+        }
+    }
+}
+
+/// The per-node constant factor of the algebraic Gini form, hoisted out of
+/// the boundary loop: `2 / total_weight`.
+#[inline]
+pub fn gini_scale(total_weight: f64) -> f64 {
+    2.0 / total_weight
+}
+
+/// Split threshold between two adjacent distinct sorted values: their
+/// midpoint, except when rounding would push the midpoint up to
+/// `next_value` itself (adjacent doubles). `x <= next_value` would then
+/// send the right-hand samples left, desynchronizing the partition from
+/// the recorded split (and, for a two-value node, re-deriving the same
+/// split forever). Falling back to `value` keeps `x <= t` separating
+/// exactly the scanned prefix.
+#[inline]
+pub fn midpoint_threshold(value: f64, next_value: f64) -> f64 {
+    let midpoint = value + (next_value - value) / 2.0;
+    if midpoint < next_value {
+        midpoint
+    } else {
+        value
     }
 }
 
@@ -62,6 +144,7 @@ pub fn best_split(
     if total_weight <= 0.0 {
         return None;
     }
+    let scale = gini_scale(total_weight);
 
     let mut best: Option<Split> = None;
     // Reusable scratch buffer of (value, label, weight) sorted per feature.
@@ -71,7 +154,10 @@ pub fn best_split(
         for &i in indices {
             column.push((features.value(i, feature), labels[i], weights[i]));
         }
-        column.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("feature values must not be NaN"));
+        // total_cmp is a total order: NaN sorts after +inf instead of
+        // panicking mid-training, and the guard below keeps thresholds
+        // away from non-finite values.
+        column.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut left_counts = ClassCounts::new();
         let mut right_counts = parent_counts;
@@ -81,8 +167,13 @@ pub fn best_split(
             left_counts.add(label, weight);
             right_counts.remove(label, weight);
             let next_value = column[position + 1].0;
-            if next_value <= value {
-                continue; // identical values cannot be separated
+            // `!(next > value)` rather than `next <= value`: identical
+            // values cannot be separated, and NaN (which compares false
+            // both ways) must never become a threshold neighbour. Both
+            // ends must be finite or the midpoint would be NaN/inf.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-aware on purpose
+            if !(next_value > value) || !value.is_finite() || !next_value.is_finite() {
+                continue;
             }
             let left_samples = position + 1;
             let right_samples = column.len() - left_samples;
@@ -94,9 +185,9 @@ pub fn best_split(
             if left_weight <= 0.0 || right_weight <= 0.0 {
                 continue;
             }
-            let children_impurity = (left_weight / total_weight) * impurity(&left_counts, criterion)
-                + (right_weight / total_weight) * impurity(&right_counts, criterion);
-            let gain = parent_impurity - children_impurity;
+            let children =
+                children_impurity(&left_counts, &right_counts, total_weight, scale, criterion);
+            let gain = parent_impurity - children;
             // Zero-gain splits are still accepted when nothing better
             // exists: an impure node may require a locally useless split
             // (e.g. XOR-like patterns) before a useful one becomes
@@ -105,15 +196,15 @@ pub fn best_split(
             // isolating heavily weighted samples.
             let better = best.as_ref().map_or(gain >= 0.0, |b| gain > b.gain);
             if better {
-                let threshold = value + (next_value - value) / 2.0;
                 best = Some(Split {
                     feature,
-                    threshold,
+                    threshold: midpoint_threshold(value, next_value),
                     gain,
                     left_counts,
                     right_counts,
                     left_samples,
                     right_samples,
+                    bin: None,
                 });
             }
         }
@@ -137,11 +228,23 @@ mod tests {
         let features = matrix(&[vec![0.1], vec![0.2], vec![0.8], vec![0.9]]);
         let labels = [N, N, P, P];
         let weights = [1.0; 4];
-        let split = best_split(&features, &labels, &weights, &[0, 1, 2, 3], &[0], SplitCriterion::Gini, 1)
-            .expect("split exists");
+        let split = best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2, 3],
+            &[0],
+            SplitCriterion::Gini,
+            1,
+        )
+        .expect("split exists");
         assert_eq!(split.feature, 0);
         assert!(split.threshold > 0.2 && split.threshold < 0.8);
-        assert!((split.gain - 0.5).abs() < 1e-9, "gain should equal parent gini 0.5, got {}", split.gain);
+        assert!(
+            (split.gain - 0.5).abs() < 1e-9,
+            "gain should equal parent gini 0.5, got {}",
+            split.gain
+        );
         assert_eq!(split.left_samples, 2);
         assert_eq!(split.right_samples, 2);
     }
@@ -149,17 +252,19 @@ mod tests {
     #[test]
     fn picks_the_informative_feature_among_noise() {
         // Feature 0 is random-ish, feature 1 separates the classes.
-        let features = matrix(&[
-            vec![0.5, 0.1],
-            vec![0.9, 0.2],
-            vec![0.4, 0.9],
-            vec![0.8, 0.8],
-        ]);
+        let features = matrix(&[vec![0.5, 0.1], vec![0.9, 0.2], vec![0.4, 0.9], vec![0.8, 0.8]]);
         let labels = [N, N, P, P];
         let weights = [1.0; 4];
-        let split =
-            best_split(&features, &labels, &weights, &[0, 1, 2, 3], &[0, 1], SplitCriterion::Entropy, 1)
-                .expect("split exists");
+        let split = best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2, 3],
+            &[0, 1],
+            SplitCriterion::Entropy,
+            1,
+        )
+        .expect("split exists");
         assert_eq!(split.feature, 1);
     }
 
@@ -169,7 +274,16 @@ mod tests {
         let labels = [N, P, P];
         let weights = [1.0; 3];
         // min_samples_leaf = 2 makes every split position illegal for 3 samples.
-        assert!(best_split(&features, &labels, &weights, &[0, 1, 2], &[0], SplitCriterion::Gini, 2).is_none());
+        assert!(best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2],
+            &[0],
+            SplitCriterion::Gini,
+            2
+        )
+        .is_none());
     }
 
     #[test]
@@ -177,7 +291,16 @@ mod tests {
         let features = matrix(&[vec![0.1], vec![0.9]]);
         let labels = [P, P];
         let weights = [1.0; 2];
-        assert!(best_split(&features, &labels, &weights, &[0, 1], &[0], SplitCriterion::Gini, 1).is_none());
+        assert!(best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1],
+            &[0],
+            SplitCriterion::Gini,
+            1
+        )
+        .is_none());
     }
 
     #[test]
@@ -185,7 +308,16 @@ mod tests {
         let features = matrix(&[vec![0.5], vec![0.5], vec![0.5], vec![0.5]]);
         let labels = [N, P, N, P];
         let weights = [1.0; 4];
-        assert!(best_split(&features, &labels, &weights, &[0, 1, 2, 3], &[0], SplitCriterion::Gini, 1).is_none());
+        assert!(best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2, 3],
+            &[0],
+            SplitCriterion::Gini,
+            1
+        )
+        .is_none());
     }
 
     #[test]
@@ -196,10 +328,26 @@ mod tests {
         let labels = [P, N, N, N];
         let uniform = [1.0, 1.0, 1.0, 1.0];
         let weighted = [50.0, 1.0, 1.0, 1.0];
-        let split_uniform =
-            best_split(&features, &labels, &uniform, &[0, 1, 2, 3], &[0], SplitCriterion::Gini, 1).unwrap();
-        let split_weighted =
-            best_split(&features, &labels, &weighted, &[0, 1, 2, 3], &[0], SplitCriterion::Gini, 1).unwrap();
+        let split_uniform = best_split(
+            &features,
+            &labels,
+            &uniform,
+            &[0, 1, 2, 3],
+            &[0],
+            SplitCriterion::Gini,
+            1,
+        )
+        .unwrap();
+        let split_weighted = best_split(
+            &features,
+            &labels,
+            &weighted,
+            &[0, 1, 2, 3],
+            &[0],
+            SplitCriterion::Gini,
+            1,
+        )
+        .unwrap();
         // Both should cut immediately after the positive sample. The
         // weighted parent is almost pure (the positive holds ~94% of the
         // mass), so its achievable gain is *smaller* than the uniform one,
@@ -211,11 +359,58 @@ mod tests {
     }
 
     #[test]
+    fn nan_features_neither_panic_nor_become_thresholds() {
+        let features = matrix(&[vec![0.1], vec![0.2], vec![f64::NAN], vec![0.9]]);
+        let labels = [N, N, P, P];
+        let weights = [1.0; 4];
+        let split = best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2, 3],
+            &[0],
+            SplitCriterion::Gini,
+            1,
+        )
+        .expect("finite values still admit a split");
+        assert!(split.threshold.is_finite());
+        // NaN sorts last (total_cmp), so the only boundaries considered lie
+        // between the finite values.
+        assert!(split.threshold < 0.9);
+    }
+
+    #[test]
+    fn all_nan_column_yields_no_split() {
+        let features = matrix(&[vec![f64::NAN], vec![f64::NAN], vec![f64::NAN]]);
+        let labels = [N, P, P];
+        let weights = [1.0; 3];
+        assert!(best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1, 2],
+            &[0],
+            SplitCriterion::Gini,
+            1
+        )
+        .is_none());
+    }
+
+    #[test]
     fn subset_of_indices_is_honoured() {
         let features = matrix(&[vec![0.1], vec![0.2], vec![0.8], vec![0.9]]);
         let labels = [N, N, P, P];
         let weights = [1.0; 4];
         // Only negatives selected: node is pure, no split.
-        assert!(best_split(&features, &labels, &weights, &[0, 1], &[0], SplitCriterion::Gini, 1).is_none());
+        assert!(best_split(
+            &features,
+            &labels,
+            &weights,
+            &[0, 1],
+            &[0],
+            SplitCriterion::Gini,
+            1
+        )
+        .is_none());
     }
 }

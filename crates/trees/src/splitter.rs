@@ -1,0 +1,562 @@
+//! Presorted and histogram split search over per-node segments.
+//!
+//! This module implements the production split strategies
+//! ([`crate::SplitStrategy::Exact`] and
+//! [`crate::SplitStrategy::Histogram`]). Both avoid the naive search's
+//! per-node sort + gather by working over **dataset-level precomputed
+//! views** (`Dataset::presort` / `Dataset::binning`) and a reusable
+//! [`SplitWorkspace`]:
+//!
+//! * **Exact (presorted CART)** — at tree start the candidate features'
+//!   sorted `(value, row)` columns are copied from the shared presort into
+//!   the workspace. Each tree node owns one contiguous segment `[lo, hi)`
+//!   of every column; splitting a node stably partitions its segment into
+//!   the two children's segments, preserving sort order, so no node ever
+//!   sorts anything. Scans are sequential over column-major buffers.
+//! * **Histogram** — nodes own a segment of a single row-membership
+//!   buffer; for each candidate feature the node accumulates a weighted
+//!   class histogram over precomputed per-sample bin codes and considers
+//!   only bin edges as thresholds.
+//!
+//! Class-weight bookkeeping is branchless: instead of matching on the
+//! label per sample (a ~50%-mispredicted branch on shuffled labels), each
+//! sample carries a `(weight-if-positive, weight-if-negative)` pair where
+//! the inactive side is `0.0`. Adding `0.0` is a bitwise no-op for the
+//! non-negative accumulators involved, so results stay bit-identical to
+//! the naive reference while the scan loop vectorizes.
+//!
+//! After the one-time workspace initialization, node expansion performs
+//! **zero heap allocations**: segment partitioning writes through
+//! preallocated scratch buffers and frontier bookkeeping stores plain
+//! index ranges.
+
+use crate::params::SplitCriterion;
+use crate::split::{children_impurity, gini_scale, impurity, midpoint_threshold, Split};
+use std::sync::Arc;
+use wdte_data::{Binning, ClassCounts, Label, Presort};
+
+/// Reusable buffers for segment-based tree construction. Create once (or
+/// reuse across trees via [`crate::DecisionTree::fit_weighted_with_workspace`])
+/// and the builder resizes it as needed; steady-state node expansion
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct SplitWorkspace {
+    /// Exact mode: `k × n` feature values, per-candidate-feature columns,
+    /// each column segment-sorted. Histogram mode: unused.
+    vals: Vec<f64>,
+    /// Exact mode: `k × n` row ids parallel to `vals`. Histogram mode:
+    /// unused.
+    rows: Vec<u32>,
+    /// Exact mode: `k × n` per-sample weight-if-positive (`0.0` for
+    /// negative samples), parallel to `vals`; gathered once per tree so
+    /// the scan reads sequentially and branch-free.
+    wpos: Vec<f64>,
+    /// Exact mode: `k × n` per-sample weight-if-negative, parallel to
+    /// `vals`.
+    wneg: Vec<f64>,
+    /// Per-row weight-if-positive (`n`), rebuilt per tree (weights change
+    /// between Algorithm 1 rounds).
+    row_wpos: Vec<f64>,
+    /// Per-row weight-if-negative (`n`).
+    row_wneg: Vec<f64>,
+    /// Node membership buffer (`n` row ids, ascending within each node's
+    /// segment — the same iteration order as the naive builder's index
+    /// lists, which keeps weighted-count summation bit-identical).
+    member: Vec<u32>,
+    /// Row-indexed membership mask used while partitioning a node.
+    goes_left: Vec<bool>,
+    /// Partition scratch for the right-child run (values).
+    scratch_vals: Vec<f64>,
+    /// Partition scratch for the right-child run (row ids).
+    scratch_rows: Vec<u32>,
+    /// Partition scratch for the right-child run (weight-if-positive).
+    scratch_wpos: Vec<f64>,
+    /// Partition scratch for the right-child run (weight-if-negative).
+    scratch_wneg: Vec<f64>,
+    /// Histogram mode: per-bin positive weight, reused per feature.
+    hist_pos: Vec<f64>,
+    /// Histogram mode: per-bin negative weight, reused per feature.
+    hist_neg: Vec<f64>,
+    /// Histogram mode: per-bin sample counts, reused per feature.
+    hist_n: Vec<u32>,
+}
+
+impl SplitWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The shared per-dataset view a splitter searches over.
+pub(crate) enum Backend {
+    /// Presorted exact search.
+    Exact(Arc<Presort>),
+    /// Quantile-histogram search.
+    Histogram(Arc<Binning>),
+}
+
+/// Segment-based split searcher; one per tree under construction.
+pub(crate) struct NodeSplitter<'a> {
+    backend: Backend,
+    labels: &'a [Label],
+    weights: &'a [f64],
+    candidates: &'a [usize],
+    criterion: SplitCriterion,
+    min_samples_leaf: usize,
+    n: usize,
+    ws: &'a mut SplitWorkspace,
+}
+
+impl<'a> NodeSplitter<'a> {
+    /// Prepares the workspace for a tree over `n` samples and hands back
+    /// the splitter. The root node owns the full segment `[0, n)`.
+    pub(crate) fn new(
+        backend: Backend,
+        labels: &'a [Label],
+        weights: &'a [f64],
+        candidates: &'a [usize],
+        criterion: SplitCriterion,
+        min_samples_leaf: usize,
+        ws: &'a mut SplitWorkspace,
+    ) -> Self {
+        let n = labels.len();
+        let k = candidates.len();
+        // Buffers are sized with `resize_buffer` (no re-zeroing when the
+        // size is unchanged — every entry that is read is written first,
+        // either here or during partitioning).
+        resize_buffer(&mut ws.goes_left, n, false);
+        resize_buffer(&mut ws.scratch_vals, n, 0.0);
+        resize_buffer(&mut ws.scratch_rows, n, 0);
+        ws.member.clear();
+        ws.member.extend(0..n as u32);
+        // Branchless class-weight pairs, one branch per row instead of one
+        // per (row, feature, node) during scans.
+        resize_buffer(&mut ws.row_wpos, n, 0.0);
+        resize_buffer(&mut ws.row_wneg, n, 0.0);
+        for row in 0..n {
+            let weight = weights[row];
+            if labels[row] == Label::Positive {
+                ws.row_wpos[row] = weight;
+                ws.row_wneg[row] = 0.0;
+            } else {
+                ws.row_wpos[row] = 0.0;
+                ws.row_wneg[row] = weight;
+            }
+        }
+        match &backend {
+            Backend::Exact(presort) => {
+                resize_buffer(&mut ws.vals, k * n, 0.0);
+                resize_buffer(&mut ws.rows, k * n, 0);
+                resize_buffer(&mut ws.wpos, k * n, 0.0);
+                resize_buffer(&mut ws.wneg, k * n, 0.0);
+                resize_buffer(&mut ws.scratch_wpos, n, 0.0);
+                resize_buffer(&mut ws.scratch_wneg, n, 0.0);
+                for (ci, &feature) in candidates.iter().enumerate() {
+                    let base = ci * n;
+                    ws.vals[base..base + n].copy_from_slice(presort.sorted_values(feature));
+                    ws.rows[base..base + n].copy_from_slice(presort.sorted_rows(feature));
+                    for position in 0..n {
+                        let row = ws.rows[base + position] as usize;
+                        ws.wpos[base + position] = ws.row_wpos[row];
+                        ws.wneg[base + position] = ws.row_wneg[row];
+                    }
+                }
+            }
+            Backend::Histogram(binning) => {
+                let bins = binning.max_bins();
+                resize_buffer(&mut ws.hist_pos, bins, 0.0);
+                resize_buffer(&mut ws.hist_neg, bins, 0.0);
+                resize_buffer(&mut ws.hist_n, bins, 0);
+            }
+        }
+        NodeSplitter {
+            backend,
+            labels,
+            weights,
+            candidates,
+            criterion,
+            min_samples_leaf,
+            n,
+            ws,
+        }
+    }
+
+    /// The rows belonging to the node that owns segment `[lo, hi)`, in
+    /// ascending row order (stable partitioning preserves it).
+    #[inline]
+    pub(crate) fn node_rows(&self, lo: usize, hi: usize) -> &[u32] {
+        &self.ws.member[lo..hi]
+    }
+
+    /// Weighted class counts of a node, summed in ascending row order (the
+    /// naive builder's order, for bit-identical results).
+    pub(crate) fn counts(&self, lo: usize, hi: usize) -> ClassCounts {
+        let mut counts = ClassCounts::new();
+        for &row in self.node_rows(lo, hi) {
+            let row = row as usize;
+            counts.add(self.labels[row], self.weights[row]);
+        }
+        counts
+    }
+
+    /// Finds the best split of the node owning `[lo, hi)`; mirrors the
+    /// acceptance rules of the naive reference search exactly (same
+    /// thresholds, same `min_samples_leaf` handling, same zero-gain
+    /// policy, same feature-order tie-breaking).
+    pub(crate) fn best_split(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        parent_counts: &ClassCounts,
+    ) -> Option<Split> {
+        if hi - lo < 2 * self.min_samples_leaf.max(1) {
+            return None;
+        }
+        let parent_impurity = impurity(parent_counts, self.criterion);
+        if parent_impurity <= 0.0 {
+            return None; // already pure
+        }
+        let total_weight = parent_counts.total();
+        if total_weight <= 0.0 {
+            return None;
+        }
+        match &self.backend {
+            Backend::Exact(_) => self.best_split_exact(lo, hi, parent_counts, parent_impurity),
+            Backend::Histogram(binning) => {
+                let binning = Arc::clone(binning);
+                self.best_split_histogram(&binning, lo, hi, parent_counts, parent_impurity)
+            }
+        }
+    }
+
+    fn best_split_exact(
+        &self,
+        lo: usize,
+        hi: usize,
+        parent_counts: &ClassCounts,
+        parent_impurity: f64,
+    ) -> Option<Split> {
+        let n = self.n;
+        let len = hi - lo;
+        let total_weight = parent_counts.total();
+        let scale = gini_scale(total_weight);
+        let min1 = self.min_samples_leaf.max(1);
+        let mut best: Option<Split> = None;
+        // Running best gain as a plain scalar so the hot loop compares
+        // without touching the (large) `Split` struct.
+        let mut best_gain = f64::NEG_INFINITY;
+        for (ci, &feature) in self.candidates.iter().enumerate() {
+            let base = ci * n;
+            let vals = &self.ws.vals[base + lo..base + hi];
+            let wpos = &self.ws.wpos[base + lo..base + hi];
+            let wneg = &self.ws.wneg[base + lo..base + hi];
+            if vals[len - 1] == vals[0] {
+                continue; // constant within this node: no admissible boundary
+            }
+            // Sorted order puts -inf first and NaN/+inf last, so finite
+            // endpoints prove the whole segment finite and the hot loop
+            // can drop its per-boundary finiteness checks.
+            let scan = ScanArgs {
+                vals,
+                wpos,
+                wneg,
+                parent_counts,
+                parent_impurity,
+                total_weight,
+                scale,
+                criterion: self.criterion,
+                min1,
+                feature,
+            };
+            if vals[0].is_finite() && vals[len - 1].is_finite() {
+                scan_feature_exact::<true>(&scan, &mut best, &mut best_gain);
+            } else {
+                scan_feature_exact::<false>(&scan, &mut best, &mut best_gain);
+            }
+        }
+        best
+    }
+
+    fn best_split_histogram(
+        &mut self,
+        binning: &Binning,
+        lo: usize,
+        hi: usize,
+        parent_counts: &ClassCounts,
+        parent_impurity: f64,
+    ) -> Option<Split> {
+        let len = hi - lo;
+        let total_weight = parent_counts.total();
+        let scale = gini_scale(total_weight);
+        let mut best: Option<Split> = None;
+        let ws = &mut *self.ws;
+        for &feature in self.candidates {
+            let bins = binning.num_bins(feature);
+            if bins < 2 {
+                continue; // constant feature
+            }
+            let codes = binning.codes(feature);
+            // Accumulate the node's weighted class histogram (branch-free,
+            // see the module docs).
+            ws.hist_pos[..bins].fill(0.0);
+            ws.hist_neg[..bins].fill(0.0);
+            ws.hist_n[..bins].fill(0);
+            for &row in &ws.member[lo..hi] {
+                let row = row as usize;
+                let code = codes[row] as usize;
+                ws.hist_pos[code] += ws.row_wpos[row];
+                ws.hist_neg[code] += ws.row_wneg[row];
+                ws.hist_n[code] += 1;
+            }
+            // Scan bin boundaries left to right.
+            let mut left_counts = ClassCounts::new();
+            let mut right_counts = *parent_counts;
+            let mut left_samples = 0usize;
+            for bin in 0..bins - 1 {
+                left_counts.positive += ws.hist_pos[bin];
+                left_counts.negative += ws.hist_neg[bin];
+                right_counts.positive -= ws.hist_pos[bin];
+                right_counts.negative -= ws.hist_neg[bin];
+                left_samples += ws.hist_n[bin] as usize;
+                let right_samples = len - left_samples;
+                if left_samples < self.min_samples_leaf.max(1)
+                    || right_samples < self.min_samples_leaf.max(1)
+                {
+                    continue;
+                }
+                let left_weight = left_counts.total();
+                let right_weight = right_counts.total();
+                if left_weight <= 0.0 || right_weight <= 0.0 {
+                    continue;
+                }
+                let children =
+                    children_impurity(&left_counts, &right_counts, total_weight, scale, self.criterion);
+                let gain = parent_impurity - children;
+                let better = best.as_ref().map_or(gain >= 0.0, |b| gain > b.gain);
+                if better {
+                    best = Some(Split {
+                        feature,
+                        threshold: binning.edge(feature, bin),
+                        gain,
+                        left_counts,
+                        right_counts,
+                        left_samples,
+                        right_samples,
+                        bin: Some(bin),
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Partitions the node owning `[lo, hi)` by `split`, stably, in place.
+    /// Returns `mid`: the left child owns `[lo, mid)`, the right child
+    /// `[mid, hi)`, in every per-feature column (exact) or the membership
+    /// buffer (histogram). Sort order within segments is preserved.
+    pub(crate) fn partition(&mut self, lo: usize, hi: usize, split: &Split) -> usize {
+        match &self.backend {
+            Backend::Exact(_) => self.partition_exact(lo, hi, split),
+            Backend::Histogram(binning) => {
+                let binning = Arc::clone(binning);
+                self.partition_histogram(&binning, lo, hi, split)
+            }
+        }
+    }
+
+    fn partition_exact(&mut self, lo: usize, hi: usize, split: &Split) -> usize {
+        let n = self.n;
+        let split_ci = self
+            .candidates
+            .iter()
+            .position(|&f| f == split.feature)
+            .expect("split feature is always a candidate");
+        // Mark membership using the split feature's own segment.
+        let ws = &mut *self.ws;
+        let base = split_ci * n;
+        let mut left_size = 0usize;
+        for position in lo..hi {
+            let row = ws.rows[base + position] as usize;
+            let goes_left = ws.vals[base + position] <= split.threshold;
+            ws.goes_left[row] = goes_left;
+            left_size += usize::from(goes_left);
+        }
+        // Stable two-way partition of every candidate column's segment,
+        // carrying the gathered (value, row, wpos, wneg) tuples along.
+        for ci in 0..self.candidates.len() {
+            let base = ci * n;
+            let mut write = base + lo;
+            let mut spill = 0usize;
+            for position in base + lo..base + hi {
+                let row = ws.rows[position];
+                if ws.goes_left[row as usize] {
+                    ws.rows[write] = row;
+                    ws.vals[write] = ws.vals[position];
+                    ws.wpos[write] = ws.wpos[position];
+                    ws.wneg[write] = ws.wneg[position];
+                    write += 1;
+                } else {
+                    ws.scratch_rows[spill] = row;
+                    ws.scratch_vals[spill] = ws.vals[position];
+                    ws.scratch_wpos[spill] = ws.wpos[position];
+                    ws.scratch_wneg[spill] = ws.wneg[position];
+                    spill += 1;
+                }
+            }
+            ws.rows[write..base + hi].copy_from_slice(&ws.scratch_rows[..spill]);
+            ws.vals[write..base + hi].copy_from_slice(&ws.scratch_vals[..spill]);
+            ws.wpos[write..base + hi].copy_from_slice(&ws.scratch_wpos[..spill]);
+            ws.wneg[write..base + hi].copy_from_slice(&ws.scratch_wneg[..spill]);
+        }
+        partition_member(ws, lo, hi);
+        lo + left_size
+    }
+
+    fn partition_histogram(&mut self, binning: &Binning, lo: usize, hi: usize, split: &Split) -> usize {
+        let codes = binning.codes(split.feature);
+        let split_bin = split.bin.expect("histogram splits carry their bin") as u16;
+        let ws = &mut *self.ws;
+        for position in lo..hi {
+            let row = ws.member[position];
+            ws.goes_left[row as usize] = codes[row as usize] <= split_bin;
+        }
+        partition_member(ws, lo, hi)
+    }
+}
+
+/// Inputs of one feature's exact boundary scan.
+struct ScanArgs<'a> {
+    vals: &'a [f64],
+    wpos: &'a [f64],
+    wneg: &'a [f64],
+    parent_counts: &'a ClassCounts,
+    parent_impurity: f64,
+    total_weight: f64,
+    scale: f64,
+    criterion: SplitCriterion,
+    min1: usize,
+    feature: usize,
+}
+
+/// Scans one feature's sorted segment for the best boundary, updating the
+/// running best across features. `ALL_FINITE` selects the fast loop
+/// without per-boundary finiteness checks (sound whenever the segment's
+/// endpoints are finite, because the segment is sorted).
+fn scan_feature_exact<const ALL_FINITE: bool>(
+    args: &ScanArgs<'_>,
+    best: &mut Option<Split>,
+    best_gain: &mut f64,
+) {
+    let len = args.vals.len();
+    let min1 = args.min1;
+    let mut left_pos = 0.0f64;
+    let mut left_neg = 0.0f64;
+    let mut right_pos = args.parent_counts.positive;
+    let mut right_neg = args.parent_counts.negative;
+    // Boundaries outside [min1 - 1, len - min1) can never satisfy
+    // `min_samples_leaf`; accumulating the prefix separately keeps those
+    // checks out of the hot loop entirely.
+    for position in 0..min1 - 1 {
+        left_pos += args.wpos[position];
+        left_neg += args.wneg[position];
+        right_pos -= args.wpos[position];
+        right_neg -= args.wneg[position];
+    }
+    for position in min1 - 1..len - min1 {
+        // Branch-free class accumulation: the inactive side of the
+        // (wpos, wneg) pair is 0.0, and adding/subtracting 0.0 is bitwise
+        // identity for these non-negative accumulators.
+        left_pos += args.wpos[position];
+        left_neg += args.wneg[position];
+        right_pos -= args.wpos[position];
+        right_neg -= args.wneg[position];
+        let value = args.vals[position];
+        let next_value = args.vals[position + 1];
+        // Ties cannot split (and in the general path, NaN neighbours and
+        // non-finite midpoints are rejected too).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-aware on purpose
+        if ALL_FINITE {
+            if next_value == value {
+                continue;
+            }
+        } else if !(next_value > value) || !value.is_finite() || !next_value.is_finite() {
+            continue;
+        }
+        let left_counts = ClassCounts {
+            negative: left_neg,
+            positive: left_pos,
+        };
+        let right_counts = ClassCounts {
+            negative: right_neg,
+            positive: right_pos,
+        };
+        let left_weight = left_counts.total();
+        let right_weight = right_counts.total();
+        if left_weight <= 0.0 || right_weight <= 0.0 {
+            continue;
+        }
+        let children = children_impurity(
+            &left_counts,
+            &right_counts,
+            args.total_weight,
+            args.scale,
+            args.criterion,
+        );
+        let gain = args.parent_impurity - children;
+        // Zero-gain splits are accepted when nothing better exists (see
+        // the naive search for the rationale: XOR-like patterns and the
+        // trigger-forcing loop need them). The first acceptance demands
+        // `gain >= 0.0` (rounding can push gains an ulp below zero).
+        let better = if best.is_none() {
+            gain >= 0.0
+        } else {
+            gain > *best_gain
+        };
+        if better {
+            *best_gain = gain;
+            let left_samples = position + 1;
+            *best = Some(Split {
+                feature: args.feature,
+                threshold: midpoint_threshold(value, next_value),
+                gain,
+                left_counts,
+                right_counts,
+                left_samples,
+                right_samples: len - left_samples,
+                bin: None,
+            });
+        }
+    }
+}
+
+/// Resizes a workspace buffer without touching retained contents: a no-op
+/// when the size already matches (the common case when one workspace is
+/// reused across the trees of a forest), so per-tree setup avoids
+/// re-zeroing hundreds of kilobytes.
+fn resize_buffer<T: Clone>(buffer: &mut Vec<T>, len: usize, fill: T) {
+    if buffer.len() != len {
+        buffer.clear();
+        buffer.resize(len, fill);
+    }
+}
+
+/// Stably partitions the membership buffer's segment `[lo, hi)` by the
+/// `goes_left` mask, preserving ascending row order on both sides; returns
+/// the boundary position.
+fn partition_member(ws: &mut SplitWorkspace, lo: usize, hi: usize) -> usize {
+    let mut write = lo;
+    let mut spill = 0usize;
+    for position in lo..hi {
+        let row = ws.member[position];
+        if ws.goes_left[row as usize] {
+            ws.member[write] = row;
+            write += 1;
+        } else {
+            ws.scratch_rows[spill] = row;
+            spill += 1;
+        }
+    }
+    ws.member[write..hi].copy_from_slice(&ws.scratch_rows[..spill]);
+    write
+}

@@ -1,10 +1,11 @@
 //! Binary decision trees for classification (CART-style), grown best-first
 //! with support for sample weights, depth limits and leaf-count limits.
 
-use crate::params::TreeParams;
+use crate::params::{SplitStrategy, TreeParams};
 use crate::split::{best_split, Split};
+use crate::splitter::{Backend, NodeSplitter, SplitWorkspace};
 use serde::{Deserialize, Serialize};
-use wdte_data::{ClassCounts, DenseMatrix, Dataset, Label};
+use wdte_data::{ClassCounts, Dataset, DenseMatrix, Label};
 
 /// A node of a decision tree, stored in an arena (`Vec<Node>`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +63,11 @@ impl DecisionTree {
     /// restriction of the features the tree may split on (the per-tree
     /// feature subset of a random forest without bootstrap).
     ///
+    /// The split search algorithm is selected by `params.strategy`; the
+    /// default presorted [`SplitStrategy::Exact`] reuses the dataset-level
+    /// presort cache, so repeatedly retraining on the same dataset (the
+    /// watermark embedding loop) never re-sorts feature columns.
+    ///
     /// # Panics
     /// Panics if `weights.len() != dataset.len()` or the dataset is empty.
     pub fn fit_weighted(
@@ -70,41 +76,65 @@ impl DecisionTree {
         allowed_features: Option<&[usize]>,
         params: &TreeParams,
     ) -> Self {
+        thread_local! {
+            /// Per-thread workspace reused by every tree trained on this
+            /// thread: all trees of a worker's batch during parallel
+            /// forest training, and — when training runs on a persistent
+            /// thread (serial mode, or a caller looping `fit_weighted` as
+            /// Algorithm 1 does) — every retraining round too, so
+            /// steady-state training performs no per-tree buffer
+            /// allocations.
+            static TREE_WORKSPACE: std::cell::RefCell<SplitWorkspace> =
+                std::cell::RefCell::new(SplitWorkspace::new());
+        }
+        TREE_WORKSPACE.with(|workspace| {
+            Self::fit_weighted_with_workspace(
+                dataset,
+                weights,
+                allowed_features,
+                params,
+                &mut workspace.borrow_mut(),
+            )
+        })
+    }
+
+    /// Like [`DecisionTree::fit_weighted`], but reuses a caller-provided
+    /// [`SplitWorkspace`] so that training many trees in a loop performs
+    /// no per-tree buffer allocations.
+    pub fn fit_weighted_with_workspace(
+        dataset: &Dataset,
+        weights: &[f64],
+        allowed_features: Option<&[usize]>,
+        params: &TreeParams,
+        workspace: &mut SplitWorkspace,
+    ) -> Self {
         assert_eq!(weights.len(), dataset.len(), "one weight per sample required");
         assert!(!dataset.is_empty(), "cannot train a tree on an empty dataset");
         let all_features: Vec<usize> = (0..dataset.num_features()).collect();
         let candidate_features: &[usize] = allowed_features.unwrap_or(&all_features);
-        assert!(!candidate_features.is_empty(), "at least one candidate feature required");
+        assert!(
+            !candidate_features.is_empty(),
+            "at least one candidate feature required"
+        );
 
-        let features = dataset.features();
         let labels = dataset.labels();
-        let max_leaves = params.max_leaves.unwrap_or(usize::MAX).max(1);
-
-        let mut builder = TreeBuilder {
-            nodes: Vec::new(),
-            frontier: Vec::new(),
-            features,
-            labels,
-            weights,
-            candidate_features,
-            params,
+        let nodes = match params.strategy {
+            SplitStrategy::ExactNaive => {
+                grow_naive(dataset.features(), labels, weights, candidate_features, params)
+            }
+            SplitStrategy::Exact => {
+                let backend = Backend::Exact(dataset.presort());
+                grow_segmented(backend, labels, weights, candidate_features, params, workspace)
+            }
+            SplitStrategy::Histogram { bins } => {
+                let backend = Backend::Histogram(dataset.binning(bins.clamp(2, u16::MAX as usize)));
+                grow_segmented(backend, labels, weights, candidate_features, params, workspace)
+            }
         };
-
-        let root_indices: Vec<usize> = (0..dataset.len()).collect();
-        builder.push_leaf(root_indices, 0);
-        let mut leaves = 1usize;
-
-        // Best-first growth: repeatedly split the frontier leaf with the
-        // largest impurity decrease until the leaf budget is exhausted or no
-        // splittable leaf remains.
-        while leaves < max_leaves {
-            let Some(best_index) = builder.best_frontier_entry() else { break };
-            let entry = builder.frontier.swap_remove(best_index);
-            builder.apply_split(entry);
-            leaves += 1;
+        DecisionTree {
+            nodes,
+            num_features: dataset.num_features(),
         }
-
-        DecisionTree { nodes: builder.nodes, num_features: dataset.num_features() }
     }
 
     /// Number of features of the training space.
@@ -131,8 +161,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { label, .. } => return *label,
-                Node::Internal { feature, threshold, left, right } => {
-                    node = if instance[*feature] <= *threshold { *left } else { *right };
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if instance[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -171,7 +210,11 @@ impl DecisionTree {
 
     /// Structural statistics of the tree.
     pub fn stats(&self) -> TreeStats {
-        TreeStats { depth: self.depth(), leaves: self.num_leaves(), nodes: self.nodes.len() }
+        TreeStats {
+            depth: self.depth(),
+            leaves: self.num_leaves(),
+            nodes: self.nodes.len(),
+        }
     }
 
     /// Enumerates, for every leaf, the axis-aligned region of the input
@@ -192,9 +235,18 @@ impl DecisionTree {
     fn collect_regions(&self, node: usize, bounds: Vec<(f64, f64)>, out: &mut Vec<LeafRegion>) {
         match &self.nodes[node] {
             Node::Leaf { label, counts } => {
-                out.push(LeafRegion { bounds, label: *label, counts: *counts });
+                out.push(LeafRegion {
+                    bounds,
+                    label: *label,
+                    counts: *counts,
+                });
             }
-            Node::Internal { feature, threshold, left, right } => {
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 // Left branch: x[feature] <= threshold → tighten the upper bound.
                 let mut left_bounds = bounds.clone();
                 if *threshold < left_bounds[*feature].1 {
@@ -220,8 +272,14 @@ impl DecisionTree {
     pub fn from_nodes(nodes: Vec<Node>, num_features: usize) -> Self {
         assert!(!nodes.is_empty(), "a tree needs at least one node");
         for node in &nodes {
-            if let Node::Internal { left, right, feature, .. } = node {
-                assert!(*left < nodes.len() && *right < nodes.len(), "child index out of range");
+            if let Node::Internal {
+                left, right, feature, ..
+            } = node
+            {
+                assert!(
+                    *left < nodes.len() && *right < nodes.len(),
+                    "child index out of range"
+                );
                 assert!(*feature < num_features, "feature index out of range");
             }
         }
@@ -242,7 +300,86 @@ pub struct LeafRegion {
     pub counts: ClassCounts,
 }
 
-/// A frontier leaf awaiting a possible split during best-first growth.
+/// Grows a tree with the naive reference search
+/// ([`SplitStrategy::ExactNaive`]): per-node index vectors, per-node
+/// column gather + sort. Kept as the parity oracle and benchmark baseline
+/// for the segment-based strategies.
+fn grow_naive(
+    features: &DenseMatrix,
+    labels: &[Label],
+    weights: &[f64],
+    candidate_features: &[usize],
+    params: &TreeParams,
+) -> Vec<Node> {
+    let max_leaves = params.max_leaves.unwrap_or(usize::MAX).max(1);
+    let mut builder = NaiveBuilder {
+        nodes: Vec::new(),
+        frontier: Vec::new(),
+        features,
+        labels,
+        weights,
+        candidate_features,
+        params,
+    };
+    let root_indices: Vec<usize> = (0..labels.len()).collect();
+    builder.push_leaf(root_indices, 0);
+    let mut leaves = 1usize;
+    // Best-first growth: repeatedly split the frontier leaf with the
+    // largest impurity decrease until the leaf budget is exhausted or no
+    // splittable leaf remains.
+    while leaves < max_leaves {
+        let Some(best_index) = builder.best_frontier_entry() else {
+            break;
+        };
+        let entry = builder.frontier.swap_remove(best_index);
+        builder.apply_split(entry);
+        leaves += 1;
+    }
+    builder.nodes
+}
+
+/// Grows a tree over per-node segments of presorted columns (exact) or a
+/// membership buffer (histogram); no per-node sorting, no allocations in
+/// steady state.
+fn grow_segmented(
+    backend: Backend,
+    labels: &[Label],
+    weights: &[f64],
+    candidate_features: &[usize],
+    params: &TreeParams,
+    workspace: &mut SplitWorkspace,
+) -> Vec<Node> {
+    let max_leaves = params.max_leaves.unwrap_or(usize::MAX).max(1);
+    let splitter = NodeSplitter::new(
+        backend,
+        labels,
+        weights,
+        candidate_features,
+        params.criterion,
+        params.min_samples_leaf,
+        workspace,
+    );
+    let mut builder = SegmentBuilder {
+        nodes: Vec::new(),
+        frontier: Vec::new(),
+        splitter,
+        params,
+    };
+    builder.push_leaf(0, labels.len(), 0);
+    let mut leaves = 1usize;
+    while leaves < max_leaves {
+        let Some(best_index) = builder.best_frontier_entry() else {
+            break;
+        };
+        let entry = builder.frontier.swap_remove(best_index);
+        builder.apply_split(entry);
+        leaves += 1;
+    }
+    builder.nodes
+}
+
+/// A frontier leaf awaiting a possible split during best-first growth
+/// (naive builder: owns its index list).
 struct FrontierEntry {
     node_slot: usize,
     indices: Vec<usize>,
@@ -250,7 +387,7 @@ struct FrontierEntry {
     split: Option<Split>,
 }
 
-struct TreeBuilder<'a> {
+struct NaiveBuilder<'a> {
     nodes: Vec<Node>,
     frontier: Vec<FrontierEntry>,
     features: &'a DenseMatrix,
@@ -260,7 +397,7 @@ struct TreeBuilder<'a> {
     params: &'a TreeParams,
 }
 
-impl<'a> TreeBuilder<'a> {
+impl<'a> NaiveBuilder<'a> {
     /// Creates a leaf node for `indices`, evaluates its best split, and adds
     /// it to the frontier (if it is allowed to be split later).
     fn push_leaf(&mut self, indices: Vec<usize>, depth: usize) -> usize {
@@ -269,9 +406,12 @@ impl<'a> TreeBuilder<'a> {
             counts.add(self.labels[i], self.weights[i]);
         }
         let slot = self.nodes.len();
-        self.nodes.push(Node::Leaf { label: counts.majority(), counts });
+        self.nodes.push(Node::Leaf {
+            label: counts.majority(),
+            counts,
+        });
 
-        let depth_allows_split = self.params.max_depth.map_or(true, |max| depth < max);
+        let depth_allows_split = self.params.max_depth.is_none_or(|max| depth < max);
         let size_allows_split = indices.len() >= self.params.min_samples_split.max(2);
         if depth_allows_split && size_allows_split {
             let split = best_split(
@@ -284,7 +424,12 @@ impl<'a> TreeBuilder<'a> {
                 self.params.min_samples_leaf,
             );
             if split.is_some() {
-                self.frontier.push(FrontierEntry { node_slot: slot, indices, depth, split });
+                self.frontier.push(FrontierEntry {
+                    node_slot: slot,
+                    indices,
+                    depth,
+                    split,
+                });
             }
         }
         slot
@@ -295,7 +440,7 @@ impl<'a> TreeBuilder<'a> {
         let mut best: Option<(usize, f64)> = None;
         for (index, entry) in self.frontier.iter().enumerate() {
             let gain = entry.split.as_ref().map(|s| s.gain).unwrap_or(f64::NEG_INFINITY);
-            if best.map_or(true, |(_, best_gain)| gain > best_gain) {
+            if best.is_none_or(|(_, best_gain)| gain > best_gain) {
                 best = Some((index, gain));
             }
         }
@@ -322,6 +467,81 @@ impl<'a> TreeBuilder<'a> {
         self.nodes[entry.node_slot] = Node::Internal {
             feature: split.feature,
             threshold: split.threshold,
+            left,
+            right,
+        };
+    }
+}
+
+/// A frontier leaf in the segment-based builder: plain `[lo, hi)` range,
+/// no owned index list. Only splittable leaves enter the frontier.
+struct SegmentEntry {
+    node_slot: usize,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    split: Split,
+}
+
+struct SegmentBuilder<'a> {
+    nodes: Vec<Node>,
+    frontier: Vec<SegmentEntry>,
+    splitter: NodeSplitter<'a>,
+    params: &'a TreeParams,
+}
+
+impl<'a> SegmentBuilder<'a> {
+    /// Creates a leaf node for the segment `[lo, hi)`, evaluates its best
+    /// split, and adds it to the frontier if it can be split later.
+    fn push_leaf(&mut self, lo: usize, hi: usize, depth: usize) -> usize {
+        let counts = self.splitter.counts(lo, hi);
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            label: counts.majority(),
+            counts,
+        });
+
+        let depth_allows_split = self.params.max_depth.is_none_or(|max| depth < max);
+        let size_allows_split = hi - lo >= self.params.min_samples_split.max(2);
+        if depth_allows_split && size_allows_split {
+            if let Some(split) = self.splitter.best_split(lo, hi, &counts) {
+                self.frontier.push(SegmentEntry {
+                    node_slot: slot,
+                    lo,
+                    hi,
+                    depth,
+                    split,
+                });
+            }
+        }
+        slot
+    }
+
+    /// Index of the frontier entry with the highest gain, if any.
+    fn best_frontier_entry(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (index, entry) in self.frontier.iter().enumerate() {
+            if best.is_none_or(|(_, best_gain)| entry.split.gain > best_gain) {
+                best = Some((index, entry.split.gain));
+            }
+        }
+        best.map(|(index, _)| index)
+    }
+
+    /// Turns the frontier leaf into an internal node: partitions the
+    /// segment in place and pushes the two child segments as new leaves.
+    fn apply_split(&mut self, entry: SegmentEntry) {
+        let mid = self.splitter.partition(entry.lo, entry.hi, &entry.split);
+        debug_assert_eq!(
+            mid - entry.lo,
+            entry.split.left_samples,
+            "partition matches split"
+        );
+        let left = self.push_leaf(entry.lo, mid, entry.depth + 1);
+        let right = self.push_leaf(mid, entry.hi, entry.depth + 1);
+        self.nodes[entry.node_slot] = Node::Internal {
+            feature: entry.split.feature,
+            threshold: entry.split.threshold,
             left,
             right,
         };
@@ -378,8 +598,13 @@ mod tests {
 
     #[test]
     fn leaf_limit_is_respected() {
-        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.5).generate(&mut SmallRng::seed_from_u64(1));
-        let params = TreeParams { max_leaves: Some(4), ..TreeParams::default() };
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.5)
+            .generate(&mut SmallRng::seed_from_u64(1));
+        let params = TreeParams {
+            max_leaves: Some(4),
+            ..TreeParams::default()
+        };
         let tree = DecisionTree::fit(&dataset, &params);
         assert!(tree.num_leaves() <= 4);
         let unconstrained = DecisionTree::fit(&dataset, &TreeParams::default());
@@ -470,9 +695,20 @@ mod tests {
     fn from_nodes_builds_a_manual_tree() {
         // x[0] <= 0.5 ? Negative : Positive
         let nodes = vec![
-            Node::Internal { feature: 0, threshold: 0.5, left: 1, right: 2 },
-            Node::Leaf { label: Label::Negative, counts: ClassCounts::new() },
-            Node::Leaf { label: Label::Positive, counts: ClassCounts::new() },
+            Node::Internal {
+                feature: 0,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            Node::Leaf {
+                label: Label::Negative,
+                counts: ClassCounts::new(),
+            },
+            Node::Leaf {
+                label: Label::Positive,
+                counts: ClassCounts::new(),
+            },
         ];
         let tree = DecisionTree::from_nodes(nodes, 1);
         assert_eq!(tree.predict(&[0.3]), Label::Negative);
@@ -483,7 +719,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "child index out of range")]
     fn from_nodes_validates_children() {
-        let nodes = vec![Node::Internal { feature: 0, threshold: 0.5, left: 5, right: 6 }];
+        let nodes = vec![Node::Internal {
+            feature: 0,
+            threshold: 0.5,
+            left: 5,
+            right: 6,
+        }];
         DecisionTree::from_nodes(nodes, 1);
     }
 

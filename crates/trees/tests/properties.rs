@@ -7,8 +7,10 @@ use wdte_data::{Dataset, DenseMatrix, Label, SyntheticSpec};
 use wdte_trees::{DecisionTree, ForestParams, RandomForest, TreeParams};
 
 fn dataset_from(rows: Vec<Vec<f64>>, label_bits: Vec<bool>) -> Dataset {
-    let labels: Vec<Label> =
-        label_bits.iter().map(|&b| if b { Label::Positive } else { Label::Negative }).collect();
+    let labels: Vec<Label> = label_bits
+        .iter()
+        .map(|&b| if b { Label::Positive } else { Label::Negative })
+        .collect();
     Dataset::new("prop", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
 }
 

@@ -15,8 +15,14 @@ fn main() {
     let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
     let (train, _test) = dataset.split_stratified(0.8, &mut rng);
     let signature = Signature::random(18, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees: 18, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
-    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).expect("embedding succeeds");
+    let config = WatermarkConfig {
+        num_trees: 18,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding succeeds");
 
     println!("true signature: {signature}");
     println!();

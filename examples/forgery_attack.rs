@@ -18,8 +18,14 @@ fn main() {
     let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
     let (train, test) = dataset.split_stratified(0.8, &mut rng);
     let signature = Signature::random(14, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees: 14, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
-    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).expect("embedding succeeds");
+    let config = WatermarkConfig {
+        num_trees: 14,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding succeeds");
     println!(
         "victim model: {} trees, {} total leaves, legitimate trigger set of {} instances",
         outcome.model.num_trees(),
@@ -32,7 +38,10 @@ fn main() {
     let leaf_index = LeafIndex::new(&outcome.model);
     println!("attacker's fake signature: {fake_signature}");
     println!();
-    println!("{:>8} {:>12} {:>16} {:>18}", "epsilon", "attempts", "forged", "mean distortion");
+    println!(
+        "{:>8} {:>12} {:>16} {:>18}",
+        "epsilon", "attempts", "forged", "mean distortion"
+    );
     for epsilon in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let attack_config = ForgeryAttackConfig {
             num_fake_signatures: 1,
@@ -41,7 +50,13 @@ fn main() {
             solver: SolverConfig::fast(),
             max_instances: Some(60),
         };
-        let result = forge_trigger_set(&outcome.model, &leaf_index, &test, &fake_signature, &attack_config);
+        let result = forge_trigger_set(
+            &outcome.model,
+            &leaf_index,
+            &test,
+            &fake_signature,
+            &attack_config,
+        );
         let mean_distortion = if result.forged.is_empty() {
             0.0
         } else {

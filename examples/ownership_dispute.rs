@@ -21,12 +21,19 @@ fn main() {
 
     // Alice derives her signature from her identity and embeds it.
     let alice_signature = Signature::from_identity("alice@modelcorp.example", 20);
-    let config = WatermarkConfig { num_trees: 20, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 20,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
     let watermarker = Watermarker::new(config);
     let outcome = watermarker
         .embed(&train, &alice_signature, &mut rng)
         .expect("embedding succeeds");
-    println!("Alice deploys a watermarked model ({} trees).", outcome.model.num_trees());
+    println!(
+        "Alice deploys a watermarked model ({} trees).",
+        outcome.model.num_trees()
+    );
     println!("  test accuracy: {:.4}", outcome.model.accuracy(&test));
 
     // Bob steals the model and serves it behind an API: the judge only gets

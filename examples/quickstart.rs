@@ -22,7 +22,11 @@ fn main() {
 
     // 3. Embed the watermark (Algorithm 1) and train a standard baseline
     //    with the same pipeline for comparison.
-    let config = WatermarkConfig { num_trees: 16, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 16,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
     let watermarker = Watermarker::new(config);
     let outcome = watermarker.embed(&train, &signature, &mut rng).expect("embedding succeeds");
     let baseline = watermarker.train_baseline(&train, &mut rng);

@@ -13,8 +13,14 @@ fn pipeline(seed: u64, num_trees: usize) -> (wdte_data::Dataset, wdte_data::Data
     let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
     let (train, test) = dataset.split_stratified(0.8, &mut rng);
     let signature = Signature::random(num_trees, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
-    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).expect("embedding succeeds");
+    let config = WatermarkConfig {
+        num_trees,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding succeeds");
     (train, test, outcome)
 }
 
@@ -23,17 +29,29 @@ fn embed_verify_and_attack_pipeline() {
     let (train, test, outcome) = pipeline(1001, 14);
 
     // The watermark property holds structurally…
-    assert!(watermark_holds(&outcome.model, &outcome.signature, &outcome.trigger_set));
+    assert!(watermark_holds(
+        &outcome.model,
+        &outcome.signature,
+        &outcome.trigger_set
+    ));
 
     // …and through the black-box verification protocol.
-    let claim = OwnershipClaim::new(outcome.signature.clone(), outcome.trigger_set.clone(), test.clone());
+    let claim = OwnershipClaim::new(
+        outcome.signature.clone(),
+        outcome.trigger_set.clone(),
+        test.clone(),
+    );
     let report = verify_ownership(&outcome.model, &claim);
     assert!(report.verified);
     assert_eq!(report.bit_agreement, 1.0);
 
     // Accuracy stays in the same regime as an unwatermarked model.
     let mut rng = SmallRng::seed_from_u64(55);
-    let config = WatermarkConfig { num_trees: 14, trigger_fraction: 0.02, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 14,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
     let baseline = Watermarker::new(config).train_baseline(&train, &mut rng);
     let baseline_accuracy = baseline.accuracy(&test);
     let watermarked_accuracy = outcome.model.accuracy(&test);
@@ -115,7 +133,10 @@ fn facade_prelude_exposes_the_full_pipeline() {
     let dataset = SyntheticSpec::breast_cancer_like().scaled(0.4).generate(&mut rng);
     let (train, test) = dataset.split_stratified(0.75, &mut rng);
     let signature = Signature::random(8, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees: 8, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 8,
+        ..WatermarkConfig::fast()
+    };
     let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
     let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
     assert!(verify_ownership(&outcome.model, &claim).verified);

@@ -14,7 +14,10 @@ fn watermarked_model_round_trips_through_json() {
     let dataset = SyntheticSpec::breast_cancer_like().scaled(0.5).generate(&mut rng);
     let (train, test) = dataset.split_stratified(0.8, &mut rng);
     let signature = Signature::random(10, 0.5, &mut rng);
-    let config = WatermarkConfig { num_trees: 10, ..WatermarkConfig::fast() };
+    let config = WatermarkConfig {
+        num_trees: 10,
+        ..WatermarkConfig::fast()
+    };
     let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
 
     let json = serde_json::to_string(&outcome.model).expect("model serializes");
