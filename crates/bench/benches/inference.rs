@@ -1,0 +1,89 @@
+//! Benchmarks of batch inference: the recursive pointer-tree walk versus
+//! the compiled structure-of-arrays path, plus end-to-end verification
+//! throughput over both. The committed baseline lives in
+//! `BENCH_inference.json` at the repository root.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_bench::{serving_image, small_tabular};
+use wdte_core::{
+    verify_ownership, ModelOracle, OwnershipClaim, Signature, WatermarkConfig, Watermarker,
+};
+use wdte_data::Label;
+use wdte_trees::{CompiledForest, ForestParams, RandomForest};
+
+/// Oracle that walks the pointer trees one instance at a time — the
+/// pre-compilation behaviour, kept as the verification baseline.
+struct RecursiveOracle<'a>(&'a RandomForest);
+
+impl ModelOracle for RecursiveOracle<'_> {
+    fn num_trees(&self) -> usize {
+        self.0.num_trees()
+    }
+
+    fn query(&self, instance: &[f64]) -> Vec<Label> {
+        self.0.predict_all(instance)
+    }
+}
+
+fn bench_batch_prediction(c: &mut Criterion) {
+    let image = serving_image();
+    let tabular = small_tabular();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let image_forest = RandomForest::fit(&image, &ForestParams::with_trees(16), &mut rng);
+    let tabular_forest = RandomForest::fit(&tabular, &ForestParams::with_trees(16), &mut rng);
+    let image_compiled = CompiledForest::compile(&image_forest);
+    let tabular_compiled = CompiledForest::compile(&tabular_forest);
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    group.bench_function("image_784_recursive_batch", |b| {
+        b.iter(|| image_forest.predict_dataset(&image))
+    });
+    group.bench_function("image_784_compiled_batch", |b| {
+        b.iter(|| image_compiled.predict_batch(image.features()))
+    });
+    group.bench_function("image_784_compile", |b| {
+        b.iter(|| CompiledForest::compile(&image_forest))
+    });
+    group.bench_function("tabular_recursive_batch", |b| {
+        b.iter(|| tabular_forest.predict_dataset(&tabular))
+    });
+    group.bench_function("tabular_compiled_batch", |b| {
+        b.iter(|| tabular_compiled.predict_batch(tabular.features()))
+    });
+    group.bench_function("tabular_compiled_predict_all_batch", |b| {
+        b.iter(|| tabular_compiled.predict_all_batch(tabular.features()))
+    });
+    group.finish();
+}
+
+fn bench_verification_throughput(c: &mut Criterion) {
+    let dataset = small_tabular();
+    let mut rng = SmallRng::seed_from_u64(18);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::random(12, 0.5, &mut rng);
+    let config = WatermarkConfig {
+        num_trees: 12,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config).embed(&train, &signature, &mut rng).unwrap();
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
+    let compiled = CompiledForest::compile(&outcome.model);
+
+    let mut group = c.benchmark_group("verification_throughput");
+    group.sample_size(20);
+    group.bench_function("verify_recursive_per_instance", |b| {
+        b.iter(|| verify_ownership(&RecursiveOracle(&outcome.model), &claim))
+    });
+    group.bench_function("verify_compiled_batch", |b| {
+        b.iter(|| verify_ownership(&compiled, &claim))
+    });
+    group.bench_function("verify_forest_autocompiled", |b| {
+        b.iter(|| verify_ownership(&outcome.model, &claim))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_prediction, bench_verification_throughput);
+criterion_main!(benches);

@@ -26,6 +26,16 @@ pub fn small_image() -> Dataset {
     SyntheticSpec::mnist2_6_like().scaled(0.03).generate(&mut bench_rng())
 }
 
+/// A deployment-scale image-784 fixture: ~1.4k instances with enough label
+/// noise that trees grow to realistic MNIST2-6 depths (≈16–24, hundreds of
+/// leaves). The default `mnist2_6_like` spec is almost noise-free, so its
+/// trees are depth-3 stumps — far from what a served model looks like.
+pub fn serving_image() -> Dataset {
+    let mut spec = SyntheticSpec::mnist2_6_like();
+    spec.label_noise = 0.05;
+    spec.scaled(0.1).generate(&mut bench_rng())
+}
+
 /// A reduced clustered, imbalanced dataset.
 pub fn small_clustered() -> Dataset {
     SyntheticSpec::ijcnn1_like().scaled(0.05).generate(&mut bench_rng())

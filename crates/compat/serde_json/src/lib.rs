@@ -68,13 +68,19 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
 pub fn parse_value_str(text: &str) -> Result<Value, Error> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_whitespace(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(Error::new(format!("trailing characters at byte {pos}")));
     }
     Ok(value)
 }
+
+/// Maximum container nesting accepted by the parser. Inputs nesting deeper
+/// are rejected with an error instead of recursing until the stack
+/// overflows (real serde_json enforces the same guard as
+/// `recursion_limit`, default 128).
+const MAX_DEPTH: usize = 128;
 
 // ---------------------------------------------------------------------------
 // Writer
@@ -182,7 +188,10 @@ fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::new(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
     skip_whitespace(bytes, pos);
     match bytes.get(*pos) {
         None => Err(Error::new("unexpected end of input")),
@@ -199,7 +208,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 return Ok(Value::Seq(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_whitespace(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -227,7 +236,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                     return Err(Error::new(format!("expected `:` at byte {pos}")));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 entries.push((key, value));
                 skip_whitespace(bytes, pos);
                 match bytes.get(*pos) {
@@ -423,5 +432,18 @@ mod tests {
         assert!(from_str::<bool>("tru").is_err());
         assert!(from_str::<Vec<u32>>("[1, 2").is_err());
         assert!(from_str::<u32>("12 garbage").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_instead_of_overflowing_the_stack() {
+        let hostile = "[".repeat(100_000);
+        assert!(parse_value_str(&hostile).is_err());
+        let mut balanced = "[".repeat(MAX_DEPTH + 10);
+        balanced.push_str(&"]".repeat(MAX_DEPTH + 10));
+        assert!(parse_value_str(&balanced).is_err());
+        // Nesting inside the limit still parses.
+        let mut fine = "[".repeat(MAX_DEPTH / 2);
+        fine.push_str(&"]".repeat(MAX_DEPTH / 2));
+        assert!(parse_value_str(&fine).is_ok());
     }
 }

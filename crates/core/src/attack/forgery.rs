@@ -15,7 +15,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wdte_data::{linf_distance, Dataset, DenseMatrix, Label};
 use wdte_solver::{ForgeryQuery, ForgerySolver, LeafIndex, SolverConfig};
-use wdte_trees::RandomForest;
+use wdte_trees::{CompiledForest, RandomForest};
 
 /// Configuration of the forgery attack.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,6 +96,11 @@ impl ForgeryAttackResult {
 }
 
 /// Runs the forgery attack for a single fake signature over the test set.
+///
+/// Candidates returned by the constraint solver are re-scored against the
+/// model through the compiled inference path before being accepted: a
+/// forged instance only counts if the flattened ensemble actually produces
+/// the full per-tree pattern the fake signature requires.
 pub fn forge_trigger_set(
     model: &RandomForest,
     leaf_index: &LeafIndex,
@@ -103,9 +108,28 @@ pub fn forge_trigger_set(
     fake_signature: &Signature,
     config: &ForgeryAttackConfig,
 ) -> ForgeryAttackResult {
+    forge_trigger_set_compiled(
+        &CompiledForest::compile(model),
+        leaf_index,
+        test_set,
+        fake_signature,
+        config,
+    )
+}
+
+/// Like [`forge_trigger_set`], but takes an already-compiled model so
+/// callers attacking the same model with many fake signatures (the
+/// paper's sweeps) compile it once.
+pub fn forge_trigger_set_compiled(
+    compiled: &CompiledForest,
+    leaf_index: &LeafIndex,
+    test_set: &Dataset,
+    fake_signature: &Signature,
+    config: &ForgeryAttackConfig,
+) -> ForgeryAttackResult {
     assert_eq!(
         fake_signature.len(),
-        model.num_trees(),
+        compiled.num_trees(),
         "fake signature must have one bit per tree"
     );
     let limit = config.max_instances.unwrap_or(test_set.len()).min(test_set.len());
@@ -143,16 +167,41 @@ pub fn forge_trigger_set(
         })
         .collect();
 
-    let mut forged = Vec::new();
+    let mut candidates = Vec::new();
     let mut budget_exhausted = 0usize;
     for (_, maybe_forged, exhausted) in outcomes {
         if let Some(f) = maybe_forged {
-            forged.push(f);
+            candidates.push(f);
         }
         if exhausted {
             budget_exhausted += 1;
         }
     }
+
+    // Re-score every candidate against the model itself in one compiled
+    // batch: a forged instance only counts if the flattened ensemble
+    // produces the full per-tree pattern the fake signature requires (the
+    // solver's leaf-box geometry could in principle disagree, and a claim
+    // built on such an instance would be rejected by the judge).
+    let forged = if candidates.is_empty() {
+        candidates
+    } else {
+        let rows: Vec<Vec<f64>> = candidates.iter().map(|f| f.instance.clone()).collect();
+        let matrix = DenseMatrix::from_rows(&rows).expect("forged instances share dimensionality");
+        let batch = compiled.predict_all_batch(&matrix);
+        let required_for = |label: Label| -> Vec<Label> {
+            (0..fake_signature.len())
+                .map(|tree| fake_signature.required_prediction(tree, label))
+                .collect()
+        };
+        let required = [required_for(Label::Negative), required_for(Label::Positive)];
+        candidates
+            .into_iter()
+            .enumerate()
+            .filter(|(index, f)| batch.sample(*index) == required[f.label.index()].as_slice())
+            .map(|(_, f)| f)
+            .collect()
+    };
     ForgeryAttackResult {
         fake_signature: fake_signature.clone(),
         epsilon: config.epsilon,
@@ -171,10 +220,12 @@ pub fn run_forgery_attack<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<ForgeryAttackResult> {
     let leaf_index = LeafIndex::new(model);
+    // One compile shared by every fake signature's scoring pass.
+    let compiled = CompiledForest::compile(model);
     (0..config.num_fake_signatures)
         .map(|_| {
             let fake = Signature::random(model.num_trees(), config.ones_fraction, rng);
-            forge_trigger_set(model, &leaf_index, test_set, &fake, config)
+            forge_trigger_set_compiled(&compiled, &leaf_index, test_set, &fake, config)
         })
         .collect()
 }

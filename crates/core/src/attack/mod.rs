@@ -7,10 +7,10 @@ pub mod suppression;
 
 pub use detection::{
     detect_signature, evaluate_detection, structural_values, DetectionFeature, DetectionGuess,
-    DetectionReport, DetectionStrategy,
+    DetectionReport, DetectionStrategy, StructureOracle,
 };
 pub use forgery::{
-    forge_trigger_set, mean_forged_size, run_forgery_attack, ForgedInstance, ForgeryAttackConfig,
-    ForgeryAttackResult,
+    forge_trigger_set, forge_trigger_set_compiled, mean_forged_size, run_forgery_attack, ForgedInstance,
+    ForgeryAttackConfig, ForgeryAttackResult,
 };
 pub use suppression::{evaluate_suppression, suppression_score, SuppressionReport, SuppressionScore};

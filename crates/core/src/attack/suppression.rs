@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use wdte_data::{roc_auc, Dataset, Label};
-use wdte_trees::RandomForest;
+use wdte_trees::{CompiledForest, RandomForest};
 
 /// How the distinguisher scores a query instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,7 +44,11 @@ pub struct SuppressionReport {
 
 /// Scores one instance under the chosen distinguisher.
 pub fn suppression_score(model: &RandomForest, instance: &[f64], score: SuppressionScore) -> f64 {
-    let positive_fraction = model.positive_vote_fraction(instance);
+    score_from_fraction(model.positive_vote_fraction(instance), score)
+}
+
+/// Maps a positive-vote fraction to the distinguisher score.
+fn score_from_fraction(positive_fraction: f64, score: SuppressionScore) -> f64 {
     match score {
         SuppressionScore::VoteDisagreement => {
             // Fraction of trees voting against the majority.
@@ -55,20 +59,24 @@ pub fn suppression_score(model: &RandomForest, instance: &[f64], score: Suppress
 }
 
 /// Runs the suppression analysis: scores all trigger and test instances and
-/// computes the distinguisher's AUC.
+/// computes the distinguisher's AUC. The model is compiled once and both
+/// query sets are scored through the block-wise batch inference path.
 pub fn evaluate_suppression(
     model: &RandomForest,
     trigger_set: &Dataset,
     test_set: &Dataset,
     score: SuppressionScore,
 ) -> SuppressionReport {
-    let trigger_scores: Vec<f64> = trigger_set
-        .iter()
-        .map(|(instance, _)| suppression_score(model, instance, score))
+    let compiled = CompiledForest::compile(model);
+    let trigger_scores: Vec<f64> = compiled
+        .positive_vote_fractions(trigger_set.features())
+        .into_iter()
+        .map(|fraction| score_from_fraction(fraction, score))
         .collect();
-    let test_scores: Vec<f64> = test_set
-        .iter()
-        .map(|(instance, _)| suppression_score(model, instance, score))
+    let test_scores: Vec<f64> = compiled
+        .positive_vote_fractions(test_set.features())
+        .into_iter()
+        .map(|fraction| score_from_fraction(fraction, score))
         .collect();
     let labels: Vec<Label> = std::iter::repeat_n(Label::Positive, trigger_scores.len())
         .chain(std::iter::repeat_n(Label::Negative, test_scores.len()))
@@ -105,6 +113,26 @@ mod tests {
             for score in [SuppressionScore::VoteDisagreement, SuppressionScore::VoteMargin] {
                 let value = suppression_score(&forest, instance, score);
                 assert!((0.0..=0.5 + 1e-12).contains(&value), "score {value} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scores_match_the_per_instance_scores() {
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(67));
+        let mut rng = SmallRng::seed_from_u64(68);
+        let (trigger, test) = dataset.split_stratified(0.2, &mut rng);
+        let forest =
+            wdte_trees::RandomForest::fit(&test, &wdte_trees::ForestParams::with_trees(7), &mut rng);
+        for score in [SuppressionScore::VoteDisagreement, SuppressionScore::VoteMargin] {
+            let report = evaluate_suppression(&forest, &trigger, &test, score);
+            for (batch_score, (instance, _)) in report.trigger_scores.iter().zip(trigger.iter()) {
+                assert!((batch_score - suppression_score(&forest, instance, score)).abs() < 1e-15);
+            }
+            for (batch_score, (instance, _)) in report.test_scores.iter().zip(test.iter()) {
+                assert!((batch_score - suppression_score(&forest, instance, score)).abs() < 1e-15);
             }
         }
     }

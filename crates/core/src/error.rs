@@ -34,6 +34,33 @@ pub enum WatermarkError {
     /// A degenerate signature (all zeros or all ones) was rejected by a
     /// caller that requires both sub-ensembles to be non-empty.
     DegenerateSignature,
+    /// Reading or writing a persisted artefact failed at the I/O layer.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// Operating-system error message.
+        message: String,
+    },
+    /// The file does not look like a WDTE artefact (wrong magic bytes /
+    /// unknown container format).
+    UnrecognizedFormat {
+        /// What was found instead.
+        detail: String,
+    },
+    /// The artefact was written by a different (usually newer) format
+    /// version than this build supports.
+    UnsupportedFormatVersion {
+        /// Version recorded in the file header.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// The artefact header is valid but the payload is truncated,
+    /// malformed, or fails structural validation.
+    CorruptedArtifact {
+        /// What went wrong while decoding.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WatermarkError {
@@ -54,6 +81,19 @@ impl fmt::Display for WatermarkError {
             ),
             WatermarkError::DegenerateSignature => {
                 write!(f, "signature must contain at least one 0 bit and at least one 1 bit")
+            }
+            WatermarkError::Io { path, message } => {
+                write!(f, "I/O error on `{path}`: {message}")
+            }
+            WatermarkError::UnrecognizedFormat { detail } => {
+                write!(f, "not a WDTE artefact: {detail}")
+            }
+            WatermarkError::UnsupportedFormatVersion { found, supported } => write!(
+                f,
+                "artefact uses format version {found} but this build supports version {supported}"
+            ),
+            WatermarkError::CorruptedArtifact { detail } => {
+                write!(f, "corrupted artefact: {detail}")
             }
         }
     }

@@ -13,9 +13,13 @@
 //!   search, the `Adjust(H)` heuristic, the `TrainWithTrigger` weighting
 //!   loop and the interleaving of the `T0`/`T1` sub-ensembles.
 //! * [`OwnershipClaim`] / [`verify_ownership`] — the black-box verification
-//!   protocol between owner, suspect and judge.
+//!   protocol between owner, suspect and judge, batched through the
+//!   compiled inference path of `wdte-trees`.
 //! * [`attack`] — the detection, suppression and forgery attacks evaluated
 //!   in Section 4.2 of the paper.
+//! * [`persist`] — the versioned on-disk format (JSON and little-endian
+//!   binary) for models, signatures, trigger sets and claims, so disputes
+//!   can be resolved from files alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,17 +27,20 @@
 pub mod attack;
 pub mod config;
 pub mod error;
+pub mod persist;
 pub mod signature;
 pub mod verify;
 pub mod watermark;
 
 pub use attack::{
-    detect_signature, evaluate_detection, evaluate_suppression, forge_trigger_set, run_forgery_attack,
-    DetectionFeature, DetectionReport, DetectionStrategy, ForgedInstance, ForgeryAttackConfig,
-    ForgeryAttackResult, SuppressionReport, SuppressionScore,
+    detect_signature, evaluate_detection, evaluate_suppression, forge_trigger_set,
+    forge_trigger_set_compiled, run_forgery_attack, DetectionFeature, DetectionReport,
+    DetectionStrategy, ForgedInstance, ForgeryAttackConfig, ForgeryAttackResult, StructureOracle,
+    SuppressionReport, SuppressionScore,
 };
 pub use config::{WatermarkConfig, WeightSchedule};
 pub use error::{WatermarkError, WatermarkResult};
+pub use persist::{Format, FORMAT_VERSION};
 pub use signature::Signature;
 pub use verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
 pub use watermark::{
@@ -50,6 +57,7 @@ pub mod prelude {
     };
     pub use crate::config::{WatermarkConfig, WeightSchedule};
     pub use crate::error::{WatermarkError, WatermarkResult};
+    pub use crate::persist::{self, Format};
     pub use crate::signature::Signature;
     pub use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
     pub use crate::watermark::{watermark_holds, WatermarkOutcome, Watermarker};

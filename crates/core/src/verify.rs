@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use wdte_data::{Dataset, Label};
-use wdte_trees::RandomForest;
+use wdte_trees::{CompiledForest, RandomForest};
 
 /// Black-box access to a suspected model: per-tree predictions only, no
 /// visibility of the model parameters. The paper assumes the ensemble
@@ -23,6 +23,16 @@ pub trait ModelOracle {
     fn num_trees(&self) -> usize;
     /// Per-tree predictions for one instance, in tree order.
     fn query(&self, instance: &[f64]) -> Vec<Label>;
+    /// Per-tree predictions for every instance of a batch, in batch order.
+    ///
+    /// The protocol queries the whole verification batch at once, so this
+    /// is the verification hot path; implementations backed by an
+    /// in-process model override it with
+    /// [`CompiledForest::predict_all_batch`]. The default answers one
+    /// instance at a time, which is the right model for a remote oracle.
+    fn query_batch(&self, batch: &Dataset) -> Vec<Vec<Label>> {
+        batch.iter().map(|(instance, _)| self.query(instance)).collect()
+    }
 }
 
 impl ModelOracle for RandomForest {
@@ -32,6 +42,28 @@ impl ModelOracle for RandomForest {
 
     fn query(&self, instance: &[f64]) -> Vec<Label> {
         self.predict_all(instance)
+    }
+
+    /// Batched queries compile the forest once and answer the whole batch
+    /// through the flattened representation; compilation is linear in the
+    /// model size and amortized over every sample of the batch.
+    fn query_batch(&self, batch: &Dataset) -> Vec<Vec<Label>> {
+        CompiledForest::compile(self).query_batch(batch)
+    }
+}
+
+impl ModelOracle for CompiledForest {
+    fn num_trees(&self) -> usize {
+        CompiledForest::num_trees(self)
+    }
+
+    fn query(&self, instance: &[f64]) -> Vec<Label> {
+        self.predict_all(instance)
+    }
+
+    fn query_batch(&self, batch: &Dataset) -> Vec<Vec<Label>> {
+        let predictions = self.predict_all_batch(batch.features());
+        predictions.iter().map(<[Label]>::to_vec).collect()
     }
 }
 
@@ -95,9 +127,14 @@ pub struct VerificationReport {
 /// Verifies an ownership claim against a black-box model.
 ///
 /// The whole verification batch (trigger instances disguised among test
-/// instances) is queried; only the responses of trigger instances are used
-/// for the decision.
-pub fn verify_ownership<O: ModelOracle>(model: &O, claim: &OwnershipClaim) -> VerificationReport {
+/// instances) is submitted in one [`ModelOracle::query_batch`] call; for
+/// in-process models this runs through the compiled block-wise inference
+/// path. Only the responses of trigger instances are used for the
+/// decision.
+pub fn verify_ownership<O: ModelOracle + ?Sized>(
+    model: &O,
+    claim: &OwnershipClaim,
+) -> VerificationReport {
     // Deterministic disguise order: verification must not depend on an
     // external RNG, so the batch is shuffled with a fixed seed derived from
     // the claim size. Any order works; the disguise only matters for the
@@ -111,8 +148,8 @@ pub fn verify_ownership<O: ModelOracle>(model: &O, claim: &OwnershipClaim) -> Ve
     let mut instance_matches = vec![false; claim.trigger_set.len()];
     let mut matching_bits = 0usize;
     let mut total_bits = 0usize;
-    for (position, (instance, _)) in batch.iter().enumerate() {
-        let responses = model.query(instance);
+    let batch_responses = model.query_batch(&batch);
+    for (position, responses) in batch_responses.iter().enumerate() {
         let Some(trigger_index) = origin[position] else {
             continue;
         };
@@ -219,6 +256,46 @@ mod tests {
         let claim = OwnershipClaim::new(outcome.signature.clone(), other_trigger, test);
         let report = verify_ownership(&outcome.model, &claim);
         assert!(!report.verified);
+    }
+
+    #[test]
+    fn compiled_oracle_verifies_like_the_pointer_model() {
+        let (_, test, outcome, _) = embed();
+        let claim = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        let compiled = wdte_trees::CompiledForest::compile(&outcome.model);
+        let from_compiled = verify_ownership(&compiled, &claim);
+        let from_pointer = verify_ownership(&outcome.model, &claim);
+        assert_eq!(from_compiled, from_pointer);
+        assert!(from_compiled.verified);
+    }
+
+    #[test]
+    fn default_per_instance_oracle_matches_the_batched_path() {
+        /// Oracle that only answers one query at a time (a remote API), so
+        /// verification exercises the default `query_batch` loop.
+        struct PerInstance<'a>(&'a wdte_trees::RandomForest);
+        impl ModelOracle for PerInstance<'_> {
+            fn num_trees(&self) -> usize {
+                self.0.num_trees()
+            }
+            fn query(&self, instance: &[f64]) -> Vec<Label> {
+                self.0.predict_all(instance)
+            }
+        }
+
+        let (_, test, outcome, _) = embed();
+        let claim = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        let batched = verify_ownership(&outcome.model, &claim);
+        let sequential = verify_ownership(&PerInstance(&outcome.model), &claim);
+        assert_eq!(batched, sequential);
     }
 
     #[test]

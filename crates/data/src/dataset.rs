@@ -61,12 +61,14 @@ impl Serialize for Dataset {
 impl Deserialize for Dataset {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         let entries = value.as_map().ok_or_else(|| DeError::expected("map", "Dataset"))?;
-        Ok(Dataset {
-            name: String::from_value(serde::map_get(entries, "name")?)?,
-            features: DenseMatrix::from_value(serde::map_get(entries, "features")?)?,
-            labels: Vec::from_value(serde::map_get(entries, "labels")?)?,
-            cache: Arc::default(),
-        })
+        let name = String::from_value(serde::map_get(entries, "name")?)?;
+        let features = DenseMatrix::from_value(serde::map_get(entries, "features")?)?;
+        let labels: Vec<Label> = Vec::from_value(serde::map_get(entries, "labels")?)?;
+        // Re-validate through the checked constructor so a corrupted
+        // serialized dataset (label count disagreeing with the feature
+        // rows) is rejected instead of panicking during verification.
+        Dataset::new(name, features, labels)
+            .map_err(|err| DeError::new(format!("invalid Dataset: {err}")))
     }
 }
 

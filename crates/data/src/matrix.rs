@@ -5,7 +5,7 @@
 //! `[0, 1]`.
 
 use crate::error::{DataError, DataResult};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Dense, row-major matrix of `f64` features.
 ///
@@ -19,11 +19,31 @@ use serde::{Deserialize, Serialize};
 /// `NaN` in the tested feature deterministically fall into the right
 /// child (`x <= t` is `false` for `NaN`). Callers that want to reject
 /// `NaN` outright can check [`DenseMatrix::has_non_finite`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     values: Vec<f64>,
+}
+
+/// Deserialization re-validates the shape invariant through
+/// [`DenseMatrix::from_vec`], so a corrupted serialized matrix (bit-flipped
+/// dimensions, truncated value buffer) is rejected instead of panicking on
+/// a later row access.
+impl Deserialize for DenseMatrix {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "DenseMatrix"))?;
+        let rows = usize::from_value(serde::map_get(entries, "rows")?)?;
+        let cols = usize::from_value(serde::map_get(entries, "cols")?)?;
+        let values: Vec<f64> = Vec::from_value(serde::map_get(entries, "values")?)?;
+        if rows.checked_mul(cols).is_none_or(|expected| expected != values.len()) {
+            return Err(DeError::new(format!(
+                "invalid DenseMatrix: {rows}x{cols} dimensions but {} values",
+                values.len()
+            )));
+        }
+        Ok(DenseMatrix { rows, cols, values })
+    }
 }
 
 impl DenseMatrix {

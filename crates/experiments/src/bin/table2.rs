@@ -1,7 +1,9 @@
 //! Regenerates Table 2: watermark detection attacks (mean±std bands and
 //! sharp mean threshold) on per-tree depth and leaf counts.
 use wdte_experiments::report::{print_header, save_json};
-use wdte_experiments::security::{prepare_security_setup, print_table2, table2_rows};
+use wdte_experiments::security::{
+    prepare_security_setup, print_table2, save_model_artifacts, table2_rows,
+};
 use wdte_experiments::{ExperimentSettings, PaperDataset};
 
 fn main() {
@@ -10,6 +12,9 @@ fn main() {
     let mut rows = Vec::new();
     for dataset in PaperDataset::ALL {
         let setup = prepare_security_setup(&settings, dataset);
+        // The trained, watermarked models are expensive; persist them so
+        // dispute tooling can reload them instead of retraining.
+        save_model_artifacts(&setup);
         rows.extend(table2_rows(&setup));
     }
     print_table2(&rows);

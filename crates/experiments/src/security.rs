@@ -7,12 +7,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use wdte_core::{
-    evaluate_detection, evaluate_suppression, forge_trigger_set, DetectionFeature, DetectionStrategy,
-    ForgeryAttackConfig, Signature, SuppressionScore, WatermarkOutcome, Watermarker,
+    evaluate_detection, evaluate_suppression, forge_trigger_set, forge_trigger_set_compiled, persist,
+    DetectionFeature, DetectionStrategy, ForgeryAttackConfig, OwnershipClaim, Signature,
+    SuppressionScore, WatermarkOutcome, Watermarker,
 };
 use wdte_data::Dataset;
 use wdte_solver::LeafIndex;
-use wdte_trees::RandomForest;
+use wdte_trees::{CompiledForest, RandomForest};
 
 /// A watermarked model plus everything needed to attack it.
 pub struct SecuritySetup {
@@ -48,6 +49,41 @@ pub fn prepare_security_setup(settings: &ExperimentSettings, dataset: PaperDatas
         outcome,
         baseline,
     }
+}
+
+/// Persists the reusable artefacts of a security setup under
+/// `results/models/`: the watermarked model (compact binary), its compiled
+/// inference form (auditable JSON) and the owner's full ownership claim.
+/// Later dispute runs — or the `dispute_from_files` example — can then
+/// verify and attack the model without retraining it. Failures are
+/// reported on stderr but never abort the experiment.
+pub fn save_model_artifacts(setup: &SecuritySetup) {
+    let dir = crate::report::results_dir().join("models");
+    let claim = OwnershipClaim::new(
+        setup.outcome.signature.clone(),
+        setup.outcome.trigger_set.clone(),
+        setup.test.clone(),
+    );
+    let compiled = CompiledForest::compile(&setup.outcome.model);
+    let report = |path: &std::path::Path, result: wdte_core::WatermarkResult<()>| match result {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(err) => eprintln!("warning: could not save {}: {err}", path.display()),
+    };
+    let model_path = dir.join(format!("{}.model.wdte", setup.dataset.name()));
+    let compiled_path = dir.join(format!("{}.compiled.json", setup.dataset.name()));
+    let claim_path = dir.join(format!("{}.claim.wdte", setup.dataset.name()));
+    report(
+        &model_path,
+        persist::save(&model_path, &setup.outcome.model, persist::Format::Binary),
+    );
+    report(
+        &compiled_path,
+        persist::save(&compiled_path, &compiled, persist::Format::Json),
+    );
+    report(
+        &claim_path,
+        persist::save(&claim_path, &claim, persist::Format::Binary),
+    );
 }
 
 /// One row of Table 2 (a dataset × hyper-parameter × strategy cell).
@@ -154,6 +190,8 @@ pub fn figure4_sweep(settings: &ExperimentSettings) -> Vec<f64> {
 pub fn figure4(settings: &ExperimentSettings, setup: &SecuritySetup) -> Vec<ForgeryCurvePoint> {
     let mut rng = SmallRng::seed_from_u64(settings.seed.wrapping_add(404));
     let leaf_index = LeafIndex::new(&setup.outcome.model);
+    // One compile shared across the whole ε × fake-signature sweep.
+    let compiled = CompiledForest::compile(&setup.outcome.model);
     let mut points = Vec::new();
     for epsilon in figure4_sweep(settings) {
         let config = ForgeryAttackConfig {
@@ -166,7 +204,7 @@ pub fn figure4(settings: &ExperimentSettings, setup: &SecuritySetup) -> Vec<Forg
         let results: Vec<_> = (0..config.num_fake_signatures)
             .map(|_| {
                 let fake = Signature::random(setup.outcome.model.num_trees(), 0.5, &mut rng);
-                forge_trigger_set(&setup.outcome.model, &leaf_index, &setup.test, &fake, &config)
+                forge_trigger_set_compiled(&compiled, &leaf_index, &setup.test, &fake, &config)
             })
             .collect();
         let mean_forged_size = wdte_core::attack::mean_forged_size(&results);

@@ -13,15 +13,64 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use wdte_data::{ConfusionMatrix, Dataset, Label};
 
 /// A trained random forest without bootstrap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     feature_subsets: Vec<Vec<usize>>,
     num_features: usize,
+}
+
+/// Deserialization validates the forest-level invariants (each tree's
+/// arena is already validated by [`DecisionTree`]'s deserializer), so a
+/// corrupted serialized model is rejected instead of panicking later.
+impl Deserialize for RandomForest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "RandomForest"))?;
+        let trees: Vec<DecisionTree> = Vec::from_value(serde::map_get(entries, "trees")?)?;
+        let feature_subsets: Vec<Vec<usize>> =
+            Vec::from_value(serde::map_get(entries, "feature_subsets")?)?;
+        let num_features = usize::from_value(serde::map_get(entries, "num_features")?)?;
+        if trees.is_empty() {
+            return Err(DeError::new(
+                "invalid RandomForest: a forest needs at least one tree",
+            ));
+        }
+        if feature_subsets.len() != trees.len() {
+            return Err(DeError::new(format!(
+                "invalid RandomForest: {} trees but {} feature subsets",
+                trees.len(),
+                feature_subsets.len()
+            )));
+        }
+        if let Some(max) = trees.iter().map(DecisionTree::num_features).max() {
+            if num_features < max {
+                return Err(DeError::new(format!(
+                    "invalid RandomForest: claims {num_features} features but a tree uses {max}"
+                )));
+            }
+        }
+        for (tree, subset) in feature_subsets.iter().enumerate() {
+            if subset.is_empty() {
+                return Err(DeError::new(format!(
+                    "invalid RandomForest: tree {tree} has an empty feature subset"
+                )));
+            }
+            if let Some(&bad) = subset.iter().find(|&&feature| feature >= num_features) {
+                return Err(DeError::new(format!(
+                    "invalid RandomForest: tree {tree}'s subset references feature {bad} of {num_features}"
+                )));
+            }
+        }
+        Ok(RandomForest {
+            trees,
+            feature_subsets,
+            num_features,
+        })
+    }
 }
 
 impl RandomForest {

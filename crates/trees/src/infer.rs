@@ -1,0 +1,939 @@
+//! Compiled batch inference: pointer-free, cache-friendly forest evaluation.
+//!
+//! Training produces [`crate::DecisionTree`]s stored as arenas of `enum`
+//! nodes — convenient to grow, but slow to evaluate at scale: every node
+//! visit pattern-matches a 40-byte enum scattered across a `Vec`, and every
+//! prediction walks the trees one sample at a time. Verification, the
+//! detection scan and the suppression/forgery attacks all replay entire
+//! trigger and test sets through the model, so deployment-side throughput
+//! is dominated by these walks.
+//!
+//! [`CompiledForest`] flattens a trained [`RandomForest`] into
+//! structure-of-arrays node storage:
+//!
+//! ```text
+//!             ┌────────── one entry per node, all trees concatenated ─────────┐
+//! feature:    [ f0 f1 LEAF f3 LEAF LEAF | f0 LEAF f2 LEAF LEAF | ... ]  u32
+//! threshold:  [ t0 t1  .   t3  .    .   | t0  .   t2  .    .   | ... ]  f64
+//! left:       [ l0 l1 lbl  l3 lbl  lbl  | l0 lbl  l2 lbl  lbl  | ... ]  u32
+//! right:      [ r0 r1  0   r3  0    0   | r0  0   r2  0    0   | ... ]  u32
+//!             └── tree 0 ───────────────┴── tree 1 ────────────┴─ ...
+//! tree_starts: [0, 6, 11, ...]          (root index per tree + total)
+//! ```
+//!
+//! A leaf is marked by `feature == LEAF_MARKER` and stores its predicted
+//! label's class index in `left`. Trees are laid out in depth-first
+//! preorder with the left subtree adjacent to its parent, so the common
+//! `x[f] <= t` branch continues on the next node. Batch prediction walks
+//! all trees over fixed-size sample blocks, keeping one tree's nodes and
+//! one block of rows hot in cache.
+//!
+//! Traversal semantics are bit-identical to [`DecisionTree::predict`]:
+//! the test is `x[feature] <= threshold`, so `NaN` features compare false
+//! and deterministically descend into the right child.
+
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node, TreeStats};
+use serde::{DeError, Deserialize, Serialize, Value};
+use wdte_data::{Dataset, DenseMatrix, Label};
+
+/// Sentinel in the `feature` array marking a leaf node.
+pub const LEAF_MARKER: u32 = u32::MAX;
+
+/// Number of samples walked together per tree during batch prediction;
+/// sized so a block of rows plus one tree's node arrays fit in L1/L2.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Column count from which batch prediction considers the per-sample
+/// tree-lockstep walk: a block of wide (image) rows no longer fits in
+/// cache, so keeping one row hot in L1 while every tree advances wins over
+/// blocking samples.
+pub const WIDE_ROW_THRESHOLD: usize = 256;
+
+/// Minimum ensemble depth (deepest tree) for the tree-lockstep walk: on
+/// very shallow ensembles its lockstep lanes drain after a handful of
+/// steps, leaving a serial tail, while sample blocks keep all lanes busy
+/// for every tree.
+pub const DEEP_ENSEMBLE_DEPTH: usize = 12;
+
+/// A trained forest flattened into contiguous structure-of-arrays node
+/// storage for fast batch inference (see the module documentation for the
+/// exact layout).
+///
+/// Compiled forests are immutable snapshots: compile once after training
+/// (or after loading a model from disk) and reuse for every prediction,
+/// verification and attack-scoring pass.
+#[derive(Debug, Clone)]
+pub struct CompiledForest {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    tree_starts: Vec<u32>,
+    num_features: usize,
+    /// Branchless traversal table derived from the SoA arrays (see
+    /// [`HotNode`]); never serialized.
+    hot: Vec<HotNode>,
+    /// Maximum depth of each tree; the number of lockstep steps the batch
+    /// walk performs. Derived, never serialized.
+    depths: Vec<u32>,
+    /// Tree indices sorted by descending depth; the lane order of the
+    /// per-sample tree-lockstep walk. Derived, never serialized.
+    depth_order: Vec<u32>,
+    /// `active_counts[s]` = number of trees deeper than `s` — the prefix of
+    /// `depth_order` still walking at step `s`. Derived, never serialized.
+    active_counts: Vec<u32>,
+}
+
+/// Equality compares only the canonical SoA arrays; the derived traversal
+/// tables are a pure function of them (and contain `NaN` leaf sentinels
+/// that would defeat a field-wise float comparison).
+impl PartialEq for CompiledForest {
+    fn eq(&self, other: &Self) -> bool {
+        self.feature == other.feature
+            && self.threshold == other.threshold
+            && self.left == other.left
+            && self.right == other.right
+            && self.tree_starts == other.tree_starts
+            && self.num_features == other.num_features
+    }
+}
+
+/// One node packed into a single 24-byte record for the batch walk.
+///
+/// The SoA arrays are the canonical (and serialized) representation; this
+/// derived table re-encodes leaves as *self loops*: a leaf stores
+/// `threshold = NaN` (so `value <= threshold` is always false), its own
+/// index in `right` (the branch NaN takes) and its label's class index in
+/// `left`. Every sample can then advance exactly `depth(tree)` steps with
+/// no leaf test at all — finished samples spin on their leaf — which
+/// removes the one unpredictable branch from the inner loop and lets a
+/// whole block of independent walks overlap in the memory pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HotNode {
+    threshold: f64,
+    feature: u32,
+    left: u32,
+    right: u32,
+}
+
+fn build_hot(feature: &[u32], threshold: &[f64], left: &[u32], right: &[u32]) -> Vec<HotNode> {
+    (0..feature.len())
+        .map(|n| {
+            if feature[n] == LEAF_MARKER {
+                HotNode {
+                    threshold: f64::NAN,
+                    feature: 0,
+                    left: left[n],
+                    right: n as u32,
+                }
+            } else {
+                HotNode {
+                    threshold: threshold[n],
+                    feature: feature[n],
+                    left: left[n],
+                    right: right[n],
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds the schedule of the per-sample tree-lockstep walk: the trees
+/// sorted by descending depth, and for every step the count of trees still
+/// active (a prefix of that order). Walking only the active prefix keeps
+/// total lane-steps at `sum(depths)` instead of `max_depth × num_trees`.
+fn build_schedule(depths: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut depth_order: Vec<u32> = (0..depths.len() as u32).collect();
+    depth_order.sort_by_key(|&tree| std::cmp::Reverse(depths[tree as usize]));
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+    let active_counts: Vec<u32> = (0..max_depth)
+        .map(|step| depth_order.iter().take_while(|&&tree| depths[tree as usize] > step).count() as u32)
+        .collect();
+    (depth_order, active_counts)
+}
+
+/// Maximum depth of every tree, computed from the SoA arrays.
+fn build_depths(feature: &[u32], left: &[u32], right: &[u32], tree_starts: &[u32]) -> Vec<u32> {
+    (0..tree_starts.len().saturating_sub(1))
+        .map(|tree| {
+            let lo = tree_starts[tree] as usize;
+            let mut depth = 0u32;
+            let mut stack = vec![(lo, 0u32)];
+            while let Some((node, node_depth)) = stack.pop() {
+                if feature[node] == LEAF_MARKER {
+                    depth = depth.max(node_depth);
+                } else {
+                    stack.push((left[node] as usize, node_depth + 1));
+                    stack.push((right[node] as usize, node_depth + 1));
+                }
+            }
+            depth
+        })
+        .collect()
+}
+
+/// Per-tree predictions for a batch of samples, stored sample-major (the
+/// votes of one sample are contiguous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPredictions {
+    labels: Vec<Label>,
+    num_trees: usize,
+}
+
+impl BatchPredictions {
+    /// Number of samples in the batch.
+    pub fn num_samples(&self) -> usize {
+        self.labels.len().checked_div(self.num_trees).unwrap_or(0)
+    }
+
+    /// Number of trees that voted.
+    pub fn num_trees(&self) -> usize {
+        self.num_trees
+    }
+
+    /// Per-tree votes of one sample, in tree order.
+    ///
+    /// # Panics
+    /// Panics if `sample >= num_samples()`.
+    pub fn sample(&self, sample: usize) -> &[Label] {
+        &self.labels[sample * self.num_trees..(sample + 1) * self.num_trees]
+    }
+
+    /// Number of trees voting [`Label::Positive`] for one sample.
+    pub fn positive_votes(&self, sample: usize) -> usize {
+        self.sample(sample).iter().filter(|&&l| l == Label::Positive).count()
+    }
+
+    /// Majority vote of one sample (ties go to the negative class,
+    /// matching [`RandomForest::predict`]).
+    pub fn majority(&self, sample: usize) -> Label {
+        if 2 * self.positive_votes(sample) > self.num_trees {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// Iterator over per-sample vote slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[Label]> {
+        self.labels.chunks_exact(self.num_trees.max(1)).take(self.num_samples())
+    }
+}
+
+impl CompiledForest {
+    /// Flattens a trained forest into the compiled representation.
+    pub fn compile(forest: &RandomForest) -> Self {
+        let total_nodes: usize = forest.trees().iter().map(|t| t.nodes().len()).sum();
+        let mut compiled = CompiledForest {
+            feature: Vec::with_capacity(total_nodes),
+            threshold: Vec::with_capacity(total_nodes),
+            left: Vec::with_capacity(total_nodes),
+            right: Vec::with_capacity(total_nodes),
+            tree_starts: Vec::with_capacity(forest.num_trees() + 1),
+            num_features: forest.num_features(),
+            hot: Vec::new(),
+            depths: Vec::new(),
+            depth_order: Vec::new(),
+            active_counts: Vec::new(),
+        };
+        for tree in forest.trees() {
+            compiled.tree_starts.push(compiled.feature.len() as u32);
+            compiled.emit(tree, tree.root());
+        }
+        compiled.tree_starts.push(compiled.feature.len() as u32);
+        compiled.hot = build_hot(
+            &compiled.feature,
+            &compiled.threshold,
+            &compiled.left,
+            &compiled.right,
+        );
+        compiled.depths = build_depths(
+            &compiled.feature,
+            &compiled.left,
+            &compiled.right,
+            &compiled.tree_starts,
+        );
+        let (depth_order, active_counts) = build_schedule(&compiled.depths);
+        compiled.depth_order = depth_order;
+        compiled.active_counts = active_counts;
+        compiled
+    }
+
+    /// Emits the subtree rooted at arena index `node` in preorder (left
+    /// subtree adjacent to its parent) and returns the compiled index.
+    fn emit(&mut self, tree: &DecisionTree, node: usize) -> u32 {
+        let slot = self.feature.len();
+        self.feature.push(LEAF_MARKER);
+        self.threshold.push(0.0);
+        self.left.push(0);
+        self.right.push(0);
+        match &tree.nodes()[node] {
+            Node::Leaf { label, .. } => {
+                self.left[slot] = label.index() as u32;
+            }
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let left_slot = self.emit(tree, *left);
+                let right_slot = self.emit(tree, *right);
+                self.feature[slot] = *feature as u32;
+                self.threshold[slot] = *threshold;
+                self.left[slot] = left_slot;
+                self.right[slot] = right_slot;
+            }
+        }
+        slot as u32
+    }
+
+    /// Number of trees `m` in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.tree_starts.len().saturating_sub(1)
+    }
+
+    /// Number of features of the training space.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Total number of nodes across all trees.
+    pub fn total_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Node index range `[lo, hi)` of one tree; `lo` is its root.
+    fn segment(&self, tree: usize) -> (usize, usize) {
+        (
+            self.tree_starts[tree] as usize,
+            self.tree_starts[tree + 1] as usize,
+        )
+    }
+
+    /// Walks one tree for one instance (the protocol-scale single-query
+    /// path; batches go through the lockstep walk instead).
+    #[inline]
+    fn walk(&self, root: usize, instance: &[f64]) -> Label {
+        let mut node = root;
+        loop {
+            let feature = self.feature[node];
+            if feature == LEAF_MARKER {
+                return if self.left[node] == 1 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                };
+            }
+            node = if instance[feature as usize] <= self.threshold[node] {
+                self.left[node] as usize
+            } else {
+                self.right[node] as usize
+            };
+        }
+    }
+
+    /// Advances every sample of `block` through one tree in lockstep and
+    /// returns each sample's final leaf via `sink(block_offset, leaf)`.
+    ///
+    /// `states[i]` must enter holding the tree's root index for every lane;
+    /// after `depth` steps every lane provably sits on a leaf (leaves spin
+    /// on themselves), so the inner loop needs no leaf test.
+    #[inline]
+    fn lockstep_block(
+        &self,
+        tree: usize,
+        values: &[f64],
+        cols: usize,
+        block: std::ops::Range<usize>,
+        states: &mut [u32],
+        mut sink: impl FnMut(usize, u32),
+    ) {
+        let root = self.tree_starts[tree];
+        let depth = self.depths[tree];
+        let lanes = block.len();
+        let nodes = self.hot.as_slice();
+        let rows = &values[block.start * cols..block.end * cols];
+        for state in states[..lanes].iter_mut() {
+            *state = root;
+        }
+        for _ in 0..depth {
+            for (lane, state) in states[..lanes].iter_mut().enumerate() {
+                let node = nodes[*state as usize];
+                let value = rows[lane * cols + node.feature as usize];
+                // NaN compares false, taking `right`: into the right child
+                // of an internal node (the recursive semantics) or back to
+                // the same leaf (the self loop).
+                *state = if value <= node.threshold {
+                    node.left
+                } else {
+                    node.right
+                };
+            }
+        }
+        for (lane, state) in states[..lanes].iter().enumerate() {
+            sink(lane, nodes[*state as usize].left);
+        }
+    }
+
+    /// Picks the batch-walk layout for a matrix of `cols` columns: the
+    /// per-sample tree-lockstep walk for wide rows over a deep ensemble
+    /// (row stays in L1, lanes stay busy), sample blocks otherwise.
+    #[inline]
+    fn prefers_tree_lockstep(&self, cols: usize) -> bool {
+        cols >= WIDE_ROW_THRESHOLD && self.active_counts.len() >= DEEP_ENSEMBLE_DEPTH
+    }
+
+    /// Advances *all trees* through one sample in lockstep, visiting trees
+    /// in descending-depth order so that at step `s` only the still-active
+    /// prefix is walked. The sample's row stays hot in L1 for the whole
+    /// ensemble — the winning layout for wide (image-like) rows, where a
+    /// block of rows would not fit in cache.
+    ///
+    /// `states` must have `num_trees` slots; `sink(tree, label)` receives
+    /// every tree's leaf label (class index).
+    #[inline]
+    fn tree_lockstep(&self, row: &[f64], states: &mut [u32], mut sink: impl FnMut(usize, u32)) {
+        let nodes = self.hot.as_slice();
+        for (lane, &tree) in self.depth_order.iter().enumerate() {
+            states[lane] = self.tree_starts[tree as usize];
+        }
+        for &active in &self.active_counts {
+            for state in states[..active as usize].iter_mut() {
+                let node = nodes[*state as usize];
+                let value = row[node.feature as usize];
+                *state = if value <= node.threshold {
+                    node.left
+                } else {
+                    node.right
+                };
+            }
+        }
+        for (lane, &tree) in self.depth_order.iter().enumerate() {
+            sink(tree as usize, nodes[states[lane] as usize].left);
+        }
+    }
+
+    /// Per-tree predictions for one instance, in tree order; equivalent to
+    /// [`RandomForest::predict_all`].
+    ///
+    /// # Panics
+    /// Panics if `instance.len() < num_features()`.
+    pub fn predict_all(&self, instance: &[f64]) -> Vec<Label> {
+        (0..self.num_trees())
+            .map(|t| self.walk(self.tree_starts[t] as usize, instance))
+            .collect()
+    }
+
+    /// Majority-vote prediction for one instance (ties go to the negative
+    /// class); equivalent to [`RandomForest::predict`].
+    pub fn predict(&self, instance: &[f64]) -> Label {
+        let positive = (0..self.num_trees())
+            .filter(|&t| self.walk(self.tree_starts[t] as usize, instance) == Label::Positive)
+            .count();
+        if 2 * positive > self.num_trees() {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// Block-wise majority-vote predictions for every row of a feature
+    /// matrix. This is the deployment hot path: all trees are walked over
+    /// one block of samples before moving to the next block, so a tree's
+    /// node arrays stay cached across the whole block.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn predict_batch(&self, features: &DenseMatrix) -> Vec<Label> {
+        let votes = self.positive_vote_counts(features);
+        let majority_threshold = self.num_trees();
+        votes
+            .into_iter()
+            .map(|positive| {
+                if 2 * positive as usize > majority_threshold {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
+            .collect()
+    }
+
+    /// Block-wise count of trees voting positive, per row.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn positive_vote_counts(&self, features: &DenseMatrix) -> Vec<u32> {
+        assert!(
+            features.cols() >= self.num_features,
+            "batch has {} features but the model needs {}",
+            features.cols(),
+            self.num_features
+        );
+        let samples = features.rows();
+        let values = features.as_slice();
+        let cols = features.cols();
+        let mut votes = vec![0u32; samples];
+        if self.prefers_tree_lockstep(cols) {
+            let mut states = vec![0u32; self.num_trees()];
+            for (sample, vote) in votes.iter_mut().enumerate() {
+                let row = &values[sample * cols..(sample + 1) * cols];
+                let mut positive = 0u32;
+                // Leaf labels are class indices (0/1), so the positive
+                // vote count is a plain add.
+                self.tree_lockstep(row, &mut states, |_, label| positive += label);
+                *vote = positive;
+            }
+            return votes;
+        }
+        let mut states = [0u32; BLOCK_SIZE];
+        for block_start in (0..samples).step_by(BLOCK_SIZE) {
+            let block_end = (block_start + BLOCK_SIZE).min(samples);
+            let block = block_start..block_end;
+            for tree in 0..self.num_trees() {
+                self.lockstep_block(tree, values, cols, block.clone(), &mut states, |lane, label| {
+                    votes[block_start + lane] += label;
+                });
+            }
+        }
+        votes
+    }
+
+    /// Fraction of trees voting positive, per row; the calibrated score
+    /// used by the suppression distinguisher and ROC analysis.
+    pub fn positive_vote_fractions(&self, features: &DenseMatrix) -> Vec<f64> {
+        let trees = self.num_trees().max(1) as f64;
+        self.positive_vote_counts(features)
+            .into_iter()
+            .map(|v| f64::from(v) / trees)
+            .collect()
+    }
+
+    /// Block-wise per-tree predictions for every row — the batch form of
+    /// [`CompiledForest::predict_all`], which black-box verification
+    /// consumes.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn predict_all_batch(&self, features: &DenseMatrix) -> BatchPredictions {
+        assert!(
+            features.cols() >= self.num_features,
+            "batch has {} features but the model needs {}",
+            features.cols(),
+            self.num_features
+        );
+        let samples = features.rows();
+        let values = features.as_slice();
+        let cols = features.cols();
+        let num_trees = self.num_trees();
+        let mut labels = vec![Label::Negative; samples * num_trees];
+        if self.prefers_tree_lockstep(cols) {
+            let mut states = vec![0u32; num_trees];
+            for sample in 0..samples {
+                let row = &values[sample * cols..(sample + 1) * cols];
+                let out = &mut labels[sample * num_trees..(sample + 1) * num_trees];
+                self.tree_lockstep(row, &mut states, |tree, label| {
+                    if label == 1 {
+                        out[tree] = Label::Positive;
+                    }
+                });
+            }
+            return BatchPredictions { labels, num_trees };
+        }
+        let mut states = [0u32; BLOCK_SIZE];
+        for block_start in (0..samples).step_by(BLOCK_SIZE) {
+            let block_end = (block_start + BLOCK_SIZE).min(samples);
+            let block = block_start..block_end;
+            for tree in 0..num_trees {
+                self.lockstep_block(tree, values, cols, block.clone(), &mut states, |lane, label| {
+                    if label == 1 {
+                        labels[(block_start + lane) * num_trees + tree] = Label::Positive;
+                    }
+                });
+            }
+        }
+        BatchPredictions { labels, num_trees }
+    }
+
+    /// Majority-vote predictions for every instance of a dataset.
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<Label> {
+        self.predict_batch(dataset.features())
+    }
+
+    /// Majority-vote accuracy over a dataset.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let predictions = self.predict_dataset(dataset);
+        wdte_data::accuracy(dataset.labels(), &predictions)
+    }
+
+    /// Structural statistics of every tree, in tree order; matches
+    /// [`RandomForest::tree_stats`] for the forest this was compiled from,
+    /// so the structural detection attack can run against a compiled
+    /// artifact loaded from disk.
+    pub fn tree_stats(&self) -> Vec<TreeStats> {
+        (0..self.num_trees())
+            .map(|tree| {
+                let (lo, hi) = self.segment(tree);
+                let leaves = (lo..hi).filter(|&n| self.feature[n] == LEAF_MARKER).count();
+                TreeStats {
+                    depth: self.depths[tree] as usize,
+                    leaves,
+                    nodes: hi - lo,
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds a compiled forest from raw arrays, validating every
+    /// structural invariant. This is the only way external data (a
+    /// deserialized file) becomes a `CompiledForest`, so a corrupted
+    /// artifact surfaces as an error here instead of an out-of-bounds
+    /// panic during prediction.
+    pub fn from_raw_parts(
+        feature: Vec<u32>,
+        threshold: Vec<f64>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+        tree_starts: Vec<u32>,
+        num_features: usize,
+    ) -> Result<Self, String> {
+        let nodes = feature.len();
+        if threshold.len() != nodes || left.len() != nodes || right.len() != nodes {
+            return Err(format!(
+                "node array lengths disagree: feature {}, threshold {}, left {}, right {}",
+                nodes,
+                threshold.len(),
+                left.len(),
+                right.len()
+            ));
+        }
+        if tree_starts.len() < 2 {
+            return Err("tree_starts must hold at least one tree".to_string());
+        }
+        if tree_starts[0] != 0 || *tree_starts.last().expect("non-empty") as usize != nodes {
+            return Err(format!(
+                "tree_starts must span [0, {nodes}], got [{}, {}]",
+                tree_starts[0],
+                tree_starts.last().expect("non-empty")
+            ));
+        }
+        for window in tree_starts.windows(2) {
+            if window[0] >= window[1] {
+                return Err("every tree needs at least one node".to_string());
+            }
+        }
+        for tree in 0..tree_starts.len() - 1 {
+            let (lo, hi) = (tree_starts[tree] as usize, tree_starts[tree + 1] as usize);
+            let mut child_refs = vec![0u32; hi - lo];
+            for node in lo..hi {
+                if feature[node] == LEAF_MARKER {
+                    if left[node] > 1 {
+                        return Err(format!("leaf node {node} has invalid label index {}", left[node]));
+                    }
+                } else {
+                    if (feature[node] as usize) >= num_features {
+                        return Err(format!(
+                            "node {node} tests feature {} but the model has {num_features}",
+                            feature[node]
+                        ));
+                    }
+                    for child in [left[node], right[node]] {
+                        let child = child as usize;
+                        // Children must stay inside the same tree and point
+                        // strictly forward, which also rules out traversal
+                        // cycles.
+                        if child <= node || child >= hi {
+                            return Err(format!(
+                                "node {node} has child {child} outside its tree segment [{lo}, {hi})"
+                            ));
+                        }
+                        child_refs[child - lo] += 1;
+                    }
+                }
+            }
+            // Every non-root node must be referenced exactly once: shared
+            // children would make the arrays a DAG, on which the depth
+            // computation below enumerates exponentially many paths (and
+            // more than one parent never arises from `compile`).
+            for (offset, &refs) in child_refs.iter().enumerate().skip(1) {
+                if refs != 1 {
+                    return Err(format!(
+                        "node {} is referenced by {refs} parents; trees reference every non-root node exactly once",
+                        lo + offset
+                    ));
+                }
+            }
+        }
+        let hot = build_hot(&feature, &threshold, &left, &right);
+        let depths = build_depths(&feature, &left, &right, &tree_starts);
+        let (depth_order, active_counts) = build_schedule(&depths);
+        Ok(CompiledForest {
+            feature,
+            threshold,
+            left,
+            right,
+            tree_starts,
+            num_features,
+            hot,
+            depths,
+            depth_order,
+            active_counts,
+        })
+    }
+}
+
+/// Only the canonical SoA arrays are serialized; the packed traversal
+/// table is rebuilt on load.
+impl Serialize for CompiledForest {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("feature".to_string(), self.feature.to_value()),
+            ("threshold".to_string(), self.threshold.to_value()),
+            ("left".to_string(), self.left.to_value()),
+            ("right".to_string(), self.right.to_value()),
+            ("tree_starts".to_string(), self.tree_starts.to_value()),
+            ("num_features".to_string(), self.num_features.to_value()),
+        ])
+    }
+}
+
+impl From<&RandomForest> for CompiledForest {
+    fn from(forest: &RandomForest) -> Self {
+        CompiledForest::compile(forest)
+    }
+}
+
+/// Deserialization is routed through [`CompiledForest::from_raw_parts`] so
+/// corrupted artifacts are rejected with an error instead of panicking
+/// later during traversal.
+impl Deserialize for CompiledForest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "CompiledForest"))?;
+        let feature = Vec::from_value(serde::map_get(entries, "feature")?)?;
+        let threshold = Vec::from_value(serde::map_get(entries, "threshold")?)?;
+        let left = Vec::from_value(serde::map_get(entries, "left")?)?;
+        let right = Vec::from_value(serde::map_get(entries, "right")?)?;
+        let tree_starts = Vec::from_value(serde::map_get(entries, "tree_starts")?)?;
+        let num_features = usize::from_value(serde::map_get(entries, "num_features")?)?;
+        CompiledForest::from_raw_parts(feature, threshold, left, right, tree_starts, num_features)
+            .map_err(|detail| DeError::new(format!("invalid CompiledForest: {detail}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ForestParams, TreeParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdte_data::SyntheticSpec;
+
+    fn trained() -> (Dataset, RandomForest) {
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.5)
+            .generate(&mut SmallRng::seed_from_u64(123));
+        let params = ForestParams {
+            num_trees: 9,
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(124));
+        (dataset, forest)
+    }
+
+    #[test]
+    fn compiled_predictions_match_recursive_predictions() {
+        let (dataset, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        assert_eq!(compiled.num_trees(), forest.num_trees());
+        assert_eq!(compiled.num_features(), forest.num_features());
+        let batch = compiled.predict_all_batch(dataset.features());
+        for (index, (row, _)) in dataset.iter().enumerate() {
+            assert_eq!(compiled.predict_all(row), forest.predict_all(row));
+            assert_eq!(compiled.predict(row), forest.predict(row));
+            assert_eq!(batch.sample(index), forest.predict_all(row).as_slice());
+            assert_eq!(batch.majority(index), forest.predict(row));
+        }
+        assert_eq!(
+            compiled.predict_dataset(&dataset),
+            forest.predict_dataset(&dataset)
+        );
+        assert!((compiled.accuracy(&dataset) - forest.accuracy(&dataset)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vote_fractions_match_the_recursive_path() {
+        let (dataset, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        let fractions = compiled.positive_vote_fractions(dataset.features());
+        for (index, (row, _)) in dataset.iter().enumerate() {
+            assert!((fractions[index] - forest.positive_vote_fraction(row)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn tree_stats_match_the_pointer_trees() {
+        let (_, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        assert_eq!(compiled.tree_stats(), forest.tree_stats());
+        assert_eq!(
+            compiled.total_nodes(),
+            forest.trees().iter().map(|t| t.nodes().len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn nan_features_descend_right_like_the_recursive_walk() {
+        let (dataset, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        let mut row = dataset.instance(0).to_vec();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for feature in 0..row.len() {
+                let original = row[feature];
+                row[feature] = poison;
+                assert_eq!(compiled.predict_all(&row), forest.predict_all(&row));
+                row[feature] = original;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_blocks_cover_sizes_around_the_block_boundary() {
+        let (dataset, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        for size in [1, BLOCK_SIZE - 1, BLOCK_SIZE, BLOCK_SIZE + 1] {
+            let size = size.min(dataset.len());
+            let indices: Vec<usize> = (0..size).collect();
+            let subset = dataset.select(&indices).unwrap();
+            let compiled_out = compiled.predict_batch(subset.features());
+            let recursive_out = forest.predict_dataset(&subset);
+            assert_eq!(compiled_out, recursive_out, "batch size {size}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let (dataset, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        let json = serde_json::to_string(&compiled).unwrap();
+        let restored: CompiledForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, compiled);
+        assert_eq!(
+            restored.predict_batch(dataset.features()),
+            compiled.predict_batch(dataset.features())
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_corrupted_arrays() {
+        let (_, forest) = trained();
+        let compiled = CompiledForest::compile(&forest);
+        // Mismatched array lengths.
+        assert!(CompiledForest::from_raw_parts(
+            compiled.feature.clone(),
+            vec![0.0; 1],
+            compiled.left.clone(),
+            compiled.right.clone(),
+            compiled.tree_starts.clone(),
+            compiled.num_features,
+        )
+        .is_err());
+        // Child index escaping its tree segment.
+        let mut bad_left = compiled.left.clone();
+        if let Some(internal) = (0..compiled.feature.len()).find(|&n| compiled.feature[n] != LEAF_MARKER)
+        {
+            bad_left[internal] = compiled.feature.len() as u32 + 7;
+            assert!(CompiledForest::from_raw_parts(
+                compiled.feature.clone(),
+                compiled.threshold.clone(),
+                bad_left,
+                compiled.right.clone(),
+                compiled.tree_starts.clone(),
+                compiled.num_features,
+            )
+            .is_err());
+        }
+        // Backwards child (cycle).
+        let mut cyclic_right = compiled.right.clone();
+        if let Some(internal) = (0..compiled.feature.len()).find(|&n| compiled.feature[n] != LEAF_MARKER)
+        {
+            cyclic_right[internal] = internal as u32;
+            assert!(CompiledForest::from_raw_parts(
+                compiled.feature.clone(),
+                compiled.threshold.clone(),
+                compiled.left.clone(),
+                cyclic_right,
+                compiled.tree_starts.clone(),
+                compiled.num_features,
+            )
+            .is_err());
+        }
+        // Feature index beyond the model dimensionality.
+        let mut bad_feature = compiled.feature.clone();
+        if let Some(internal) = (0..compiled.feature.len()).find(|&n| compiled.feature[n] != LEAF_MARKER)
+        {
+            bad_feature[internal] = compiled.num_features as u32;
+            assert!(CompiledForest::from_raw_parts(
+                bad_feature,
+                compiled.threshold.clone(),
+                compiled.left.clone(),
+                compiled.right.clone(),
+                compiled.tree_starts.clone(),
+                compiled.num_features,
+            )
+            .is_err());
+        }
+        // Node-sharing DAGs (left == right) must be rejected: the depth
+        // computation would enumerate exponentially many root→leaf paths.
+        let chain = 40u32;
+        let dag_feature: Vec<u32> =
+            (0..chain).map(|n| if n + 1 == chain { LEAF_MARKER } else { 0 }).collect();
+        let dag_left: Vec<u32> = (0..chain).map(|n| if n + 1 == chain { 0 } else { n + 1 }).collect();
+        let dag_right: Vec<u32> = dag_left.clone();
+        assert!(CompiledForest::from_raw_parts(
+            dag_feature,
+            vec![0.5; chain as usize],
+            dag_left,
+            dag_right,
+            vec![0, chain],
+            1,
+        )
+        .unwrap_err()
+        .contains("exactly once"));
+
+        // The untouched arrays still validate.
+        assert!(CompiledForest::from_raw_parts(
+            compiled.feature.clone(),
+            compiled.threshold.clone(),
+            compiled.left.clone(),
+            compiled.right.clone(),
+            compiled.tree_starts.clone(),
+            compiled.num_features,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![Label::Positive, Label::Positive];
+        let dataset = Dataset::new("pure", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap();
+        let forest = RandomForest::fit(
+            &dataset,
+            &ForestParams {
+                num_trees: 2,
+                tree: TreeParams::with_max_depth(0),
+                ..ForestParams::default()
+            },
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let compiled = CompiledForest::compile(&forest);
+        assert_eq!(compiled.total_nodes(), 2);
+        assert_eq!(compiled.predict(&[0.5]), Label::Positive);
+        assert_eq!(compiled.predict_all(&[0.5]), vec![Label::Positive; 2]);
+    }
+}

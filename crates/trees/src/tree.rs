@@ -4,7 +4,7 @@
 use crate::params::{SplitStrategy, TreeParams};
 use crate::split::{best_split, Split};
 use crate::splitter::{Backend, NodeSplitter, SplitWorkspace};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use wdte_data::{ClassCounts, Dataset, DenseMatrix, Label};
 
 /// A node of a decision tree, stored in an arena (`Vec<Node>`).
@@ -33,10 +33,82 @@ pub enum Node {
 }
 
 /// A trained binary decision tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     num_features: usize,
+}
+
+/// Deserialization validates the arena before constructing the tree, so a
+/// corrupted or hostile serialized model surfaces as an error instead of
+/// an out-of-bounds panic, an infinite traversal loop, or a stack
+/// overflow at prediction time.
+impl Deserialize for DecisionTree {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "DecisionTree"))?;
+        let nodes: Vec<Node> = Vec::from_value(serde::map_get(entries, "nodes")?)?;
+        let num_features = usize::from_value(serde::map_get(entries, "num_features")?)?;
+        validate_arena(&nodes, num_features)
+            .map_err(|detail| DeError::new(format!("invalid DecisionTree: {detail}")))?;
+        Ok(DecisionTree { nodes, num_features })
+    }
+}
+
+/// Deepest tree accepted from a serialized artefact. Trees trained in this
+/// workspace stay orders of magnitude below this (the `Adjust(H)` heuristic
+/// caps depth near the ensemble mean), while the bound keeps hostile
+/// deep-chain artefacts from later overflowing the stack in recursive
+/// consumers (`depth_of`, `leaf_regions`, `CompiledForest::compile`).
+pub const MAX_DESERIALIZED_DEPTH: usize = 2048;
+
+/// Checks that `nodes` is a well-formed tree rooted at index 0: child and
+/// feature indices in range, every node reachable from the root exactly
+/// once (no shared subtrees, no cycles, no orphans), depth within
+/// [`MAX_DESERIALIZED_DEPTH`]. Uses an explicit stack, so hostile input
+/// cannot overflow the call stack here either.
+fn validate_arena(nodes: &[Node], num_features: usize) -> Result<(), String> {
+    if nodes.is_empty() {
+        return Err("a tree needs at least one node".to_string());
+    }
+    let mut visited = vec![false; nodes.len()];
+    let mut stack = vec![(0usize, 0usize)];
+    let mut reached = 0usize;
+    while let Some((index, depth)) = stack.pop() {
+        if visited[index] {
+            return Err(format!("node {index} is reachable twice (shared child or cycle)"));
+        }
+        if depth > MAX_DESERIALIZED_DEPTH {
+            return Err(format!("tree is deeper than {MAX_DESERIALIZED_DEPTH} levels"));
+        }
+        visited[index] = true;
+        reached += 1;
+        if let Node::Internal {
+            feature, left, right, ..
+        } = &nodes[index]
+        {
+            if *feature >= num_features {
+                return Err(format!(
+                    "node {index} tests feature {feature} but the tree has {num_features}"
+                ));
+            }
+            for child in [*left, *right] {
+                if child >= nodes.len() {
+                    return Err(format!(
+                        "node {index} has child {child} out of range for {} nodes",
+                        nodes.len()
+                    ));
+                }
+                stack.push((child, depth + 1));
+            }
+        }
+    }
+    if reached != nodes.len() {
+        return Err(format!(
+            "{} nodes are unreachable from the root",
+            nodes.len() - reached
+        ));
+    }
+    Ok(())
 }
 
 /// Structural statistics of a single tree; the quantities the

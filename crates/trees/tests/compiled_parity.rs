@@ -1,0 +1,116 @@
+//! Property tests pinning the compiled inference path to the recursive
+//! reference: for arbitrary datasets — including `NaN` and `±inf` feature
+//! values — every compiled prediction must be bit-identical to the
+//! pointer-tree walk, and serialization round-trips must preserve the
+//! model's behaviour exactly.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::{Dataset, DenseMatrix, Label};
+use wdte_trees::{CompiledForest, ForestParams, RandomForest, TreeParams};
+
+/// Feature values drawn from a finite range plus the non-finite specials
+/// the split search and traversal must handle deterministically.
+fn feature_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -2.0f64..2.0,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+fn dataset_from(rows: Vec<Vec<f64>>, label_bits: &[bool]) -> Dataset {
+    let labels: Vec<Label> = label_bits[..rows.len()]
+        .iter()
+        .map(|&b| if b { Label::Positive } else { Label::Negative })
+        .collect();
+    Dataset::new("parity", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_batch_is_bit_identical_to_recursive_predictions(
+        rows in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 6..48),
+        probes in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 1..24),
+        label_bits in proptest::collection::vec(any::<bool>(), 48),
+        num_trees in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let dataset = dataset_from(rows, &label_bits);
+        let params = ForestParams {
+            num_trees,
+            tree: TreeParams::with_max_depth(5),
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(seed));
+        let compiled = CompiledForest::compile(&forest);
+
+        // Training-set parity, through every batch entry point.
+        prop_assert_eq!(compiled.predict_dataset(&dataset), forest.predict_dataset(&dataset));
+        let batch = compiled.predict_all_batch(dataset.features());
+        for (index, (row, _)) in dataset.iter().enumerate() {
+            prop_assert_eq!(batch.sample(index), forest.predict_all(row).as_slice());
+        }
+
+        // Probe-set parity on instances the forest never saw, including
+        // rows that are entirely NaN/±inf.
+        let probe_matrix = DenseMatrix::from_rows(&probes).unwrap();
+        let probe_batch = compiled.predict_all_batch(&probe_matrix);
+        for (index, probe) in probes.iter().enumerate() {
+            prop_assert_eq!(probe_batch.sample(index), forest.predict_all(probe).as_slice());
+            prop_assert_eq!(compiled.predict(probe), forest.predict(probe));
+            prop_assert_eq!(compiled.predict_all(probe), forest.predict_all(probe));
+        }
+
+        // Vote counts agree with the per-tree labels they summarize.
+        let votes = compiled.positive_vote_counts(&probe_matrix);
+        for (index, &vote) in votes.iter().enumerate() {
+            prop_assert_eq!(vote as usize, probe_batch.positive_votes(index));
+        }
+    }
+
+    #[test]
+    fn json_round_trips_preserve_predictions_exactly(
+        rows in proptest::collection::vec(proptest::collection::vec(feature_value(), 3), 6..32),
+        probes in proptest::collection::vec(proptest::collection::vec(feature_value(), 3), 1..16),
+        label_bits in proptest::collection::vec(any::<bool>(), 32),
+        seed in 0u64..1000,
+    ) {
+        let dataset = dataset_from(rows, &label_bits);
+        let params = ForestParams {
+            num_trees: 3,
+            tree: TreeParams::with_max_depth(6),
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(seed));
+        let compiled = CompiledForest::compile(&forest);
+
+        let forest_json = serde_json::to_string(&forest).unwrap();
+        let restored_forest: RandomForest = serde_json::from_str(&forest_json).unwrap();
+        prop_assert_eq!(&restored_forest, &forest);
+
+        let compiled_json = serde_json::to_string(&compiled).unwrap();
+        let restored_compiled: CompiledForest = serde_json::from_str(&compiled_json).unwrap();
+        prop_assert_eq!(&restored_compiled, &compiled);
+
+        let probe_matrix = DenseMatrix::from_rows(&probes).unwrap();
+        prop_assert_eq!(
+            restored_compiled.predict_batch(&probe_matrix),
+            compiled.predict_batch(&probe_matrix)
+        );
+        for probe in &probes {
+            prop_assert_eq!(restored_forest.predict_all(probe), forest.predict_all(probe));
+            prop_assert_eq!(restored_compiled.predict_all(probe), compiled.predict_all(probe));
+        }
+
+        // Compiling the restored pointer forest reproduces the compiled
+        // artefact bit for bit: thresholds survived the text round-trip.
+        prop_assert_eq!(&CompiledForest::compile(&restored_forest), &compiled);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ownership dispute resolved entirely from files on disk.
+//!
+//! The paper's deployment story is train-once / verify-many: Alice trains
+//! and watermarks a model *once*, serializes it, and from then on every
+//! party works with artefacts loaded from disk — Bob serves the stolen
+//! model file, Charlie the judge receives Alice's claim file and queries
+//! the deployment black-box through the compiled batch inference path.
+//!
+//! This example runs that lifecycle end to end:
+//!
+//! 1. Alice embeds her signature and saves the model (compact binary),
+//!    the compiled inference form (auditable JSON) and her ownership claim
+//!    under `results/dispute/`.
+//! 2. Everything in memory is dropped; the dispute is adjudicated from the
+//!    files alone: the judge loads the compiled model and the claim,
+//!    verifies Alice's signature and runs the structural detection attack
+//!    Bob might have attempted before re-deploying.
+//! 3. A tampered model file demonstrates that corruption surfaces as a
+//!    typed error rather than a wrong verdict.
+//!
+//! Run with `cargo run --release --example dispute_from_files`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte::persist;
+use wdte::prelude::*;
+
+fn main() {
+    let dir = std::path::Path::new("results").join("dispute");
+    let model_path = dir.join("alice.model.wdte");
+    let compiled_path = dir.join("alice.compiled.json");
+    let claim_path = dir.join("alice.claim.wdte");
+
+    // ---------------------------------------------------------------
+    // Act 1 — Alice trains, watermarks and ships artefacts to disk.
+    // ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(41);
+    let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::from_identity("alice@modelcorp.example", 16);
+    let config = WatermarkConfig {
+        num_trees: 16,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding succeeds");
+    let compiled = CompiledForest::compile(&outcome.model);
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test.clone());
+
+    persist::save(&model_path, &outcome.model, persist::Format::Binary).expect("save model");
+    persist::save(&compiled_path, &compiled, persist::Format::Json).expect("save compiled model");
+    persist::save(&claim_path, &claim, persist::Format::Binary).expect("save claim");
+    println!("Alice shipped her artefacts to {}:", dir.display());
+    for path in [&model_path, &compiled_path, &claim_path] {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!("  {} ({bytes} bytes)", path.display());
+    }
+    drop((outcome, compiled, claim, train));
+
+    // ---------------------------------------------------------------
+    // Act 2 — the dispute is adjudicated from the files alone.
+    // ---------------------------------------------------------------
+    let deployment: CompiledForest = persist::load(&compiled_path).expect("load compiled model");
+    let alice_claim: OwnershipClaim = persist::load(&claim_path).expect("load claim");
+    let verdict = verify_ownership(&deployment, &alice_claim);
+    println!(
+        "\nAlice's claim against the loaded deployment: verified={} (bit agreement {:.3}, {} queries)",
+        verdict.verified, verdict.bit_agreement, verdict.queries_issued
+    );
+
+    // The pointer-tree model round-trips too and agrees with the compiled
+    // artefact — the two files describe the same function.
+    let pointer_model: RandomForest = persist::load(&model_path).expect("load model");
+    let pointer_verdict = verify_ownership(&pointer_model, &alice_claim);
+    assert_eq!(verdict, pointer_verdict);
+
+    // Mallory's fabricated claim fails against the same files.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mallory_claim = OwnershipClaim::new(
+        Signature::from_identity("mallory@pirate.example", 16),
+        test.select(&test.sample_indices(alice_claim.trigger_set.len(), &mut rng))
+            .expect("test set is large enough"),
+        test.clone(),
+    );
+    let mallory_verdict = verify_ownership(&deployment, &mallory_claim);
+    println!(
+        "Mallory's claim: verified={} (bit agreement {:.3})",
+        mallory_verdict.verified, mallory_verdict.bit_agreement
+    );
+
+    // Bob inspects the structure of the loaded artefact, trying to locate
+    // the watermarked trees before re-deploying.
+    let detection = evaluate_detection(
+        &deployment,
+        &alice_claim.signature,
+        DetectionFeature::Depth,
+        DetectionStrategy::MeanThreshold,
+    );
+    println!(
+        "Bob's detection scan on the loaded artefact: {} correct, {} wrong of {} trees",
+        detection.correct,
+        detection.wrong,
+        deployment.num_trees()
+    );
+
+    // ---------------------------------------------------------------
+    // Act 3 — tampered files fail loudly, not wrongly.
+    // ---------------------------------------------------------------
+    let mut tampered = std::fs::read(&model_path).expect("read model file");
+    let mid = tampered.len() / 2;
+    tampered.truncate(mid);
+    let tampered_path = dir.join("alice.model.tampered.wdte");
+    std::fs::write(&tampered_path, &tampered).expect("write tampered file");
+    match persist::load::<RandomForest>(&tampered_path) {
+        Err(err) => println!("\nTampered model file rejected: {err}"),
+        Ok(_) => unreachable!("a truncated artefact must not load"),
+    }
+
+    assert!(verdict.verified && !mallory_verdict.verified);
+    assert!(detection.correct < deployment.num_trees());
+    println!("\nCharlie rules in favour of Alice — from files alone.");
+}

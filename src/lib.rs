@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use wdte_core as core;
+pub use wdte_core::persist;
 pub use wdte_data as data;
 pub use wdte_solver as solver;
 pub use wdte_trees as trees;

@@ -1,0 +1,102 @@
+//! Statistical soundness of black-box verification: against a model that
+//! was *not* watermarked with the claimed signature, the per-bit agreement
+//! must sit near the noise floor the paper's threshold analysis implies —
+//! nowhere near the 100% a genuine claim produces.
+//!
+//! For a balanced signature (50% ones) the expectation is exactly 1/2
+//! regardless of the model's accuracy `p` on the trigger instances: the
+//! 0-bits match with probability `p` and the 1-bits with probability
+//! `1 − p`, so the mean agreement is `(p + (1 − p)) / 2 = 0.5`. The tests
+//! check that fixed-seed runs land inside a tolerance band around that
+//! value and that verification always rejects.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte::prelude::*;
+
+/// Builds an unwatermarked forest plus a claim made of a random balanced
+/// signature and a random trigger set drawn from training data.
+fn unwatermarked_claim(seed: u64, num_trees: usize) -> (RandomForest, OwnershipClaim) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let watermarker = Watermarker::new(WatermarkConfig {
+        num_trees,
+        ..WatermarkConfig::fast()
+    });
+    let model = watermarker.train_baseline(&train, &mut rng);
+    let signature = Signature::random(num_trees, 0.5, &mut rng);
+    let trigger_indices = train.sample_indices(12, &mut rng);
+    let trigger = train.select(&trigger_indices).unwrap();
+    (model, OwnershipClaim::new(signature, trigger, test))
+}
+
+#[test]
+fn random_signature_agreement_sits_at_the_noise_floor() {
+    // Average the per-run bit agreement over several fixed seeds so the
+    // tolerance band can be tight without flaking.
+    let seeds = [51_001u64, 51_002, 51_003, 51_004, 51_005, 51_006];
+    let mut agreements = Vec::new();
+    for &seed in &seeds {
+        let (model, claim) = unwatermarked_claim(seed, 16);
+        let report = verify_ownership(&model, &claim);
+        assert!(
+            !report.verified,
+            "seed {seed}: an unwatermarked model must never satisfy a random signature"
+        );
+        assert!(
+            report.instance_matches.iter().filter(|&&m| m).count() == 0,
+            "seed {seed}: no trigger instance should exhibit the full {}-tree pattern",
+            model.num_trees()
+        );
+        agreements.push(report.bit_agreement);
+    }
+    let mean = agreements.iter().sum::<f64>() / agreements.len() as f64;
+    // The paper's verification threshold separates ≈0.5 noise from the 1.0
+    // of a genuine model; the averaged noise must stay well below any
+    // sensible acceptance threshold and close to the 0.5 expectation.
+    assert!(
+        (mean - 0.5).abs() < 0.12,
+        "mean bit agreement {mean:.3} strays from the 0.5 noise floor: {agreements:?}"
+    );
+    assert!(
+        agreements.iter().all(|&a| a < 0.85),
+        "every single run must stay far from the 1.0 of a genuine claim: {agreements:?}"
+    );
+}
+
+#[test]
+fn genuine_claims_clear_the_margin_that_rejects_random_ones() {
+    // The separation the protocol relies on: genuine = 1.0 exactly,
+    // random ≈ 0.5. Both measured with the same pipeline and seed.
+    let mut rng = SmallRng::seed_from_u64(52_001);
+    let dataset = SyntheticSpec::breast_cancer_like().generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::random(14, 0.5, &mut rng);
+    let watermarker = Watermarker::new(WatermarkConfig {
+        num_trees: 14,
+        trigger_fraction: 0.02,
+        ..WatermarkConfig::fast()
+    });
+    let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
+
+    let genuine = verify_ownership(
+        &outcome.model,
+        &OwnershipClaim::new(signature.clone(), outcome.trigger_set.clone(), test.clone()),
+    );
+    assert!(genuine.verified);
+    assert!((genuine.bit_agreement - 1.0).abs() < 1e-12);
+
+    let mut imposter_rng = SmallRng::seed_from_u64(52_002);
+    let imposter_signature = Signature::random(14, 0.5, &mut imposter_rng);
+    assert!(imposter_signature.hamming_distance(&signature) > 0);
+    let imposter = verify_ownership(
+        &outcome.model,
+        &OwnershipClaim::new(imposter_signature, outcome.trigger_set.clone(), test),
+    );
+    assert!(!imposter.verified);
+    // The imposter flips exactly the mismatched bits on every trigger
+    // instance, so the gap to the genuine 1.0 is the Hamming weight of the
+    // signature difference — macroscopic, not a rounding margin.
+    assert!(genuine.bit_agreement - imposter.bit_agreement > 0.1);
+}
