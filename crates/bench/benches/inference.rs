@@ -7,7 +7,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wdte_bench::{serving_image, small_tabular};
 use wdte_core::{
-    verify_ownership, ModelOracle, OwnershipClaim, Signature, WatermarkConfig, Watermarker,
+    verify_ownership, Dispute, DisputeService, ModelOracle, OwnershipClaim, Signature, WatermarkConfig,
+    Watermarker,
 };
 use wdte_data::Label;
 use wdte_trees::{CompiledForest, ForestParams, RandomForest};
@@ -81,6 +82,32 @@ fn bench_verification_throughput(c: &mut Criterion) {
     });
     group.bench_function("verify_forest_autocompiled", |b| {
         b.iter(|| verify_ownership(&outcome.model, &claim))
+    });
+
+    // Multi-claim throughput: the service's amortized-compile, concurrent
+    // docket against resolving the same docket one `verify_ownership` call
+    // at a time (recompiling the forest per claim).
+    const DOCKET: usize = 32;
+    let disputes: Vec<Dispute> = (0..DOCKET).map(|_| Dispute::new("m", claim.clone())).collect();
+    let service = DisputeService::new();
+    service.register("m", &outcome.model);
+    group.bench_function("verify_32_claims_recompile_each", |b| {
+        b.iter(|| {
+            disputes
+                .iter()
+                .map(|dispute| verify_ownership(&outcome.model, &dispute.claim))
+                .filter(|report| report.verified)
+                .count()
+        })
+    });
+    group.bench_function("service_resolve_32_claims", |b| {
+        b.iter(|| {
+            service
+                .resolve_many(&disputes)
+                .into_iter()
+                .filter(|verdict| verdict.as_ref().is_ok_and(|r| r.verified))
+                .count()
+        })
     });
     group.finish();
 }

@@ -8,6 +8,11 @@
 //! chunked across `available_parallelism()` worker threads and results are
 //! returned in input order, so the observable behaviour (including
 //! determinism of seed-per-item pipelines) matches real rayon.
+//!
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] are also provided so
+//! callers (notably the concurrency determinism test suite) can pin the
+//! worker count — `num_threads(1)` forces every parallel pipeline inside
+//! `install` to run serially on the calling thread.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,15 +74,105 @@ thread_local! {
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]; `None`
+    /// falls back to `available_parallelism()`.
+    static THREAD_LIMIT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Configures a [`ThreadPool`], mirroring rayon's builder API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim never actually
+/// fails to build, the `Result` only mirrors rayon's signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count; `0` keeps the automatic default.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes a worker-count override, mirroring rayon's pool.
+/// Unlike real rayon the shim has no resident worker threads; `install`
+/// runs the closure on the calling thread with the pool's worker count
+/// governing every `par_iter` fan-out reached from it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count in effect, restoring the
+    /// previous limit afterwards (also on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_LIMIT.set(self.0);
+            }
+        }
+        let _restore = Restore(THREAD_LIMIT.get());
+        THREAD_LIMIT.set(if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        });
+        f()
+    }
+
+    /// The pinned worker count (`0` = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Worker count governing parallel pipelines on the *current* thread,
+/// mirroring `rayon::current_num_threads`: the limit installed by the
+/// innermost enclosing [`ThreadPool::install`], else
+/// `available_parallelism()`. Thread-locals do not cross `std::thread`
+/// spawns, so callers forking plain threads should capture this value and
+/// re-`install` it on the new thread to propagate a pinned limit.
+pub fn current_num_threads() -> usize {
+    THREAD_LIMIT.get().unwrap_or_else(default_parallelism)
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
 fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     F: Fn(T) -> U + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = current_num_threads().min(n.max(1));
     if threads <= 1 || n <= 1 || IN_WORKER.get() {
         return items.into_iter().map(f).collect();
     }
@@ -222,6 +317,25 @@ mod tests {
             })
             .collect();
         assert_eq!(results.len(), 8);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_everything_on_the_calling_thread() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> =
+            pool.install(|| (0..32usize).into_par_iter().map(|_| std::thread::current().id()).collect());
+        assert!(ids.iter().all(|&id| id == caller));
+        // The override is scoped: after install, fan-out is allowed again.
+        assert!(crate::THREAD_LIMIT.get().is_none());
+    }
+
+    #[test]
+    fn pool_results_match_the_default_schedule() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let serial: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|x| x * 3).collect());
+        let parallel: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -3,6 +3,15 @@
 use serde::{Deserialize, Serialize};
 use wdte_trees::{FeatureSubset, ParamGrid, TreeParams};
 
+/// Upper bound on a bumped per-sample weight. Without a clamp a
+/// multiplicative schedule grows without bound — `Multiplicative(3.0)`
+/// overflows `f64` to `inf` after ~650 rounds, and an infinite weight
+/// poisons every weighted-impurity computation with NaNs. `1e12` is far
+/// above any weight needed to isolate a trigger instance (unit weights on
+/// the rest of the training set) while leaving ~4 decimal digits of
+/// headroom before `f64` precision loss in weight sums.
+pub const MAX_TRIGGER_WEIGHT: f64 = 1e12;
+
 /// How the per-sample weights of trigger instances grow between retraining
 /// rounds of `TrainWithTrigger`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -18,12 +27,14 @@ pub enum WeightSchedule {
 }
 
 impl WeightSchedule {
-    /// Applies one round of the schedule to a weight.
+    /// Applies one round of the schedule to a weight, clamped to
+    /// [`MAX_TRIGGER_WEIGHT`] so arbitrarily many rounds stay finite.
     pub fn bump(&self, weight: f64) -> f64 {
-        match *self {
+        let bumped = match *self {
             WeightSchedule::Additive(step) => weight + step,
             WeightSchedule::Multiplicative(factor) => weight * factor,
-        }
+        };
+        bumped.min(MAX_TRIGGER_WEIGHT)
     }
 }
 
@@ -122,6 +133,22 @@ mod tests {
     fn weight_schedules_grow_weights() {
         assert_eq!(WeightSchedule::Additive(1.0).bump(3.0), 4.0);
         assert_eq!(WeightSchedule::Multiplicative(2.0).bump(3.0), 6.0);
+    }
+
+    #[test]
+    fn bumped_weights_stay_finite_forever() {
+        for schedule in [
+            WeightSchedule::Multiplicative(3.0),
+            WeightSchedule::Additive(1e11),
+        ] {
+            let mut weight = 1.0;
+            for _ in 0..5_000 {
+                weight = schedule.bump(weight);
+                assert!(weight.is_finite());
+                assert!(weight <= MAX_TRIGGER_WEIGHT);
+            }
+            assert_eq!(weight, MAX_TRIGGER_WEIGHT, "{schedule:?} reaches the clamp");
+        }
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub enum WatermarkError {
         /// What went wrong while decoding.
         detail: String,
     },
+    /// A dispute referenced a model id that is not registered with the
+    /// [`crate::DisputeService`].
+    UnknownModel {
+        /// The model id the claim was filed against.
+        model_id: String,
+    },
 }
 
 impl fmt::Display for WatermarkError {
@@ -94,6 +100,9 @@ impl fmt::Display for WatermarkError {
             ),
             WatermarkError::CorruptedArtifact { detail } => {
                 write!(f, "corrupted artefact: {detail}")
+            }
+            WatermarkError::UnknownModel { model_id } => {
+                write!(f, "no model registered under id `{model_id}`")
             }
         }
     }

@@ -20,6 +20,9 @@
 //! * [`persist`] — the versioned on-disk format (JSON and little-endian
 //!   binary) for models, signatures, trigger sets and claims, so disputes
 //!   can be resolved from files alone.
+//! * [`DisputeService`] — the concurrent dispute-resolution layer: a
+//!   registry compiling each suspect model exactly once, with multi-claim
+//!   fan-out across worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod attack;
 pub mod config;
 pub mod error;
 pub mod persist;
+pub mod service;
 pub mod signature;
 pub mod verify;
 pub mod watermark;
@@ -38,14 +42,17 @@ pub use attack::{
     DetectionStrategy, ForgedInstance, ForgeryAttackConfig, ForgeryAttackResult, StructureOracle,
     SuppressionReport, SuppressionScore,
 };
-pub use config::{WatermarkConfig, WeightSchedule};
+pub use config::{WatermarkConfig, WeightSchedule, MAX_TRIGGER_WEIGHT};
 pub use error::{WatermarkError, WatermarkResult};
 pub use persist::{Format, FORMAT_VERSION};
+pub use service::{Dispute, DisputeService, DEFAULT_BATCH_SHARD_ROWS};
 pub use signature::Signature;
-pub use verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
+pub use verify::{
+    verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
+};
 pub use watermark::{
-    adjust_hyperparameters, train_with_trigger, trigger_compliance, watermark_holds,
-    EmbeddingDiagnostics, TriggerTrainingDiagnostics, WatermarkOutcome, Watermarker,
+    adjust_hyperparameters, compiled_trigger_compliance, train_with_trigger, trigger_compliance,
+    watermark_holds, EmbeddingDiagnostics, TriggerTrainingDiagnostics, WatermarkOutcome, Watermarker,
 };
 
 /// Commonly used types, re-exported for `use wdte_core::prelude::*`.
@@ -58,7 +65,10 @@ pub mod prelude {
     pub use crate::config::{WatermarkConfig, WeightSchedule};
     pub use crate::error::{WatermarkError, WatermarkResult};
     pub use crate::persist::{self, Format};
+    pub use crate::service::{Dispute, DisputeService};
     pub use crate::signature::Signature;
-    pub use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
+    pub use crate::verify::{
+        verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
+    };
     pub use crate::watermark::{watermark_holds, WatermarkOutcome, Watermarker};
 }

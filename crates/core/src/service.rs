@@ -1,0 +1,431 @@
+//! Concurrent dispute-resolution service.
+//!
+//! The paper's verification protocol is a judge-mediated batch interaction,
+//! and the ROADMAP north star is serving dispute traffic at scale. The
+//! one-shot [`crate::verify_ownership`] entry point recompiles the suspect
+//! forest on every call — fine for a single dispute, wasteful for a judge
+//! adjudicating many claims against the same deployment. [`DisputeService`]
+//! closes that gap:
+//!
+//! * **Registry** — suspect models are registered under a caller-chosen id
+//!   and compiled exactly once into a shared [`Arc<CompiledForest>`],
+//!   however many claims are later resolved against them. Registration
+//!   publishes the `Arc` only after compilation completes, so concurrent
+//!   resolvers can never observe a partially compiled forest.
+//! * **Concurrency** — [`DisputeService::resolve_many`] fans independent
+//!   disputes out across worker threads, and every verification batch is
+//!   itself sharded through
+//!   [`CompiledForest::par_predict_all_batch`]. Results are stitched back
+//!   in input order, so reports are bit-identical to the sequential path
+//!   regardless of the worker-thread count.
+//!
+//! The service is `&self`-only and `Sync`: one instance can be shared
+//! behind an `Arc` by any number of request threads.
+
+use crate::error::{WatermarkError, WatermarkResult};
+use crate::persist;
+use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use wdte_data::{Dataset, Label};
+use wdte_trees::{CompiledForest, RandomForest};
+
+/// Default number of verification-batch rows each worker shard handles.
+/// Small enough to spread one large claim across every core, large enough
+/// that the per-shard row copy is negligible next to the tree walks.
+pub const DEFAULT_BATCH_SHARD_ROWS: usize = 256;
+
+/// One dispute filed with the judge: a claim against a registered model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispute {
+    /// Registry id of the suspect model.
+    pub model_id: String,
+    /// The owner's evidence.
+    pub claim: OwnershipClaim,
+}
+
+impl Dispute {
+    /// Builds a dispute against the model registered under `model_id`.
+    pub fn new(model_id: impl Into<String>, claim: OwnershipClaim) -> Self {
+        Self {
+            model_id: model_id.into(),
+            claim,
+        }
+    }
+}
+
+/// A registry of compiled suspect models plus a concurrent resolver for
+/// ownership claims against them. See the module docs for the guarantees.
+#[derive(Debug)]
+pub struct DisputeService {
+    registry: RwLock<HashMap<String, Arc<CompiledForest>>>,
+    compile_count: AtomicUsize,
+    batch_shard_rows: usize,
+}
+
+impl Default for DisputeService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DisputeService {
+    /// Creates an empty service with the default batch shard size.
+    pub fn new() -> Self {
+        Self {
+            registry: RwLock::new(HashMap::new()),
+            compile_count: AtomicUsize::new(0),
+            batch_shard_rows: DEFAULT_BATCH_SHARD_ROWS,
+        }
+    }
+
+    /// Creates an empty service with a custom verification-batch shard
+    /// size (rows per worker task; clamped to at least 1).
+    pub fn with_batch_shard_rows(batch_shard_rows: usize) -> Self {
+        Self {
+            batch_shard_rows: batch_shard_rows.max(1),
+            ..Self::new()
+        }
+    }
+
+    /// Registers a pointer-tree model, compiling it exactly once. The
+    /// compiled form is shared by every subsequent resolution. Registering
+    /// an id again replaces the previous model.
+    pub fn register(&self, model_id: impl Into<String>, model: &RandomForest) -> Arc<CompiledForest> {
+        // Compile outside the registry lock: registration of a large model
+        // must not block resolutions against other models.
+        let compiled = Arc::new(CompiledForest::compile(model));
+        self.compile_count.fetch_add(1, Ordering::Relaxed);
+        self.publish(model_id.into(), Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Registers an already-compiled model (e.g. loaded from a persisted
+    /// artefact) without paying another compilation.
+    pub fn register_compiled(
+        &self,
+        model_id: impl Into<String>,
+        compiled: CompiledForest,
+    ) -> Arc<CompiledForest> {
+        let compiled = Arc::new(compiled);
+        self.publish(model_id.into(), Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Registers a model from a persisted artefact: either a
+    /// [`CompiledForest`] (as written by `save_model_artifacts` /
+    /// `persist::save`) or a pointer-tree [`RandomForest`], which is then
+    /// compiled once.
+    pub fn register_from_file(
+        &self,
+        model_id: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> WatermarkResult<Arc<CompiledForest>> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|err| WatermarkError::Io {
+            path: path.display().to_string(),
+            message: err.to_string(),
+        })?;
+        match persist::from_bytes::<CompiledForest>(&bytes) {
+            Ok(compiled) => Ok(self.register_compiled(model_id, compiled)),
+            // Container-level failures (wrong magic, future format version)
+            // would hit any payload type: propagate.
+            Err(
+                err @ (WatermarkError::UnrecognizedFormat { .. }
+                | WatermarkError::UnsupportedFormatVersion { .. }),
+            ) => Err(err),
+            // The container decoded but the payload is not a compiled
+            // forest — fall back to a pointer-tree model and compile it. If
+            // that fails too, the file is neither kind of model artefact:
+            // report the first decode error, which names the corruption
+            // precisely rather than a misleading shape mismatch.
+            Err(first) => match persist::from_bytes::<RandomForest>(&bytes) {
+                Ok(model) => Ok(self.register(model_id, &model)),
+                Err(_) => Err(first),
+            },
+        }
+    }
+
+    fn publish(&self, model_id: String, compiled: Arc<CompiledForest>) {
+        self.registry
+            .write()
+            .expect("dispute registry lock is never poisoned")
+            .insert(model_id, compiled);
+    }
+
+    /// The compiled model registered under `model_id`, if any.
+    pub fn model(&self, model_id: &str) -> Option<Arc<CompiledForest>> {
+        self.registry
+            .read()
+            .expect("dispute registry lock is never poisoned")
+            .get(model_id)
+            .cloned()
+    }
+
+    /// Removes a model from the registry; returns the compiled form if the
+    /// id was registered. In-flight resolutions holding the `Arc` finish
+    /// unaffected.
+    pub fn deregister(&self, model_id: &str) -> Option<Arc<CompiledForest>> {
+        self.registry
+            .write()
+            .expect("dispute registry lock is never poisoned")
+            .remove(model_id)
+    }
+
+    /// Ids of every registered model, in unspecified order.
+    pub fn model_ids(&self) -> Vec<String> {
+        self.registry
+            .read()
+            .expect("dispute registry lock is never poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.registry.read().expect("dispute registry lock is never poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of [`CompiledForest::compile`] calls this service has
+    /// performed — the compile-once guarantee made observable: resolving
+    /// any number of claims never increments it.
+    pub fn compile_count(&self) -> usize {
+        self.compile_count.load(Ordering::Relaxed)
+    }
+
+    /// Resolves one claim against a registered model. The verification
+    /// batch is sharded across worker threads; the report is identical to
+    /// [`crate::verify_ownership`] on the same model.
+    pub fn resolve(
+        &self,
+        model_id: &str,
+        claim: &OwnershipClaim,
+    ) -> WatermarkResult<VerificationReport> {
+        let compiled = self.model(model_id).ok_or_else(|| WatermarkError::UnknownModel {
+            model_id: model_id.to_string(),
+        })?;
+        let oracle = ShardedOracle {
+            compiled: &compiled,
+            shard_rows: self.batch_shard_rows,
+        };
+        Ok(verify_ownership(&oracle, claim))
+    }
+
+    /// Resolves many disputes concurrently, returning one verdict per
+    /// dispute in input order. Each dispute is an independent worker task;
+    /// disputes against the same model share its one compiled form.
+    pub fn resolve_many(&self, disputes: &[Dispute]) -> Vec<WatermarkResult<VerificationReport>> {
+        disputes
+            .par_iter()
+            .map(|dispute| self.resolve(&dispute.model_id, &dispute.claim))
+            .collect()
+    }
+}
+
+/// Oracle adapter sharding each verification batch across worker threads.
+struct ShardedOracle<'a> {
+    compiled: &'a CompiledForest,
+    shard_rows: usize,
+}
+
+impl ModelOracle for ShardedOracle<'_> {
+    fn num_trees(&self) -> usize {
+        self.compiled.num_trees()
+    }
+
+    fn query(&self, instance: &[f64]) -> Vec<Label> {
+        self.compiled.predict_all(instance)
+    }
+
+    fn query_batch(&self, batch: &Dataset) -> Vec<Vec<Label>> {
+        self.compiled
+            .par_predict_all_batch(batch.features(), self.shard_rows)
+            .iter()
+            .map(<[Label]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WatermarkConfig;
+    use crate::signature::Signature;
+    use crate::watermark::Watermarker;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdte_data::SyntheticSpec;
+
+    fn embedded() -> (Dataset, crate::watermark::WatermarkOutcome) {
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.7)
+            .generate(&mut SmallRng::seed_from_u64(71));
+        let mut rng = SmallRng::seed_from_u64(72);
+        let (train, test) = dataset.split_stratified(0.75, &mut rng);
+        let signature = Signature::random(10, 0.5, &mut rng);
+        let watermarker = Watermarker::new(WatermarkConfig {
+            num_trees: 10,
+            ..WatermarkConfig::fast()
+        });
+        let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
+        (test, outcome)
+    }
+
+    fn claim_for(outcome: &crate::watermark::WatermarkOutcome, test: &Dataset) -> OwnershipClaim {
+        OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        )
+    }
+
+    #[test]
+    fn resolve_matches_the_one_shot_path_and_compiles_once() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::new();
+        service.register("bobs-api", &outcome.model);
+        assert_eq!(service.compile_count(), 1);
+
+        let direct = verify_ownership(&outcome.model, &claim);
+        for _ in 0..5 {
+            let resolved = service.resolve("bobs-api", &claim).unwrap();
+            assert_eq!(resolved, direct);
+            assert!(resolved.verified);
+        }
+        assert_eq!(service.compile_count(), 1, "resolutions never recompile");
+    }
+
+    #[test]
+    fn resolve_many_returns_verdicts_in_input_order() {
+        let (test, outcome) = embedded();
+        let genuine = claim_for(&outcome, &test);
+        let mut rng = SmallRng::seed_from_u64(73);
+        let fake_signature = Signature::random(10, 0.5, &mut rng);
+        assert!(fake_signature.hamming_distance(&outcome.signature) > 0);
+        let forged = OwnershipClaim::new(fake_signature, outcome.trigger_set.clone(), test.clone());
+
+        let service = DisputeService::new();
+        service.register("m", &outcome.model);
+        let disputes: Vec<Dispute> = (0..8)
+            .map(|i| {
+                let claim = if i % 2 == 0 {
+                    genuine.clone()
+                } else {
+                    forged.clone()
+                };
+                Dispute::new("m", claim)
+            })
+            .collect();
+        let verdicts = service.resolve_many(&disputes);
+        assert_eq!(verdicts.len(), 8);
+        for (i, verdict) in verdicts.iter().enumerate() {
+            let report = verdict.as_ref().unwrap();
+            assert_eq!(report.verified, i % 2 == 0, "dispute {i}");
+        }
+        assert_eq!(service.compile_count(), 1);
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::new();
+        let err = service.resolve("nobody", &claim).unwrap_err();
+        assert!(matches!(err, WatermarkError::UnknownModel { model_id } if model_id == "nobody"));
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let (_, outcome) = embedded();
+        let service = DisputeService::new();
+        assert!(service.is_empty());
+        service.register("a", &outcome.model);
+        let compiled = CompiledForest::compile(&outcome.model);
+        service.register_compiled("b", compiled);
+        assert_eq!(service.len(), 2);
+        let mut ids = service.model_ids();
+        ids.sort();
+        assert_eq!(ids, ["a", "b"]);
+        // Only the pointer-tree registration paid a compile.
+        assert_eq!(service.compile_count(), 1);
+        assert!(service.deregister("a").is_some());
+        assert!(service.model("a").is_none());
+        assert!(service.model("b").is_some());
+        assert_eq!(service.len(), 1);
+    }
+
+    #[test]
+    fn re_registration_replaces_the_model() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let mut rng = SmallRng::seed_from_u64(74);
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(75));
+        let unrelated = Watermarker::new(WatermarkConfig {
+            num_trees: 10,
+            ..WatermarkConfig::fast()
+        })
+        .train_baseline(&dataset, &mut rng);
+
+        let service = DisputeService::new();
+        service.register("m", &unrelated);
+        assert!(!service.resolve("m", &claim).unwrap().verified);
+        service.register("m", &outcome.model);
+        assert!(service.resolve("m", &claim).unwrap().verified);
+        assert_eq!(service.len(), 1);
+    }
+
+    #[test]
+    fn sharded_batches_match_for_every_shard_size() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let reference = verify_ownership(&outcome.model, &claim);
+        for shard_rows in [1, 7, 64, DEFAULT_BATCH_SHARD_ROWS, usize::MAX] {
+            let service = DisputeService::with_batch_shard_rows(shard_rows);
+            service.register("m", &outcome.model);
+            assert_eq!(
+                service.resolve("m", &claim).unwrap(),
+                reference,
+                "shard_rows={shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_from_file_accepts_compiled_and_pointer_artefacts() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let dir = std::env::temp_dir().join(format!("wdte-service-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let compiled_path = dir.join("model.compiled.json");
+        let pointer_path = dir.join("model.wdte");
+        persist::save(
+            &compiled_path,
+            &CompiledForest::compile(&outcome.model),
+            persist::Format::Json,
+        )
+        .unwrap();
+        persist::save(&pointer_path, &outcome.model, persist::Format::Binary).unwrap();
+
+        let service = DisputeService::new();
+        service.register_from_file("compiled", &compiled_path).unwrap();
+        service.register_from_file("pointer", &pointer_path).unwrap();
+        let from_compiled = service.resolve("compiled", &claim).unwrap();
+        let from_pointer = service.resolve("pointer", &claim).unwrap();
+        assert_eq!(from_compiled, from_pointer);
+        assert!(from_compiled.verified);
+        assert!(service.register_from_file("missing", dir.join("nope.wdte")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -90,6 +90,45 @@ impl OwnershipClaim {
         }
     }
 
+    /// Deterministic seed for the disguise shuffle, derived from the
+    /// *secret* claim content (FNV-1a over the signature bits and the
+    /// trigger set's feature/label payload, plus both batch lengths).
+    ///
+    /// Deriving the seed from the batch sizes alone — the previous
+    /// behaviour — was a protocol bug: Bob can count queries, so size-only
+    /// seeding let him reconstruct the permutation and unmask which batch
+    /// positions are trigger instances, defeating the indistinguishability
+    /// argument the suppression analysis relies on. It also collided for
+    /// any two equal-sized claims. Signature and trigger set are exactly
+    /// the material Bob never sees, so hashing them makes the permutation
+    /// unpredictable to him while keeping verification reproducible from
+    /// the claim alone — and, unlike hashing the (much larger) disguise
+    /// set too, stays off the per-claim verification hot path.
+    pub fn disguise_seed(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        // FNV-1a over 64-bit words rather than bytes: every ingested value
+        // (feature bit pattern, label, length) is already a word, and the
+        // seed is recomputed on every verification call, so the 8x cheaper
+        // mixing keeps the derivation cheap.
+        let mut hash = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            hash = (hash ^ word).wrapping_mul(FNV_PRIME);
+        };
+        for &bit in self.signature.bits() {
+            eat(u64::from(bit));
+        }
+        eat(self.trigger_set.len() as u64);
+        eat(self.test_set.len() as u64);
+        for (instance, label) in self.trigger_set.iter() {
+            for &value in instance {
+                eat(value.to_bits());
+            }
+            eat(label.index() as u64);
+        }
+        hash
+    }
+
     /// The full verification batch Charlie sends to the model: trigger and
     /// disguise instances shuffled together. Returns the batch and, for
     /// each batch position, the index of the trigger instance it came from
@@ -137,13 +176,25 @@ pub fn verify_ownership<O: ModelOracle + ?Sized>(
 ) -> VerificationReport {
     // Deterministic disguise order: verification must not depend on an
     // external RNG, so the batch is shuffled with a fixed seed derived from
-    // the claim size. Any order works; the disguise only matters for the
-    // attacker-facing protocol, not for the decision.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(
-        (claim.trigger_set.len() as u64) << 32 | claim.test_set.len() as u64,
-    );
+    // the claim *content* (see [`OwnershipClaim::disguise_seed`] for why
+    // size-derived seeds were a protocol bug). The order never affects the
+    // decision, only the attacker-facing disguise.
     use rand::SeedableRng;
-    let (batch, origin) = claim.verification_batch(&mut rng);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(claim.disguise_seed());
+    verify_ownership_with_rng(model, claim, &mut rng)
+}
+
+/// [`verify_ownership`] with a caller-supplied RNG driving the disguise
+/// shuffle — for judges who want the permutation drawn from their own
+/// entropy source instead of the claim-derived deterministic seed. The
+/// report is identical for any RNG; only the (unobservable) query order
+/// changes.
+pub fn verify_ownership_with_rng<O: ModelOracle + ?Sized, R: Rng + ?Sized>(
+    model: &O,
+    claim: &OwnershipClaim,
+    rng: &mut R,
+) -> VerificationReport {
+    let (batch, origin) = claim.verification_batch(rng);
 
     let mut instance_matches = vec![false; claim.trigger_set.len()];
     let mut matching_bits = 0usize;
@@ -296,6 +347,56 @@ mod tests {
         let batched = verify_ownership(&outcome.model, &claim);
         let sequential = verify_ownership(&PerInstance(&outcome.model), &claim);
         assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn same_sized_claims_get_different_disguise_orders() {
+        let (train, test, outcome, _) = embed();
+        let claim_a = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        // Same trigger/test sizes, different trigger content: under the old
+        // size-derived seed both claims shared one permutation.
+        let mut rng = SmallRng::seed_from_u64(44);
+        let other_indices = train.sample_indices(outcome.trigger_set.len(), &mut rng);
+        let other_trigger = train.select(&other_indices).unwrap();
+        let claim_b = OwnershipClaim::new(outcome.signature.clone(), other_trigger, test.clone());
+        assert_eq!(claim_a.trigger_set.len(), claim_b.trigger_set.len());
+        assert_eq!(claim_a.test_set.len(), claim_b.test_set.len());
+
+        assert_ne!(claim_a.disguise_seed(), claim_b.disguise_seed());
+        let origin_of = |claim: &OwnershipClaim| {
+            use rand::SeedableRng;
+            let mut rng = SmallRng::seed_from_u64(claim.disguise_seed());
+            claim.verification_batch(&mut rng).1
+        };
+        assert_ne!(origin_of(&claim_a), origin_of(&claim_b));
+        // The seed is a pure function of the claim content.
+        assert_eq!(claim_a.disguise_seed(), claim_a.clone().disguise_seed());
+    }
+
+    #[test]
+    fn caller_supplied_rng_changes_the_order_but_not_the_report() {
+        let (_, test, outcome, _) = embed();
+        let claim = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        let deterministic = verify_ownership(&outcome.model, &claim);
+        let mut rng = SmallRng::seed_from_u64(0xFEED);
+        let external = verify_ownership_with_rng(&outcome.model, &claim, &mut rng);
+        assert_eq!(deterministic, external);
+        assert!(external.verified);
+        // The caller's RNG really drives the permutation: a different seed
+        // yields a different disguise order than the claim-derived one.
+        use rand::SeedableRng;
+        let derived_origin =
+            claim.verification_batch(&mut SmallRng::seed_from_u64(claim.disguise_seed())).1;
+        let external_origin = claim.verification_batch(&mut SmallRng::seed_from_u64(0xFEED)).1;
+        assert_ne!(derived_origin, external_origin);
     }
 
     #[test]

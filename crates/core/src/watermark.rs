@@ -16,7 +16,9 @@ use crate::signature::Signature;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use wdte_data::{mean_std, Dataset};
-use wdte_trees::{ForestParams, GridSearch, RandomForest, TreeParams};
+use wdte_trees::{
+    derive_seeds, rng_from_seed, CompiledForest, ForestParams, GridSearch, RandomForest, TreeParams,
+};
 
 /// Diagnostics of one `TrainWithTrigger` run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -142,53 +144,93 @@ impl Watermarker {
         let trigger_indices = train.sample_indices(k, rng);
         let trigger_set = train.select(&trigger_indices).expect("sampled indices are valid");
 
-        // Step 4: train T0 (bit 0 → correct behaviour on the trigger set).
+        // Steps 4 + 5: train T0 (bit 0 → correct behaviour on the trigger
+        // set) and T1 (bit 1 → misclassification, on the label-flipped
+        // training set) concurrently. Each sub-ensemble trains from its own
+        // RNG stream derived from the master seed, so the result is
+        // bit-identical whether the two run in parallel or back-to-back —
+        // and independent of the worker-thread count. Both seeds are always
+        // drawn, even for all-zero / all-one signatures, to keep the master
+        // stream stable across signature shapes.
         let zeros = signature.zeros();
         let ones = signature.ones();
+        let seeds = derive_seeds(2, rng);
+        let flipped_train = if ones > 0 {
+            Some(
+                train
+                    .with_labels_flipped_at(&trigger_indices)
+                    .expect("trigger indices are valid"),
+            )
+        } else {
+            None
+        };
+        let sub_params = |num_trees: usize| ForestParams {
+            num_trees,
+            tree: adjusted_tree_params,
+            feature_subset: config.feature_subset,
+        };
+        // Plain scoped threads rather than the rayon shim: the shim
+        // serializes nested parallel iterators inside its workers, which
+        // would strip the per-tree parallelism of `fit_weighted`. A fresh
+        // OS thread keeps the inner fan-out, at worst briefly
+        // oversubscribing the machine by 2x. Thread-locals don't cross the
+        // spawn, so a `ThreadPool::install`ed worker limit is re-installed
+        // on the T0 thread: `num_threads(1)` serializes the fan-out inside
+        // *each* sub-ensemble's training (T0 and T1 themselves still
+        // overlap — their bit-identity is guaranteed by the derived seeds,
+        // not by scheduling).
+        let worker_limit = rayon::current_num_threads();
+        let (t0_result, t1_result) = std::thread::scope(|scope| {
+            let trigger_indices = &trigger_indices;
+            let t0_handle = (zeros > 0).then(|| {
+                let params = sub_params(zeros);
+                let seed = seeds[0];
+                scope.spawn(move || {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(worker_limit)
+                        .build()
+                        .expect("the rayon shim's pool build is infallible")
+                        .install(|| {
+                            train_with_trigger(
+                                train,
+                                trigger_indices,
+                                &params,
+                                config,
+                                &mut rng_from_seed(seed),
+                            )
+                        })
+                })
+            });
+            let t1_result = flipped_train.as_ref().map(|flipped| {
+                train_with_trigger(
+                    flipped,
+                    trigger_indices,
+                    &sub_params(ones),
+                    config,
+                    &mut rng_from_seed(seeds[1]),
+                )
+            });
+            let t0_result = t0_handle.map(|handle| handle.join().expect("T0 training does not panic"));
+            (t0_result, t1_result)
+        });
         let mut t0 = None;
         let mut t0_diag = None;
-        if zeros > 0 {
-            let params = ForestParams {
-                num_trees: zeros,
-                tree: adjusted_tree_params,
-                feature_subset: config.feature_subset,
-            };
-            let (forest, diag) = train_with_trigger(train, &trigger_indices, &params, config, rng);
-            if config.strict && !diag.compliant {
-                return Err(WatermarkError::TriggerForcingFailed {
-                    ensemble: "T0",
-                    rounds: diag.rounds,
-                    compliance: diag.compliance,
-                });
-            }
-            t0 = Some(forest);
-            t0_diag = Some(diag);
-        }
-
-        // Step 5: train T1 (bit 1 → misclassification) on the label-flipped
-        // training set.
         let mut t1 = None;
         let mut t1_diag = None;
-        if ones > 0 {
-            let flipped_train = train
-                .with_labels_flipped_at(&trigger_indices)
-                .expect("trigger indices are valid");
-            let params = ForestParams {
-                num_trees: ones,
-                tree: adjusted_tree_params,
-                feature_subset: config.feature_subset,
-            };
-            let (forest, diag) =
-                train_with_trigger(&flipped_train, &trigger_indices, &params, config, rng);
+        for (ensemble, result, forest_slot, diag_slot) in [
+            ("T0", t0_result, &mut t0, &mut t0_diag),
+            ("T1", t1_result, &mut t1, &mut t1_diag),
+        ] {
+            let Some((forest, diag)) = result else { continue };
             if config.strict && !diag.compliant {
                 return Err(WatermarkError::TriggerForcingFailed {
-                    ensemble: "T1",
+                    ensemble,
                     rounds: diag.rounds,
                     compliance: diag.compliance,
                 });
             }
-            t1 = Some(forest);
-            t1_diag = Some(diag);
+            *forest_slot = Some(forest);
+            *diag_slot = Some(diag);
         }
 
         // Step 6: interleave trees according to the signature.
@@ -300,11 +342,21 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
     let mut relaxations = 0usize;
     let mut rounds = 0usize;
     let mut best: Option<(RandomForest, f64)> = None;
+    // The trigger rows never change across rounds; materialize them once so
+    // every round's compliance check is a single compiled batch pass.
+    let trigger_view = if trigger_indices.is_empty() {
+        None
+    } else {
+        Some(dataset.select(trigger_indices).expect("trigger indices are valid"))
+    };
 
     loop {
         rounds += 1;
         let forest = RandomForest::fit_weighted(dataset, &weights, &current_params, rng);
-        let compliance = trigger_compliance(&forest, dataset, trigger_indices);
+        let compliance = match &trigger_view {
+            Some(trigger) => compiled_trigger_compliance(&CompiledForest::compile(&forest), trigger),
+            None => 1.0,
+        };
         let is_better = best.as_ref().is_none_or(|(_, c)| compliance > *c);
         if is_better {
             best = Some((forest, compliance));
@@ -340,21 +392,33 @@ pub fn train_with_trigger<R: Rng + ?Sized>(
 
 /// Fraction of (tree, trigger instance) pairs where the tree predicts the
 /// label recorded in `dataset`.
+///
+/// Compiles the forest once and answers all trigger instances through the
+/// batch inference path; inside Algorithm 1's retraining loop the caller
+/// ([`train_with_trigger`]) additionally hoists the trigger-row selection
+/// out of the loop and calls [`compiled_trigger_compliance`] directly.
 pub fn trigger_compliance(forest: &RandomForest, dataset: &Dataset, trigger_indices: &[usize]) -> f64 {
     if trigger_indices.is_empty() || forest.num_trees() == 0 {
         return 1.0;
     }
-    let mut satisfied = 0usize;
-    let total = trigger_indices.len() * forest.num_trees();
-    for &index in trigger_indices {
-        let instance = dataset.instance(index);
-        let label = dataset.label(index);
-        for tree in forest.trees() {
-            if tree.predict(instance) == label {
-                satisfied += 1;
-            }
-        }
+    let trigger = dataset.select(trigger_indices).expect("trigger indices are valid");
+    compiled_trigger_compliance(&CompiledForest::compile(forest), &trigger)
+}
+
+/// [`trigger_compliance`] against an already-compiled forest and an
+/// already-selected trigger dataset — the per-round hot path of
+/// `TrainWithTrigger`.
+pub fn compiled_trigger_compliance(compiled: &CompiledForest, trigger: &Dataset) -> f64 {
+    if trigger.is_empty() || compiled.num_trees() == 0 {
+        return 1.0;
     }
+    let predictions = compiled.predict_all_batch(trigger.features());
+    let total = trigger.len() * compiled.num_trees();
+    let satisfied: usize = predictions
+        .iter()
+        .zip(trigger.labels())
+        .map(|(votes, &label)| votes.iter().filter(|&&vote| vote == label).count())
+        .sum();
     satisfied as f64 / total as f64
 }
 
@@ -477,6 +541,91 @@ mod tests {
             probe.tree_stats().iter().map(|s| s.depth as f64).sum::<f64>() / probe.num_trees() as f64;
         assert!(adjusted.max_depth.unwrap() as f64 <= mean_depth);
         assert!(adjusted.max_leaves.is_some());
+    }
+
+    #[test]
+    fn compiled_compliance_matches_the_recursive_walk() {
+        let train = small_train();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let params = ForestParams {
+            num_trees: 7,
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&train, &params, &mut rng);
+        let trigger_indices: Vec<usize> = (0..train.len()).step_by(9).collect();
+        // Reference value from the pointer-tree walk, one sample at a time.
+        let mut satisfied = 0usize;
+        for &index in &trigger_indices {
+            for tree in forest.trees() {
+                if tree.predict(train.instance(index)) == train.label(index) {
+                    satisfied += 1;
+                }
+            }
+        }
+        let recursive = satisfied as f64 / (trigger_indices.len() * forest.num_trees()) as f64;
+        let batched = trigger_compliance(&forest, &train, &trigger_indices);
+        assert_eq!(batched, recursive);
+        let trigger = train.select(&trigger_indices).unwrap();
+        assert_eq!(
+            compiled_trigger_compliance(&CompiledForest::compile(&forest), &trigger),
+            recursive
+        );
+    }
+
+    #[test]
+    fn extreme_weight_rounds_never_produce_non_finite_weights_or_nan_splits() {
+        // Two identical instances with opposite labels: no tree can satisfy
+        // both, so with both in the trigger set compliance stays below 1.0
+        // and the loop runs the full (huge) round budget. Without the
+        // weight clamp, Multiplicative(3.0) overflows to inf after ~650
+        // rounds and weighted impurities turn NaN.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![i as f64, (i % 3) as f64]);
+            labels.push(if i % 2 == 0 {
+                wdte_data::Label::Positive
+            } else {
+                wdte_data::Label::Negative
+            });
+        }
+        rows.push(vec![100.0, 100.0]);
+        labels.push(wdte_data::Label::Positive);
+        rows.push(vec![100.0, 100.0]);
+        labels.push(wdte_data::Label::Negative);
+        let features = wdte_data::DenseMatrix::from_rows(&rows).unwrap();
+        let dataset = Dataset::new("conflicting", features, labels).unwrap();
+
+        let config = WatermarkConfig {
+            num_trees: 2,
+            weight_schedule: crate::WeightSchedule::Multiplicative(3.0),
+            max_weight_rounds: 800,
+            relax_after: 0,
+            ..WatermarkConfig::fast()
+        };
+        let params = ForestParams {
+            num_trees: 2,
+            tree: TreeParams {
+                max_depth: Some(4),
+                ..TreeParams::default()
+            },
+            feature_subset: FeatureSubset::All,
+        };
+        let trigger_indices = vec![8, 9];
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (forest, diag) = train_with_trigger(&dataset, &trigger_indices, &params, &config, &mut rng);
+        assert_eq!(diag.rounds, 800, "the conflicting trigger keeps the loop running");
+        assert!(!diag.compliant);
+        assert!(diag.max_trigger_weight.is_finite());
+        assert!(diag.max_trigger_weight <= crate::config::MAX_TRIGGER_WEIGHT);
+        assert!(diag.compliance.is_finite());
+        for tree in forest.trees() {
+            for node in tree.nodes() {
+                if let wdte_trees::Node::Internal { threshold, .. } = node {
+                    assert!(threshold.is_finite(), "split threshold poisoned: {threshold}");
+                }
+            }
+        }
     }
 
     #[test]

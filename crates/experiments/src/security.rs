@@ -8,8 +8,8 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use wdte_core::{
     evaluate_detection, evaluate_suppression, forge_trigger_set, forge_trigger_set_compiled, persist,
-    DetectionFeature, DetectionStrategy, ForgeryAttackConfig, OwnershipClaim, Signature,
-    SuppressionScore, WatermarkOutcome, Watermarker,
+    DetectionFeature, DetectionStrategy, Dispute, DisputeService, ForgeryAttackConfig, OwnershipClaim,
+    Signature, SuppressionScore, WatermarkOutcome, Watermarker,
 };
 use wdte_data::Dataset;
 use wdte_solver::LeafIndex;
@@ -83,6 +83,48 @@ pub fn save_model_artifacts(setup: &SecuritySetup) {
     report(
         &claim_path,
         persist::save(&claim_path, &claim, persist::Format::Binary),
+    );
+}
+
+/// Adjudicates the owners' genuine claims for every setup as one
+/// concurrent [`DisputeService`] docket: each watermarked model is
+/// registered (and compiled) once, then all claims resolve in parallel —
+/// the serving-side pipeline the persisted `results/models/` artefacts
+/// feed. Panics if a genuine claim fails to verify, so experiment runs
+/// double as an end-to-end check of the service layer.
+pub fn adjudicate_via_service(setups: &[SecuritySetup]) {
+    let service = DisputeService::new();
+    let disputes: Vec<Dispute> = setups
+        .iter()
+        .map(|setup| {
+            service.register(setup.dataset.name(), &setup.outcome.model);
+            let claim = OwnershipClaim::new(
+                setup.outcome.signature.clone(),
+                setup.outcome.trigger_set.clone(),
+                setup.test.clone(),
+            );
+            Dispute::new(setup.dataset.name(), claim)
+        })
+        .collect();
+    for (setup, verdict) in setups.iter().zip(service.resolve_many(&disputes)) {
+        let report = verdict.expect("every dispute names a registered model");
+        println!(
+            "[dispute] {}: verified={} (bit agreement {:.3}, {} black-box queries)",
+            setup.dataset.name(),
+            report.verified,
+            report.bit_agreement,
+            report.queries_issued
+        );
+        assert!(
+            report.verified,
+            "genuine claim on {} must verify",
+            setup.dataset.name()
+        );
+    }
+    println!(
+        "[dispute] {} claims resolved with {} model compilations",
+        disputes.len(),
+        service.compile_count()
     );
 }
 

@@ -132,11 +132,14 @@ impl GridSearch {
 
     /// Runs the search and returns the best hyper-parameters.
     ///
-    /// Grid points are evaluated in parallel with deterministic per-point
-    /// seeds derived from `rng`, so results are reproducible for a fixed
-    /// seed. Ties are broken towards the *smaller* structural budget
-    /// (shallower, fewer leaves), matching the intuition that the paper's
-    /// adjustment heuristic prefers compact trees.
+    /// Every (grid point, fold) pair is an independent task fanned out
+    /// across worker threads, each training from its own seed derived from
+    /// `rng` — so results are bit-identical for a fixed seed regardless of
+    /// the worker-thread count, and load balances even when one expensive
+    /// grid point (e.g. unlimited depth) dominates. Ties are broken towards
+    /// the *smaller* structural budget (shallower, fewer leaves), matching
+    /// the intuition that the paper's adjustment heuristic prefers compact
+    /// trees.
     pub fn run<R: Rng + ?Sized>(&self, dataset: &Dataset, rng: &mut R) -> GridSearchResult {
         assert!(!dataset.is_empty(), "grid search needs data");
         let folds = stratified_k_folds(dataset, self.folds.max(2), rng);
@@ -153,22 +156,38 @@ impl GridSearch {
             .collect();
         // Grid points inherit the base split strategy.
         let combos = self.grid.combinations_with(self.base_params.tree.strategy);
-        let seeds: Vec<u64> = (0..combos.len()).map(|_| rng.gen()).collect();
+        // One task (and one derived seed) per (grid point, fold) pair; the
+        // seeds are drawn before the fan-out, in task order, so the
+        // schedule is fixed no matter how tasks land on threads.
+        let tasks: Vec<(usize, usize)> = (0..combos.len())
+            .flat_map(|combo| (0..fold_datasets.len()).map(move |fold| (combo, fold)))
+            .collect();
+        let seeds: Vec<u64> = (0..tasks.len()).map(|_| rng.gen()).collect();
 
-        let all_results: Vec<GridPointResult> = combos
+        let fold_results: Vec<Option<f64>> = tasks
             .par_iter()
             .zip(seeds.par_iter())
-            .map(|(tree_params, &seed)| {
-                let mut point_rng = SmallRng::seed_from_u64(seed);
-                let params = self.base_params.with_tree_params(*tree_params);
-                let mut fold_accuracies = Vec::with_capacity(fold_datasets.len());
-                for (train, validation) in &fold_datasets {
-                    if train.is_empty() || validation.is_empty() {
-                        continue;
-                    }
-                    let forest = RandomForest::fit(train, &params, &mut point_rng);
-                    fold_accuracies.push(forest.accuracy(validation));
+            .map(|(&(combo, fold), &seed)| {
+                let (train, validation) = &fold_datasets[fold];
+                if train.is_empty() || validation.is_empty() {
+                    return None;
                 }
+                let params = self.base_params.with_tree_params(combos[combo]);
+                let forest = RandomForest::fit(train, &params, &mut SmallRng::seed_from_u64(seed));
+                Some(forest.accuracy(validation))
+            })
+            .collect();
+
+        let all_results: Vec<GridPointResult> = combos
+            .iter()
+            .enumerate()
+            .map(|(combo, tree_params)| {
+                let fold_accuracies: Vec<f64> = fold_results
+                    [combo * fold_datasets.len()..(combo + 1) * fold_datasets.len()]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
                 let mean_accuracy = if fold_accuracies.is_empty() {
                     0.0
                 } else {
@@ -242,6 +261,19 @@ mod tests {
         assert!(search.grid.combinations().contains(&result.best_params.tree));
         assert_eq!(result.all_results.len(), search.grid.combinations().len());
         assert_eq!(result.best_params.num_trees, 9);
+    }
+
+    #[test]
+    fn search_is_identical_with_one_worker_and_many() {
+        let dataset = SyntheticSpec::breast_cancer_like()
+            .scaled(0.4)
+            .generate(&mut SmallRng::seed_from_u64(4));
+        let search = GridSearch::fast(ForestParams::with_trees(5));
+        let parallel = search.run(&dataset, &mut SmallRng::seed_from_u64(13));
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let serial = pool.install(|| search.run(&dataset, &mut SmallRng::seed_from_u64(13)));
+        assert_eq!(parallel.best_params, serial.best_params);
+        assert_eq!(parallel.all_results, serial.all_results);
     }
 
     #[test]

@@ -524,9 +524,12 @@ impl CompiledForest {
             features.cols(),
             self.num_features
         );
-        let samples = features.rows();
-        let values = features.as_slice();
-        let cols = features.cols();
+        self.predict_all_rows(features.as_slice(), features.cols(), features.rows())
+    }
+
+    /// [`Self::predict_all_batch`] over a raw row-major slice; lets the
+    /// sharded path predict sub-ranges of a matrix without copying rows.
+    fn predict_all_rows(&self, values: &[f64], cols: usize, samples: usize) -> BatchPredictions {
         let num_trees = self.num_trees();
         let mut labels = vec![Label::Negative; samples * num_trees];
         if self.prefers_tree_lockstep(cols) {
@@ -553,6 +556,49 @@ impl CompiledForest {
                     }
                 });
             }
+        }
+        BatchPredictions { labels, num_trees }
+    }
+
+    /// [`Self::predict_all_batch`] sharded across worker threads: rows are
+    /// split into contiguous shards of at most `shard_rows`, each shard is
+    /// predicted independently, and the per-sample votes are stitched back
+    /// in row order — bit-identical to the single-threaded call for every
+    /// shard size and worker count. This is the dispute-service hot path,
+    /// where one verification batch can carry thousands of disguised
+    /// queries.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn par_predict_all_batch(&self, features: &DenseMatrix, shard_rows: usize) -> BatchPredictions {
+        use rayon::prelude::*;
+        let shard_rows = shard_rows.max(1);
+        let samples = features.rows();
+        let cols = features.cols();
+        if samples <= shard_rows || cols == 0 {
+            return self.predict_all_batch(features);
+        }
+        assert!(
+            cols >= self.num_features,
+            "batch has {} features but the model needs {}",
+            cols,
+            self.num_features
+        );
+        let values = features.as_slice();
+        let starts: Vec<usize> = (0..samples).step_by(shard_rows).collect();
+        let shards: Vec<BatchPredictions> = starts
+            .into_par_iter()
+            .map(|start| {
+                let end = (start + shard_rows).min(samples);
+                // Rows are contiguous in row-major storage, so a shard is a
+                // borrowed subslice — no copy.
+                self.predict_all_rows(&values[start * cols..end * cols], cols, end - start)
+            })
+            .collect();
+        let num_trees = self.num_trees();
+        let mut labels = Vec::with_capacity(samples * num_trees);
+        for shard in shards {
+            labels.extend(shard.labels);
         }
         BatchPredictions { labels, num_trees }
     }

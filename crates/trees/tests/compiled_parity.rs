@@ -57,6 +57,11 @@ proptest! {
         for (index, (row, _)) in dataset.iter().enumerate() {
             prop_assert_eq!(batch.sample(index), forest.predict_all(row).as_slice());
         }
+        // The thread-sharded path must stitch shards back bit-identically,
+        // for shard sizes smaller and larger than the batch.
+        for shard_rows in [1usize, 3, 1024] {
+            prop_assert_eq!(&compiled.par_predict_all_batch(dataset.features(), shard_rows), &batch);
+        }
 
         // Probe-set parity on instances the forest never saw, including
         // rows that are entirely NaN/±inf.

@@ -1,0 +1,121 @@
+//! Dispute-resolution service: many claims, many claimants, one compile.
+//!
+//! Two owners (Alice and Carol) each deploy a watermarked model; a wave of
+//! ownership claims — genuine ones from the owners, forged ones from
+//! Mallory — arrives at the judge's `DisputeService`. The service compiles
+//! each registered deployment exactly once and resolves the whole docket
+//! concurrently, sharding every disguised verification batch across worker
+//! threads.
+//!
+//! Run with `cargo run --release --example serve_disputes`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wdte::prelude::*;
+
+fn embed(spec: SyntheticSpec, identity: &str, seed: u64) -> (WatermarkOutcome, wdte::data::Dataset) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset = spec.generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::from_identity(identity, 16);
+    let config = WatermarkConfig {
+        num_trees: 16,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .expect("embedding succeeds");
+    (outcome, test)
+}
+
+fn main() {
+    let (alice, alice_test) = embed(
+        SyntheticSpec::breast_cancer_like().scaled(0.7),
+        "alice@modelcorp.example",
+        101,
+    );
+    let (carol, carol_test) = embed(
+        SyntheticSpec::ijcnn1_like().scaled(0.06),
+        "carol@mlstartup.example",
+        202,
+    );
+
+    // The judge registers both suspect deployments: one compile each,
+    // shared by every claim resolved below.
+    let service = DisputeService::new();
+    service.register("alice-deployment", &alice.model);
+    service.register("carol-deployment", &carol.model);
+    println!(
+        "registered {} deployments ({} compilations)",
+        service.len(),
+        service.compile_count()
+    );
+
+    // The docket: genuine claims from both owners, plus Mallory filing her
+    // own signature with a trigger set sampled from public data against
+    // both deployments.
+    let genuine_alice = OwnershipClaim::new(
+        alice.signature.clone(),
+        alice.trigger_set.clone(),
+        alice_test.clone(),
+    );
+    let genuine_carol = OwnershipClaim::new(
+        carol.signature.clone(),
+        carol.trigger_set.clone(),
+        carol_test.clone(),
+    );
+    let mallory_signature = Signature::from_identity("mallory@pirate.example", 16);
+    let mallory_indices: Vec<usize> = (0..alice.trigger_set.len()).collect();
+    let forged_vs_alice = OwnershipClaim::new(
+        mallory_signature.clone(),
+        alice_test.select(&mallory_indices).expect("test set is large enough"),
+        alice_test.clone(),
+    );
+    let forged_vs_carol = OwnershipClaim::new(
+        mallory_signature,
+        carol_test
+            .select(&(0..carol.trigger_set.len()).collect::<Vec<_>>())
+            .expect("large enough"),
+        carol_test.clone(),
+    );
+    let mut docket = Vec::new();
+    for _ in 0..16 {
+        docket.push(Dispute::new("alice-deployment", genuine_alice.clone()));
+        docket.push(Dispute::new("carol-deployment", genuine_carol.clone()));
+        docket.push(Dispute::new("alice-deployment", forged_vs_alice.clone()));
+        docket.push(Dispute::new("carol-deployment", forged_vs_carol.clone()));
+    }
+
+    let start = Instant::now();
+    let verdicts = service.resolve_many(&docket);
+    let elapsed = start.elapsed();
+
+    let mut upheld = 0usize;
+    let mut rejected = 0usize;
+    let mut queries = 0usize;
+    for verdict in &verdicts {
+        let report = verdict.as_ref().expect("every dispute names a registered model");
+        if report.verified {
+            upheld += 1;
+        } else {
+            rejected += 1;
+        }
+        queries += report.queries_issued;
+    }
+    println!(
+        "resolved {} disputes in {:.1} ms ({:.0} disputes/s, {} black-box queries)",
+        docket.len(),
+        elapsed.as_secs_f64() * 1e3,
+        docket.len() as f64 / elapsed.as_secs_f64(),
+        queries
+    );
+    println!("  upheld:   {upheld} (the owners' genuine claims)");
+    println!("  rejected: {rejected} (Mallory's forgeries)");
+    println!("  compilations performed, total: {}", service.compile_count());
+
+    assert_eq!(upheld, 32, "every genuine claim must verify");
+    assert_eq!(rejected, 32, "every forged claim must fail");
+    assert_eq!(service.compile_count(), 2, "one compile per deployment, ever");
+    println!("service docket resolved correctly.");
+}

@@ -1,0 +1,155 @@
+//! Concurrency determinism suite.
+//!
+//! The parallel layers added for the dispute service — concurrent `T0`/`T1`
+//! training, grid-search fold fan-out, sharded verification batches,
+//! multi-claim resolution — must all be *schedule-free*: fixed-seed results
+//! are bit-identical with 1 worker and N workers, and concurrent claims
+//! against a shared registry never observe partially compiled state.
+//!
+//! Worker counts are pinned through the rayon compat layer's
+//! `ThreadPoolBuilder::num_threads(1)`, which serializes every `par_iter`
+//! fan-out reached from `install` (embedding re-installs the limit on the
+//! scoped thread it spawns, so both halves of the T0/T1 fork obey it too;
+//! the two halves still overlap in time — their bit-identity comes from
+//! per-task derived seeds, not from scheduling).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+use std::sync::Arc;
+use wdte::prelude::*;
+
+fn fixture() -> (wdte::data::Dataset, wdte::data::Dataset, Signature, Watermarker) {
+    let dataset = SyntheticSpec::breast_cancer_like()
+        .scaled(0.7)
+        .generate(&mut SmallRng::seed_from_u64(91));
+    let mut rng = SmallRng::seed_from_u64(92);
+    let (train, test) = dataset.split_stratified(0.75, &mut rng);
+    let signature = Signature::random(12, 0.5, &mut rng);
+    let watermarker = Watermarker::new(WatermarkConfig {
+        num_trees: 12,
+        ..WatermarkConfig::fast()
+    });
+    (train, test, signature, watermarker)
+}
+
+#[test]
+fn fixed_seed_embedding_is_identical_with_one_worker_and_many() {
+    let (train, _, signature, watermarker) = fixture();
+    let parallel = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(93)).unwrap();
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let serial = pool
+        .install(|| watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(93)))
+        .unwrap();
+    assert_eq!(parallel.model, serial.model);
+    assert_eq!(parallel.trigger_indices, serial.trigger_indices);
+    assert_eq!(parallel.diagnostics, serial.diagnostics);
+}
+
+#[test]
+fn fixed_seed_resolution_is_identical_with_one_worker_and_many() {
+    let (train, test, signature, watermarker) = fixture();
+    let outcome = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(94)).unwrap();
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
+    let disputes: Vec<Dispute> = (0..6).map(|_| Dispute::new("m", claim.clone())).collect();
+
+    // Tiny shard size so a single claim really is split across many tasks.
+    let service = DisputeService::with_batch_shard_rows(8);
+    service.register("m", &outcome.model);
+    let parallel = service.resolve_many(&disputes);
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let serial = pool.install(|| service.resolve_many(&disputes));
+    assert_eq!(parallel.len(), serial.len());
+    for (a, b) in parallel.iter().zip(&serial) {
+        assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert!(a.as_ref().unwrap().verified);
+    }
+    // And both match the plain one-shot verification path.
+    assert_eq!(
+        *parallel[0].as_ref().unwrap(),
+        verify_ownership(&outcome.model, &claim)
+    );
+}
+
+#[test]
+fn concurrent_claims_share_exactly_one_compile() {
+    let (train, test, signature, watermarker) = fixture();
+    let outcome = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(95)).unwrap();
+    let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
+    let service = Arc::new(DisputeService::new());
+    service.register("shared", &outcome.model);
+
+    let reference = service.resolve("shared", &claim).unwrap();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let claim = claim.clone();
+            std::thread::spawn(move || service.resolve("shared", &claim).unwrap())
+        })
+        .collect();
+    for handle in handles {
+        let report = handle.join().unwrap();
+        assert_eq!(report, reference);
+        assert!(report.verified);
+    }
+    assert_eq!(
+        service.compile_count(),
+        1,
+        "claim count must not affect compile count"
+    );
+}
+
+#[test]
+fn resolution_never_observes_a_partially_compiled_forest() {
+    let (train, test, signature, watermarker) = fixture();
+    let outcome = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(96)).unwrap();
+    let claim = OwnershipClaim::new(signature.clone(), outcome.trigger_set.clone(), test.clone());
+    let service = Arc::new(DisputeService::new());
+    service.register("target", &outcome.model);
+    let reference = service.resolve("target", &claim).unwrap();
+
+    // Hammer the target model from several threads while the registry
+    // churns: other models register and deregister concurrently, and
+    // "target" itself is re-registered (replaced with the same model)
+    // under load. Every resolution must return the complete, identical
+    // report — a torn or half-published compiled forest would change
+    // per-tree votes (or panic).
+    let resolvers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let claim = claim.clone();
+            std::thread::spawn(move || {
+                (0..20).map(|_| service.resolve("target", &claim).unwrap()).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let churn = {
+        let service = Arc::clone(&service);
+        let model = outcome.model.clone();
+        std::thread::spawn(move || {
+            for round in 0..10 {
+                let id = format!("churn-{round}");
+                service.register(&id, &model);
+                service.register("target", &model);
+                service.deregister(&id);
+            }
+        })
+    };
+    for handle in resolvers {
+        for report in handle.join().unwrap() {
+            assert_eq!(report, reference);
+            assert!(report.verified);
+        }
+    }
+    churn.join().unwrap();
+    assert!(service.model("target").is_some());
+}
+
+#[test]
+fn baseline_training_is_identical_with_one_worker_and_many() {
+    let (train, _, _, watermarker) = fixture();
+    let parallel = watermarker.train_baseline(&train, &mut SmallRng::seed_from_u64(97));
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let serial = pool.install(|| watermarker.train_baseline(&train, &mut SmallRng::seed_from_u64(97)));
+    assert_eq!(parallel, serial);
+}
