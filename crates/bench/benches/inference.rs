@@ -5,12 +5,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use wdte_bench::{serving_image, small_tabular};
 use wdte_core::{
     verify_ownership, Dispute, DisputeService, ModelOracle, OwnershipClaim, Signature, WatermarkConfig,
     Watermarker,
 };
 use wdte_data::Label;
+use wdte_server::{DisputeClient, JudgeServer, ServerConfig};
 use wdte_trees::{CompiledForest, ForestParams, RandomForest};
 
 /// Oracle that walks the pointer trees one instance at a time — the
@@ -89,7 +91,7 @@ fn bench_verification_throughput(c: &mut Criterion) {
     // at a time (recompiling the forest per claim).
     const DOCKET: usize = 32;
     let disputes: Vec<Dispute> = (0..DOCKET).map(|_| Dispute::new("m", claim.clone())).collect();
-    let service = DisputeService::new();
+    let service = DisputeService::builder().build().unwrap();
     service.register("m", &outcome.model);
     group.bench_function("verify_32_claims_recompile_each", |b| {
         b.iter(|| {
@@ -109,6 +111,58 @@ fn bench_verification_throughput(c: &mut Criterion) {
                 .count()
         })
     });
+
+    // The same service behind the TCP front-end: a judge on loopback, a
+    // 64-claim docket per request. The delta against the in-process numbers
+    // above is the whole wire cost (framing, serde, socket hops).
+    let served = Arc::new(DisputeService::builder().build().unwrap());
+    served.register("m", &outcome.model);
+    let server = JudgeServer::bind("127.0.0.1:0", Arc::clone(&served), ServerConfig::default())
+        .expect("loopback bind succeeds")
+        .spawn();
+    let wire_docket: Vec<Dispute> = (0..64).map(|_| Dispute::new("m", claim.clone())).collect();
+    let mut client = DisputeClient::connect(server.addr()).expect("bench client connects");
+    group.bench_function("served_loopback_64_claim_docket", |b| {
+        b.iter(|| {
+            client
+                .resolve_docket(&wire_docket)
+                .expect("docket resolves")
+                .into_iter()
+                .filter(|verdict| verdict.as_ref().is_ok_and(|r| r.verified))
+                .count()
+        })
+    });
+
+    // Open-loop load: four independent connections fire 16-claim dockets
+    // concurrently, each submitting its next docket the moment the
+    // previous answer lands — the judge's accept loop, connection threads
+    // and the shared registry all under simultaneous fire.
+    let open_docket: Vec<Dispute> = (0..16).map(|_| Dispute::new("m", claim.clone())).collect();
+    group.bench_function("served_4_connections_16_claims_each", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let addr = server.addr();
+                        let docket = &open_docket;
+                        scope.spawn(move || {
+                            let mut client =
+                                DisputeClient::connect(addr).expect("bench client connects");
+                            client
+                                .resolve_docket(docket)
+                                .expect("docket resolves")
+                                .into_iter()
+                                .filter(|verdict| verdict.as_ref().is_ok_and(|r| r.verified))
+                                .count()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panics")).sum::<usize>()
+            })
+        })
+    });
+    drop(client);
+    server.shutdown().expect("clean shutdown");
     group.finish();
 }
 

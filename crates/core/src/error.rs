@@ -34,9 +34,10 @@ pub enum WatermarkError {
     /// A degenerate signature (all zeros or all ones) was rejected by a
     /// caller that requires both sub-ensembles to be non-empty.
     DegenerateSignature,
-    /// Reading or writing a persisted artefact failed at the I/O layer.
+    /// Reading or writing a persisted artefact — or a protocol socket —
+    /// failed at the I/O layer.
     Io {
-        /// Path of the file involved.
+        /// Path of the file (or `"socket"` / the peer address) involved.
         path: String,
         /// Operating-system error message.
         message: String,
@@ -66,6 +67,44 @@ pub enum WatermarkError {
     UnknownModel {
         /// The model id the claim was filed against.
         model_id: String,
+    },
+    /// A docket exceeded the service's configured
+    /// [`max_docket`](crate::service::DisputeServiceBuilder::max_docket)
+    /// cap and was refused whole, before resolving anything.
+    DocketTooLarge {
+        /// Number of disputes in the refused docket.
+        size: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A wire frame violated the dispute-resolution protocol: bad magic,
+    /// truncated header or payload, trailing bytes, or a payload that does
+    /// not decode as the expected message.
+    ProtocolViolation {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// A wire frame was sent by a peer speaking a different (usually
+    /// newer) protocol version than this build supports.
+    UnsupportedProtocolVersion {
+        /// Version announced in the frame header.
+        found: u16,
+        /// Version this build speaks.
+        supported: u16,
+    },
+    /// A wire frame announced a payload larger than the receiver's
+    /// configured cap; refused before any allocation.
+    FrameTooLarge {
+        /// Announced payload size in bytes.
+        size: u64,
+        /// The receiver's cap in bytes.
+        max: u64,
+    },
+    /// A remote judge reported a failure that has no structured mapping on
+    /// this side (e.g. an internal server error rendered as text).
+    Remote {
+        /// The error message as reported by the peer.
+        message: String,
     },
 }
 
@@ -103,6 +142,22 @@ impl fmt::Display for WatermarkError {
             }
             WatermarkError::UnknownModel { model_id } => {
                 write!(f, "no model registered under id `{model_id}`")
+            }
+            WatermarkError::DocketTooLarge { size, max } => {
+                write!(f, "docket of {size} disputes exceeds the service cap of {max}")
+            }
+            WatermarkError::ProtocolViolation { detail } => {
+                write!(f, "protocol violation: {detail}")
+            }
+            WatermarkError::UnsupportedProtocolVersion { found, supported } => write!(
+                f,
+                "peer speaks protocol version {found} but this build supports version {supported}"
+            ),
+            WatermarkError::FrameTooLarge { size, max } => {
+                write!(f, "frame payload of {size} bytes exceeds the {max}-byte cap")
+            }
+            WatermarkError::Remote { message } => {
+                write!(f, "remote judge reported: {message}")
             }
         }
     }

@@ -22,7 +22,11 @@
 //!   can be resolved from files alone.
 //! * [`DisputeService`] — the concurrent dispute-resolution layer: a
 //!   registry compiling each suspect model exactly once, with multi-claim
-//!   fan-out across worker threads.
+//!   fan-out across worker threads, built via [`DisputeService::builder`]
+//!   (optionally warm-started from persisted artefacts).
+//! * [`proto`] — the versioned wire protocol ("WDTP" frames) the
+//!   `wdte-server` crate serves over TCP, making the judge independently
+//!   deployable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod attack;
 pub mod config;
 pub mod error;
 pub mod persist;
+pub mod proto;
 pub mod service;
 pub mod signature;
 pub mod verify;
@@ -45,7 +50,11 @@ pub use attack::{
 pub use config::{WatermarkConfig, WeightSchedule, MAX_TRIGGER_WEIGHT};
 pub use error::{WatermarkError, WatermarkResult};
 pub use persist::{Format, FORMAT_VERSION};
-pub use service::{Dispute, DisputeService, DEFAULT_BATCH_SHARD_ROWS};
+pub use proto::{DocketVerdict, Request, Response, WireFault, PROTOCOL_VERSION};
+pub use service::{
+    Dispute, DisputeService, DisputeServiceBuilder, ManifestEntry, ModelManifest,
+    DEFAULT_BATCH_SHARD_ROWS, MODEL_MANIFEST_FILE,
+};
 pub use signature::Signature;
 pub use verify::{
     verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
@@ -65,7 +74,8 @@ pub mod prelude {
     pub use crate::config::{WatermarkConfig, WeightSchedule};
     pub use crate::error::{WatermarkError, WatermarkResult};
     pub use crate::persist::{self, Format};
-    pub use crate::service::{Dispute, DisputeService};
+    pub use crate::proto;
+    pub use crate::service::{Dispute, DisputeService, DisputeServiceBuilder, ModelManifest};
     pub use crate::signature::Signature;
     pub use crate::verify::{
         verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,

@@ -233,6 +233,34 @@ impl Serialize for ValueCarrier {
     }
 }
 
+/// Encodes one [`Value`] with the binary tag-length-value codec, without
+/// any container header. The wire protocol ([`crate::proto`]) frames its
+/// payloads with this exact codec, so artefacts and wire messages share
+/// one decoder (and its bounds/allocation hardening).
+pub(crate) fn encode_value_bytes(value: &Value) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    encode_value(value, &mut bytes);
+    bytes
+}
+
+/// Decodes one header-less [`Value`] produced by [`encode_value_bytes`],
+/// rejecting trailing bytes. Shares all the hardening of the artefact
+/// decoder: bounds-checked lengths, capped up-front allocations and a
+/// nesting-depth limit.
+pub(crate) fn decode_value_bytes(bytes: &[u8]) -> WatermarkResult<Value> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let value = decode_value(&mut cursor, 0)?;
+    if cursor.pos != cursor.bytes.len() {
+        return Err(WatermarkError::CorruptedArtifact {
+            detail: format!(
+                "{} trailing bytes after the payload",
+                cursor.bytes.len() - cursor.pos
+            ),
+        });
+    }
+    Ok(value)
+}
+
 // ---------------------------------------------------------------------------
 // Binary Value codec (little-endian, tag-length-value)
 // ---------------------------------------------------------------------------

@@ -1,0 +1,675 @@
+//! Versioned wire protocol for dispute resolution ("judge as a service").
+//!
+//! The paper's verification protocol is an interaction between parties that
+//! do not share a process: model owners and claimants *submit* disputes to
+//! a trusted judge. This module defines the request/response surface of
+//! that judge as typed messages with an explicit, versioned binary framing,
+//! applying the same discipline [`crate::persist`] already applies to
+//! on-disk artefacts — a dispute must never be decided on a silently
+//! misread message.
+//!
+//! ## Frame format
+//!
+//! Every message travels as one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "WDTP"
+//! 4       2     protocol version (little-endian u16, currently 1)
+//! 6       4     payload length in bytes (little-endian u32)
+//! 10      len   payload: one value in the persist binary codec
+//! ```
+//!
+//! The payload is a [`serde::Value`] rendered with the exact
+//! tag-length-value codec `persist` uses for binary artefacts, so forests,
+//! [`OwnershipClaim`]s and [`VerificationReport`]s cross the wire in the
+//! same bounds-checked, allocation-capped, depth-limited encoding they are
+//! stored in. Decoding is hardened end to end: the length prefix is
+//! validated against a receiver-side cap *before* any allocation
+//! ([`WatermarkError::FrameTooLarge`]), unknown magic and truncated frames
+//! surface as [`WatermarkError::ProtocolViolation`], and a frame written by
+//! a different protocol version fails with
+//! [`WatermarkError::UnsupportedProtocolVersion`].
+//!
+//! ## Version policy
+//!
+//! [`PROTOCOL_VERSION`] is bumped whenever the frame layout or the shape of
+//! an existing message changes. Peers accept exactly the version they were
+//! built with — adding a *new* request kind is also a bump, because an old
+//! judge must refuse it loudly rather than answer garbage. The protocol
+//! version is deliberately independent of [`persist::FORMAT_VERSION`]: the
+//! wire and the disk evolve separately.
+
+use crate::error::{WatermarkError, WatermarkResult};
+use crate::persist;
+use crate::service::Dispute;
+use crate::verify::{OwnershipClaim, VerificationReport};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use wdte_trees::RandomForest;
+
+/// Magic bytes opening every protocol frame ("WDTP" = WDTE protocol; the
+/// final byte differs from the on-disk [`persist::MAGIC`] so a stray
+/// artefact file can never be mistaken for a frame, or vice versa).
+pub const PROTO_MAGIC: &[u8; 4] = b"WDTP";
+
+/// Protocol version this build speaks and accepts.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Number of bytes before the payload: magic + version + length prefix.
+pub const FRAME_HEADER_BYTES: usize = 10;
+
+/// Default receiver-side cap on one frame's payload (256 MiB) — generous
+/// enough for a large registered forest, small enough that a hostile
+/// length prefix cannot drive the judge into a multi-gigabyte allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// A request filed with the judge. One frame carries exactly one request;
+/// the judge answers each with exactly one [`Response`] frame on the same
+/// connection, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Registers a pointer-tree model under `model_id`; the judge compiles
+    /// it once and serves every later claim from the compiled form.
+    RegisterModel {
+        /// Registry id the model will be reachable under.
+        model_id: String,
+        /// The suspect model, in the persist value encoding.
+        model: RandomForest,
+    },
+    /// Resolves one claim against a registered model.
+    Resolve {
+        /// Registry id of the suspect model.
+        model_id: String,
+        /// The owner's evidence.
+        claim: OwnershipClaim,
+    },
+    /// Resolves a whole docket concurrently, one verdict per dispute in
+    /// input order.
+    ResolveDocket {
+        /// The disputes to adjudicate.
+        disputes: Vec<Dispute>,
+    },
+    /// Lists the ids of every registered model, sorted.
+    ListModels,
+    /// Removes a model from the registry.
+    Deregister {
+        /// Registry id to remove.
+        model_id: String,
+    },
+}
+
+/// The judge's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Protocol version the judge speaks.
+        protocol_version: u16,
+        /// Artefact format version the judge reads and writes.
+        format_version: u16,
+        /// Number of models currently registered.
+        models_registered: u64,
+    },
+    /// Answer to [`Request::RegisterModel`].
+    Registered {
+        /// The id the model is now reachable under.
+        model_id: String,
+        /// Tree count of the registered model (sanity echo).
+        num_trees: u64,
+    },
+    /// Answer to [`Request::Resolve`].
+    Resolved {
+        /// The verification verdict.
+        report: VerificationReport,
+    },
+    /// Answer to [`Request::ResolveDocket`].
+    Docket {
+        /// One verdict per dispute, in input order.
+        verdicts: Vec<DocketVerdict>,
+    },
+    /// Answer to [`Request::ListModels`].
+    Models {
+        /// Sorted ids of every registered model.
+        model_ids: Vec<String>,
+    },
+    /// Answer to [`Request::Deregister`].
+    Deregistered {
+        /// The id that was removed.
+        model_id: String,
+        /// Whether the id was registered before the request.
+        existed: bool,
+    },
+    /// The request could not be served at all.
+    Error {
+        /// What went wrong, in a structured form.
+        fault: WireFault,
+    },
+}
+
+/// One verdict of a [`Response::Docket`]: the wire rendering of the
+/// per-dispute `WatermarkResult<VerificationReport>` that
+/// `DisputeService::resolve_many` produces in process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DocketVerdict {
+    /// The dispute was adjudicated.
+    Report(VerificationReport),
+    /// The dispute named a model the judge does not know.
+    UnknownModel {
+        /// The model id the claim was filed against.
+        model_id: String,
+    },
+    /// Any other failure, rendered as text (forward-compatible catch-all).
+    Failed {
+        /// The rendered error message.
+        message: String,
+    },
+}
+
+impl DocketVerdict {
+    /// Wire rendering of an in-process verdict.
+    pub fn from_result(result: WatermarkResult<VerificationReport>) -> Self {
+        match result {
+            Ok(report) => DocketVerdict::Report(report),
+            Err(WatermarkError::UnknownModel { model_id }) => DocketVerdict::UnknownModel { model_id },
+            Err(other) => DocketVerdict::Failed {
+                message: other.to_string(),
+            },
+        }
+    }
+
+    /// Reconstructs the in-process verdict on the client side. Structured
+    /// variants round-trip exactly; [`DocketVerdict::Failed`] surfaces as
+    /// [`WatermarkError::Remote`].
+    pub fn into_result(self) -> WatermarkResult<VerificationReport> {
+        match self {
+            DocketVerdict::Report(report) => Ok(report),
+            DocketVerdict::UnknownModel { model_id } => Err(WatermarkError::UnknownModel { model_id }),
+            DocketVerdict::Failed { message } => Err(WatermarkError::Remote { message }),
+        }
+    }
+}
+
+/// Structured rendering of a request-level failure for [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireFault {
+    /// The request named a model the judge does not know.
+    UnknownModel {
+        /// The unknown registry id.
+        model_id: String,
+    },
+    /// The docket exceeded the judge's configured cap and was refused
+    /// whole.
+    DocketTooLarge {
+        /// Number of disputes in the refused docket.
+        size: u64,
+        /// The judge's cap.
+        max: u64,
+    },
+    /// The frame decoded but its content violated the protocol.
+    BadRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The peer's frame announced a protocol version this judge does not
+    /// speak.
+    UnsupportedProtocolVersion {
+        /// Version announced by the peer.
+        found: u16,
+        /// Version the judge speaks.
+        supported: u16,
+    },
+    /// The peer's frame announced a payload beyond the judge's cap.
+    FrameTooLarge {
+        /// Announced payload size in bytes.
+        size: u64,
+        /// The judge's cap in bytes.
+        max: u64,
+    },
+    /// The judge failed internally while serving a well-formed request.
+    Internal {
+        /// The rendered error message.
+        detail: String,
+    },
+}
+
+impl WireFault {
+    /// Wire rendering of a server-side error.
+    pub fn from_error(err: &WatermarkError) -> Self {
+        match err {
+            WatermarkError::UnknownModel { model_id } => WireFault::UnknownModel {
+                model_id: model_id.clone(),
+            },
+            WatermarkError::DocketTooLarge { size, max } => WireFault::DocketTooLarge {
+                size: *size as u64,
+                max: *max as u64,
+            },
+            WatermarkError::ProtocolViolation { detail } => WireFault::BadRequest {
+                detail: detail.clone(),
+            },
+            WatermarkError::UnsupportedProtocolVersion { found, supported } => {
+                WireFault::UnsupportedProtocolVersion {
+                    found: *found,
+                    supported: *supported,
+                }
+            }
+            WatermarkError::FrameTooLarge { size, max } => WireFault::FrameTooLarge {
+                size: *size,
+                max: *max,
+            },
+            other => WireFault::Internal {
+                detail: other.to_string(),
+            },
+        }
+    }
+
+    /// Reconstructs the typed error on the client side. Structured faults
+    /// round-trip exactly; [`WireFault::Internal`] surfaces as
+    /// [`WatermarkError::Remote`].
+    pub fn into_error(self) -> WatermarkError {
+        match self {
+            WireFault::UnknownModel { model_id } => WatermarkError::UnknownModel { model_id },
+            WireFault::DocketTooLarge { size, max } => WatermarkError::DocketTooLarge {
+                size: size as usize,
+                max: max as usize,
+            },
+            WireFault::BadRequest { detail } => WatermarkError::ProtocolViolation { detail },
+            WireFault::UnsupportedProtocolVersion { found, supported } => {
+                WatermarkError::UnsupportedProtocolVersion { found, supported }
+            }
+            WireFault::FrameTooLarge { size, max } => WatermarkError::FrameTooLarge { size, max },
+            WireFault::Internal { detail } => WatermarkError::Remote { message: detail },
+        }
+    }
+}
+
+/// Encodes one message into a complete frame (header + payload). Fails
+/// with [`WatermarkError::FrameTooLarge`] if the payload exceeds what the
+/// u32 length prefix can announce — the sender-side mirror of the
+/// receiver's cap, surfaced as a typed error rather than a panic.
+pub fn encode_frame<T: Serialize + ?Sized>(message: &T) -> WatermarkResult<Vec<u8>> {
+    let payload = persist::encode_value_bytes(&message.to_value());
+    if u32::try_from(payload.len()).is_err() {
+        return Err(WatermarkError::FrameTooLarge {
+            size: payload.len() as u64,
+            max: u64::from(u32::MAX),
+        });
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(PROTO_MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Decodes one message from a complete frame produced by [`encode_frame`],
+/// validating magic, version, the length prefix (against `max_frame_bytes`)
+/// and the absence of trailing bytes.
+pub fn decode_frame<T: Deserialize>(frame: &[u8], max_frame_bytes: usize) -> WatermarkResult<T> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(violation(format!(
+            "frame of {} bytes is shorter than the {FRAME_HEADER_BYTES}-byte header",
+            frame.len()
+        )));
+    }
+    let (header, payload) = frame.split_at(FRAME_HEADER_BYTES);
+    check_header(header, max_frame_bytes).and_then(|announced| {
+        if payload.len() != announced {
+            return Err(violation(format!(
+                "frame announces a {announced}-byte payload but carries {} bytes",
+                payload.len()
+            )));
+        }
+        decode_payload(payload)
+    })
+}
+
+/// Decodes a message from raw payload bytes (the part after the header, as
+/// returned by [`read_frame`]).
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> WatermarkResult<T> {
+    let value = persist::decode_value_bytes(payload).map_err(|err| violation(err.to_string()))?;
+    T::from_value(&value).map_err(|err| violation(format!("payload does not decode: {err}")))
+}
+
+/// Validates a 10-byte frame header, returning the announced payload
+/// length.
+fn check_header(header: &[u8], max_frame_bytes: usize) -> WatermarkResult<usize> {
+    if &header[..4] != PROTO_MAGIC {
+        return Err(violation(format!(
+            "bad frame magic {:02x?} (expected \"WDTP\")",
+            &header[..4]
+        )));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WatermarkError::UnsupportedProtocolVersion {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let announced = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if announced > max_frame_bytes {
+        return Err(WatermarkError::FrameTooLarge {
+            size: announced as u64,
+            max: max_frame_bytes as u64,
+        });
+    }
+    Ok(announced)
+}
+
+/// Writes one message as a frame to `writer` (single `write_all`, so a
+/// frame is never interleaved when the writer is shared carefully).
+pub fn write_message<T: Serialize + ?Sized, W: Write>(
+    writer: &mut W,
+    message: &T,
+) -> WatermarkResult<()> {
+    let frame = encode_frame(message)?;
+    writer.write_all(&frame).map_err(io_violation)?;
+    writer.flush().map_err(io_violation)
+}
+
+/// Reads one frame from `reader` and returns its payload bytes.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); a stream that ends *inside* a frame — a half-closed socket
+/// mid-message — is a [`WatermarkError::ProtocolViolation`]. The announced
+/// payload length is validated against `max_frame_bytes` before any
+/// allocation, and the read buffer grows with the bytes actually received
+/// rather than trusting the prefix.
+pub fn read_frame<R: Read>(reader: &mut R, max_frame_bytes: usize) -> WatermarkResult<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        let n = match reader.read(&mut header[filled..]) {
+            Ok(n) => n,
+            // Retry on signal interruption, as `read_to_end` does for the
+            // payload half: a mid-header signal is not a protocol event.
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(io_violation(err)),
+        };
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(violation(format!(
+                "stream closed after {filled} of {FRAME_HEADER_BYTES} header bytes"
+            )));
+        }
+        filled += n;
+    }
+    let announced = check_header(&header, max_frame_bytes)?;
+    // Allocation cap: reserve at most 64 KiB up front; everything past that
+    // is grown by `read_to_end` as bytes actually arrive, so a hostile
+    // length prefix below the cap still cannot reserve more memory than the
+    // peer is willing to send.
+    let mut payload = Vec::with_capacity(announced.min(64 << 10));
+    let read = reader.take(announced as u64).read_to_end(&mut payload).map_err(io_violation)?;
+    if read != announced {
+        return Err(violation(format!(
+            "stream closed after {read} of {announced} payload bytes"
+        )));
+    }
+    Ok(Some(payload))
+}
+
+/// Reads one message from `reader`. End-of-stream before any byte yields
+/// `Ok(None)`.
+pub fn read_message<T: Deserialize, R: Read>(
+    reader: &mut R,
+    max_frame_bytes: usize,
+) -> WatermarkResult<Option<T>> {
+    match read_frame(reader, max_frame_bytes)? {
+        Some(payload) => Ok(Some(decode_payload(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+fn violation(detail: impl Into<String>) -> WatermarkError {
+    WatermarkError::ProtocolViolation {
+        detail: detail.into(),
+    }
+}
+
+/// Socket-level failures (timeout, reset, EPIPE) are *transport* errors,
+/// not protocol violations: nothing the peer sent was wrong. They surface
+/// as [`WatermarkError::Io`] so a judge answering best-effort renders them
+/// as an internal fault rather than blaming the peer's request.
+fn io_violation(err: std::io::Error) -> WatermarkError {
+    WatermarkError::Io {
+        path: "socket".to_string(),
+        message: err.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wdte_data::SyntheticSpec;
+    use wdte_trees::ForestParams;
+
+    fn sample_claim() -> OwnershipClaim {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2).generate(&mut rng);
+        let (trigger, test) = dataset.split_train_test(0.2, &mut rng);
+        OwnershipClaim::new(Signature::random(8, 0.5, &mut rng), trigger, test)
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(message: &T) {
+        let frame = encode_frame(message).unwrap();
+        assert_eq!(&frame[..4], PROTO_MAGIC);
+        let decoded: T = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(&decoded, message);
+        // Streamed path: read_frame + decode_payload see the same message.
+        let mut reader = std::io::Cursor::new(frame);
+        let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        let streamed: T = decode_payload(&payload).unwrap();
+        assert_eq!(&streamed, message);
+        // And the stream is exhausted: the next read is a clean EOF.
+        assert!(read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2).generate(&mut rng);
+        let model = RandomForest::fit(&dataset, &ForestParams::with_trees(4), &mut rng);
+        let claim = sample_claim();
+        round_trip(&Request::Ping);
+        round_trip(&Request::RegisterModel {
+            model_id: "m".into(),
+            model,
+        });
+        round_trip(&Request::Resolve {
+            model_id: "m".into(),
+            claim: claim.clone(),
+        });
+        round_trip(&Request::ResolveDocket {
+            disputes: vec![Dispute::new("m", claim)],
+        });
+        round_trip(&Request::ListModels);
+        round_trip(&Request::Deregister { model_id: "m".into() });
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        let report = VerificationReport {
+            verified: true,
+            instance_matches: vec![true, false, true],
+            bit_agreement: 0.75,
+            queries_issued: 42,
+        };
+        round_trip(&Response::Pong {
+            protocol_version: PROTOCOL_VERSION,
+            format_version: persist::FORMAT_VERSION,
+            models_registered: 3,
+        });
+        round_trip(&Response::Registered {
+            model_id: "m".into(),
+            num_trees: 16,
+        });
+        round_trip(&Response::Resolved {
+            report: report.clone(),
+        });
+        round_trip(&Response::Docket {
+            verdicts: vec![
+                DocketVerdict::Report(report),
+                DocketVerdict::UnknownModel {
+                    model_id: "ghost".into(),
+                },
+                DocketVerdict::Failed {
+                    message: "boom".into(),
+                },
+            ],
+        });
+        round_trip(&Response::Models {
+            model_ids: vec!["a".into(), "b".into()],
+        });
+        round_trip(&Response::Deregistered {
+            model_id: "m".into(),
+            existed: false,
+        });
+        round_trip(&Response::Error {
+            fault: WireFault::DocketTooLarge { size: 1000, max: 64 },
+        });
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_violation() {
+        let mut frame = encode_frame(&Request::Ping).unwrap();
+        frame[..4].copy_from_slice(b"WDTE"); // the *artefact* magic
+        assert!(matches!(
+            decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            WatermarkError::ProtocolViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn future_version_is_a_typed_error() {
+        let mut frame = encode_frame(&Request::Ping).unwrap();
+        frame[4] = 0xFF;
+        frame[5] = 0x7F;
+        match decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
+            WatermarkError::UnsupportedProtocolVersion { found, supported } => {
+                assert_eq!(found, 0x7FFF);
+                assert_eq!(supported, PROTOCOL_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocating() {
+        let mut frame = encode_frame(&Request::Ping).unwrap();
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
+            WatermarkError::FrameTooLarge { size, max } => {
+                assert_eq!(size, u64::from(u32::MAX));
+                assert_eq!(max, DEFAULT_MAX_FRAME_BYTES as u64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // The streamed reader refuses on the header alone, without waiting
+        // for (or allocating) the announced payload.
+        let mut reader = std::io::Cursor::new(&frame[..FRAME_HEADER_BYTES]);
+        assert!(matches!(
+            read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            WatermarkError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_protocol_violations() {
+        let frame = encode_frame(&Request::Resolve {
+            model_id: "m".into(),
+            claim: sample_claim(),
+        })
+        .unwrap();
+        for cut in [
+            1,
+            4,
+            FRAME_HEADER_BYTES - 1,
+            FRAME_HEADER_BYTES + 1,
+            frame.len() - 1,
+        ] {
+            let mut reader = std::io::Cursor::new(&frame[..cut]);
+            assert!(
+                matches!(
+                    read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+                    WatermarkError::ProtocolViolation { .. }
+                ),
+                "cut at {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_inside_a_frame_are_rejected() {
+        let mut frame = encode_frame(&Request::Ping).unwrap();
+        // Grow the payload and fix up the length prefix so the frame itself
+        // is well-formed — the *payload* now has trailing bytes.
+        frame.push(0);
+        let announced = (frame.len() - FRAME_HEADER_BYTES) as u32;
+        frame[6..10].copy_from_slice(&announced.to_le_bytes());
+        assert!(matches!(
+            decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            WatermarkError::ProtocolViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_message_shape_is_a_protocol_violation() {
+        // A valid frame carrying a Response where a Request is expected.
+        let frame = encode_frame(&Response::Models { model_ids: vec![] }).unwrap();
+        assert!(matches!(
+            decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            WatermarkError::ProtocolViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn verdict_and_fault_conversions_round_trip() {
+        let report = VerificationReport {
+            verified: false,
+            instance_matches: vec![false],
+            bit_agreement: 0.5,
+            queries_issued: 7,
+        };
+        assert_eq!(
+            DocketVerdict::from_result(Ok(report.clone())).into_result().unwrap(),
+            report
+        );
+        let err = WatermarkError::UnknownModel { model_id: "x".into() };
+        assert_eq!(
+            DocketVerdict::from_result(Err(err.clone())).into_result().unwrap_err(),
+            err
+        );
+        for structured in [
+            WatermarkError::DocketTooLarge { size: 100, max: 10 },
+            WatermarkError::ProtocolViolation {
+                detail: "junk".into(),
+            },
+            WatermarkError::UnsupportedProtocolVersion {
+                found: 9,
+                supported: 1,
+            },
+            WatermarkError::FrameTooLarge {
+                size: 1 << 40,
+                max: 1 << 28,
+            },
+        ] {
+            assert_eq!(WireFault::from_error(&structured).into_error(), structured);
+        }
+        // Unstructured errors degrade to Remote but keep the message.
+        let odd = WatermarkError::EmptyTrainingSet;
+        match WireFault::from_error(&odd).into_error() {
+            WatermarkError::Remote { message } => assert_eq!(message, odd.to_string()),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+}

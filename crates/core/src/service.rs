@@ -21,13 +21,27 @@
 //!
 //! The service is `&self`-only and `Sync`: one instance can be shared
 //! behind an `Arc` by any number of request threads.
+//!
+//! **Construction** goes through [`DisputeService::builder`], which also
+//! warm-starts the registry from a directory of persisted model artefacts
+//! (a [`ModelManifest`] written by the `table2` experiment), so a judge
+//! process boots from disk alone:
+//!
+//! ```rust,ignore
+//! let service = DisputeService::builder()
+//!     .batch_shard_rows(128)
+//!     .max_docket(1024)
+//!     .warm_start_dir("results/models")
+//!     .build()?;
+//! ```
 
 use crate::error::{WatermarkError, WatermarkResult};
 use crate::persist;
 use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use wdte_data::{Dataset, Label};
@@ -38,8 +52,11 @@ use wdte_trees::{CompiledForest, RandomForest};
 /// that the per-shard row copy is negligible next to the tree walks.
 pub const DEFAULT_BATCH_SHARD_ROWS: usize = 256;
 
+/// File name of the model manifest inside a warm-start directory.
+pub const MODEL_MANIFEST_FILE: &str = "manifest.json";
+
 /// One dispute filed with the judge: a claim against a registered model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dispute {
     /// Registry id of the suspect model.
     pub model_id: String,
@@ -57,6 +74,100 @@ impl Dispute {
     }
 }
 
+/// Manifest of persisted model artefacts inside a warm-start directory
+/// (see [`MODEL_MANIFEST_FILE`]): the registry ids a booting judge should
+/// serve, each mapped to an artefact file relative to the directory. The
+/// manifest is itself a versioned `persist` artefact (JSON envelope), so a
+/// stale or corrupted manifest fails with the same typed errors as any
+/// other artefact rather than silently warm-starting a partial registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelManifest {
+    /// The models to register at boot, in registration order.
+    pub models: Vec<ManifestEntry>,
+}
+
+/// One entry of a [`ModelManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Registry id the model is served under.
+    pub model_id: String,
+    /// Artefact file name, relative to the manifest's directory. Either a
+    /// persisted pointer-tree [`RandomForest`] or a [`CompiledForest`].
+    pub file: String,
+}
+
+impl ModelManifest {
+    /// Loads the manifest of a warm-start directory.
+    pub fn load_dir(dir: impl AsRef<Path>) -> WatermarkResult<Self> {
+        persist::load(dir.as_ref().join(MODEL_MANIFEST_FILE))
+    }
+
+    /// Writes this manifest into `dir` as [`MODEL_MANIFEST_FILE`].
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> WatermarkResult<()> {
+        persist::save(
+            dir.as_ref().join(MODEL_MANIFEST_FILE),
+            self,
+            persist::Format::Json,
+        )
+    }
+}
+
+/// Configures and builds a [`DisputeService`] — the one documented
+/// construction path (the accreted `new` / `with_batch_shard_rows` /
+/// per-file registration constructors are deprecated shims over it).
+#[derive(Debug, Clone, Default)]
+pub struct DisputeServiceBuilder {
+    batch_shard_rows: Option<usize>,
+    max_docket: Option<usize>,
+    warm_start_dirs: Vec<PathBuf>,
+}
+
+impl DisputeServiceBuilder {
+    /// Sets the verification-batch shard size (rows per worker task;
+    /// clamped to at least 1). Defaults to [`DEFAULT_BATCH_SHARD_ROWS`].
+    pub fn batch_shard_rows(mut self, rows: usize) -> Self {
+        self.batch_shard_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Caps the number of disputes [`DisputeService::resolve_docket`]
+    /// accepts in one docket; oversized dockets are refused whole with
+    /// [`WatermarkError::DocketTooLarge`]. Unlimited by default; passing
+    /// `0` also means unlimited, matching the 0-disables convention of the
+    /// `serve_judge` flags.
+    pub fn max_docket(mut self, max: usize) -> Self {
+        self.max_docket = (max > 0).then_some(max);
+        self
+    }
+
+    /// Warm-starts the registry from a directory containing a
+    /// [`ModelManifest`] plus the artefact files it names (as written by
+    /// the `table2` experiment under `results/models/`). May be called
+    /// multiple times; directories are loaded in call order at
+    /// [`build`](Self::build) time.
+    pub fn warm_start_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.warm_start_dirs.push(dir.into());
+        self
+    }
+
+    /// Builds the service, registering every warm-start artefact. Fails
+    /// with the underlying `persist` error if a manifest or artefact is
+    /// missing, corrupted, or written by an unsupported format version.
+    pub fn build(self) -> WatermarkResult<DisputeService> {
+        let service = DisputeService::with_options(
+            self.batch_shard_rows.unwrap_or(DEFAULT_BATCH_SHARD_ROWS),
+            self.max_docket,
+        );
+        for dir in &self.warm_start_dirs {
+            let manifest = ModelManifest::load_dir(dir)?;
+            for entry in &manifest.models {
+                service.register_from_file(&entry.model_id, dir.join(&entry.file))?;
+            }
+        }
+        Ok(service)
+    }
+}
+
 /// A registry of compiled suspect models plus a concurrent resolver for
 /// ownership claims against them. See the module docs for the guarantees.
 #[derive(Debug)]
@@ -64,30 +175,43 @@ pub struct DisputeService {
     registry: RwLock<HashMap<String, Arc<CompiledForest>>>,
     compile_count: AtomicUsize,
     batch_shard_rows: usize,
+    max_docket: Option<usize>,
 }
 
 impl Default for DisputeService {
     fn default() -> Self {
-        Self::new()
+        Self::with_options(DEFAULT_BATCH_SHARD_ROWS, None)
     }
 }
 
 impl DisputeService {
+    /// Starts configuring a service. See [`DisputeServiceBuilder`].
+    pub fn builder() -> DisputeServiceBuilder {
+        DisputeServiceBuilder::default()
+    }
+
     /// Creates an empty service with the default batch shard size.
+    #[deprecated(since = "0.1.0", note = "use `DisputeService::builder().build()` instead")]
     pub fn new() -> Self {
-        Self {
-            registry: RwLock::new(HashMap::new()),
-            compile_count: AtomicUsize::new(0),
-            batch_shard_rows: DEFAULT_BATCH_SHARD_ROWS,
-        }
+        Self::default()
     }
 
     /// Creates an empty service with a custom verification-batch shard
     /// size (rows per worker task; clamped to at least 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `DisputeService::builder().batch_shard_rows(rows).build()` instead"
+    )]
     pub fn with_batch_shard_rows(batch_shard_rows: usize) -> Self {
+        Self::with_options(batch_shard_rows.max(1), None)
+    }
+
+    fn with_options(batch_shard_rows: usize, max_docket: Option<usize>) -> Self {
         Self {
-            batch_shard_rows: batch_shard_rows.max(1),
-            ..Self::new()
+            registry: RwLock::new(HashMap::new()),
+            compile_count: AtomicUsize::new(0),
+            batch_shard_rows,
+            max_docket,
         }
     }
 
@@ -175,14 +299,26 @@ impl DisputeService {
             .remove(model_id)
     }
 
-    /// Ids of every registered model, in unspecified order.
+    /// Ids of every registered model, sorted lexicographically. The
+    /// registry is a hash map, whose iteration order varies across runs
+    /// (and Rust releases); sorting here makes registry listings — and the
+    /// wire protocol's `ListModels` response built on top — deterministic.
     pub fn model_ids(&self) -> Vec<String> {
-        self.registry
+        let mut ids: Vec<String> = self
+            .registry
             .read()
             .expect("dispute registry lock is never poisoned")
             .keys()
             .cloned()
-            .collect()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The docket-size cap configured via
+    /// [`DisputeServiceBuilder::max_docket`], if any.
+    pub fn max_docket(&self) -> Option<usize> {
+        self.max_docket
     }
 
     /// Number of registered models.
@@ -228,6 +364,25 @@ impl DisputeService {
             .par_iter()
             .map(|dispute| self.resolve(&dispute.model_id, &dispute.claim))
             .collect()
+    }
+
+    /// [`resolve_many`](Self::resolve_many) with the configured
+    /// [`max_docket`](DisputeServiceBuilder::max_docket) cap enforced:
+    /// oversized dockets are refused whole, before any resolution work.
+    /// This is the entry point the network front-end drives.
+    pub fn resolve_docket(
+        &self,
+        disputes: &[Dispute],
+    ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
+        if let Some(max) = self.max_docket {
+            if disputes.len() > max {
+                return Err(WatermarkError::DocketTooLarge {
+                    size: disputes.len(),
+                    max,
+                });
+            }
+        }
+        Ok(self.resolve_many(disputes))
     }
 }
 
@@ -292,7 +447,7 @@ mod tests {
     fn resolve_matches_the_one_shot_path_and_compiles_once() {
         let (test, outcome) = embedded();
         let claim = claim_for(&outcome, &test);
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         service.register("bobs-api", &outcome.model);
         assert_eq!(service.compile_count(), 1);
 
@@ -314,7 +469,7 @@ mod tests {
         assert!(fake_signature.hamming_distance(&outcome.signature) > 0);
         let forged = OwnershipClaim::new(fake_signature, outcome.trigger_set.clone(), test.clone());
 
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         service.register("m", &outcome.model);
         let disputes: Vec<Dispute> = (0..8)
             .map(|i| {
@@ -339,7 +494,7 @@ mod tests {
     fn unknown_model_is_a_typed_error() {
         let (test, outcome) = embedded();
         let claim = claim_for(&outcome, &test);
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         let err = service.resolve("nobody", &claim).unwrap_err();
         assert!(matches!(err, WatermarkError::UnknownModel { model_id } if model_id == "nobody"));
     }
@@ -347,7 +502,7 @@ mod tests {
     #[test]
     fn registry_lifecycle() {
         let (_, outcome) = embedded();
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         assert!(service.is_empty());
         service.register("a", &outcome.model);
         let compiled = CompiledForest::compile(&outcome.model);
@@ -378,7 +533,7 @@ mod tests {
         })
         .train_baseline(&dataset, &mut rng);
 
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         service.register("m", &unrelated);
         assert!(!service.resolve("m", &claim).unwrap().verified);
         service.register("m", &outcome.model);
@@ -392,7 +547,7 @@ mod tests {
         let claim = claim_for(&outcome, &test);
         let reference = verify_ownership(&outcome.model, &claim);
         for shard_rows in [1, 7, 64, DEFAULT_BATCH_SHARD_ROWS, usize::MAX] {
-            let service = DisputeService::with_batch_shard_rows(shard_rows);
+            let service = DisputeService::builder().batch_shard_rows(shard_rows).build().unwrap();
             service.register("m", &outcome.model);
             assert_eq!(
                 service.resolve("m", &claim).unwrap(),
@@ -418,7 +573,7 @@ mod tests {
         .unwrap();
         persist::save(&pointer_path, &outcome.model, persist::Format::Binary).unwrap();
 
-        let service = DisputeService::new();
+        let service = DisputeService::builder().build().unwrap();
         service.register_from_file("compiled", &compiled_path).unwrap();
         service.register_from_file("pointer", &pointer_path).unwrap();
         let from_compiled = service.resolve("compiled", &claim).unwrap();
@@ -427,5 +582,116 @@ mod tests {
         assert!(from_compiled.verified);
         assert!(service.register_from_file("missing", dir.join("nope.wdte")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_ids_are_sorted_regardless_of_registration_order() {
+        let (_, outcome) = embedded();
+        let service = DisputeService::builder().build().unwrap();
+        for id in ["zeta", "alpha", "mid", "beta"] {
+            service.register(id, &outcome.model);
+        }
+        assert_eq!(service.model_ids(), ["alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn builder_warm_starts_from_a_manifest_directory() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let dir = std::env::temp_dir().join(format!("wdte-warmstart-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        persist::save(dir.join("a.model.wdte"), &outcome.model, persist::Format::Binary).unwrap();
+        persist::save(
+            dir.join("b.compiled.json"),
+            &CompiledForest::compile(&outcome.model),
+            persist::Format::Json,
+        )
+        .unwrap();
+        let manifest = ModelManifest {
+            models: vec![
+                ManifestEntry {
+                    model_id: "deployment-a".into(),
+                    file: "a.model.wdte".into(),
+                },
+                ManifestEntry {
+                    model_id: "deployment-b".into(),
+                    file: "b.compiled.json".into(),
+                },
+            ],
+        };
+        manifest.save_dir(&dir).unwrap();
+        assert_eq!(ModelManifest::load_dir(&dir).unwrap(), manifest);
+
+        let service = DisputeService::builder().warm_start_dir(&dir).build().unwrap();
+        assert_eq!(service.model_ids(), ["deployment-a", "deployment-b"]);
+        // Only the pointer-tree artefact needed a compile at boot.
+        assert_eq!(service.compile_count(), 1);
+        assert!(service.resolve("deployment-a", &claim).unwrap().verified);
+        assert!(service.resolve("deployment-b", &claim).unwrap().verified);
+
+        // A manifest naming a missing artefact fails the whole build with a
+        // typed error instead of booting a partial registry.
+        let broken = ModelManifest {
+            models: vec![ManifestEntry {
+                model_id: "ghost".into(),
+                file: "missing.wdte".into(),
+            }],
+        };
+        broken.save_dir(&dir).unwrap();
+        assert!(matches!(
+            DisputeService::builder().warm_start_dir(&dir).build().unwrap_err(),
+            WatermarkError::Io { .. }
+        ));
+        // No manifest at all is an Io error too.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            DisputeService::builder().warm_start_dir(&dir).build().unwrap_err(),
+            WatermarkError::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn max_docket_refuses_oversized_dockets_whole() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::builder().max_docket(2).build().unwrap();
+        service.register("m", &outcome.model);
+        assert_eq!(service.max_docket(), Some(2));
+        let small: Vec<Dispute> = (0..2).map(|_| Dispute::new("m", claim.clone())).collect();
+        let verdicts = service.resolve_docket(&small).unwrap();
+        assert!(verdicts.iter().all(|v| v.as_ref().unwrap().verified));
+        let big: Vec<Dispute> = (0..3).map(|_| Dispute::new("m", claim.clone())).collect();
+        match service.resolve_docket(&big).unwrap_err() {
+            WatermarkError::DocketTooLarge { size, max } => {
+                assert_eq!((size, max), (3, 2));
+            }
+            other => panic!("expected DocketTooLarge, got {other:?}"),
+        }
+        // `resolve_many` stays uncapped for in-process callers.
+        assert_eq!(service.resolve_many(&big).len(), 3);
+        // 0 means unlimited (the 0-disables convention of serve_judge).
+        let uncapped = DisputeService::builder().max_docket(0).build().unwrap();
+        assert_eq!(uncapped.max_docket(), None);
+    }
+
+    /// PR 2/3 constructors keep working as deprecated shims over the
+    /// builder: same defaults, same behaviour.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_behave_like_the_builder() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let via_new = DisputeService::new();
+        let via_shards = DisputeService::with_batch_shard_rows(7);
+        let via_builder = DisputeService::builder().batch_shard_rows(7).build().unwrap();
+        for service in [&via_new, &via_shards, &via_builder] {
+            service.register("m", &outcome.model);
+            assert!(service.resolve("m", &claim).unwrap().verified);
+            assert_eq!(service.max_docket(), None);
+        }
+        assert_eq!(
+            via_shards.resolve("m", &claim).unwrap(),
+            via_builder.resolve("m", &claim).unwrap()
+        );
     }
 }

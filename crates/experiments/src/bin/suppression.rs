@@ -1,6 +1,11 @@
 //! Extra experiment: quantifies the watermark-suppression claim of §3.3 by
 //! measuring how well a distinguisher separates trigger queries from
 //! ordinary test queries (AUC ≈ 0.5 means indistinguishable).
+//!
+//! The datasets are independent grid points: each derives its RNG stream
+//! from the settings seed and the dataset alone, so fanning them out
+//! across worker threads is bit-identical to the serial sweep.
+use rayon::prelude::*;
 use wdte_experiments::report::{print_header, save_json};
 use wdte_experiments::security::{prepare_security_setup, print_suppression, suppression_row};
 use wdte_experiments::{ExperimentSettings, PaperDataset};
@@ -9,7 +14,7 @@ fn main() {
     let settings = ExperimentSettings::from_args();
     print_header("Suppression analysis: trigger vs test distinguishability");
     let rows: Vec<_> = PaperDataset::ALL
-        .iter()
+        .par_iter()
         .map(|&dataset| suppression_row(&prepare_security_setup(&settings, dataset)))
         .collect();
     print_suppression(&rows);

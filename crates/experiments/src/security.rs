@@ -5,15 +5,16 @@ use crate::datasets::PaperDataset;
 use crate::settings::ExperimentSettings;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wdte_core::{
-    evaluate_detection, evaluate_suppression, forge_trigger_set, forge_trigger_set_compiled, persist,
-    DetectionFeature, DetectionStrategy, Dispute, DisputeService, ForgeryAttackConfig, OwnershipClaim,
-    Signature, SuppressionScore, WatermarkOutcome, Watermarker,
+    evaluate_detection, evaluate_suppression, forge_trigger_set_compiled, persist, DetectionFeature,
+    DetectionStrategy, Dispute, DisputeService, ForgeryAttackConfig, ManifestEntry, ModelManifest,
+    OwnershipClaim, Signature, SuppressionScore, WatermarkOutcome, Watermarker,
 };
 use wdte_data::Dataset;
 use wdte_solver::LeafIndex;
-use wdte_trees::{CompiledForest, RandomForest};
+use wdte_trees::{derive_seeds, rng_from_seed, CompiledForest, RandomForest};
 
 /// A watermarked model plus everything needed to attack it.
 pub struct SecuritySetup {
@@ -57,7 +58,12 @@ pub fn prepare_security_setup(settings: &ExperimentSettings, dataset: PaperDatas
 /// Later dispute runs — or the `dispute_from_files` example — can then
 /// verify and attack the model without retraining it. Failures are
 /// reported on stderr but never abort the experiment.
-pub fn save_model_artifacts(setup: &SecuritySetup) {
+///
+/// Returns the [`ManifestEntry`] for the saved model, so the caller can
+/// assemble the directory's [`ModelManifest`] (see
+/// [`write_model_manifest`]) once every dataset has been persisted; `None`
+/// if the model artefact could not be written.
+pub fn save_model_artifacts(setup: &SecuritySetup) -> Option<ManifestEntry> {
     let dir = crate::report::results_dir().join("models");
     let claim = OwnershipClaim::new(
         setup.outcome.signature.clone(),
@@ -69,13 +75,13 @@ pub fn save_model_artifacts(setup: &SecuritySetup) {
         Ok(()) => println!("[saved {}]", path.display()),
         Err(err) => eprintln!("warning: could not save {}: {err}", path.display()),
     };
-    let model_path = dir.join(format!("{}.model.wdte", setup.dataset.name()));
+    let model_file = format!("{}.model.wdte", setup.dataset.name());
+    let model_path = dir.join(&model_file);
     let compiled_path = dir.join(format!("{}.compiled.json", setup.dataset.name()));
     let claim_path = dir.join(format!("{}.claim.wdte", setup.dataset.name()));
-    report(
-        &model_path,
-        persist::save(&model_path, &setup.outcome.model, persist::Format::Binary),
-    );
+    let model_saved = persist::save(&model_path, &setup.outcome.model, persist::Format::Binary);
+    let model_ok = model_saved.is_ok();
+    report(&model_path, model_saved);
     report(
         &compiled_path,
         persist::save(&compiled_path, &compiled, persist::Format::Json),
@@ -84,6 +90,28 @@ pub fn save_model_artifacts(setup: &SecuritySetup) {
         &claim_path,
         persist::save(&claim_path, &claim, persist::Format::Binary),
     );
+    model_ok.then(|| ManifestEntry {
+        model_id: setup.dataset.name().to_string(),
+        file: model_file,
+    })
+}
+
+/// Writes the [`ModelManifest`] of `results/models/` from the entries
+/// returned by [`save_model_artifacts`], so
+/// `DisputeService::builder().warm_start_dir("results/models")` — or
+/// `serve_judge --warm-start results/models` — boots a judge serving every
+/// persisted model, from disk alone.
+pub fn write_model_manifest(entries: Vec<ManifestEntry>) {
+    let dir = crate::report::results_dir().join("models");
+    let manifest = ModelManifest { models: entries };
+    match manifest.save_dir(&dir) {
+        Ok(()) => println!(
+            "[saved {} ({} models)]",
+            dir.join(wdte_core::MODEL_MANIFEST_FILE).display(),
+            manifest.models.len()
+        ),
+        Err(err) => eprintln!("warning: could not save the model manifest: {err}"),
+    }
 }
 
 /// Adjudicates the owners' genuine claims for every setup as one
@@ -93,7 +121,7 @@ pub fn save_model_artifacts(setup: &SecuritySetup) {
 /// feed. Panics if a genuine claim fails to verify, so experiment runs
 /// double as an end-to-end check of the service layer.
 pub fn adjudicate_via_service(setups: &[SecuritySetup]) {
-    let service = DisputeService::new();
+    let service = DisputeService::builder().build().expect("an empty builder always builds");
     let disputes: Vec<Dispute> = setups
         .iter()
         .map(|setup| {
@@ -229,40 +257,57 @@ pub fn figure4_sweep(settings: &ExperimentSettings) -> Vec<f64> {
 
 /// Runs the forgery attack sweep of Figure 4 on a prepared setup (the paper
 /// uses MNIST2-6 for the figure).
+///
+/// Grid points run concurrently across worker threads. Each ε point draws
+/// its RNG stream from a seed derived once from the master seed (and each
+/// fake signature within a point from a seed derived from the point's
+/// stream), so no task ever observes another task's RNG consumption:
+/// fixed-seed results are bit-identical to the serial sweep for any
+/// worker-thread count. (This re-derivation reshuffles fixed-seed outputs
+/// relative to the earlier serial implementation, which threaded one RNG
+/// through the whole sweep.)
 pub fn figure4(settings: &ExperimentSettings, setup: &SecuritySetup) -> Vec<ForgeryCurvePoint> {
-    let mut rng = SmallRng::seed_from_u64(settings.seed.wrapping_add(404));
     let leaf_index = LeafIndex::new(&setup.outcome.model);
     // One compile shared across the whole ε × fake-signature sweep.
     let compiled = CompiledForest::compile(&setup.outcome.model);
-    let mut points = Vec::new();
-    for epsilon in figure4_sweep(settings) {
-        let config = ForgeryAttackConfig {
-            num_fake_signatures: settings.forgery_signatures,
-            ones_fraction: 0.5,
-            epsilon,
-            solver: settings.solver_config(),
-            max_instances: settings.forgery_max_instances,
-        };
-        let results: Vec<_> = (0..config.num_fake_signatures)
-            .map(|_| {
-                let fake = Signature::random(setup.outcome.model.num_trees(), 0.5, &mut rng);
-                forge_trigger_set_compiled(&compiled, &leaf_index, &setup.test, &fake, &config)
-            })
-            .collect();
-        let mean_forged_size = wdte_core::attack::mean_forged_size(&results);
-        let max_forged_size = results.iter().map(|r| r.forged_count()).max().unwrap_or(0);
-        let budget_exhausted = results.iter().map(|r| r.budget_exhausted).sum();
-        let attempts_per_signature = results.first().map_or(0, |r| r.attempts);
-        points.push(ForgeryCurvePoint {
-            epsilon,
-            original_trigger_size: setup.outcome.trigger_set.len(),
-            mean_forged_size,
-            max_forged_size,
-            attempts_per_signature,
-            budget_exhausted,
-        });
-    }
-    points
+    let sweep = figure4_sweep(settings);
+    let mut rng = SmallRng::seed_from_u64(settings.seed.wrapping_add(404));
+    let point_seeds = derive_seeds(sweep.len(), &mut rng);
+    sweep
+        .into_par_iter()
+        .zip(point_seeds.into_par_iter())
+        .map(|(epsilon, point_seed)| {
+            let config = ForgeryAttackConfig {
+                num_fake_signatures: settings.forgery_signatures,
+                ones_fraction: 0.5,
+                epsilon,
+                solver: settings.solver_config(),
+                max_instances: settings.forgery_max_instances,
+            };
+            let mut point_rng = rng_from_seed(point_seed);
+            let signature_seeds = derive_seeds(config.num_fake_signatures, &mut point_rng);
+            let results: Vec<_> = signature_seeds
+                .into_par_iter()
+                .map(|seed| {
+                    let mut rng = rng_from_seed(seed);
+                    let fake = Signature::random(setup.outcome.model.num_trees(), 0.5, &mut rng);
+                    forge_trigger_set_compiled(&compiled, &leaf_index, &setup.test, &fake, &config)
+                })
+                .collect();
+            let mean_forged_size = wdte_core::attack::mean_forged_size(&results);
+            let max_forged_size = results.iter().map(|r| r.forged_count()).max().unwrap_or(0);
+            let budget_exhausted = results.iter().map(|r| r.budget_exhausted).sum();
+            let attempts_per_signature = results.first().map_or(0, |r| r.attempts);
+            ForgeryCurvePoint {
+                epsilon,
+                original_trigger_size: setup.outcome.trigger_set.len(),
+                mean_forged_size,
+                max_forged_size,
+                attempts_per_signature,
+                budget_exhausted,
+            }
+        })
+        .collect()
 }
 
 /// Prints the Figure 4 series.
@@ -304,37 +349,47 @@ pub struct ForgedExample {
 /// Runs the Figure 5 experiment: forges instances at ε ∈ {0.3, 0.5, 0.7}
 /// and measures how a standard ensemble scores the original vs forged
 /// trigger sets.
+///
+/// Like [`figure4`], the ε grid points are independent worker tasks with
+/// per-point derived seeds (bit-identical to the serial sweep), sharing
+/// one compiled form of the watermarked model.
 pub fn figure5(settings: &ExperimentSettings, setup: &SecuritySetup) -> Vec<ForgedExample> {
-    let mut rng = SmallRng::seed_from_u64(settings.seed.wrapping_add(505));
     let leaf_index = LeafIndex::new(&setup.outcome.model);
+    let compiled = CompiledForest::compile(&setup.outcome.model);
     let baseline_on_original = setup.baseline.accuracy(&setup.outcome.trigger_set);
-    let mut examples = Vec::new();
-    for &epsilon in &[0.3, 0.5, 0.7] {
-        let fake = Signature::random(setup.outcome.model.num_trees(), 0.5, &mut rng);
-        let config = ForgeryAttackConfig {
-            num_fake_signatures: 1,
-            ones_fraction: 0.5,
-            epsilon,
-            solver: settings.solver_config(),
-            max_instances: settings.forgery_max_instances,
-        };
-        let result = forge_trigger_set(&setup.outcome.model, &leaf_index, &setup.test, &fake, &config);
-        let baseline_on_forged = result
-            .forged_dataset("forged-trigger")
-            .map(|forged| setup.baseline.accuracy(&forged))
-            .unwrap_or(0.0);
-        if let Some(first) = result.forged.first() {
-            examples.push(ForgedExample {
+    let sweep = [0.3, 0.5, 0.7];
+    let mut rng = SmallRng::seed_from_u64(settings.seed.wrapping_add(505));
+    let point_seeds = derive_seeds(sweep.len(), &mut rng);
+    let examples: Vec<Option<ForgedExample>> = sweep
+        .to_vec()
+        .into_par_iter()
+        .zip(point_seeds.into_par_iter())
+        .map(|(epsilon, point_seed)| {
+            let mut rng = rng_from_seed(point_seed);
+            let fake = Signature::random(setup.outcome.model.num_trees(), 0.5, &mut rng);
+            let config = ForgeryAttackConfig {
+                num_fake_signatures: 1,
+                ones_fraction: 0.5,
+                epsilon,
+                solver: settings.solver_config(),
+                max_instances: settings.forgery_max_instances,
+            };
+            let result = forge_trigger_set_compiled(&compiled, &leaf_index, &setup.test, &fake, &config);
+            let baseline_on_forged = result
+                .forged_dataset("forged-trigger")
+                .map(|forged| setup.baseline.accuracy(&forged))
+                .unwrap_or(0.0);
+            result.forged.first().map(|first| ForgedExample {
                 epsilon,
                 instance: first.instance.clone(),
                 source: setup.test.instance(first.source_index).to_vec(),
                 distortion: first.distortion,
                 baseline_accuracy_on_original_trigger: baseline_on_original,
                 baseline_accuracy_on_forged_trigger: baseline_on_forged,
-            });
-        }
-    }
-    examples
+            })
+        })
+        .collect();
+    examples.into_iter().flatten().collect()
 }
 
 /// Result of the suppression analysis for one dataset.
@@ -436,5 +491,38 @@ mod tests {
         let first = curve.first().unwrap();
         let last = curve.last().unwrap();
         assert!(last.mean_forged_size >= first.mean_forged_size);
+    }
+
+    /// The parallel ε-sweeps derive one seed per grid point, so the
+    /// results must be bit-identical whether the sweep runs serially
+    /// (1-thread pool) or fanned out across workers.
+    ///
+    /// The solver budget is pinned to the (deterministic) node limit by
+    /// making the wall-clock limit unreachable: a wall-clock deadline is
+    /// load-dependent by nature — it could flip `budget_exhausted` between
+    /// two runs of the *serial* sweep just as easily — and would make any
+    /// bit-identity assertion about scheduling meaningless.
+    #[test]
+    fn epsilon_sweeps_are_bit_identical_for_any_worker_count() {
+        let settings = ExperimentSettings {
+            solver_time_ms: u64::MAX / 1_000_000,
+            ..fast_settings()
+        };
+        let setup = prepare_security_setup(&settings, PaperDataset::BreastCancer);
+        let serial_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let wide_pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+
+        let serial4 = serial_pool.install(|| figure4(&settings, &setup));
+        let wide4 = wide_pool.install(|| figure4(&settings, &setup));
+        assert_eq!(serial4, wide4);
+        assert_eq!(serial4, figure4(&settings, &setup));
+
+        let serial5 = serial_pool.install(|| figure5(&settings, &setup));
+        let wide5 = wide_pool.install(|| figure5(&settings, &setup));
+        assert_eq!(serial5, wide5);
+
+        // The suppression rows are per-dataset tasks seeded the same way.
+        let serial_row = serial_pool.install(|| suppression_row(&setup));
+        assert_eq!(serial_row, suppression_row(&setup));
     }
 }

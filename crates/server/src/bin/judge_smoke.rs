@@ -1,0 +1,167 @@
+//! `judge_smoke` — end-to-end smoke check against a running `serve_judge`.
+//!
+//! Builds a deterministic watermarked model and a docket of genuine and
+//! forged claims, registers the model with the remote judge, resolves the
+//! docket over the wire, and fails (nonzero exit) unless every served
+//! verdict is *bit-identical* to the in-process
+//! `DisputeService::resolve_many` on the same docket. This is the CI
+//! gate for the network layer: the wire must never change a verdict.
+//!
+//! ```text
+//! judge_smoke --addr HOST:PORT [--claims N]
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use wdte_core::{Dispute, DisputeService, OwnershipClaim, Signature, WatermarkConfig, Watermarker};
+use wdte_data::SyntheticSpec;
+use wdte_server::DisputeClient;
+
+fn run(addr: &str, claims: usize) -> Result<(), String> {
+    // Deterministic fixture: the same model and docket every run.
+    let mut rng = SmallRng::seed_from_u64(0x5A5A);
+    let dataset = SyntheticSpec::breast_cancer_like().scaled(0.6).generate(&mut rng);
+    let (train, test) = dataset.split_stratified(0.8, &mut rng);
+    let signature = Signature::from_identity("alice@modelcorp.example", 16);
+    let config = WatermarkConfig {
+        num_trees: 16,
+        ..WatermarkConfig::fast()
+    };
+    let outcome = Watermarker::new(config)
+        .embed(&train, &signature, &mut rng)
+        .map_err(|err| format!("embedding failed: {err}"))?;
+    let genuine = OwnershipClaim::new(
+        outcome.signature.clone(),
+        outcome.trigger_set.clone(),
+        test.clone(),
+    );
+    let forged = OwnershipClaim::new(
+        Signature::from_identity("mallory@pirate.example", 16),
+        test.select(&(0..outcome.trigger_set.len()).collect::<Vec<_>>())
+            .map_err(|err| format!("forged trigger selection failed: {err}"))?,
+        test.clone(),
+    );
+    let docket: Vec<Dispute> = (0..claims)
+        .map(|i| {
+            let claim = if i % 2 == 0 {
+                genuine.clone()
+            } else {
+                forged.clone()
+            };
+            // One dispute per docket names an unknown model, so the smoke
+            // test also covers typed-error transport.
+            let model_id = if i == claims / 2 {
+                "ghost-deployment"
+            } else {
+                "smoke-deployment"
+            };
+            Dispute::new(model_id, claim)
+        })
+        .collect();
+
+    // The in-process reference verdicts.
+    let reference_service = DisputeService::builder().build().map_err(|err| err.to_string())?;
+    reference_service.register("smoke-deployment", &outcome.model);
+    let reference = reference_service.resolve_many(&docket);
+
+    // The same docket, served over the wire.
+    let mut client =
+        DisputeClient::connect(addr).map_err(|err| format!("could not reach the judge: {err}"))?;
+    let pong = client.ping().map_err(|err| format!("ping failed: {err}"))?;
+    println!(
+        "judge at {addr}: protocol v{}, format v{}, {} models registered",
+        pong.protocol_version, pong.format_version, pong.models_registered
+    );
+    let trees = client
+        .register_model("smoke-deployment", &outcome.model)
+        .map_err(|err| format!("registration failed: {err}"))?;
+    if trees != outcome.model.num_trees() {
+        return Err(format!(
+            "judge registered {trees} trees, expected {}",
+            outcome.model.num_trees()
+        ));
+    }
+    if !client
+        .list_models()
+        .map_err(|err| format!("list_models failed: {err}"))?
+        .contains(&"smoke-deployment".to_string())
+    {
+        return Err("registered model missing from the judge's listing".to_string());
+    }
+    let served = client
+        .resolve_docket(&docket)
+        .map_err(|err| format!("docket resolution failed: {err}"))?;
+
+    if served.len() != reference.len() {
+        return Err(format!(
+            "served docket has {} verdicts, expected {}",
+            served.len(),
+            reference.len()
+        ));
+    }
+    let mut upheld = 0usize;
+    for (i, (remote, local)) in served.iter().zip(&reference).enumerate() {
+        if remote != local {
+            return Err(format!(
+                "verdict {i} differs between wire and in-process:\n  wire:  {remote:?}\n  local: {local:?}"
+            ));
+        }
+        if remote.as_ref().is_ok_and(|report| report.verified) {
+            upheld += 1;
+        }
+    }
+    println!(
+        "resolved {} disputes over the wire: {} upheld, all bit-identical to in-process resolution",
+        served.len(),
+        upheld
+    );
+    if upheld == 0 || upheld >= claims {
+        return Err(format!(
+            "implausible verdict split ({upheld}/{claims} upheld): the fixture must mix genuine and forged claims"
+        ));
+    }
+    // Leave the judge as we found it.
+    client
+        .deregister("smoke-deployment")
+        .map_err(|err| format!("deregister failed: {err}"))?
+        .then_some(())
+        .ok_or("deregister reported the model as never registered")?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut claims = 64usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => addr = argv.next(),
+            "--claims" => match argv.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 2 => claims = n,
+                _ => {
+                    eprintln!("judge_smoke: --claims needs an integer >= 2");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("judge_smoke: unknown flag `{other}` (usage: --addr HOST:PORT [--claims N])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("judge_smoke: --addr HOST:PORT is required");
+        return ExitCode::FAILURE;
+    };
+    match run(&addr, claims) {
+        Ok(()) => {
+            println!("judge_smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("judge_smoke: FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

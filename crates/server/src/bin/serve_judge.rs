@@ -1,0 +1,154 @@
+//! `serve_judge` — the judge as a standalone process.
+//!
+//! Binds a TCP socket, optionally warm-starts the model registry from a
+//! directory of persisted artefacts (`results/models/` as written by the
+//! `table2` experiment), and serves the WDTP dispute-resolution protocol
+//! until killed.
+//!
+//! ```text
+//! serve_judge [--addr 127.0.0.1:7431] [--warm-start DIR]...
+//!             [--port-file PATH] [--max-docket N] [--shard-rows N]
+//!             [--workers N] [--max-connections N]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes the
+//! actually-bound address to a file once listening, so scripts (the CI
+//! smoke job) can discover it race-free.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use wdte_core::DisputeService;
+use wdte_server::{JudgeServer, ServerConfig};
+
+struct Args {
+    addr: String,
+    warm_start: Vec<String>,
+    port_file: Option<String>,
+    max_docket: Option<usize>,
+    shard_rows: Option<usize>,
+    workers: usize,
+    max_connections: usize,
+    read_timeout_secs: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7431".to_string(),
+        warm_start: Vec::new(),
+        port_file: None,
+        max_docket: None,
+        shard_rows: None,
+        workers: 0,
+        max_connections: 64,
+        read_timeout_secs: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--warm-start" => args.warm_start.push(value("--warm-start")?),
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--max-docket" => {
+                args.max_docket =
+                    Some(value("--max-docket")?.parse().map_err(|e| format!("--max-docket: {e}"))?)
+            }
+            "--shard-rows" => {
+                args.shard_rows =
+                    Some(value("--shard-rows")?.parse().map_err(|e| format!("--shard-rows: {e}"))?)
+            }
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--read-timeout-secs" => {
+                args.read_timeout_secs = Some(
+                    value("--read-timeout-secs")?
+                        .parse()
+                        .map_err(|e| format!("--read-timeout-secs: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_judge [--addr HOST:PORT] [--warm-start DIR]... \
+                     [--port-file PATH] [--max-docket N] [--shard-rows N] \
+                     [--workers N] [--max-connections N] [--read-timeout-secs N (0 = never)]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve_judge: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut builder = DisputeService::builder();
+    if let Some(rows) = args.shard_rows {
+        builder = builder.batch_shard_rows(rows);
+    }
+    if let Some(max) = args.max_docket {
+        builder = builder.max_docket(max);
+    }
+    for dir in &args.warm_start {
+        builder = builder.warm_start_dir(dir);
+    }
+    let service = match builder.build() {
+        Ok(service) => Arc::new(service),
+        Err(err) => {
+            eprintln!("serve_judge: could not build the dispute service: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm = service.len();
+
+    let mut config = ServerConfig {
+        max_connections: args.max_connections,
+        worker_threads: args.workers,
+        ..ServerConfig::default()
+    };
+    if let Some(secs) = args.read_timeout_secs {
+        // 0 disables idle reaping entirely (trusted networks only).
+        config.read_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+    let server = match JudgeServer::bind(args.addr.as_str(), Arc::clone(&service), config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve_judge: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!(
+        "serve_judge listening on {addr} (protocol v{}, {warm} models warm-started)",
+        wdte_core::PROTOCOL_VERSION
+    );
+    if let Some(path) = &args.port_file {
+        // Write-then-rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        let write = std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(err) = write {
+            eprintln!("serve_judge: could not write --port-file {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.serve() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("serve_judge: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # wdte-server
+//!
+//! Network front-end for the dispute-resolution service: the paper's
+//! *judge* as an independently deployable process. A [`JudgeServer`]
+//! listens on a TCP socket, speaks the versioned `WDTP` frame protocol of
+//! [`wdte_core::proto`], and drives a shared
+//! [`DisputeService`](wdte_core::DisputeService); a [`DisputeClient`]
+//! gives owners and claimants a typed API over the same wire.
+//!
+//! Everything is hand-rolled on `std::net` — the build environment is
+//! offline, and the blocking, thread-per-connection model is the right
+//! shape for the workload: a dispute docket is CPU-bound in tree
+//! traversals, which the service already fans out across the rayon-shim
+//! worker pool, so each connection handler just needs to keep one socket
+//! fed.
+//!
+//! ```rust,ignore
+//! // Judge process:
+//! let service = Arc::new(DisputeService::builder().warm_start_dir("results/models").build()?);
+//! let server = JudgeServer::bind("127.0.0.1:7431", service, ServerConfig::default())?;
+//! server.serve()?; // blocking accept loop
+//!
+//! // Claimant process:
+//! let mut client = DisputeClient::connect("127.0.0.1:7431")?;
+//! let report = client.resolve("bobs-api", &claim)?;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod server;
+
+pub use client::{ClientConfig, DisputeClient, PongInfo};
+pub use server::{JudgeServer, RunningServer, ServerConfig, ServerHandle};

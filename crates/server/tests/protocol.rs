@@ -1,0 +1,445 @@
+//! Integration suite for the judge-as-a-service layer: loopback
+//! round-trips that must be bit-identical to in-process resolution, and
+//! the protocol's negative paths (malformed frames, hostile length
+//! prefixes, future versions, half-closed sockets).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use wdte_core::error::WatermarkError;
+use wdte_core::proto::{self, Request, Response, WireFault};
+use wdte_core::{
+    Dispute, DisputeService, OwnershipClaim, Signature, WatermarkConfig, WatermarkOutcome, Watermarker,
+};
+use wdte_data::{Dataset, SyntheticSpec};
+use wdte_server::{ClientConfig, DisputeClient, JudgeServer, RunningServer, ServerConfig};
+
+fn embedded(seed: u64) -> (Dataset, WatermarkOutcome) {
+    let dataset = SyntheticSpec::breast_cancer_like()
+        .scaled(0.6)
+        .generate(&mut SmallRng::seed_from_u64(seed));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+    let (train, test) = dataset.split_stratified(0.75, &mut rng);
+    let signature = Signature::random(12, 0.5, &mut rng);
+    let watermarker = Watermarker::new(WatermarkConfig {
+        num_trees: 12,
+        ..WatermarkConfig::fast()
+    });
+    let outcome = watermarker.embed(&train, &signature, &mut rng).unwrap();
+    (test, outcome)
+}
+
+fn claim_for(outcome: &WatermarkOutcome, test: &Dataset) -> OwnershipClaim {
+    OwnershipClaim::new(
+        outcome.signature.clone(),
+        outcome.trigger_set.clone(),
+        test.clone(),
+    )
+}
+
+fn start_server(service: Arc<DisputeService>) -> RunningServer {
+    JudgeServer::bind("127.0.0.1:0", service, ServerConfig::default())
+        .expect("loopback bind succeeds")
+        .spawn()
+}
+
+/// Acceptance gate of the network layer: a 64-claim docket resolved
+/// through `DisputeClient` is bit-identical to `resolve_many` in process.
+#[test]
+fn loopback_docket_is_bit_identical_to_in_process_resolution() {
+    let (test, outcome) = embedded(71);
+    let genuine = claim_for(&outcome, &test);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let forged = OwnershipClaim::new(
+        Signature::random(12, 0.5, &mut rng),
+        test.select(&test.sample_indices(outcome.trigger_set.len(), &mut rng)).unwrap(),
+        test.clone(),
+    );
+    let docket: Vec<Dispute> = (0..64)
+        .map(|i| {
+            let claim = if i % 2 == 0 {
+                genuine.clone()
+            } else {
+                forged.clone()
+            };
+            // A few disputes name an unregistered model so typed errors
+            // cross the wire too.
+            let model_id = if i % 13 == 5 { "ghost" } else { "deployment" };
+            Dispute::new(model_id, claim)
+        })
+        .collect();
+
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("deployment", &outcome.model);
+    let reference = service.resolve_many(&docket);
+
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    let served = client.resolve_docket(&docket).unwrap();
+
+    assert_eq!(served.len(), 64);
+    assert_eq!(
+        served, reference,
+        "wire and in-process verdicts must be bit-identical"
+    );
+    assert!(served.iter().filter_map(|v| v.as_ref().ok()).any(|r| r.verified));
+    assert!(served.iter().any(|v| matches!(
+        v,
+        Err(WatermarkError::UnknownModel { model_id }) if model_id == "ghost"
+    )));
+    // The docket never triggered extra compilations server-side.
+    assert_eq!(service.compile_count(), 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn full_client_surface_round_trips() {
+    let (test, outcome) = embedded(72);
+    let claim = claim_for(&outcome, &test);
+    let service = Arc::new(DisputeService::builder().max_docket(4).build().unwrap());
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.protocol_version, proto::PROTOCOL_VERSION);
+    assert_eq!(pong.models_registered, 0);
+
+    assert_eq!(client.register_model("m", &outcome.model).unwrap(), 12);
+    assert_eq!(client.register_model("aaa", &outcome.model).unwrap(), 12);
+    assert_eq!(client.list_models().unwrap(), ["aaa", "m"], "listings are sorted");
+
+    let report = client.resolve("m", &claim).unwrap();
+    assert_eq!(report, service.resolve("m", &claim).unwrap());
+    assert!(report.verified);
+
+    // Typed errors reconstruct on the client side.
+    assert!(matches!(
+        client.resolve("ghost", &claim).unwrap_err(),
+        WatermarkError::UnknownModel { model_id } if model_id == "ghost"
+    ));
+    let oversized: Vec<Dispute> = (0..5).map(|_| Dispute::new("m", claim.clone())).collect();
+    assert!(matches!(
+        client.resolve_docket(&oversized).unwrap_err(),
+        WatermarkError::DocketTooLarge { size: 5, max: 4 }
+    ));
+
+    assert!(client.deregister("aaa").unwrap());
+    assert!(
+        !client.deregister("aaa").unwrap(),
+        "second deregister reports absence"
+    );
+    assert_eq!(client.list_models().unwrap(), ["m"]);
+    // The connection survives all of the above on one socket.
+    assert!(client.resolve("m", &claim).unwrap().verified);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn register_over_wire_matches_local_registration() {
+    let (test, outcome) = embedded(73);
+    let claim = claim_for(&outcome, &test);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    client.register_model("wire", &outcome.model).unwrap();
+
+    // The model deserialized server-side behaves exactly like the local one.
+    let local = DisputeService::builder().build().unwrap();
+    local.register("wire", &outcome.model);
+    assert_eq!(
+        client.resolve("wire", &claim).unwrap(),
+        local.resolve("wire", &claim).unwrap()
+    );
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths, driven over a raw socket
+// ---------------------------------------------------------------------------
+
+fn raw_connection(server: &RunningServer) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+fn read_error_response(stream: &mut TcpStream) -> WireFault {
+    let mut reader = std::io::BufReader::new(stream);
+    let response: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .expect("server answers before closing")
+        .expect("server answers before closing");
+    match response {
+        Response::Error { fault } => fault,
+        other => panic!("expected an error response, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_gets_an_error_response_and_a_closed_connection() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let mut stream = raw_connection(&server);
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    assert!(matches!(
+        read_error_response(&mut stream),
+        WireFault::BadRequest { .. }
+    ));
+    // The server closed its side: the next read is EOF.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn future_protocol_version_is_refused_with_a_structured_fault() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let mut stream = raw_connection(&server);
+    let mut frame = proto::encode_frame(&Request::Ping).unwrap();
+    frame[4..6].copy_from_slice(&999u16.to_le_bytes());
+    stream.write_all(&frame).unwrap();
+    match read_error_response(&mut stream) {
+        WireFault::UnsupportedProtocolVersion { found, supported } => {
+            assert_eq!(found, 999);
+            assert_eq!(supported, proto::PROTOCOL_VERSION);
+        }
+        other => panic!("expected a version fault, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_without_reading_the_payload() {
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = JudgeServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            max_frame_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let mut stream = raw_connection(&server);
+    let mut header = Vec::new();
+    header.extend_from_slice(proto::PROTO_MAGIC);
+    header.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    stream.write_all(&header).unwrap();
+    // No payload is ever sent — the server must answer from the header
+    // alone instead of waiting for 4 GiB.
+    match read_error_response(&mut stream) {
+        WireFault::FrameTooLarge { size, max } => {
+            assert_eq!(size, u64::from(u32::MAX));
+            assert_eq!(max, 1024);
+        }
+        other => panic!("expected a frame-size fault, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn half_closed_socket_mid_frame_does_not_wedge_the_server() {
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = start_server(Arc::clone(&service));
+
+    // A client sends half a frame, then closes its write side.
+    let frame = proto::encode_frame(&Request::ListModels).unwrap();
+    let mut stream = raw_connection(&server);
+    stream.write_all(&frame[..frame.len() / 2]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // The server detects the truncation and answers a BadRequest fault
+    // (best effort) before closing — it must not hang on the missing half.
+    assert!(matches!(
+        read_error_response(&mut stream),
+        WireFault::BadRequest { .. }
+    ));
+
+    // And the server is still fully alive for the next client.
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.ping().unwrap().protocol_version, proto::PROTOCOL_VERSION);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn half_closed_socket_between_frames_is_a_clean_goodbye() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let mut stream = raw_connection(&server);
+    // A complete ping, then a write-side shutdown: the server answers the
+    // ping and closes without inventing an error.
+    stream.write_all(&proto::encode_frame(&Request::Ping).unwrap()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reader = std::io::BufReader::new(&mut stream);
+    let response: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .unwrap()
+        .expect("the ping sent before the shutdown is answered");
+    assert!(matches!(response, Response::Pong { .. }));
+    assert!(
+        proto::read_message::<Response, _>(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .is_none(),
+        "no further frames: the server closes cleanly"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn garbage_payload_in_a_valid_frame_keeps_the_connection_usable() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let mut stream = raw_connection(&server);
+    // A well-framed payload that is not a decodable Request: framing stays
+    // synchronized, so the server answers an error and keeps the socket.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(proto::PROTO_MAGIC);
+    frame.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
+    let payload = [0x3Fu8; 16]; // unknown value tag
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    // Follow up with a valid ping *on the same socket*.
+    frame.extend_from_slice(&proto::encode_frame(&Request::Ping).unwrap());
+    stream.write_all(&frame).unwrap();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let first: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(
+        first,
+        Response::Error {
+            fault: WireFault::BadRequest { .. }
+        }
+    ));
+    let second: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .unwrap()
+        .unwrap();
+    assert!(
+        matches!(second, Response::Pong { .. }),
+        "the connection survived the bad payload"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn connect_retry_covers_a_late_binding_judge() {
+    // Nothing is listening on this port yet.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server_thread = std::thread::spawn(move || {
+        // Bind only after the client's first attempt has likely failed.
+        std::thread::sleep(Duration::from_millis(150));
+        JudgeServer::bind(addr, service, ServerConfig::default()).unwrap().spawn()
+    });
+    let mut client = DisputeClient::connect_with(
+        addr,
+        ClientConfig {
+            connect_attempts: 10,
+            retry_backoff: Duration::from_millis(50),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("retries outlast the judge's late bind");
+    assert_eq!(client.ping().unwrap().models_registered, 0);
+    server_thread.join().unwrap().shutdown().unwrap();
+
+    // With no judge at all, the retries exhaust into a typed Io error.
+    let gone = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead_addr = gone.local_addr().unwrap();
+    drop(gone);
+    let err = DisputeClient::connect_with(
+        dead_addr,
+        ClientConfig {
+            connect_attempts: 2,
+            retry_backoff: Duration::from_millis(10),
+            connect_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, WatermarkError::Io { .. }));
+}
+
+#[test]
+fn an_idle_connection_cannot_wedge_a_saturated_accept_loop() {
+    // max_connections: 0 forces every connection onto the accept thread
+    // (full saturation). The configured read timeout bounds how long an
+    // idle peer may hold it.
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = JudgeServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            max_connections: 0,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+
+    // A slow-loris peer: connects and sends nothing.
+    let idle = TcpStream::connect(server.addr()).unwrap();
+
+    // A real client arrives while the accept thread is parked on the idle
+    // peer. Once the idle read times out, the loop accepts and serves it —
+    // the retry budget far outlasts the 200 ms timeout.
+    let mut client = DisputeClient::connect_with(
+        server.addr(),
+        ClientConfig {
+            connect_attempts: 10,
+            retry_backoff: Duration::from_millis(100),
+            read_timeout: Some(Duration::from_secs(10)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(client.ping().unwrap().protocol_version, proto::PROTOCOL_VERSION);
+    drop(idle);
+    drop(client);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_transport_error_poisons_the_client_connection() {
+    let (test, outcome) = embedded(74);
+    let claim = claim_for(&outcome, &test);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("m", &outcome.model);
+    let server = start_server(Arc::clone(&service));
+
+    // A client whose receive cap is far below any real response frame:
+    // the first exchange fails mid-stream (FrameTooLarge on the answer),
+    // leaving the unread response bytes in the socket.
+    let mut client = DisputeClient::connect_with(
+        server.addr(),
+        ClientConfig {
+            max_frame_bytes: 16,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(!client.is_broken());
+    assert!(matches!(
+        client.resolve("m", &claim).unwrap_err(),
+        WatermarkError::FrameTooLarge { .. }
+    ));
+
+    // Without poisoning, a retry would consume the stale response of the
+    // first request and misattribute it. The client refuses instead.
+    assert!(client.is_broken());
+    match client.ping().unwrap_err() {
+        WatermarkError::ProtocolViolation { detail } => {
+            assert!(detail.contains("poisoned"), "unexpected detail: {detail}")
+        }
+        other => panic!("expected a poisoned-connection error, got {other:?}"),
+    }
+
+    // A fresh connection works fine; the server is unaffected.
+    let mut fresh = DisputeClient::connect(server.addr()).unwrap();
+    assert!(fresh.resolve("m", &claim).unwrap().verified);
+    server.shutdown().unwrap();
+}

@@ -1,16 +1,19 @@
-//! Dispute-resolution service: many claims, many claimants, one compile.
+//! Judge as a service: a dispute docket resolved over TCP.
 //!
-//! Two owners (Alice and Carol) each deploy a watermarked model; a wave of
-//! ownership claims — genuine ones from the owners, forged ones from
-//! Mallory — arrives at the judge's `DisputeService`. The service compiles
-//! each registered deployment exactly once and resolves the whole docket
-//! concurrently, sharding every disguised verification batch across worker
-//! threads.
+//! Two owners (Alice and Carol) each deploy a watermarked model; the judge
+//! runs as a network service speaking the versioned WDTP protocol. One
+//! deployment is registered directly on the shared service (the judge's
+//! own boot path), the other arrives over the wire through
+//! `DisputeClient::register_model`. A 64-claim docket — genuine claims
+//! from the owners, forged ones from Mallory — is then resolved through
+//! the socket, and the example asserts the served verdicts are
+//! *bit-identical* to resolving the same docket in process.
 //!
 //! Run with `cargo run --release --example serve_disputes`.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 use wdte::prelude::*;
 
@@ -41,20 +44,37 @@ fn main() {
         202,
     );
 
-    // The judge registers both suspect deployments: one compile each,
-    // shared by every claim resolved below.
-    let service = DisputeService::new();
+    // The judge boots with Alice's deployment already registered (as a
+    // warm start would) and goes online on an ephemeral loopback port.
+    let service = Arc::new(
+        DisputeService::builder()
+            .max_docket(1024)
+            .build()
+            .expect("an empty builder always builds"),
+    );
     service.register("alice-deployment", &alice.model);
-    service.register("carol-deployment", &carol.model);
+    let server = JudgeServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("loopback bind succeeds")
+        .spawn();
+    println!("judge listening on {}", server.addr());
+
+    // Carol registers her deployment over the wire.
+    let mut client = DisputeClient::connect(server.addr()).expect("client connects");
+    let pong = client.ping().expect("judge answers ping");
     println!(
-        "registered {} deployments ({} compilations)",
-        service.len(),
-        service.compile_count()
+        "judge speaks protocol v{} ({} model pre-registered)",
+        pong.protocol_version, pong.models_registered
+    );
+    client
+        .register_model("carol-deployment", &carol.model)
+        .expect("registration over the wire succeeds");
+    println!(
+        "registered deployments: {:?}",
+        client.list_models().expect("listing")
     );
 
     // The docket: genuine claims from both owners, plus Mallory filing her
-    // own signature with a trigger set sampled from public data against
-    // both deployments.
+    // own signature with a trigger set sampled from public data.
     let genuine_alice = OwnershipClaim::new(
         alice.signature.clone(),
         alice.trigger_set.clone(),
@@ -66,10 +86,11 @@ fn main() {
         carol_test.clone(),
     );
     let mallory_signature = Signature::from_identity("mallory@pirate.example", 16);
-    let mallory_indices: Vec<usize> = (0..alice.trigger_set.len()).collect();
     let forged_vs_alice = OwnershipClaim::new(
         mallory_signature.clone(),
-        alice_test.select(&mallory_indices).expect("test set is large enough"),
+        alice_test
+            .select(&(0..alice.trigger_set.len()).collect::<Vec<_>>())
+            .expect("test set is large enough"),
         alice_test.clone(),
     );
     let forged_vs_carol = OwnershipClaim::new(
@@ -88,13 +109,13 @@ fn main() {
     }
 
     let start = Instant::now();
-    let verdicts = service.resolve_many(&docket);
+    let served = client.resolve_docket(&docket).expect("docket resolves over the wire");
     let elapsed = start.elapsed();
 
     let mut upheld = 0usize;
     let mut rejected = 0usize;
     let mut queries = 0usize;
-    for verdict in &verdicts {
+    for verdict in &served {
         let report = verdict.as_ref().expect("every dispute names a registered model");
         if report.verified {
             upheld += 1;
@@ -104,7 +125,7 @@ fn main() {
         queries += report.queries_issued;
     }
     println!(
-        "resolved {} disputes in {:.1} ms ({:.0} disputes/s, {} black-box queries)",
+        "resolved {} disputes over TCP in {:.1} ms ({:.0} claims/s served, {} black-box queries)",
         docket.len(),
         elapsed.as_secs_f64() * 1e3,
         docket.len() as f64 / elapsed.as_secs_f64(),
@@ -114,8 +135,18 @@ fn main() {
     println!("  rejected: {rejected} (Mallory's forgeries)");
     println!("  compilations performed, total: {}", service.compile_count());
 
+    // The wire must not change a single bit of any verdict.
+    let local = service.resolve_many(&docket);
+    assert_eq!(
+        served, local,
+        "served verdicts must be bit-identical to in-process resolution"
+    );
+
     assert_eq!(upheld, 32, "every genuine claim must verify");
     assert_eq!(rejected, 32, "every forged claim must fail");
     assert_eq!(service.compile_count(), 2, "one compile per deployment, ever");
-    println!("service docket resolved correctly.");
+
+    drop(client);
+    server.shutdown().expect("clean shutdown");
+    println!("served docket matches in-process resolution bit for bit.");
 }

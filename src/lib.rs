@@ -17,6 +17,9 @@
 //! * [`core`] — the paper's contribution: watermark creation (Algorithm 1),
 //!   black-box verification, and the detection / suppression / forgery
 //!   attack simulations of the security evaluation.
+//! * [`server`] — "judge as a service": a TCP server and typed client
+//!   speaking the versioned `WDTP` dispute-resolution protocol
+//!   ([`core::proto`]), so the judge runs as its own process.
 //!
 //! ## Quickstart
 //!
@@ -47,8 +50,9 @@
 #![warn(missing_docs)]
 
 pub use wdte_core as core;
-pub use wdte_core::persist;
+pub use wdte_core::{persist, proto};
 pub use wdte_data as data;
+pub use wdte_server as server;
 pub use wdte_solver as solver;
 pub use wdte_trees as trees;
 
@@ -56,6 +60,7 @@ pub use wdte_trees as trees;
 pub mod prelude {
     pub use wdte_core::prelude::*;
     pub use wdte_data::prelude::*;
+    pub use wdte_server::{ClientConfig, DisputeClient, JudgeServer, ServerConfig};
     pub use wdte_solver::prelude::*;
     pub use wdte_trees::prelude::*;
 }

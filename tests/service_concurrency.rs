@@ -54,7 +54,7 @@ fn fixed_seed_resolution_is_identical_with_one_worker_and_many() {
     let disputes: Vec<Dispute> = (0..6).map(|_| Dispute::new("m", claim.clone())).collect();
 
     // Tiny shard size so a single claim really is split across many tasks.
-    let service = DisputeService::with_batch_shard_rows(8);
+    let service = DisputeService::builder().batch_shard_rows(8).build().unwrap();
     service.register("m", &outcome.model);
     let parallel = service.resolve_many(&disputes);
     let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
@@ -76,7 +76,7 @@ fn concurrent_claims_share_exactly_one_compile() {
     let (train, test, signature, watermarker) = fixture();
     let outcome = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(95)).unwrap();
     let claim = OwnershipClaim::new(signature, outcome.trigger_set.clone(), test);
-    let service = Arc::new(DisputeService::new());
+    let service = Arc::new(DisputeService::builder().build().unwrap());
     service.register("shared", &outcome.model);
 
     let reference = service.resolve("shared", &claim).unwrap();
@@ -104,7 +104,7 @@ fn resolution_never_observes_a_partially_compiled_forest() {
     let (train, test, signature, watermarker) = fixture();
     let outcome = watermarker.embed(&train, &signature, &mut SmallRng::seed_from_u64(96)).unwrap();
     let claim = OwnershipClaim::new(signature.clone(), outcome.trigger_set.clone(), test.clone());
-    let service = Arc::new(DisputeService::new());
+    let service = Arc::new(DisputeService::builder().build().unwrap());
     service.register("target", &outcome.model);
     let reference = service.resolve("target", &claim).unwrap();
 
