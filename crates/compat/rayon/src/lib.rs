@@ -2,22 +2,520 @@
 //! [`rayon`](https://crates.io/crates/rayon) crate, vendored under
 //! `crates/compat/` because the build environment has no registry access.
 //!
-//! Implements the narrow data-parallel surface the workspace uses —
-//! `par_iter()` / `into_par_iter()` followed by `zip`, `map` and
-//! `collect()` into a `Vec` — on top of `std::thread::scope`. Items are
-//! chunked across `available_parallelism()` worker threads and results are
-//! returned in input order, so the observable behaviour (including
-//! determinism of seed-per-item pipelines) matches real rayon.
+//! Unlike the first-generation shim (which spawned scoped threads per
+//! `collect` and *serialized* every nested parallel iterator inside its
+//! workers), this is a real fixed-size **work-stealing thread pool**:
 //!
-//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] are also provided so
-//! callers (notably the concurrency determinism test suite) can pin the
-//! worker count — `num_threads(1)` forces every parallel pipeline inside
-//! `install` to run serially on the calling thread.
+//! * **Resident workers.** A process-global pool of worker threads is
+//!   spawned lazily on first use, sized by
+//!   [`ThreadPoolBuilder::build_global`] (the `serve_judge --workers` path)
+//!   or `available_parallelism()` by default. Workers live for the process
+//!   lifetime; building a [`ThreadPool`] handle spawns nothing.
+//! * **Injector + per-worker deques.** Jobs submitted from outside the
+//!   pool land on a shared injector queue; jobs submitted *by a worker*
+//!   (a nested `par_iter` inside an outer parallel job) are pushed onto
+//!   that worker's own deque. A worker pops its own deque LIFO (newest
+//!   sub-job first, best cache locality), then takes from the injector,
+//!   then steals the *oldest* job from a sibling's deque — so deep
+//!   pipelines (connection → docket → batch shards → trees) spread across
+//!   every core instead of serializing below the first fan-out level.
+//! * **Caller participation.** A thread waiting for its jobs to finish
+//!   executes queued jobs itself instead of blocking, which both recovers
+//!   the waiting CPU and makes the pool deadlock-free by construction:
+//!   any thread blocked on a nested fan-out is itself draining the
+//!   queues, so forward progress never depends on a free worker (the
+//!   pool even completes with zero workers).
+//!
+//! **Determinism contract** (unchanged from the first-generation shim,
+//! and load-bearing for the verification semantics of the paper): results
+//! are stitched back in input order whatever the steal schedule; callers
+//! derive per-task RNG seeds *before* fanning out, so fixed-seed outputs
+//! are bit-identical for any worker count; and `num_threads(1)` — via
+//! [`ThreadPool::install`] or a global pool of one — runs every parallel
+//! pipeline strictly serially on the calling thread. An `install`ed width
+//! limit travels *with* the jobs it spawns: nested fan-outs obey the
+//! innermost enclosing limit even when their job executes on a different
+//! worker thread.
+//!
+//! A width limit > 1 bounds how many tasks each individual fan-out splits
+//! into (real rayon bounds concurrency by pool size instead); `1` is the
+//! only strict limit, and the one the determinism suite relies on.
+//!
+//! Synchronization is deliberately coarse — every queue lives under one
+//! registry mutex — because the workspace's jobs are milliseconds of tree
+//! training or batch inference, not nanosecond tasklets; the stealing
+//! *policy* (own-LIFO / steal-FIFO) is what matters at this granularity,
+//! not lock-free queue mechanics.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// How many tasks each fan-out splits into per unit of width: a little
+/// over-splitting gives the stealers load-balance slack when task costs
+/// are skewed (one deep tree next to many shallow ones) without drowning
+/// the queues in tiny jobs.
+const OVERSPLIT: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Type-erased jobs
+// ---------------------------------------------------------------------------
+
+/// A pointer to a [`StackJob`] living on some caller's stack, plus the
+/// monomorphized function that executes it.
+///
+/// Safety contract: the caller that created the underlying `StackJob`
+/// blocks (in [`TaskGroup::wait_until_done`]) until every job it pushed
+/// has executed, so the pointee outlives every use of the pointer; the
+/// queues hand each `JobRef` to exactly one executor, so the job runs
+/// exactly once.
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// Safety: see the contract on `JobRef` — the pointee is kept alive by its
+// blocked creator and consumed by exactly one thread.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Must be called exactly once, off the registry lock.
+    ///
+    /// # Safety
+    /// The `StackJob` this points to must still be alive and not yet
+    /// executed — guaranteed by the queue's exactly-once pop and the
+    /// creator blocking until completion.
+    unsafe fn run(self) {
+        unsafe { (self.execute)(self.data) }
+    }
+}
+
+/// A job allocated on the submitting thread's stack. The closure is taken
+/// out exactly once by the executing thread.
+struct StackJob<F> {
+    func: UnsafeCell<Option<F>>,
+}
+
+impl<F: FnOnce() + Send> StackJob<F> {
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+        }
+    }
+
+    /// Type-erases this job for the queues.
+    ///
+    /// # Safety
+    /// The returned `JobRef` must be executed (exactly once) before `self`
+    /// is dropped; callers ensure this by waiting on the job's
+    /// [`TaskGroup`] before returning.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute_erased<F: FnOnce() + Send>(data: *const ()) {
+            // Safety: `data` came from `as_job_ref` on a live, not-yet-run
+            // StackJob<F>; the queue guarantees we are its only executor,
+            // so the UnsafeCell access is unaliased.
+            let func = unsafe { (*(*data.cast::<StackJob<F>>()).func.get()).take() };
+            (func.expect("a queued job is executed exactly once"))();
+        }
+        JobRef {
+            data: std::ptr::from_ref(self).cast(),
+            execute: execute_erased::<F>,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry: queues + resident workers
+// ---------------------------------------------------------------------------
+
+/// All job queues, guarded by one mutex (see the module docs for why the
+/// coarse lock is the right trade at this job granularity).
+struct Queues {
+    /// Jobs submitted from threads outside the pool.
+    injector: VecDeque<JobRef>,
+    /// One deque per resident worker for its own nested sub-jobs.
+    deques: Vec<VecDeque<JobRef>>,
+}
+
+impl Queues {
+    /// Next job for the given executor: own deque LIFO, then the injector
+    /// FIFO, then stealing the oldest job of a sibling (scan starting past
+    /// our own slot so steal pressure spreads instead of piling onto
+    /// worker 0).
+    fn find_job(&mut self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = me {
+            if let Some(job) = self.deques[index].pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.pop_front() {
+            return Some(job);
+        }
+        let workers = self.deques.len();
+        let first = me.map_or(0, |index| index + 1);
+        (0..workers).find_map(|offset| self.deques[(first + offset) % workers].pop_front())
+    }
+}
+
+/// The process-global pool: queues, the wakeup condvar and the resident
+/// worker count.
+struct Registry {
+    sync: Mutex<Queues>,
+    work: Condvar,
+    workers: usize,
+}
+
+impl Registry {
+    fn new(workers: usize) -> Self {
+        Self {
+            sync: Mutex::new(Queues {
+                injector: VecDeque::new(),
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+            }),
+            work: Condvar::new(),
+            workers,
+        }
+    }
+
+    /// Locks the queues, recovering from poisoning: a panic inside the
+    /// lock's critical sections is impossible by inspection (queue ops
+    /// only), but an abort-free best effort beats wedging the whole pool.
+    fn lock(&self) -> MutexGuard<'_, Queues> {
+        self.sync.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pushes a batch of jobs: onto the submitting worker's own deque when
+    /// called from inside the pool, onto the shared injector otherwise.
+    fn inject(&self, jobs: impl Iterator<Item = JobRef>) {
+        let me = WORKER_INDEX.get();
+        let mut queues = self.lock();
+        match me {
+            Some(index) => queues.deques[index].extend(jobs),
+            None => queues.injector.extend(jobs),
+        }
+        drop(queues);
+        self.work.notify_all();
+    }
+}
+
+thread_local! {
+    /// Which resident worker this thread is, if any; routes nested job
+    /// submission to the worker's own deque.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+thread_local! {
+    /// Width limit installed by [`ThreadPool::install`] — or re-installed
+    /// around a job whose *submitter* had a limit; `None` falls back to
+    /// the global pool size.
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Global-pool configuration handshake between
+/// [`ThreadPoolBuilder::build_global`] and the lazy first spawn.
+struct GlobalConfig {
+    requested: Option<usize>,
+    started: bool,
+}
+
+static CONFIG: Mutex<GlobalConfig> = Mutex::new(GlobalConfig {
+    requested: None,
+    started: false,
+});
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static WORKERS_SPAWNED: OnceLock<()> = OnceLock::new();
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The registry, creating it (and spawning its resident workers) on first
+/// use. Worker spawn failures are tolerated: callers participate in
+/// draining the queues while they wait, so the pool completes its jobs
+/// even with fewer (or zero) live workers.
+fn global_registry() -> &'static Registry {
+    let registry = REGISTRY.get_or_init(|| {
+        let mut config = CONFIG.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        config.started = true;
+        Registry::new(config.requested.unwrap_or_else(default_parallelism))
+    });
+    WORKERS_SPAWNED.get_or_init(|| {
+        for index in 0..registry.workers {
+            let _ = std::thread::Builder::new()
+                .name(format!("wdte-pool-{index}"))
+                .spawn(move || worker_loop(registry, index));
+        }
+    });
+    registry
+}
+
+/// A resident worker: execute anything findable, sleep otherwise.
+fn worker_loop(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.set(Some(index));
+    let mut queues = registry.lock();
+    loop {
+        if let Some(job) = queues.find_job(Some(index)) {
+            drop(queues);
+            // Safety: popped from a queue, so we are the unique executor.
+            unsafe { job.run() };
+            queues = registry.lock();
+        } else {
+            queues = registry.work.wait(queues).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Worker count governing parallel pipelines on the *current* thread,
+/// mirroring `rayon::current_num_threads`: the limit installed by the
+/// innermost enclosing [`ThreadPool::install`] (which also travels with
+/// jobs into the pool), else the global pool's size.
+pub fn current_num_threads() -> usize {
+    THREAD_LIMIT.get().unwrap_or_else(|| {
+        if let Some(registry) = REGISTRY.get() {
+            registry.workers
+        } else {
+            let config = CONFIG.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            config.requested.unwrap_or_else(default_parallelism)
+        }
+    })
+}
+
+/// Restores the previous thread-local width limit on drop; used both by
+/// `install` and around job execution (jobs carry their submitter's
+/// limit).
+struct ScopedLimit(Option<usize>);
+
+impl ScopedLimit {
+    fn apply(limit: Option<usize>) -> Self {
+        let previous = THREAD_LIMIT.get();
+        THREAD_LIMIT.set(limit);
+        ScopedLimit(previous)
+    }
+}
+
+impl Drop for ScopedLimit {
+    fn drop(&mut self) {
+        THREAD_LIMIT.set(self.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task groups: join-until-done with caller participation
+// ---------------------------------------------------------------------------
+
+/// Completion tracking for one fan-out: a countdown latch plus the first
+/// captured panic. Lives on the submitting thread's stack; jobs hold
+/// `&TaskGroup`.
+struct TaskGroup<'r> {
+    registry: &'r Registry,
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'r> TaskGroup<'r> {
+    fn new(tasks: usize, registry: &'r Registry) -> Self {
+        Self {
+            registry,
+            remaining: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records a panic payload; the first one wins and is re-thrown on the
+    /// submitting thread once every sibling task has finished.
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.get_or_insert(payload);
+    }
+
+    /// Marks one task complete. Taking the registry lock before notifying
+    /// serializes against a waiter's check-then-wait, so the final wakeup
+    /// can never be lost.
+    fn complete_one(&self) {
+        let _queues = self.registry.lock();
+        self.remaining.fetch_sub(1, Ordering::Release);
+        self.registry.work.notify_all();
+    }
+
+    fn done(&self) -> bool {
+        // Acquire pairs with `complete_one`'s Release: once we observe 0,
+        // every task's writes (result slots) are visible.
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until every task in the group has run — by executing queued
+    /// jobs (its own sub-jobs first if on a worker, anyone's otherwise)
+    /// rather than sleeping, which is what makes nested fan-outs
+    /// deadlock-free.
+    fn wait_until_done(&self) {
+        let me = WORKER_INDEX.get();
+        let mut queues = self.registry.lock();
+        loop {
+            if self.done() {
+                break;
+            }
+            if let Some(job) = queues.find_job(me) {
+                drop(queues);
+                // Safety: popped from a queue, so we are the unique
+                // executor. The stolen job may belong to a *different*
+                // group; its panics are caught and routed to that group.
+                unsafe { job.run() };
+                queues = self.registry.lock();
+            } else {
+                queues = self
+                    .registry
+                    .work
+                    .wait(queues)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Re-throws the first captured panic, if any. Called after
+    /// `wait_until_done`, so no sibling task still references the group.
+    fn propagate_panic(&self) {
+        let payload = {
+            let mut slot = self.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.take()
+        };
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The data-parallel surface: parallel_map and join
+// ---------------------------------------------------------------------------
+
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let width = current_num_threads().min(n);
+    if width <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let registry = global_registry();
+    let num_tasks = n.min(width * OVERSPLIT);
+    let chunk_len = n.div_ceil(num_tasks);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(num_tasks);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(chunk_len.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let group = TaskGroup::new(chunks.len(), registry);
+    let limit = THREAD_LIMIT.get();
+    let group_ref = &group;
+
+    let mut jobs = Vec::with_capacity(chunks.len());
+    {
+        let mut slots: &mut [Option<U>] = &mut results;
+        for chunk in chunks {
+            let (head, tail) = slots.split_at_mut(chunk.len());
+            slots = tail;
+            jobs.push(StackJob::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // The submitter's width limit governs this job's own
+                    // nested fan-outs, wherever it executes.
+                    let _scope = ScopedLimit::apply(limit);
+                    for (slot, item) in head.iter_mut().zip(chunk) {
+                        *slot = Some(f(item));
+                    }
+                }));
+                if let Err(payload) = outcome {
+                    group_ref.store_panic(payload);
+                }
+                group_ref.complete_one();
+            }));
+        }
+        // Safety: we wait on `group` below before `jobs` drops, so every
+        // JobRef is executed while its StackJob is still alive.
+        registry.inject(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
+    }
+    group.wait_until_done();
+    drop(jobs);
+    group.propagate_panic();
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot is written by exactly one task"))
+        .collect()
+}
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results — the shim's `rayon::join`. `oper_a` runs on the calling
+/// thread; `oper_b` is pushed onto the pool (and reclaimed by the caller
+/// itself if no worker takes it first). Under a width limit of 1 both run
+/// serially, in order, on the calling thread.
+///
+/// If either closure panics the panic is re-thrown on the caller, but
+/// only after *both* closures have finished, so neither side ever
+/// observes the other's borrows dangling.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let result_a = oper_a();
+        let result_b = oper_b();
+        return (result_a, result_b);
+    }
+    let registry = global_registry();
+    let group = TaskGroup::new(1, registry);
+    let limit = THREAD_LIMIT.get();
+    let group_ref = &group;
+    let slot_b: Mutex<Option<RB>> = Mutex::new(None);
+    let slot_ref = &slot_b;
+    let job = StackJob::new(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = ScopedLimit::apply(limit);
+            oper_b()
+        }));
+        match outcome {
+            Ok(result) => {
+                *slot_ref.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result)
+            }
+            Err(payload) => group_ref.store_panic(payload),
+        }
+        group_ref.complete_one();
+    });
+    // Safety: we wait on `group` before `job` drops.
+    registry.inject(std::iter::once(unsafe { job.as_job_ref() }));
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+    group.wait_until_done();
+    drop(job);
+    match result_a {
+        Err(payload) => resume_unwind(payload),
+        Ok(result_a) => {
+            group.propagate_panic();
+            let result_b = slot_b
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("oper_b completed without panicking");
+            (result_a, result_b)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
 
 /// An eager parallel iterator over an already-materialized list of items.
 pub struct ParIter<T> {
@@ -56,44 +554,33 @@ impl<T: Send, U: Send, F> ParMap<T, F>
 where
     F: Fn(T) -> U + Sync,
 {
-    /// Runs the mapped pipeline across worker threads and collects results
-    /// in input order.
+    /// Runs the mapped pipeline across the pool and collects results in
+    /// input order.
     pub fn collect(self) -> Vec<U> {
         parallel_map(self.items, &self.f)
     }
 }
 
-thread_local! {
-    /// Set while this thread is executing a batch on behalf of an outer
-    /// `parallel_map`; nested parallel iterators then run serially on the
-    /// same thread instead of spawning another fan-out (real rayon
-    /// achieves the same by scheduling nested jobs on its fixed pool).
-    /// Without this, nested `par_iter`s — grid search over grid points,
-    /// each fitting a forest of trees — would spawn up to `ncpu²` OS
-    /// threads.
-    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
+// ---------------------------------------------------------------------------
+// ThreadPoolBuilder / ThreadPool
+// ---------------------------------------------------------------------------
 
-thread_local! {
-    /// Worker-count override installed by [`ThreadPool::install`]; `None`
-    /// falls back to `available_parallelism()`.
-    static THREAD_LIMIT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
-}
-
-/// Configures a [`ThreadPool`], mirroring rayon's builder API.
+/// Configures a [`ThreadPool`] handle or the global pool, mirroring
+/// rayon's builder API.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Error type of [`ThreadPoolBuilder::build`]; the shim never actually
-/// fails to build, the `Result` only mirrors rayon's signature.
+/// Error of [`ThreadPoolBuilder::build`] / [`ThreadPoolBuilder::build_global`].
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
+        f.write_str(self.message)
     }
 }
 
@@ -111,100 +598,66 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Never fails in this shim.
+    /// Builds a pool handle. Never fails (the `Result` mirrors rayon's
+    /// signature) and spawns no threads: the handle scopes a width limit
+    /// over the shared global pool, so building and dropping pools is
+    /// free, however often a caller churns them.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: self.num_threads,
         })
     }
+
+    /// Sizes the process-global pool, like rayon's `build_global`: the
+    /// place a binary decides its parallelism once (`serve_judge
+    /// --workers N`). Fails on every call after the first — whether the
+    /// pool's resident threads already started or an earlier sizing is
+    /// merely pending — matching rayon's first-call-wins contract.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let mut config = CONFIG.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if config.started || config.requested.is_some() {
+            return Err(ThreadPoolBuildError {
+                message: "the global thread pool has already been initialized",
+            });
+        }
+        config.requested = Some(if self.num_threads == 0 {
+            default_parallelism()
+        } else {
+            self.num_threads
+        });
+        Ok(())
+    }
 }
 
-/// A handle that scopes a worker-count override, mirroring rayon's pool.
-/// Unlike real rayon the shim has no resident worker threads; `install`
-/// runs the closure on the calling thread with the pool's worker count
-/// governing every `par_iter` fan-out reached from it.
+/// A handle scoping a worker-count override over the shared global pool,
+/// mirroring rayon's pool API. The handle owns no threads: jobs spawned
+/// under [`install`](ThreadPool::install) run on the global pool's
+/// resident workers, constrained to this handle's width.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool's worker count in effect, restoring the
-    /// previous limit afterwards (also on panic).
+    /// Runs `f` with this pool's width limit in effect, restoring the
+    /// previous limit afterwards (also on panic). The limit travels with
+    /// every job `f` spawns, so nested fan-outs obey it on whichever
+    /// worker thread they land; `num_threads(1)` runs every pipeline
+    /// reached from `f` strictly serially on the calling thread.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                THREAD_LIMIT.set(self.0);
-            }
-        }
-        let _restore = Restore(THREAD_LIMIT.get());
-        THREAD_LIMIT.set(if self.num_threads == 0 {
-            None
-        } else {
-            Some(self.num_threads)
-        });
+        let _scope = ScopedLimit::apply((self.num_threads > 0).then_some(self.num_threads));
         f()
     }
 
-    /// The pinned worker count (`0` = automatic).
+    /// The pinned width (`0` = automatic, i.e. the global pool's size).
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
 }
 
-/// Worker count governing parallel pipelines on the *current* thread,
-/// mirroring `rayon::current_num_threads`: the limit installed by the
-/// innermost enclosing [`ThreadPool::install`], else
-/// `available_parallelism()`. Thread-locals do not cross `std::thread`
-/// spawns, so callers forking plain threads should capture this value and
-/// re-`install` it on the new thread to propagate a pinned limit.
-pub fn current_num_threads() -> usize {
-    THREAD_LIMIT.get().unwrap_or_else(default_parallelism)
-}
-
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-}
-
-fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
-where
-    F: Fn(T) -> U + Sync,
-{
-    let n = items.len();
-    let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || n <= 1 || IN_WORKER.get() {
-        return items.into_iter().map(f).collect();
-    }
-
-    let chunk_len = n.div_ceil(threads);
-    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let mut pending: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let tail = items.split_off(chunk_len.min(items.len()));
-        pending.push(std::mem::replace(&mut items, tail));
-    }
-
-    std::thread::scope(|scope| {
-        let mut slots: &mut [Option<U>] = &mut results;
-        for batch in pending {
-            let (head, tail) = slots.split_at_mut(batch.len());
-            slots = tail;
-            scope.spawn(move || {
-                IN_WORKER.set(true);
-                for (slot, item) in head.iter_mut().zip(batch) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every slot is written by exactly one worker"))
-        .collect()
-}
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
 
 /// Conversion into a parallel iterator by value.
 pub trait IntoParallelIterator {
@@ -270,17 +723,27 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A pool wide enough that the single-core CI container still
+    /// exercises the queue machinery (width 1 would short-circuit to the
+    /// serial path).
+    fn wide_pool() -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap()
+    }
 
     #[test]
     fn map_collect_preserves_order() {
         let input: Vec<usize> = (0..1000).collect();
-        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        let doubled: Vec<usize> = wide_pool().install(|| input.par_iter().map(|&x| x * 2).collect());
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn into_par_iter_over_ranges() {
-        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        let squares: Vec<usize> =
+            wide_pool().install(|| (0..100usize).into_par_iter().map(|x| x * x).collect());
         assert_eq!(squares[9], 81);
         assert_eq!(squares.len(), 100);
     }
@@ -294,48 +757,180 @@ mod tests {
     }
 
     #[test]
-    fn work_actually_crosses_threads() {
-        // Not a strict guarantee (single-core machines run serially), but on
-        // multi-core CI this exercises the scoped-thread path.
-        let ids: Vec<std::thread::ThreadId> =
-            (0..64usize).into_par_iter().map(|_| std::thread::current().id()).collect();
-        assert_eq!(ids.len(), 64);
+    fn nested_parallel_iterators_fan_out_and_stay_ordered() {
+        // Three levels deep: the defining upgrade over the chunk-and-join
+        // shim, which serialized everything below the first level.
+        let out: Vec<Vec<Vec<usize>>> = wide_pool().install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|i| -> Vec<Vec<usize>> {
+                    (0..4usize)
+                        .into_par_iter()
+                        .map(|j| -> Vec<usize> {
+                            (0..4usize).into_par_iter().map(|k| i * 100 + j * 10 + k).collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        for (i, middle) in out.iter().enumerate() {
+            for (j, inner) in middle.iter().enumerate() {
+                for (k, &value) in inner.iter().enumerate() {
+                    assert_eq!(value, i * 100 + j * 10 + k);
+                }
+            }
+        }
     }
 
     #[test]
-    fn nested_parallel_iterators_run_serially_inside_workers() {
-        // The inner par_iter must not fan out again: everything an outer
-        // batch does stays on its worker thread.
-        let results: Vec<Vec<std::thread::ThreadId>> = (0..8usize)
-            .into_par_iter()
-            .map(|_| {
-                let outer_thread = std::thread::current().id();
-                let inner: Vec<std::thread::ThreadId> =
-                    (0..4usize).into_par_iter().map(|_| std::thread::current().id()).collect();
-                assert!(inner.iter().all(|&id| id == outer_thread));
-                inner
-            })
-            .collect();
-        assert_eq!(results.len(), 8);
+    fn nested_jobs_can_execute_on_pool_workers() {
+        // With a wide pool, inner jobs are *allowed* to land on other
+        // threads (the old shim pinned them to the outer worker). On a
+        // single-core host everything may still run on one thread, so only
+        // assert the distribution is sane, not that it spread.
+        let ids: Vec<std::thread::ThreadId> = wide_pool().install(|| {
+            let nested: Vec<Vec<std::thread::ThreadId>> = (0..8usize)
+                .into_par_iter()
+                .map(|_| -> Vec<std::thread::ThreadId> {
+                    (0..8usize).into_par_iter().map(|_| std::thread::current().id()).collect()
+                })
+                .collect();
+            nested.into_iter().flatten().collect()
+        });
+        assert_eq!(ids.len(), 64);
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(!distinct.is_empty());
     }
 
     #[test]
     fn single_thread_pool_runs_everything_on_the_calling_thread() {
         let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let caller = std::thread::current().id();
-        let ids: Vec<std::thread::ThreadId> =
-            pool.install(|| (0..32usize).into_par_iter().map(|_| std::thread::current().id()).collect());
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| {
+                    // The limit must reach nested fan-outs too.
+                    let inner: Vec<std::thread::ThreadId> =
+                        (0..4usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+                    assert!(inner.iter().all(|&id| id == caller));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
         assert!(ids.iter().all(|&id| id == caller));
-        // The override is scoped: after install, fan-out is allowed again.
-        assert!(crate::THREAD_LIMIT.get().is_none());
+        // The override is scoped: after install the limit is gone.
+        assert_eq!(crate::THREAD_LIMIT.get(), None);
     }
 
     #[test]
-    fn pool_results_match_the_default_schedule() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let serial: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|x| x * 3).collect());
-        let parallel: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 3).collect();
+    fn pool_results_match_the_serial_schedule() {
+        let serial: Vec<usize> = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..100usize).into_par_iter().map(|x| x * 3).collect());
+        let parallel: Vec<usize> =
+            wide_pool().install(|| (0..100usize).into_par_iter().map(|x| x * 3).collect());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn join_returns_both_results_and_propagates_limits() {
+        let (a, b): (Vec<usize>, Vec<usize>) = wide_pool().install(|| {
+            crate::join(
+                || (0..32usize).into_par_iter().map(|x| x + 1).collect(),
+                || (0..32usize).into_par_iter().map(|x| x * 2).collect(),
+            )
+        });
+        assert_eq!(a, (1..=32).collect::<Vec<_>>());
+        assert_eq!(b, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+
+        let caller = std::thread::current().id();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (ta, tb) =
+            pool.install(|| crate::join(|| std::thread::current().id(), || std::thread::current().id()));
+        assert_eq!((ta, tb), (caller, caller));
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_survives() {
+        let attempt = std::panic::catch_unwind(|| -> Vec<usize> {
+            wide_pool().install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|i| if i == 17 { panic!("boom at {i}") } else { i })
+                    .collect()
+            })
+        });
+        assert!(attempt.is_err(), "the job panic must reach the caller");
+        // The pool keeps serving after a panicked fan-out.
+        let recovered: Vec<usize> =
+            wide_pool().install(|| (0..64usize).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(recovered.len(), 64);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let a_panics =
+            std::panic::catch_unwind(|| wide_pool().install(|| crate::join(|| panic!("left"), || 2)));
+        assert!(a_panics.is_err());
+        let b_panics = std::panic::catch_unwind(|| {
+            wide_pool().install(|| crate::join(|| 1, || -> usize { panic!("right") }))
+        });
+        assert!(b_panics.is_err());
+        let (a, b) = wide_pool().install(|| crate::join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn every_panicking_sibling_still_counts_down() {
+        // All tasks panic; the caller must still be released (a lost
+        // countdown would hang this test forever) and see a panic.
+        let attempt = std::panic::catch_unwind(|| -> Vec<usize> {
+            wide_pool().install(|| {
+                (0..16usize).into_par_iter().map(|i| -> usize { panic!("task {i}") }).collect()
+            })
+        });
+        assert!(attempt.is_err());
+    }
+
+    #[test]
+    fn pool_churn_and_reuse_is_cheap_and_correct() {
+        // Handles own no threads, so building hundreds of pools (the old
+        // per-connection server pattern) costs nothing and every width
+        // yields the same stitched output.
+        let expected: Vec<usize> = (0..50).map(|x| x * 7).collect();
+        for round in 0..200 {
+            let pool = crate::ThreadPoolBuilder::new().num_threads(1 + round % 8).build().unwrap();
+            let out: Vec<usize> = pool.install(|| (0..50usize).into_par_iter().map(|x| x * 7).collect());
+            assert_eq!(out, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_under_contention_terminates() {
+        // Many concurrent OS threads each drive a nested pipeline through
+        // the one shared pool; every item must come back exactly once.
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let total: usize = wide_pool().install(|| {
+                        let nested: Vec<Vec<usize>> = (0..8usize)
+                            .into_par_iter()
+                            .map(|i| -> Vec<usize> {
+                                (0..8usize).into_par_iter().map(|j| i + j).collect()
+                            })
+                            .collect();
+                        nested.into_iter().flatten().sum()
+                    });
+                    counter.fetch_add(total, Ordering::Relaxed);
+                });
+            }
+        });
+        // 4 threads × sum_{i,j in 0..8} (i+j) = 4 × 448.
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 448);
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //!   publishes the `Arc` only after compilation completes, so concurrent
 //!   resolvers can never observe a partially compiled forest.
 //! * **Concurrency** — [`DisputeService::resolve_many`] fans independent
-//!   disputes out across worker threads, and every verification batch is
-//!   itself sharded through
-//!   [`CompiledForest::par_predict_all_batch`]. Results are stitched back
-//!   in input order, so reports are bit-identical to the sequential path
-//!   regardless of the worker-thread count.
+//!   disputes out across the shared work-stealing pool, and every
+//!   verification batch is itself sharded through
+//!   [`CompiledForest::par_predict_all_batch`] — a genuinely two-level
+//!   fan-out: the pool schedules one dispute's batch shards onto workers
+//!   that finished their own disputes early, instead of serializing the
+//!   inner level as the old chunk-and-join shim did. Results are stitched
+//!   back in input order, so reports are bit-identical to the sequential
+//!   path regardless of the worker-thread count.
 //!
 //! The service is `&self`-only and `Sync`: one instance can be shared
 //! behind an `Arc` by any number of request threads.
@@ -357,8 +360,10 @@ impl DisputeService {
     }
 
     /// Resolves many disputes concurrently, returning one verdict per
-    /// dispute in input order. Each dispute is an independent worker task;
-    /// disputes against the same model share its one compiled form.
+    /// dispute in input order. Each dispute is an independent pool task
+    /// whose verification batch is itself sharded across the same pool
+    /// (two-level parallelism); disputes against the same model share its
+    /// one compiled form.
     pub fn resolve_many(&self, disputes: &[Dispute]) -> Vec<WatermarkResult<VerificationReport>> {
         disputes
             .par_iter()

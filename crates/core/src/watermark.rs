@@ -169,50 +169,42 @@ impl Watermarker {
             tree: adjusted_tree_params,
             feature_subset: config.feature_subset,
         };
-        // Plain scoped threads rather than the rayon shim: the shim
-        // serializes nested parallel iterators inside its workers, which
-        // would strip the per-tree parallelism of `fit_weighted`. A fresh
-        // OS thread keeps the inner fan-out, at worst briefly
-        // oversubscribing the machine by 2x. Thread-locals don't cross the
-        // spawn, so a `ThreadPool::install`ed worker limit is re-installed
-        // on the T0 thread: `num_threads(1)` serializes the fan-out inside
-        // *each* sub-ensemble's training (T0 and T1 themselves still
-        // overlap — their bit-identity is guaranteed by the derived seeds,
-        // not by scheduling).
-        let worker_limit = rayon::current_num_threads();
-        let (t0_result, t1_result) = std::thread::scope(|scope| {
-            let trigger_indices = &trigger_indices;
-            let t0_handle = (zeros > 0).then(|| {
-                let params = sub_params(zeros);
-                let seed = seeds[0];
-                scope.spawn(move || {
-                    rayon::ThreadPoolBuilder::new()
-                        .num_threads(worker_limit)
-                        .build()
-                        .expect("the rayon shim's pool build is infallible")
-                        .install(|| {
-                            train_with_trigger(
-                                train,
-                                trigger_indices,
-                                &params,
-                                config,
-                                &mut rng_from_seed(seed),
-                            )
-                        })
+        // `rayon::join` forks the two sub-ensembles through the shared
+        // work-stealing pool: T0 trains on the calling thread while T1 is
+        // stolen by (or reclaimed from) a pool worker, and the per-tree
+        // `fit_weighted` fan-out inside each half composes with the fork
+        // instead of serializing — the pool schedules nested jobs. An
+        // `install`ed width limit travels with the forked job, so
+        // `num_threads(1)` runs T0 then T1 strictly serially (their
+        // bit-identity under any schedule is guaranteed by the derived
+        // seeds, not by scheduling).
+        let trigger_indices_ref = &trigger_indices;
+        let sub_params_ref = &sub_params;
+        let (t0_seed, t1_seed) = (seeds[0], seeds[1]);
+        let (t0_result, t1_result) = rayon::join(
+            move || {
+                (zeros > 0).then(|| {
+                    train_with_trigger(
+                        train,
+                        trigger_indices_ref,
+                        &sub_params_ref(zeros),
+                        config,
+                        &mut rng_from_seed(t0_seed),
+                    )
                 })
-            });
-            let t1_result = flipped_train.as_ref().map(|flipped| {
-                train_with_trigger(
-                    flipped,
-                    trigger_indices,
-                    &sub_params(ones),
-                    config,
-                    &mut rng_from_seed(seeds[1]),
-                )
-            });
-            let t0_result = t0_handle.map(|handle| handle.join().expect("T0 training does not panic"));
-            (t0_result, t1_result)
-        });
+            },
+            || {
+                flipped_train.as_ref().map(|flipped| {
+                    train_with_trigger(
+                        flipped,
+                        trigger_indices_ref,
+                        &sub_params_ref(ones),
+                        config,
+                        &mut rng_from_seed(t1_seed),
+                    )
+                })
+            },
+        );
         let mut t0 = None;
         let mut t0_diag = None;
         let mut t1 = None;

@@ -258,7 +258,10 @@ pub fn figure4_sweep(settings: &ExperimentSettings) -> Vec<f64> {
 /// Runs the forgery attack sweep of Figure 4 on a prepared setup (the paper
 /// uses MNIST2-6 for the figure).
 ///
-/// Grid points run concurrently across worker threads. Each ε point draws
+/// Grid points run concurrently across the work-stealing pool, and the
+/// fake-signature fan-out *inside* each ε point is a nested pool fan-out:
+/// workers that finish a cheap ε early steal another point's signature
+/// tasks instead of idling. Each ε point draws
 /// its RNG stream from a seed derived once from the master seed (and each
 /// fake signature within a point from a seed derived from the point's
 /// stream), so no task ever observes another task's RNG consumption:
@@ -350,7 +353,7 @@ pub struct ForgedExample {
 /// and measures how a standard ensemble scores the original vs forged
 /// trigger sets.
 ///
-/// Like [`figure4`], the ε grid points are independent worker tasks with
+/// Like [`figure4`], the ε grid points are independent pool tasks with
 /// per-point derived seeds (bit-identical to the serial sweep), sharing
 /// one compiled form of the watermarked model.
 pub fn figure5(settings: &ExperimentSettings, setup: &SecuritySetup) -> Vec<ForgedExample> {

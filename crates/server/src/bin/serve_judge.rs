@@ -14,6 +14,14 @@
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes the
 //! actually-bound address to a file once listening, so scripts (the CI
 //! smoke job) can discover it race-free.
+//!
+//! `--workers N` sizes the one process-global work-stealing pool every
+//! connection shares (`0` = one worker per core) and is also installed as
+//! each request's fan-out width limit. The limit bounds how finely one
+//! request *splits*, not how many workers it may occupy — a large docket
+//! can still keep the whole pool busy while it runs; fairness between
+//! connections comes from work stealing's fine task granularity, and
+//! admission control from `--max-connections` / `--max-docket`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -76,7 +84,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: serve_judge [--addr HOST:PORT] [--warm-start DIR]... \
                      [--port-file PATH] [--max-docket N] [--shard-rows N] \
-                     [--workers N] [--max-connections N] [--read-timeout-secs N (0 = never)]"
+                     [--workers N (shared pool size; 0 = one per core)] \
+                     [--max-connections N] [--read-timeout-secs N (0 = never)]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +103,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // `--workers` sizes the one process-global work-stealing pool every
+    // connection shares (0 = one worker per core). Sized before any
+    // parallel work — warm-start compilation included — so the pool can
+    // never lazily self-size first.
+    if let Err(err) = rayon::ThreadPoolBuilder::new().num_threads(args.workers).build_global() {
+        eprintln!("serve_judge: could not size the global worker pool: {err}");
+        return ExitCode::FAILURE;
+    }
 
     let mut builder = DisputeService::builder();
     if let Some(rows) = args.shard_rows {
@@ -132,8 +150,10 @@ fn main() -> ExitCode {
     };
     let addr = server.local_addr();
     println!(
-        "serve_judge listening on {addr} (protocol v{}, {warm} models warm-started)",
-        wdte_core::PROTOCOL_VERSION
+        "serve_judge listening on {addr} (protocol v{}, {warm} models warm-started, \
+         {} shared pool workers)",
+        wdte_core::PROTOCOL_VERSION,
+        rayon::current_num_threads()
     );
     if let Some(path) = &args.port_file {
         // Write-then-rename so a watcher never reads a half-written file.

@@ -113,8 +113,9 @@ pub struct PongInfo {
     pub models_registered: u64,
 }
 
-/// A typed client driving one connection to a [`JudgeServer`]
-/// (crate::JudgeServer). Requests are answered in order on the same
+/// A typed client driving one connection to a
+/// [`JudgeServer`](crate::JudgeServer). Requests are answered in order on
+/// the same
 /// connection; results are exactly what the in-process
 /// [`wdte_core::DisputeService`] would have returned (bit-identical
 /// reports, reconstructed typed errors).

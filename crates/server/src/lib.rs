@@ -10,9 +10,11 @@
 //! Everything is hand-rolled on `std::net` — the build environment is
 //! offline, and the blocking, thread-per-connection model is the right
 //! shape for the workload: a dispute docket is CPU-bound in tree
-//! traversals, which the service already fans out across the rayon-shim
-//! worker pool, so each connection handler just needs to keep one socket
-//! fed.
+//! traversals, which the service fans out across the one process-global
+//! work-stealing pool shared by every connection (`serve_judge --workers`
+//! sizes it; [`ServerConfig::worker_threads`] scopes a per-request width
+//! limit over it), so each connection handler just needs to keep one
+//! socket fed.
 //!
 //! ```rust,ignore
 //! // Judge process:

@@ -26,10 +26,14 @@ pub struct ServerConfig {
     /// dedicated handler slot forever and permanently degrade the judge
     /// to serialized inline serving. Only set `None` on trusted networks.
     pub read_timeout: Option<Duration>,
-    /// Worker-thread count installed (via the rayon-shim pool) around each
-    /// connection's request processing, governing the dispute and
-    /// batch-shard fan-out of `resolve_docket`; `0` keeps the automatic
-    /// default (`available_parallelism`).
+    /// Per-request width limit scoped (via the rayon shim's virtual
+    /// [`rayon::ThreadPool`] handle) around each connection's request
+    /// processing. All connections share the one process-global
+    /// work-stealing pool — sized by `serve_judge --workers` through
+    /// [`rayon::ThreadPoolBuilder::build_global`] — and this limit caps
+    /// how wide each request's dispute × batch-shard fan-out splits on
+    /// that shared pool; `0` imposes no per-request limit (requests use
+    /// the whole pool).
     pub worker_threads: usize,
 }
 
@@ -264,10 +268,14 @@ fn serve_connection(
         }
     };
     if config.worker_threads > 0 {
+        // A scoped width override, not a thread spawn: the handle owns no
+        // threads, and every request still executes on the shared global
+        // work-stealing pool, where nested fan-outs (docket → batch
+        // shards → trees) compose across connections.
         rayon::ThreadPoolBuilder::new()
             .num_threads(config.worker_threads)
             .build()
-            .expect("the rayon shim never fails to build a pool")
+            .expect("the rayon shim never fails to build a pool handle")
             .install(process);
     } else {
         process();

@@ -156,25 +156,37 @@ impl GridSearch {
             .collect();
         // Grid points inherit the base split strategy.
         let combos = self.grid.combinations_with(self.base_params.tree.strategy);
-        // One task (and one derived seed) per (grid point, fold) pair; the
-        // seeds are drawn before the fan-out, in task order, so the
-        // schedule is fixed no matter how tasks land on threads.
-        let tasks: Vec<(usize, usize)> = (0..combos.len())
-            .flat_map(|combo| (0..fold_datasets.len()).map(move |fold| (combo, fold)))
-            .collect();
-        let seeds: Vec<u64> = (0..tasks.len()).map(|_| rng.gen()).collect();
+        // One derived seed per (grid point, fold) pair, drawn before the
+        // fan-out in (point-major, fold-minor) order, so results are
+        // bit-identical no matter how tasks land on threads — and
+        // identical to the earlier flattened single-level implementation,
+        // which consumed the master RNG in the same order.
+        let num_folds = fold_datasets.len();
+        let seeds: Vec<u64> = (0..combos.len() * num_folds).map(|_| rng.gen()).collect();
 
-        let fold_results: Vec<Option<f64>> = tasks
-            .par_iter()
-            .zip(seeds.par_iter())
-            .map(|(&(combo, fold), &seed)| {
-                let (train, validation) = &fold_datasets[fold];
-                if train.is_empty() || validation.is_empty() {
-                    return None;
-                }
-                let params = self.base_params.with_tree_params(combos[combo]);
-                let forest = RandomForest::fit(train, &params, &mut SmallRng::seed_from_u64(seed));
-                Some(forest.accuracy(validation))
+        // Nested fan-out: grid points at the outer level, folds inside
+        // each point (and `RandomForest::fit` fans out per tree below
+        // that). The work-stealing pool schedules all three levels
+        // together, so an expensive grid point (e.g. unlimited depth)
+        // still spreads its folds and trees across idle workers instead
+        // of serializing under one.
+        let fold_results: Vec<Vec<Option<f64>>> = (0..combos.len())
+            .into_par_iter()
+            .map(|combo| -> Vec<Option<f64>> {
+                (0..num_folds)
+                    .into_par_iter()
+                    .map(|fold| {
+                        let (train, validation) = &fold_datasets[fold];
+                        if train.is_empty() || validation.is_empty() {
+                            return None;
+                        }
+                        let params = self.base_params.with_tree_params(combos[combo]);
+                        let seed = seeds[combo * num_folds + fold];
+                        let forest =
+                            RandomForest::fit(train, &params, &mut SmallRng::seed_from_u64(seed));
+                        Some(forest.accuracy(validation))
+                    })
+                    .collect()
             })
             .collect();
 
@@ -182,12 +194,7 @@ impl GridSearch {
             .iter()
             .enumerate()
             .map(|(combo, tree_params)| {
-                let fold_accuracies: Vec<f64> = fold_results
-                    [combo * fold_datasets.len()..(combo + 1) * fold_datasets.len()]
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .collect();
+                let fold_accuracies: Vec<f64> = fold_results[combo].iter().flatten().copied().collect();
                 let mean_accuracy = if fold_accuracies.is_empty() {
                     0.0
                 } else {

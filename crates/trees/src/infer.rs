@@ -560,13 +560,15 @@ impl CompiledForest {
         BatchPredictions { labels, num_trees }
     }
 
-    /// [`Self::predict_all_batch`] sharded across worker threads: rows are
-    /// split into contiguous shards of at most `shard_rows`, each shard is
-    /// predicted independently, and the per-sample votes are stitched back
-    /// in row order — bit-identical to the single-threaded call for every
-    /// shard size and worker count. This is the dispute-service hot path,
-    /// where one verification batch can carry thousands of disguised
-    /// queries.
+    /// [`Self::predict_all_batch`] sharded across the work-stealing pool:
+    /// rows are split into contiguous shards of at most `shard_rows`, each
+    /// shard is predicted independently, and the per-sample votes are
+    /// stitched back in row order — bit-identical to the single-threaded
+    /// call for every shard size and worker count. This is the
+    /// dispute-service hot path, where one verification batch can carry
+    /// thousands of disguised queries; called from inside an outer
+    /// per-dispute fan-out, the shards become nested pool jobs that idle
+    /// workers steal, rather than serializing on the dispute's thread.
     ///
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
