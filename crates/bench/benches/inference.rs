@@ -13,7 +13,7 @@ use wdte_core::{
 };
 use wdte_data::Label;
 use wdte_server::{DisputeClient, JudgeServer, ServerConfig};
-use wdte_trees::{CompiledForest, ForestParams, RandomForest};
+use wdte_trees::{CompiledForest, ForestParams, Kernel, RandomForest};
 
 /// Oracle that walks the pointer trees one instance at a time — the
 /// pre-compilation behaviour, kept as the verification baseline.
@@ -57,6 +57,23 @@ fn bench_batch_prediction(c: &mut Criterion) {
     });
     group.bench_function("tabular_compiled_predict_all_batch", |b| {
         b.iter(|| tabular_compiled.predict_all_batch(tabular.features()))
+    });
+    // One row per pluggable kernel on each fixture. `auto` pays its
+    // microprobe once (outside the timed iterations, on the first call
+    // below) and then reruns whatever it picked, so its row should track
+    // the best fixed-kernel row.
+    for kernel in Kernel::ALL {
+        group.bench_function(format!("image_784_kernel_{kernel}"), |b| {
+            b.iter(|| image_compiled.predict_all_batch_with(image.features(), kernel))
+        });
+        group.bench_function(format!("tabular_kernel_{kernel}"), |b| {
+            b.iter(|| tabular_compiled.predict_all_batch_with(tabular.features(), kernel))
+        });
+    }
+    // The sharded entry point on a batch no larger than one shard: must
+    // cost the same as the serial call above, not a pool round-trip.
+    group.bench_function("tabular_par_small_batch_serial_fallback", |b| {
+        b.iter(|| tabular_compiled.par_predict_all_batch(tabular.features(), usize::MAX))
     });
     group.finish();
 }

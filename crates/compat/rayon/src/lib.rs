@@ -25,6 +25,15 @@
 //!   any thread blocked on a nested fan-out is itself draining the
 //!   queues, so forward progress never depends on a free worker (the
 //!   pool even completes with zero workers).
+//! * **Lazy binary splitting.** A fan-out starts as *one* job owning the
+//!   whole item range. Between items the running job checks for demand —
+//!   some thread parked idle on the pool's condvar — and only then splits
+//!   off the far half of its remaining range as a new job for the idle
+//!   thread to take. An uncontended fan-out therefore runs as a single
+//!   straight loop with zero queue traffic, while a contended one keeps
+//!   halving until either every thread is busy or the per-fan-out width
+//!   limit is reached; task granularity adapts to the observed load
+//!   instead of a fixed `width × 2` over-split.
 //!
 //! **Determinism contract** (unchanged from the first-generation shim,
 //! and load-bearing for the verification semantics of the paper): results
@@ -37,9 +46,11 @@
 //! innermost enclosing limit even when their job executes on a different
 //! worker thread.
 //!
-//! A width limit > 1 bounds how many tasks each individual fan-out splits
-//! into (real rayon bounds concurrency by pool size instead); `1` is the
-//! only strict limit, and the one the determinism suite relies on.
+//! A width limit > 1 bounds how many tasks each individual fan-out may
+//! have outstanding at once (real rayon bounds concurrency by pool size
+//! instead); `1` is the only strict limit, and the one the determinism
+//! suite relies on: a width-1 fan-out never creates a job at all and runs
+//! serially, in input order, on the calling thread.
 //!
 //! Synchronization is deliberately coarse — every queue lives under one
 //! registry mutex — because the workspace's jobs are milliseconds of tree
@@ -56,12 +67,6 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
-
-/// How many tasks each fan-out splits into per unit of width: a little
-/// over-splitting gives the stealers load-balance slack when task costs
-/// are skewed (one deep tree next to many shallow ones) without drowning
-/// the queues in tiny jobs.
-const OVERSPLIT: usize = 2;
 
 // ---------------------------------------------------------------------------
 // Type-erased jobs
@@ -169,6 +174,10 @@ struct Registry {
     sync: Mutex<Queues>,
     work: Condvar,
     workers: usize,
+    /// Threads currently parked on `work` with nothing to do — the demand
+    /// signal lazy binary splitting reads: a running fan-out only splits
+    /// off half its range when somebody is idle to take it.
+    idle: AtomicUsize,
 }
 
 impl Registry {
@@ -180,6 +189,7 @@ impl Registry {
             }),
             work: Condvar::new(),
             workers,
+            idle: AtomicUsize::new(0),
         }
     }
 
@@ -266,7 +276,9 @@ fn worker_loop(registry: &'static Registry, index: usize) {
             unsafe { job.run() };
             queues = registry.lock();
         } else {
+            registry.idle.fetch_add(1, Ordering::Relaxed);
             queues = registry.work.wait(queues).unwrap_or_else(std::sync::PoisonError::into_inner);
+            registry.idle.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -327,6 +339,14 @@ impl<'r> TaskGroup<'r> {
         }
     }
 
+    /// Registers one more task in the group, for jobs that split while
+    /// running. Only sound while the caller itself holds an uncompleted
+    /// task of this group — its own count keeps `remaining` above zero,
+    /// so the waiter can never observe a spurious zero mid-increment.
+    fn add_one(&self) {
+        self.remaining.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a panic payload; the first one wins and is re-thrown on the
     /// submitting thread once every sibling task has finished.
     fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
@@ -368,11 +388,15 @@ impl<'r> TaskGroup<'r> {
                 unsafe { job.run() };
                 queues = self.registry.lock();
             } else {
+                // A parked waiter will execute jobs once woken, so it
+                // counts as splittable demand like an idle worker.
+                self.registry.idle.fetch_add(1, Ordering::Relaxed);
                 queues = self
                     .registry
                     .work
                     .wait(queues)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+                self.registry.idle.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
@@ -394,6 +418,122 @@ impl<'r> TaskGroup<'r> {
 // The data-parallel surface: parallel_map and join
 // ---------------------------------------------------------------------------
 
+/// State one `parallel_map` fan-out shares between its (dynamically
+/// split) range jobs, reached through raw pointers because the jobs are
+/// type-erased. The creator blocks on the fan-out's [`TaskGroup`] until
+/// every job has completed, so the pointees strictly outlive every job.
+struct MapShared<F> {
+    f: *const F,
+    /// The submitter's width limit, re-installed around every job so
+    /// nested fan-outs obey it wherever the job executes.
+    limit: Option<usize>,
+    /// Maximum outstanding tasks of this fan-out (`min(width, items)`).
+    width: usize,
+    /// Tasks of this fan-out currently queued or running.
+    outstanding: AtomicUsize,
+    registry: &'static Registry,
+    group: *const TaskGroup<'static>,
+}
+
+impl<F> MapShared<F> {
+    /// A job should split off half its remaining range only when someone
+    /// is parked idle to take it and the fan-out's width cap leaves room.
+    /// Plain relaxed loads: the signal is a heuristic — a missed beat
+    /// delays a split by one item, it never affects correctness.
+    fn should_split(&self) -> bool {
+        self.outstanding.load(Ordering::Relaxed) < self.width
+            && self.registry.idle.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// A contiguous sub-range of one `parallel_map` fan-out: the items still
+/// to process and the result slot of the first of them. Heap-allocated
+/// (unlike [`StackJob`]) because a splitting job hands its tail half to
+/// the queues and moves on — there is no stack frame that could own it.
+struct RangeJob<T, U, F> {
+    items: VecDeque<T>,
+    /// Result slot of `items[0]`; successive items fill successive slots.
+    /// Sibling jobs hold disjoint slot ranges of one live `Vec`.
+    slots: *mut Option<U>,
+    shared: *const MapShared<F>,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> RangeJob<T, U, F> {
+    /// Type-erases this job for the queues; the executor reclaims (and
+    /// frees) the box.
+    ///
+    /// # Safety
+    /// The returned `JobRef` must be executed exactly once, and the
+    /// `MapShared` (with its `f`, group and result slots) must stay alive
+    /// until the fan-out's group completes — guaranteed by the creator
+    /// blocking in `wait_until_done` before any of them drop.
+    unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        unsafe fn execute_erased<T: Send, U: Send, F: Fn(T) -> U + Sync>(data: *const ()) {
+            // Safety: `data` came from `Box::into_raw` in `into_job_ref`
+            // and the queues hand each ref to exactly one executor, so
+            // reclaiming the box here is unique.
+            let job = unsafe { Box::from_raw(data.cast_mut().cast::<RangeJob<T, U, F>>()) };
+            job.run();
+        }
+        JobRef {
+            data: Box::into_raw(self).cast_const().cast(),
+            execute: execute_erased::<T, U, F>,
+        }
+    }
+
+    /// Processes the range front to back, lazily splitting off the far
+    /// half whenever idle demand is observed between items.
+    fn run(mut self) {
+        // Safety: the creator blocks on the task group until this job
+        // completes, so the shared state, the group and the result slots
+        // are all alive for the duration of `run`.
+        let shared = unsafe { &*self.shared };
+        let group = unsafe { &*shared.group };
+        let f = unsafe { &*shared.f };
+        let shared_ptr = self.shared;
+        let mut items = std::mem::take(&mut self.items);
+        let mut slot = self.slots;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = ScopedLimit::apply(shared.limit);
+            while let Some(item) = {
+                if items.len() > 1 && shared.should_split() {
+                    let keep = items.len().div_ceil(2);
+                    let tail = items.split_off(keep);
+                    // Register the new task before queueing it; sound
+                    // because this job still holds its own count, so the
+                    // group cannot drain concurrently.
+                    group.add_one();
+                    shared.outstanding.fetch_add(1, Ordering::Relaxed);
+                    let tail_job = Box::new(RangeJob {
+                        items: tail,
+                        // Safety: the first `keep` slots stay with this
+                        // job; the tail's range starts right after them,
+                        // still inside the fan-out's live results vector.
+                        slots: unsafe { slot.add(keep) },
+                        shared: shared_ptr,
+                    });
+                    // Safety: queued jobs are always drained (by workers
+                    // or the waiting creator) before the fan-out returns.
+                    shared.registry.inject(std::iter::once(unsafe { tail_job.into_job_ref() }));
+                }
+                items.pop_front()
+            } {
+                // Safety: `slot` walks this job's disjoint slot range in
+                // lockstep with the items popped off its front.
+                unsafe {
+                    *slot = Some(f(item));
+                    slot = slot.add(1);
+                }
+            }
+        }));
+        shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if let Err(payload) = outcome {
+            group.store_panic(payload);
+        }
+        group.complete_one();
+    }
+}
+
 fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     F: Fn(T) -> U + Sync,
@@ -401,51 +541,32 @@ where
     let n = items.len();
     let width = current_num_threads().min(n);
     if width <= 1 || n <= 1 {
+        // Strictly serial, in input order, on the calling thread — the
+        // width-1 determinism contract.
         return items.into_iter().map(f).collect();
     }
 
     let registry = global_registry();
-    let num_tasks = n.min(width * OVERSPLIT);
-    let chunk_len = n.div_ceil(num_tasks);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(num_tasks);
-    let mut items = items;
-    while !items.is_empty() {
-        let tail = items.split_off(chunk_len.min(items.len()));
-        chunks.push(std::mem::replace(&mut items, tail));
-    }
-
     let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let group = TaskGroup::new(chunks.len(), registry);
-    let limit = THREAD_LIMIT.get();
-    let group_ref = &group;
-
-    let mut jobs = Vec::with_capacity(chunks.len());
-    {
-        let mut slots: &mut [Option<U>] = &mut results;
-        for chunk in chunks {
-            let (head, tail) = slots.split_at_mut(chunk.len());
-            slots = tail;
-            jobs.push(StackJob::new(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    // The submitter's width limit governs this job's own
-                    // nested fan-outs, wherever it executes.
-                    let _scope = ScopedLimit::apply(limit);
-                    for (slot, item) in head.iter_mut().zip(chunk) {
-                        *slot = Some(f(item));
-                    }
-                }));
-                if let Err(payload) = outcome {
-                    group_ref.store_panic(payload);
-                }
-                group_ref.complete_one();
-            }));
-        }
-        // Safety: we wait on `group` below before `jobs` drops, so every
-        // JobRef is executed while its StackJob is still alive.
-        registry.inject(jobs.iter().map(|job| unsafe { job.as_job_ref() }));
-    }
+    let group = TaskGroup::new(1, registry);
+    let shared = MapShared {
+        f: std::ptr::from_ref(f),
+        limit: THREAD_LIMIT.get(),
+        width,
+        outstanding: AtomicUsize::new(1),
+        registry,
+        group: std::ptr::from_ref(&group),
+    };
+    let root = Box::new(RangeJob {
+        items: VecDeque::from(items),
+        slots: results.as_mut_ptr(),
+        shared: std::ptr::from_ref(&shared),
+    });
+    // Safety: executed exactly once (queues pop each ref once); we block
+    // on `group` below until the root and every job split off from it
+    // complete, so `shared`, `group` and `results` outlive every job.
+    registry.inject(std::iter::once(unsafe { root.into_job_ref() }));
     group.wait_until_done();
-    drop(jobs);
     group.propagate_panic();
 
     results
@@ -833,6 +954,67 @@ mod tests {
         let parallel: Vec<usize> =
             wide_pool().install(|| (0..100usize).into_par_iter().map(|x| x * 3).collect());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn width_one_is_strictly_serial_in_input_order() {
+        // The determinism contract: a width-1 fan-out never creates a
+        // job — items run in input order on the calling thread, so even
+        // side-effect order is the serial schedule's.
+        let order = std::sync::Mutex::new(Vec::new());
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    order.lock().unwrap().push(i);
+                    i * 2
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lazy_splitting_outputs_match_for_every_width() {
+        // The split schedule adapts to observed idleness and so differs
+        // run to run — the collected results must not. A small nested
+        // fan-out plus a spin keeps jobs long enough for real splits.
+        let reference: Vec<usize> =
+            (0..200usize).map(|x| x.wrapping_mul(2654435761).rotate_left(7) % 977).collect();
+        for width in 1..=8usize {
+            let pool = crate::ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let out: Vec<usize> = pool.install(|| {
+                (0..200usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        std::hint::black_box((0..50).fold(0u64, |a, b| a ^ b));
+                        x.wrapping_mul(2654435761).rotate_left(7) % 977
+                    })
+                    .collect()
+            });
+            assert_eq!(out, reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn lazy_splits_fill_every_slot_under_contention() {
+        // Force genuine splitting: long-ish items, parked workers, and a
+        // count that should leave split demand observable throughout.
+        let hits = AtomicUsize::new(0);
+        let out: Vec<usize> = wide_pool().install(|| {
+            (0..512usize)
+                .into_par_iter()
+                .map(|i| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    std::hint::black_box((0..200).fold(i as u64, |a, b| a.wrapping_add(b)));
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 512);
+        assert_eq!(out, (0..512).collect::<Vec<_>>());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub use watermark::{
     adjust_hyperparameters, compiled_trigger_compliance, train_with_trigger, trigger_compliance,
     watermark_holds, EmbeddingDiagnostics, TriggerTrainingDiagnostics, WatermarkOutcome, Watermarker,
 };
+pub use wdte_trees::{Kernel, ResolvedKernel};
 
 /// Commonly used types, re-exported for `use wdte_core::prelude::*`.
 pub mod prelude {
@@ -81,4 +82,5 @@ pub mod prelude {
         verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
     };
     pub use crate::watermark::{watermark_holds, WatermarkOutcome, Watermarker};
+    pub use wdte_trees::{Kernel, ResolvedKernel};
 }

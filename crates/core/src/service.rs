@@ -48,7 +48,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use wdte_data::{Dataset, Label};
-use wdte_trees::{CompiledForest, RandomForest};
+use wdte_trees::{CompiledForest, Kernel, RandomForest};
 
 /// Default number of verification-batch rows each worker shard handles.
 /// Small enough to spread one large claim across every core, large enough
@@ -123,6 +123,7 @@ pub struct DisputeServiceBuilder {
     batch_shard_rows: Option<usize>,
     max_docket: Option<usize>,
     warm_start_dirs: Vec<PathBuf>,
+    kernel: Option<Kernel>,
 }
 
 impl DisputeServiceBuilder {
@@ -130,6 +131,16 @@ impl DisputeServiceBuilder {
     /// clamped to at least 1). Defaults to [`DEFAULT_BATCH_SHARD_ROWS`].
     pub fn batch_shard_rows(mut self, rows: usize) -> Self {
         self.batch_shard_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Selects the batch-inference kernel every resolution runs
+    /// (`serve_judge --kernel`). Defaults to [`Kernel::Auto`], which
+    /// microprobes the candidates on each model's first batch and
+    /// memoizes the winner. Kernel choice never changes verdicts — every
+    /// kernel is bit-identical to the recursive walk — only throughput.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
         self
     }
 
@@ -160,6 +171,7 @@ impl DisputeServiceBuilder {
         let service = DisputeService::with_options(
             self.batch_shard_rows.unwrap_or(DEFAULT_BATCH_SHARD_ROWS),
             self.max_docket,
+            self.kernel.unwrap_or_default(),
         );
         for dir in &self.warm_start_dirs {
             let manifest = ModelManifest::load_dir(dir)?;
@@ -179,11 +191,12 @@ pub struct DisputeService {
     compile_count: AtomicUsize,
     batch_shard_rows: usize,
     max_docket: Option<usize>,
+    kernel: Kernel,
 }
 
 impl Default for DisputeService {
     fn default() -> Self {
-        Self::with_options(DEFAULT_BATCH_SHARD_ROWS, None)
+        Self::with_options(DEFAULT_BATCH_SHARD_ROWS, None, Kernel::default())
     }
 }
 
@@ -206,16 +219,23 @@ impl DisputeService {
         note = "use `DisputeService::builder().batch_shard_rows(rows).build()` instead"
     )]
     pub fn with_batch_shard_rows(batch_shard_rows: usize) -> Self {
-        Self::with_options(batch_shard_rows.max(1), None)
+        Self::with_options(batch_shard_rows.max(1), None, Kernel::default())
     }
 
-    fn with_options(batch_shard_rows: usize, max_docket: Option<usize>) -> Self {
+    fn with_options(batch_shard_rows: usize, max_docket: Option<usize>, kernel: Kernel) -> Self {
         Self {
             registry: RwLock::new(HashMap::new()),
             compile_count: AtomicUsize::new(0),
             batch_shard_rows,
             max_docket,
+            kernel,
         }
+    }
+
+    /// The batch-inference kernel configured via
+    /// [`DisputeServiceBuilder::kernel`].
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// Registers a pointer-tree model, compiling it exactly once. The
@@ -355,6 +375,7 @@ impl DisputeService {
         let oracle = ShardedOracle {
             compiled: &compiled,
             shard_rows: self.batch_shard_rows,
+            kernel: self.kernel,
         };
         Ok(verify_ownership(&oracle, claim))
     }
@@ -391,10 +412,12 @@ impl DisputeService {
     }
 }
 
-/// Oracle adapter sharding each verification batch across worker threads.
+/// Oracle adapter sharding each verification batch across worker threads,
+/// through the service's configured inference kernel.
 struct ShardedOracle<'a> {
     compiled: &'a CompiledForest,
     shard_rows: usize,
+    kernel: Kernel,
 }
 
 impl ModelOracle for ShardedOracle<'_> {
@@ -408,7 +431,7 @@ impl ModelOracle for ShardedOracle<'_> {
 
     fn query_batch(&self, batch: &Dataset) -> Vec<Vec<Label>> {
         self.compiled
-            .par_predict_all_batch(batch.features(), self.shard_rows)
+            .par_predict_all_batch_with(batch.features(), self.shard_rows, self.kernel)
             .iter()
             .map(<[Label]>::to_vec)
             .collect()
@@ -558,6 +581,27 @@ mod tests {
                 service.resolve("m", &claim).unwrap(),
                 reference,
                 "shard_rows={shard_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_resolves_to_identical_reports() {
+        // The kernel knob is pure throughput: reports (scores included)
+        // must be bit-identical to the one-shot reference under every
+        // kernel, and the default is Auto.
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let reference = verify_ownership(&outcome.model, &claim);
+        assert_eq!(DisputeService::builder().build().unwrap().kernel(), Kernel::Auto);
+        for kernel in Kernel::ALL {
+            let service = DisputeService::builder().kernel(kernel).build().unwrap();
+            assert_eq!(service.kernel(), kernel);
+            service.register("m", &outcome.model);
+            assert_eq!(
+                service.resolve("m", &claim).unwrap(),
+                reference,
+                "kernel {kernel}"
             );
         }
     }

@@ -8,17 +8,25 @@
 //! gate for the network layer: the wire must never change a verdict.
 //!
 //! ```text
-//! judge_smoke --addr HOST:PORT [--claims N]
+//! judge_smoke --addr HOST:PORT [--claims N] [--kernel NAME]
 //! ```
+//!
+//! `--kernel NAME` selects the inference kernel for the *in-process
+//! reference* service (`scalar`, `blocked`, `quantized` or `auto`). The
+//! remote judge picks its own kernel via `serve_judge --kernel`, so
+//! running the smoke with a different name on each side proves verdicts
+//! are bit-identical *across* kernels, not just across the wire.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
-use wdte_core::{Dispute, DisputeService, OwnershipClaim, Signature, WatermarkConfig, Watermarker};
+use wdte_core::{
+    Dispute, DisputeService, Kernel, OwnershipClaim, Signature, WatermarkConfig, Watermarker,
+};
 use wdte_data::SyntheticSpec;
 use wdte_server::DisputeClient;
 
-fn run(addr: &str, claims: usize) -> Result<(), String> {
+fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
     // Deterministic fixture: the same model and docket every run.
     let mut rng = SmallRng::seed_from_u64(0x5A5A);
     let dataset = SyntheticSpec::breast_cancer_like().scaled(0.6).generate(&mut rng);
@@ -60,8 +68,11 @@ fn run(addr: &str, claims: usize) -> Result<(), String> {
         })
         .collect();
 
-    // The in-process reference verdicts.
-    let reference_service = DisputeService::builder().build().map_err(|err| err.to_string())?;
+    // The in-process reference verdicts, under the requested kernel.
+    let reference_service = DisputeService::builder()
+        .kernel(kernel)
+        .build()
+        .map_err(|err| err.to_string())?;
     reference_service.register("smoke-deployment", &outcome.model);
     let reference = reference_service.resolve_many(&docket);
 
@@ -133,6 +144,7 @@ fn run(addr: &str, claims: usize) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut addr = None;
     let mut claims = 64usize;
+    let mut kernel = Kernel::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -144,8 +156,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--kernel" => match argv.next().map(|v| v.parse::<Kernel>()) {
+                Some(Ok(k)) => kernel = k,
+                _ => {
+                    eprintln!("judge_smoke: --kernel needs one of scalar, blocked, quantized, auto");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("judge_smoke: unknown flag `{other}` (usage: --addr HOST:PORT [--claims N])");
+                eprintln!(
+                    "judge_smoke: unknown flag `{other}` \
+                     (usage: --addr HOST:PORT [--claims N] [--kernel NAME])"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -154,7 +176,7 @@ fn main() -> ExitCode {
         eprintln!("judge_smoke: --addr HOST:PORT is required");
         return ExitCode::FAILURE;
     };
-    match run(&addr, claims) {
+    match run(&addr, claims, kernel) {
         Ok(()) => {
             println!("judge_smoke: PASS");
             ExitCode::SUCCESS

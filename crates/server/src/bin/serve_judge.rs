@@ -8,7 +8,7 @@
 //! ```text
 //! serve_judge [--addr 127.0.0.1:7431] [--warm-start DIR]...
 //!             [--port-file PATH] [--max-docket N] [--shard-rows N]
-//!             [--workers N] [--max-connections N]
+//!             [--workers N] [--max-connections N] [--kernel NAME]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes the
@@ -22,10 +22,15 @@
 //! can still keep the whole pool busy while it runs; fairness between
 //! connections comes from work stealing's fine task granularity, and
 //! admission control from `--max-connections` / `--max-docket`.
+//!
+//! `--kernel NAME` selects the batch-inference kernel every resolution
+//! runs (`scalar`, `blocked`, `quantized`, or the default `auto`, which
+//! microprobes candidates on each model's first batch). Kernel choice
+//! never changes verdicts — only throughput.
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use wdte_core::DisputeService;
+use wdte_core::{DisputeService, Kernel};
 use wdte_server::{JudgeServer, ServerConfig};
 
 struct Args {
@@ -37,6 +42,7 @@ struct Args {
     workers: usize,
     max_connections: usize,
     read_timeout_secs: Option<u64>,
+    kernel: Kernel,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         max_connections: 64,
         read_timeout_secs: None,
+        kernel: Kernel::default(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -80,12 +87,16 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--read-timeout-secs: {e}"))?,
                 )
             }
+            "--kernel" => {
+                args.kernel = value("--kernel")?.parse().map_err(|e| format!("--kernel: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve_judge [--addr HOST:PORT] [--warm-start DIR]... \
                      [--port-file PATH] [--max-docket N] [--shard-rows N] \
                      [--workers N (shared pool size; 0 = one per core)] \
-                     [--max-connections N] [--read-timeout-secs N (0 = never)]"
+                     [--max-connections N] [--read-timeout-secs N (0 = never)] \
+                     [--kernel scalar|blocked|quantized|auto]"
                 );
                 std::process::exit(0);
             }
@@ -113,7 +124,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut builder = DisputeService::builder();
+    let mut builder = DisputeService::builder().kernel(args.kernel);
     if let Some(rows) = args.shard_rows {
         builder = builder.batch_shard_rows(rows);
     }
@@ -151,9 +162,10 @@ fn main() -> ExitCode {
     let addr = server.local_addr();
     println!(
         "serve_judge listening on {addr} (protocol v{}, {warm} models warm-started, \
-         {} shared pool workers)",
+         {} shared pool workers, {} kernel)",
         wdte_core::PROTOCOL_VERSION,
-        rayon::current_num_threads()
+        rayon::current_num_threads(),
+        service.kernel()
     );
     if let Some(path) = &args.port_file {
         // Write-then-rename so a watcher never reads a half-written file.

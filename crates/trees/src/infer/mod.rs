@@ -35,7 +35,13 @@
 use crate::forest::RandomForest;
 use crate::tree::{DecisionTree, Node, TreeStats};
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::OnceLock;
 use wdte_data::{Dataset, DenseMatrix, Label};
+
+pub mod kernel;
+
+use kernel::LevelLayout;
+pub use kernel::{InferenceKernel, Kernel, ResolvedKernel, DEFAULT_BLOCK_WIDTH};
 
 /// Sentinel in the `feature` array marking a leaf node.
 pub const LEAF_MARKER: u32 = u32::MAX;
@@ -83,6 +89,12 @@ pub struct CompiledForest {
     /// `active_counts[s]` = number of trees deeper than `s` — the prefix of
     /// `depth_order` still walking at step `s`. Derived, never serialized.
     active_counts: Vec<u32>,
+    /// Per-level breadth-first node layout driving the blocked and
+    /// quantized kernels (see [`kernel`]). Derived, never serialized.
+    level: LevelLayout,
+    /// Kernel choice memoized by [`Kernel::Auto`]'s first-batch
+    /// microprobe. Derived (and machine-local), never serialized.
+    auto: OnceLock<ResolvedKernel>,
 }
 
 /// Equality compares only the canonical SoA arrays; the derived traversal
@@ -236,6 +248,8 @@ impl CompiledForest {
             depths: Vec::new(),
             depth_order: Vec::new(),
             active_counts: Vec::new(),
+            level: LevelLayout::default(),
+            auto: OnceLock::new(),
         };
         for tree in forest.trees() {
             compiled.tree_starts.push(compiled.feature.len() as u32);
@@ -257,6 +271,13 @@ impl CompiledForest {
         let (depth_order, active_counts) = build_schedule(&compiled.depths);
         compiled.depth_order = depth_order;
         compiled.active_counts = active_counts;
+        compiled.level = LevelLayout::build(
+            &compiled.feature,
+            &compiled.threshold,
+            &compiled.left,
+            &compiled.right,
+            &compiled.tree_starts,
+        );
         compiled
     }
 
@@ -461,11 +482,21 @@ impl CompiledForest {
             .collect()
     }
 
-    /// Block-wise count of trees voting positive, per row.
+    /// Block-wise count of trees voting positive, per row, through the
+    /// scalar reference kernel.
     ///
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn positive_vote_counts(&self, features: &DenseMatrix) -> Vec<u32> {
+        self.positive_vote_counts_with(features, Kernel::Scalar)
+    }
+
+    /// [`Self::positive_vote_counts`] through an explicitly selected
+    /// kernel; every kernel returns bit-identical counts.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn positive_vote_counts_with(&self, features: &DenseMatrix, kernel: Kernel) -> Vec<u32> {
         assert!(
             features.cols() >= self.num_features,
             "batch has {} features but the model needs {}",
@@ -476,6 +507,14 @@ impl CompiledForest {
         let values = features.as_slice();
         let cols = features.cols();
         let mut votes = vec![0u32; samples];
+        let resolved = self.resolve_kernel(kernel, values, cols, samples);
+        resolved.implementation().vote_rows(self, values, cols, samples, &mut votes);
+        votes
+    }
+
+    /// Scalar positive-vote kernel body: the tree-lockstep walk for wide
+    /// rows over deep ensembles, 64-sample blocks otherwise.
+    fn scalar_vote_rows(&self, values: &[f64], cols: usize, samples: usize, votes: &mut [u32]) {
         if self.prefers_tree_lockstep(cols) {
             let mut states = vec![0u32; self.num_trees()];
             for (sample, vote) in votes.iter_mut().enumerate() {
@@ -484,9 +523,9 @@ impl CompiledForest {
                 // Leaf labels are class indices (0/1), so the positive
                 // vote count is a plain add.
                 self.tree_lockstep(row, &mut states, |_, label| positive += label);
-                *vote = positive;
+                *vote += positive;
             }
-            return votes;
+            return;
         }
         let mut states = [0u32; BLOCK_SIZE];
         for block_start in (0..samples).step_by(BLOCK_SIZE) {
@@ -498,7 +537,55 @@ impl CompiledForest {
                 });
             }
         }
-        votes
+    }
+
+    /// Resolves a requested [`Kernel`] into the concrete strategy used for
+    /// a batch of this shape. Zero-column batches (leaf-only models over
+    /// empty rows) always take the scalar walk, whose gathers never touch
+    /// the row; `Auto` is resolved by a one-time microprobe on the first
+    /// non-empty batch and memoized for the lifetime of this compiled
+    /// forest.
+    fn resolve_kernel(
+        &self,
+        kernel: Kernel,
+        values: &[f64],
+        cols: usize,
+        samples: usize,
+    ) -> ResolvedKernel {
+        if cols == 0 {
+            return ResolvedKernel::Scalar;
+        }
+        match kernel {
+            Kernel::Scalar => ResolvedKernel::Scalar,
+            Kernel::Blocked => ResolvedKernel::Blocked {
+                width: DEFAULT_BLOCK_WIDTH,
+            },
+            Kernel::Quantized => ResolvedKernel::Quantized {
+                width: DEFAULT_BLOCK_WIDTH,
+            },
+            Kernel::Auto => {
+                if samples == 0 {
+                    // Nothing to probe on; do not memoize a degenerate choice.
+                    return ResolvedKernel::Scalar;
+                }
+                *self.auto.get_or_init(|| kernel::autotune(self, values, cols, samples))
+            }
+        }
+    }
+
+    /// The concrete kernel a request would run as, for diagnostics:
+    /// `Auto` reports `None` until its first-batch microprobe has run.
+    pub fn resolved_kernel(&self, kernel: Kernel) -> Option<ResolvedKernel> {
+        match kernel {
+            Kernel::Scalar => Some(ResolvedKernel::Scalar),
+            Kernel::Blocked => Some(ResolvedKernel::Blocked {
+                width: DEFAULT_BLOCK_WIDTH,
+            }),
+            Kernel::Quantized => Some(ResolvedKernel::Quantized {
+                width: DEFAULT_BLOCK_WIDTH,
+            }),
+            Kernel::Auto => self.auto.get().copied(),
+        }
     }
 
     /// Fraction of trees voting positive, per row; the calibrated score
@@ -513,25 +600,59 @@ impl CompiledForest {
 
     /// Block-wise per-tree predictions for every row — the batch form of
     /// [`CompiledForest::predict_all`], which black-box verification
-    /// consumes.
+    /// consumes. Runs the scalar reference kernel; see
+    /// [`Self::predict_all_batch_with`] for kernel selection.
     ///
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn predict_all_batch(&self, features: &DenseMatrix) -> BatchPredictions {
+        self.predict_all_batch_with(features, Kernel::Scalar)
+    }
+
+    /// [`Self::predict_all_batch`] through an explicitly selected kernel;
+    /// every kernel returns bit-identical predictions.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn predict_all_batch_with(&self, features: &DenseMatrix, kernel: Kernel) -> BatchPredictions {
         assert!(
             features.cols() >= self.num_features,
             "batch has {} features but the model needs {}",
             features.cols(),
             self.num_features
         );
-        self.predict_all_rows(features.as_slice(), features.cols(), features.rows())
+        let (values, cols, samples) = (features.as_slice(), features.cols(), features.rows());
+        let resolved = self.resolve_kernel(kernel, values, cols, samples);
+        self.predict_all_rows(values, cols, samples, resolved)
     }
 
     /// [`Self::predict_all_batch`] over a raw row-major slice; lets the
     /// sharded path predict sub-ranges of a matrix without copying rows.
-    fn predict_all_rows(&self, values: &[f64], cols: usize, samples: usize) -> BatchPredictions {
+    fn predict_all_rows(
+        &self,
+        values: &[f64],
+        cols: usize,
+        samples: usize,
+        resolved: ResolvedKernel,
+    ) -> BatchPredictions {
         let num_trees = self.num_trees();
         let mut labels = vec![Label::Negative; samples * num_trees];
+        resolved
+            .implementation()
+            .predict_all_rows(self, values, cols, samples, &mut labels);
+        BatchPredictions { labels, num_trees }
+    }
+
+    /// Scalar per-tree-prediction kernel body: the tree-lockstep walk for
+    /// wide rows over deep ensembles, 64-sample blocks otherwise.
+    fn scalar_predict_all_rows(
+        &self,
+        values: &[f64],
+        cols: usize,
+        samples: usize,
+        labels: &mut [Label],
+    ) {
+        let num_trees = self.num_trees();
         if self.prefers_tree_lockstep(cols) {
             let mut states = vec![0u32; num_trees];
             for sample in 0..samples {
@@ -543,7 +664,7 @@ impl CompiledForest {
                     }
                 });
             }
-            return BatchPredictions { labels, num_trees };
+            return;
         }
         let mut states = [0u32; BLOCK_SIZE];
         for block_start in (0..samples).step_by(BLOCK_SIZE) {
@@ -557,7 +678,6 @@ impl CompiledForest {
                 });
             }
         }
-        BatchPredictions { labels, num_trees }
     }
 
     /// [`Self::predict_all_batch`] sharded across the work-stealing pool:
@@ -573,12 +693,30 @@ impl CompiledForest {
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn par_predict_all_batch(&self, features: &DenseMatrix, shard_rows: usize) -> BatchPredictions {
+        self.par_predict_all_batch_with(features, shard_rows, Kernel::Scalar)
+    }
+
+    /// [`Self::par_predict_all_batch`] through an explicitly selected
+    /// kernel. `Auto` is resolved once on the whole batch before sharding,
+    /// so every shard runs the same concrete kernel. Batches that would
+    /// fit in a single shard — and any batch on a single-worker pool,
+    /// where sharding could only add stitch overhead — take the serial
+    /// path directly.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn par_predict_all_batch_with(
+        &self,
+        features: &DenseMatrix,
+        shard_rows: usize,
+        kernel: Kernel,
+    ) -> BatchPredictions {
         use rayon::prelude::*;
         let shard_rows = shard_rows.max(1);
         let samples = features.rows();
         let cols = features.cols();
-        if samples <= shard_rows || cols == 0 {
-            return self.predict_all_batch(features);
+        if samples <= shard_rows || cols == 0 || rayon::current_num_threads() <= 1 {
+            return self.predict_all_batch_with(features, kernel);
         }
         assert!(
             cols >= self.num_features,
@@ -587,6 +725,7 @@ impl CompiledForest {
             self.num_features
         );
         let values = features.as_slice();
+        let resolved = self.resolve_kernel(kernel, values, cols, samples);
         let starts: Vec<usize> = (0..samples).step_by(shard_rows).collect();
         let shards: Vec<BatchPredictions> = starts
             .into_par_iter()
@@ -594,7 +733,7 @@ impl CompiledForest {
                 let end = (start + shard_rows).min(samples);
                 // Rows are contiguous in row-major storage, so a shard is a
                 // borrowed subslice — no copy.
-                self.predict_all_rows(&values[start * cols..end * cols], cols, end - start)
+                self.predict_all_rows(&values[start * cols..end * cols], cols, end - start, resolved)
             })
             .collect();
         let num_trees = self.num_trees();
@@ -603,6 +742,25 @@ impl CompiledForest {
             labels.extend(shard.labels);
         }
         BatchPredictions { labels, num_trees }
+    }
+
+    /// [`Self::predict_batch`] through an explicitly selected kernel.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn predict_batch_with(&self, features: &DenseMatrix, kernel: Kernel) -> Vec<Label> {
+        let votes = self.positive_vote_counts_with(features, kernel);
+        let majority_threshold = self.num_trees();
+        votes
+            .into_iter()
+            .map(|positive| {
+                if 2 * positive as usize > majority_threshold {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                }
+            })
+            .collect()
     }
 
     /// Majority-vote predictions for every instance of a dataset.
@@ -720,6 +878,7 @@ impl CompiledForest {
         let hot = build_hot(&feature, &threshold, &left, &right);
         let depths = build_depths(&feature, &left, &right, &tree_starts);
         let (depth_order, active_counts) = build_schedule(&depths);
+        let level = LevelLayout::build(&feature, &threshold, &left, &right, &tree_starts);
         Ok(CompiledForest {
             feature,
             threshold,
@@ -731,6 +890,8 @@ impl CompiledForest {
             depths,
             depth_order,
             active_counts,
+            level,
+            auto: OnceLock::new(),
         })
     }
 }

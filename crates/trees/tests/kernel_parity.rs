@@ -1,0 +1,205 @@
+//! Kernel parity: every inference kernel — scalar, blocked, quantized and
+//! the autotuned `Auto` — must be bit-identical to the recursive walk, on
+//! trained forests over adversarial feature values (`NaN`, `±inf`, signed
+//! zeros), on hand-built trees whose thresholds sit exactly on the
+//! `f32`/`f64` rounding boundary (the quantized kernel's taint window),
+//! and on the degenerate shapes the scalar tests already pin: leaf-only
+//! trees and very deep chains.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wdte_data::{Dataset, DenseMatrix, Label};
+use wdte_trees::{CompiledForest, ForestParams, Kernel, RandomForest, TreeParams};
+
+const KERNELS: [Kernel; 4] = [Kernel::Scalar, Kernel::Blocked, Kernel::Quantized, Kernel::Auto];
+
+/// Feature values drawn from a finite range plus the non-finite specials
+/// traversal must handle deterministically.
+fn feature_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -2.0f64..2.0,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+/// Thresholds sitting exactly on, between, or one step past adjacent
+/// `f32` values — the only region where an `f32` compare can disagree
+/// with the exact `f64` one, which the quantized kernel's screen must
+/// catch.
+struct BoundaryThreshold;
+
+impl Strategy for BoundaryThreshold {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut proptest::TestRng) -> f64 {
+        let raw = (-4.0f64..4.0).generate(rng);
+        let lo = f64::from(raw as f32);
+        let hi = f64::from((raw as f32).next_up());
+        match (0u32..4).generate(rng) {
+            0 => lo,                   // exactly representable in f32
+            1 => lo + (hi - lo) * 0.5, // between two f32 neighbours
+            2 => hi,
+            _ => raw, // generic f64
+        }
+    }
+}
+
+fn dataset_from(rows: Vec<Vec<f64>>, label_bits: &[bool]) -> Dataset {
+    let labels: Vec<Label> = label_bits[..rows.len()]
+        .iter()
+        .map(|&b| if b { Label::Positive } else { Label::Negative })
+        .collect();
+    Dataset::new("kernel-parity", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
+}
+
+/// A single-feature chain tree: each internal node sends `x <= t` to a
+/// leaf and larger values onward, so one probe exercises every threshold
+/// until its first `<=` hit. Built through `from_raw_parts` so thresholds
+/// are taken verbatim (training would snap them to data midpoints).
+fn chain_forest(thresholds: &[f64]) -> CompiledForest {
+    let depth = thresholds.len();
+    let nodes = 2 * depth + 1;
+    let mut feature = vec![u32::MAX; nodes];
+    let mut threshold = vec![0.0f64; nodes];
+    let mut left = vec![0u32; nodes];
+    let right: Vec<u32> = (0..nodes as u32).map(|n| n + 2).collect();
+    for (step, &t) in thresholds.iter().enumerate() {
+        let node = 2 * step;
+        feature[node] = 0;
+        threshold[node] = t;
+        left[node] = node as u32 + 1;
+        // Leaf at node+1 alternates labels so wrong turns change verdicts.
+        left[node + 1] = (step % 2) as u32;
+    }
+    left[nodes - 1] = 1; // terminal leaf
+    CompiledForest::from_raw_parts(feature, threshold, left, right, vec![0, nodes as u32], 1)
+        .expect("chain forest is structurally valid")
+}
+
+/// Asserts every kernel reproduces the recursive per-tree walk on `rows`,
+/// through the batch, vote and sharded entry points.
+fn assert_kernels_match(compiled: &CompiledForest, rows: &[Vec<f64>]) {
+    let matrix = DenseMatrix::from_rows(rows).unwrap();
+    let reference: Vec<Vec<Label>> = rows.iter().map(|row| compiled.predict_all(row)).collect();
+    for kernel in KERNELS {
+        let batch = compiled.predict_all_batch_with(&matrix, kernel);
+        for (index, expected) in reference.iter().enumerate() {
+            assert_eq!(
+                batch.sample(index),
+                expected.as_slice(),
+                "kernel {kernel}, row {index}"
+            );
+        }
+        let votes = compiled.positive_vote_counts_with(&matrix, kernel);
+        for (index, &vote) in votes.iter().enumerate() {
+            assert_eq!(
+                vote as usize,
+                batch.positive_votes(index),
+                "kernel {kernel}, row {index}"
+            );
+        }
+        assert_eq!(
+            compiled.predict_batch_with(&matrix, kernel),
+            (0..rows.len()).map(|i| batch.majority(i)).collect::<Vec<_>>(),
+            "kernel {kernel}"
+        );
+        // The sharded path must stitch bit-identically under every kernel;
+        // a width-3 install forces real sharding even on one core.
+        rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap().install(|| {
+            for shard_rows in [1usize, 3, 1024] {
+                assert_eq!(
+                    &compiled.par_predict_all_batch_with(&matrix, shard_rows, kernel),
+                    &batch,
+                    "kernel {kernel}, shard_rows {shard_rows}"
+                );
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernels_match_recursive_walk_on_trained_forests(
+        rows in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 6..48),
+        probes in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 1..24),
+        label_bits in proptest::collection::vec(any::<bool>(), 48),
+        num_trees in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let dataset = dataset_from(rows, &label_bits);
+        let params = ForestParams {
+            num_trees,
+            tree: TreeParams::with_max_depth(5),
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(seed));
+        let compiled = CompiledForest::compile(&forest);
+
+        // The recursive pointer walk is the ground truth the compiled walk
+        // is pinned to elsewhere; check it directly here too.
+        for probe in &probes {
+            prop_assert_eq!(compiled.predict_all(probe), forest.predict_all(probe));
+        }
+        assert_kernels_match(&compiled, &probes);
+    }
+
+    #[test]
+    fn kernels_agree_on_f32_boundary_thresholds(
+        thresholds in proptest::collection::vec(BoundaryThreshold, 1..24),
+        extra in proptest::collection::vec(feature_value(), 8),
+    ) {
+        let compiled = chain_forest(&thresholds);
+        // Probe exactly on, one f32 ULP around, and away from every
+        // threshold — the values whose `f32` compare can lie.
+        let mut probes: Vec<Vec<f64>> = Vec::new();
+        for &t in &thresholds {
+            let lo = f64::from(t as f32);
+            probes.push(vec![t]);
+            probes.push(vec![lo]);
+            probes.push(vec![f64::from((t as f32).next_up())]);
+            probes.push(vec![f64::from((t as f32).next_down())]);
+            probes.push(vec![lo + (f64::from((t as f32).next_up()) - lo) * 0.5]);
+        }
+        probes.extend(extra.into_iter().map(|v| vec![v]));
+        assert_kernels_match(&compiled, &probes);
+    }
+}
+
+#[test]
+fn leaf_only_trees_agree_across_kernels() {
+    let rows = vec![vec![0.0], vec![1.0]];
+    let labels = vec![Label::Positive, Label::Positive];
+    let dataset = Dataset::new("pure", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap();
+    let forest = RandomForest::fit(
+        &dataset,
+        &ForestParams {
+            num_trees: 3,
+            tree: TreeParams::with_max_depth(0),
+            ..ForestParams::default()
+        },
+        &mut SmallRng::seed_from_u64(7),
+    );
+    let compiled = CompiledForest::compile(&forest);
+    let probes = vec![vec![0.25], vec![f64::NAN], vec![f64::INFINITY]];
+    assert_kernels_match(&compiled, &probes);
+}
+
+#[test]
+fn deep_chains_walk_identically_across_kernels() {
+    // 2048 levels — deeper than any trained tree, stressing the lockstep
+    // step count, the BFS renumbering and the quantized fallback re-walk.
+    let thresholds: Vec<f64> = (0..2048).map(|i| f64::from(i) * 0.001 - 1.0).collect();
+    let compiled = chain_forest(&thresholds);
+    let probes: Vec<Vec<f64>> = (0..40)
+        .map(|i| vec![f64::from(i) * 0.061 - 1.2])
+        .chain([vec![f64::NAN], vec![f64::INFINITY], vec![f64::NEG_INFINITY]])
+        .collect();
+    assert_kernels_match(&compiled, &probes);
+}
