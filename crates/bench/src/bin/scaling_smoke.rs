@@ -20,6 +20,8 @@
 //! scaling_smoke [--workers 1,2,4] [--claims N] [--samples N]
 //!               [--shard-rows N] [--kernel NAME] [--out PATH]
 //!               [--enforce-speedup X.Y]
+//! scaling_smoke --wire [--connections C] [--dockets D] [--claims N]
+//!               [--out PATH] [--enforce-claims-per-sec X]
 //! ```
 //!
 //! `--kernel NAME` picks the batch-inference kernel the service runs
@@ -28,23 +30,37 @@
 //! picked — and its block width, and both land in the JSON artifact, so
 //! the CI lane records which kernel actually produced each timing row.
 //!
-//! Exit codes: `2` = bit-identity violation (always fatal), `3` = the
-//! widest run was slower than the 1-worker run by more than the
-//! `--enforce-speedup` threshold (CI passes a generous `0.85` so noisy
-//! runners don't flake; a real nesting regression serializes or
-//! *slows* the pipeline and lands far below it). Without
-//! `--enforce-speedup`, timings are informational — useful on single-core
-//! hosts where the expected speedup is exactly 1.0.
+//! `--wire` switches the binary into an **open-loop load generator** for
+//! the WDTP v2 wire path: it spawns an in-process [`JudgeServer`] on an
+//! ephemeral loopback port, then `--connections` generator threads each
+//! stream `--dockets` pipelined dockets of `--claims` claims through a
+//! [`DisputeClient`] *without waiting for verdicts between sends* — the
+//! offered load is independent of completions, which is what exposes
+//! queueing behaviour a closed request/response loop hides. Each docket's
+//! latency is measured from `send_docket` to its `recv_docket` verdicts;
+//! the run reports served claims/s plus p50/p99/max docket latency and
+//! hard-fails (exit `2`) unless **every** served verdict vector is
+//! bit-identical to the in-process `resolve_many` reference.
+//!
+//! Exit codes: `2` = bit-identity violation (always fatal, both modes),
+//! `3` = a measured floor was missed — the widest run fell below
+//! `--enforce-speedup` in scaling mode (CI passes a generous `0.85` so
+//! noisy runners don't flake), or throughput fell below
+//! `--enforce-claims-per-sec` in wire mode. Without enforcement flags,
+//! timings are informational — useful on single-core hosts where the
+//! expected speedup is exactly 1.0.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wdte_core::{
     Dispute, DisputeService, Kernel, OwnershipClaim, Signature, VerificationReport, WatermarkConfig,
     WatermarkResult, Watermarker,
 };
 use wdte_data::SyntheticSpec;
+use wdte_server::{DisputeClient, JudgeServer, ServerConfig};
 
 struct Args {
     workers: Vec<usize>,
@@ -53,10 +69,16 @@ struct Args {
     shard_rows: usize,
     kernel: Kernel,
     out: String,
+    out_was_set: bool,
     enforce_speedup: Option<f64>,
     /// Hidden child mode: measure exactly one pool width and print a
     /// machine-readable result line.
     bench_one: Option<usize>,
+    /// Open-loop wire-path load-generator mode.
+    wire: bool,
+    connections: usize,
+    dockets: usize,
+    enforce_claims_per_sec: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,8 +89,13 @@ fn parse_args() -> Result<Args, String> {
         shard_rows: 256,
         kernel: Kernel::default(),
         out: "target/bench-results/scaling_smoke.json".to_string(),
+        out_was_set: false,
         enforce_speedup: None,
         bench_one: None,
+        wire: false,
+        connections: 4,
+        dockets: 16,
+        enforce_claims_per_sec: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -105,7 +132,31 @@ fn parse_args() -> Result<Args, String> {
             "--kernel" => {
                 args.kernel = value("--kernel")?.parse().map_err(|e| format!("--kernel: {e}"))?
             }
-            "--out" => args.out = value("--out")?,
+            "--out" => {
+                args.out = value("--out")?;
+                args.out_was_set = true;
+            }
+            "--wire" => args.wire = true,
+            "--connections" => {
+                args.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
+                if args.connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--dockets" => {
+                args.dockets = value("--dockets")?.parse().map_err(|e| format!("--dockets: {e}"))?;
+                if args.dockets == 0 {
+                    return Err("--dockets must be at least 1".into());
+                }
+            }
+            "--enforce-claims-per-sec" => {
+                args.enforce_claims_per_sec = Some(
+                    value("--enforce-claims-per-sec")?
+                        .parse()
+                        .map_err(|e| format!("--enforce-claims-per-sec: {e}"))?,
+                )
+            }
             "--enforce-speedup" => {
                 args.enforce_speedup = Some(
                     value("--enforce-speedup")?
@@ -121,7 +172,9 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: scaling_smoke [--workers 1,2,4] [--claims N] [--samples N] \
                      [--shard-rows N] [--kernel scalar|blocked|quantized|auto] [--out PATH] \
-                     [--enforce-speedup X.Y]"
+                     [--enforce-speedup X.Y]\n\
+                     \x20      scaling_smoke --wire [--connections C] [--dockets D] [--claims N] \
+                     [--out PATH] [--enforce-claims-per-sec X]"
                 );
                 std::process::exit(0);
             }
@@ -144,7 +197,12 @@ struct Measurement {
     block_width: usize,
 }
 
-fn build_docket(claims: usize, shard_rows: usize, kernel: Kernel) -> (DisputeService, Vec<Dispute>) {
+fn build_docket(
+    claims: usize,
+    shard_rows: usize,
+    kernel: Kernel,
+    heavy_decoys: bool,
+) -> (DisputeService, Vec<Dispute>) {
     // Deterministic fixture, same spirit as `judge_smoke`: every run of
     // this binary measures the identical workload.
     let mut rng = SmallRng::seed_from_u64(0x5CA1E);
@@ -161,8 +219,16 @@ fn build_docket(claims: usize, shard_rows: usize, kernel: Kernel) -> (DisputeSer
     // The claim's test rows are protocol decoys — only trigger rows decide
     // the verdict — so a large decoy draw makes each claim's verification
     // batch deployment-sized (thousands of disguised queries) without
-    // inflating the embedding cost of the fixture.
-    let decoys = SyntheticSpec::breast_cancer_like().scaled(8.0).generate(&mut rng);
+    // inflating the embedding cost of the fixture. The scaling mode wants
+    // that heavy inner batch (it measures the nested fan-out); the wire
+    // mode wants claims shaped like the committed
+    // `served_loopback_64_claim_docket` baseline, so its claims/s compare
+    // against that number.
+    let decoys = if heavy_decoys {
+        SyntheticSpec::breast_cancer_like().scaled(8.0).generate(&mut rng)
+    } else {
+        test.clone()
+    };
     let genuine = OwnershipClaim::new(
         outcome.signature.clone(),
         outcome.trigger_set.clone(),
@@ -211,6 +277,143 @@ fn fingerprint(verdicts: &[WatermarkResult<VerificationReport>]) -> u64 {
     hash
 }
 
+/// The `p`-th percentile of an already-sorted latency vector (nearest-rank).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Open-loop wire-path load generator: an in-process judge on loopback,
+/// hammered by pipelining clients whose send schedule is independent of
+/// verdict arrival. Hard-fails on any verdict that differs from the
+/// in-process reference.
+fn wire_mode(args: &Args) -> ExitCode {
+    let (service, docket) = build_docket(args.claims, args.shard_rows, args.kernel, false);
+    // One in-process reference resolution; every served docket must match
+    // its fingerprint bit for bit.
+    let reference_fp = fingerprint(&service.resolve_many(&docket));
+    let service = Arc::new(service);
+    let server = match JudgeServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()) {
+        Ok(server) => server.spawn(),
+        Err(err) => {
+            eprintln!("scaling_smoke: could not bind the loopback judge: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    let (connections, dockets) = (args.connections, args.dockets);
+    println!(
+        "scaling_smoke --wire: {connections} connections x {dockets} pipelined dockets x {} \
+         claims against the loopback judge at {addr}",
+        args.claims
+    );
+
+    let started = Instant::now();
+    let generators: Vec<_> = (0..connections)
+        .map(|_| {
+            let docket = docket.clone();
+            std::thread::spawn(move || -> Result<Vec<Duration>, String> {
+                let mut client = DisputeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                // Open loop: every docket is sent up front; nothing waits
+                // for a verdict before offering more load.
+                let mut sent = Vec::with_capacity(dockets);
+                let mut tickets = Vec::with_capacity(dockets);
+                for _ in 0..dockets {
+                    sent.push(Instant::now());
+                    tickets.push(client.send_docket(&docket).map_err(|e| format!("send: {e}"))?);
+                }
+                let mut latencies = Vec::with_capacity(dockets);
+                for (ticket, sent_at) in tickets.into_iter().zip(sent) {
+                    let verdicts = client.recv_docket(ticket).map_err(|e| format!("recv: {e}"))?;
+                    latencies.push(sent_at.elapsed());
+                    if fingerprint(&verdicts) != reference_fp {
+                        return Err(format!(
+                            "BIT-IDENTITY VIOLATION: served fingerprint {:016x} differs from \
+                             the in-process reference {reference_fp:016x}",
+                            fingerprint(&verdicts)
+                        ));
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(connections * dockets);
+    let mut bit_identity_violated = false;
+    for generator in generators {
+        match generator.join().expect("a generator thread never panics") {
+            Ok(per_docket) => latencies.extend(per_docket),
+            Err(message) => {
+                eprintln!("scaling_smoke: {message}");
+                bit_identity_violated |= message.contains("BIT-IDENTITY");
+                server.handle().shutdown();
+                return if bit_identity_violated {
+                    ExitCode::from(2)
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+        }
+    }
+    let wall = started.elapsed();
+    server.shutdown().expect("the loopback judge shuts down cleanly");
+
+    let total_claims = connections * dockets * args.claims;
+    let claims_per_sec = total_claims as f64 / wall.as_secs_f64();
+    latencies.sort_unstable();
+    let (p50, p99, max) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        *latencies.last().unwrap(),
+    );
+    println!(
+        "scaling_smoke --wire: {total_claims} claims served in {wall:?} = {claims_per_sec:.0} \
+         claims/s; docket latency p50 {p50:?} / p99 {p99:?} / max {max:?}; all verdicts \
+         bit-identical to in-process resolution"
+    );
+
+    let out = if args.out_was_set {
+        args.out.clone()
+    } else {
+        "target/bench-results/wire_load.json".to_string()
+    };
+    let artifact = format!(
+        "{{\n  \"mode\": \"open_loop_wire\",\n  \"connections\": {connections},\n  \
+         \"dockets_per_connection\": {dockets},\n  \"claims_per_docket\": {},\n  \
+         \"total_claims\": {total_claims},\n  \"wall_ms\": {:.3},\n  \
+         \"claims_per_sec\": {claims_per_sec:.0},\n  \"docket_latency_ms\": {{ \
+         \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n  \"bit_identical\": true\n}}\n",
+        args.claims,
+        wall.as_secs_f64() * 1e3,
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+    );
+    let path = std::path::Path::new(&out);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(err) = std::fs::write(path, &artifact) {
+        eprintln!("scaling_smoke: could not write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("scaling_smoke: wrote {}", path.display());
+
+    if let Some(floor) = args.enforce_claims_per_sec {
+        if claims_per_sec < floor {
+            eprintln!(
+                "scaling_smoke: FAIL: {claims_per_sec:.0} served claims/s is below the \
+                 {floor:.0} floor"
+            );
+            return ExitCode::from(3);
+        }
+    }
+    println!("scaling_smoke: PASS (wire verdicts bit-identical to the in-process reference)");
+    ExitCode::SUCCESS
+}
+
 /// Child mode: size the global pool to exactly `width`, run the fixture,
 /// and print one machine-readable result line for the parent.
 fn bench_one(width: usize, args: &Args) -> ExitCode {
@@ -218,7 +421,7 @@ fn bench_one(width: usize, args: &Args) -> ExitCode {
         eprintln!("scaling_smoke: could not size the global pool to {width}: {err}");
         return ExitCode::FAILURE;
     }
-    let (service, docket) = build_docket(args.claims, args.shard_rows, args.kernel);
+    let (service, docket) = build_docket(args.claims, args.shard_rows, args.kernel, true);
     // Warm-up run doubles as the fingerprint source — and, for `auto`,
     // triggers the one-time kernel microprobe so the resolved kernel is
     // known before any timed sample.
@@ -355,6 +558,9 @@ fn main() -> ExitCode {
     };
     if let Some(width) = args.bench_one {
         return bench_one(width, &args);
+    }
+    if args.wire {
+        return wire_mode(&args);
     }
 
     // Width 1 is always measured: it is both the bit-identity reference

@@ -50,10 +50,12 @@ pub use attack::{
 pub use config::{WatermarkConfig, WeightSchedule, MAX_TRIGGER_WEIGHT};
 pub use error::{WatermarkError, WatermarkResult};
 pub use persist::{Format, FORMAT_VERSION};
-pub use proto::{DocketVerdict, Request, Response, WireFault, PROTOCOL_VERSION};
+pub use proto::{
+    DisputeRef, DocketVerdict, PayloadDigest, Request, Response, WireFault, PROTOCOL_VERSION,
+};
 pub use service::{
-    Dispute, DisputeService, DisputeServiceBuilder, ManifestEntry, ModelManifest,
-    DEFAULT_BATCH_SHARD_ROWS, MODEL_MANIFEST_FILE,
+    ClaimCache, Dispute, DisputeService, DisputeServiceBuilder, ManifestEntry, ModelManifest,
+    SharedDispute, DEFAULT_BATCH_SHARD_ROWS, DEFAULT_CLAIM_CACHE_BYTES, MODEL_MANIFEST_FILE,
 };
 pub use signature::Signature;
 pub use verify::{

@@ -8,17 +8,27 @@
 //! on-disk artefacts — a dispute must never be decided on a silently
 //! misread message.
 //!
-//! ## Frame format
+//! ## Frame format (v2)
 //!
 //! Every message travels as one length-prefixed frame:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "WDTP"
-//! 4       2     protocol version (little-endian u16, currently 1)
-//! 6       4     payload length in bytes (little-endian u32)
-//! 10      len   payload: one value in the persist binary codec
+//! 4       2     protocol version (little-endian u16, currently 2)
+//! 6       8     correlation id (little-endian u64)
+//! 14      4     payload length in bytes (little-endian u32)
+//! 18      len   payload: one value in the persist binary codec
 //! ```
+//!
+//! The **correlation id** is new in v2: a client stamps every request with
+//! an id of its choosing, and the judge echoes that id on the response
+//! frame. Responses therefore no longer need to arrive in request order —
+//! a client can keep many dockets in flight on one connection and match
+//! each verdict to its request by id (see `DisputeClient::send_docket` /
+//! `recv_docket` in the server crate). Id `0` is reserved for server
+//! errors answering a frame whose header could not be parsed (there is no
+//! request id to echo).
 //!
 //! The payload is a [`serde::Value`] rendered with the exact
 //! tag-length-value codec `persist` uses for binary artefacts, so forests,
@@ -29,7 +39,27 @@
 //! ([`WatermarkError::FrameTooLarge`]), unknown magic and truncated frames
 //! surface as [`WatermarkError::ProtocolViolation`], and a frame written by
 //! a different protocol version fails with
-//! [`WatermarkError::UnsupportedProtocolVersion`].
+//! [`WatermarkError::UnsupportedProtocolVersion`]. Magic and version are
+//! checked from the first [`FRAME_PRELUDE_BYTES`] bytes alone, before the
+//! rest of the header is awaited: a v1 frame (whose header was 8 bytes
+//! shorter) is refused with a *version* error, not misread as truncation.
+//!
+//! ## Content addressing
+//!
+//! v2 payloads can travel by reference. A [`PayloadDigest`] is a 128-bit
+//! FNV-style digest over the full logical content of a claim or model —
+//! the same word-wise FNV-1a construction `OwnershipClaim::disguise_seed`
+//! uses, widened to two independent streams and extended over the test
+//! set, so two claims differing anywhere produce different digests for
+//! every practical purpose. [`Request::ResolveDocketRef`] names each
+//! dispute's claim by digest and inlines only bodies the judge has not
+//! seen; the judge answers a reference it cannot resolve with
+//! [`Response::NeedPayload`], and [`Request::Payload`] uploads bodies
+//! explicitly ([`Response::PayloadStored`]). The digest is a cache key,
+//! not an authentication mechanism: the judge computes digests itself
+//! from the bytes it received (a peer cannot bind a digest to foreign
+//! content), but the construction is not collision-resistant against a
+//! cryptographic adversary.
 //!
 //! ## Version policy
 //!
@@ -46,7 +76,7 @@ use crate::service::Dispute;
 use crate::verify::{OwnershipClaim, VerificationReport};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
-use wdte_trees::RandomForest;
+use wdte_trees::{Node, RandomForest};
 
 /// Magic bytes opening every protocol frame ("WDTP" = WDTE protocol; the
 /// final byte differs from the on-disk [`persist::MAGIC`] so a stray
@@ -54,19 +84,182 @@ use wdte_trees::RandomForest;
 pub const PROTO_MAGIC: &[u8; 4] = b"WDTP";
 
 /// Protocol version this build speaks and accepts.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
-/// Number of bytes before the payload: magic + version + length prefix.
-pub const FRAME_HEADER_BYTES: usize = 10;
+/// Bytes of the header prelude: magic + version. The prelude is validated
+/// on its own before the rest of the header is read, so a frame from a
+/// different protocol version — whose header may be a different length —
+/// is refused with a version error instead of being misparsed.
+pub const FRAME_PRELUDE_BYTES: usize = 6;
+
+/// Number of bytes before the payload: magic + version + correlation id +
+/// length prefix.
+pub const FRAME_HEADER_BYTES: usize = 18;
+
+/// Correlation id used by a judge answering a frame whose header could not
+/// be parsed: there is no request id to echo.
+pub const NO_CORRELATION: u64 = 0;
 
 /// Default receiver-side cap on one frame's payload (256 MiB) — generous
 /// enough for a large registered forest, small enough that a hostile
 /// length prefix cannot drive the judge into a multi-gigabyte allocation.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 << 20;
 
+/// 128-bit content digest of a claim or model payload: two independent
+/// word-wise FNV-1a streams (the `disguise_seed` construction) over the
+/// full logical content. Used as the cache key for content-addressed
+/// payloads — see the module docs for what it does and does not promise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PayloadDigest {
+    /// High 64 bits (first FNV stream).
+    pub hi: u64,
+    /// Low 64 bits (second FNV stream).
+    pub lo: u64,
+}
+
+/// Two independent 64-bit FNV-1a streams fed word-wise. The second stream
+/// uses a different offset basis and pre-rotates each word, so the two
+/// halves decorrelate even on structured input (long runs of equal words).
+struct DigestStream {
+    hi: u64,
+    lo: u64,
+}
+
+impl DigestStream {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    /// Second offset basis (the FNV-0 historic basis), distinct from the
+    /// standard FNV-1a offset so the streams never start in lockstep.
+    const FNV_OFFSET_ALT: u64 = 0x6c62_272e_07bb_0142;
+
+    fn new(domain: &str) -> Self {
+        let mut stream = Self {
+            hi: Self::FNV_OFFSET,
+            lo: Self::FNV_OFFSET_ALT,
+        };
+        // Domain separation: a claim and a model with coincidentally equal
+        // word streams must not collide.
+        for &byte in domain.as_bytes() {
+            stream.eat(u64::from(byte));
+        }
+        stream
+    }
+
+    fn eat(&mut self, word: u64) {
+        self.hi = (self.hi ^ word).wrapping_mul(Self::FNV_PRIME);
+        self.lo = (self.lo ^ word.rotate_left(31)).wrapping_mul(Self::FNV_PRIME);
+    }
+
+    fn eat_dataset(&mut self, dataset: &wdte_data::Dataset) {
+        self.eat(dataset.len() as u64);
+        self.eat(dataset.num_features() as u64);
+        for (instance, label) in dataset.iter() {
+            for &value in instance {
+                self.eat(value.to_bits());
+            }
+            self.eat(label.index() as u64);
+        }
+    }
+
+    fn finish(self) -> PayloadDigest {
+        PayloadDigest {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+impl PayloadDigest {
+    /// Digest of an ownership claim's full logical content: signature bits,
+    /// trigger set and test set (rows, labels, shapes). Unlike
+    /// `disguise_seed`, which deliberately skips the disguise set to stay
+    /// off the verification hot path, this covers *everything* — two claims
+    /// must compare equal field-for-field to share a digest.
+    pub fn of_claim(claim: &OwnershipClaim) -> Self {
+        let mut stream = DigestStream::new("wdtp:claim");
+        stream.eat(claim.signature.len() as u64);
+        for &bit in claim.signature.bits() {
+            stream.eat(u64::from(bit));
+        }
+        stream.eat_dataset(&claim.trigger_set);
+        stream.eat_dataset(&claim.test_set);
+        stream.finish()
+    }
+
+    /// Digest of a pointer-tree model's full logical content: every node of
+    /// every tree plus the per-tree feature subsets.
+    pub fn of_model(model: &RandomForest) -> Self {
+        let mut stream = DigestStream::new("wdtp:model");
+        stream.eat(model.num_trees() as u64);
+        stream.eat(model.num_features() as u64);
+        for tree in model.trees() {
+            let nodes = tree.nodes();
+            stream.eat(nodes.len() as u64);
+            stream.eat(tree.root() as u64);
+            for node in nodes {
+                match node {
+                    Node::Leaf { label, counts } => {
+                        stream.eat(0);
+                        stream.eat(label.index() as u64);
+                        stream.eat(counts.negative.to_bits());
+                        stream.eat(counts.positive.to_bits());
+                    }
+                    Node::Internal {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        stream.eat(1);
+                        stream.eat(*feature as u64);
+                        stream.eat(threshold.to_bits());
+                        stream.eat(*left as u64);
+                        stream.eat(*right as u64);
+                    }
+                }
+            }
+        }
+        for subset in model.feature_subsets() {
+            stream.eat(subset.len() as u64);
+            for &feature in subset {
+                stream.eat(feature as u64);
+            }
+        }
+        stream.finish()
+    }
+}
+
+impl std::fmt::Display for PayloadDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// One dispute of a content-addressed docket: the claim travels as a
+/// digest, the body having been inlined in the same request's `bodies` or
+/// uploaded earlier on this judge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisputeRef {
+    /// Registry id of the suspect model.
+    pub model_id: String,
+    /// Content digest of the owner's evidence.
+    pub digest: PayloadDigest,
+}
+
+impl DisputeRef {
+    /// Builds a reference dispute.
+    pub fn new(model_id: impl Into<String>, digest: PayloadDigest) -> Self {
+        Self {
+            model_id: model_id.into(),
+            digest,
+        }
+    }
+}
+
 /// A request filed with the judge. One frame carries exactly one request;
 /// the judge answers each with exactly one [`Response`] frame on the same
-/// connection, in order.
+/// connection, carrying the request's correlation id. Responses may arrive
+/// in any order relative to other in-flight requests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Liveness / version probe.
@@ -79,6 +272,16 @@ pub enum Request {
         /// The suspect model, in the persist value encoding.
         model: RandomForest,
     },
+    /// Registers an already-uploaded model under a (possibly new) id by
+    /// content digest, skipping the model upload entirely. Answered with
+    /// [`Response::NeedPayload`] if the judge has no model with that
+    /// digest.
+    RegisterModelRef {
+        /// Registry id the model will be reachable under.
+        model_id: String,
+        /// Content digest of a previously registered model.
+        digest: PayloadDigest,
+    },
     /// Resolves one claim against a registered model.
     Resolve {
         /// Registry id of the suspect model.
@@ -87,10 +290,27 @@ pub enum Request {
         claim: OwnershipClaim,
     },
     /// Resolves a whole docket concurrently, one verdict per dispute in
-    /// input order.
+    /// input order, claims carried in full.
     ResolveDocket {
         /// The disputes to adjudicate.
         disputes: Vec<Dispute>,
+    },
+    /// Resolves a whole docket with content-addressed claims: `bodies`
+    /// carries only claims the client believes the judge has not cached,
+    /// and each dispute names its claim by digest. A digest the judge can
+    /// resolve from neither `bodies` nor its cache is answered with
+    /// [`Response::NeedPayload`] (no partial verdicts).
+    ResolveDocketRef {
+        /// Claim bodies inlined with this docket (deduplicated).
+        bodies: Vec<OwnershipClaim>,
+        /// The disputes to adjudicate, claims by digest.
+        disputes: Vec<DisputeRef>,
+    },
+    /// Uploads claim bodies into the judge's content cache without
+    /// resolving anything.
+    Payload {
+        /// The claim bodies to cache.
+        claims: Vec<OwnershipClaim>,
     },
     /// Lists the ids of every registered model, sorted.
     ListModels,
@@ -112,23 +332,44 @@ pub enum Response {
         format_version: u16,
         /// Number of models currently registered.
         models_registered: u64,
+        /// Number of claim bodies currently in the content cache.
+        claims_cached: u64,
     },
-    /// Answer to [`Request::RegisterModel`].
+    /// Answer to [`Request::RegisterModel`] / [`Request::RegisterModelRef`].
     Registered {
         /// The id the model is now reachable under.
         model_id: String,
         /// Tree count of the registered model (sanity echo).
         num_trees: u64,
+        /// Content digest the judge computed for the model — the handle
+        /// for later [`Request::RegisterModelRef`] calls. A client that
+        /// computes digests locally can cross-check its own value against
+        /// this echo.
+        digest: PayloadDigest,
     },
     /// Answer to [`Request::Resolve`].
     Resolved {
         /// The verification verdict.
         report: VerificationReport,
     },
-    /// Answer to [`Request::ResolveDocket`].
+    /// Answer to [`Request::ResolveDocket`] / [`Request::ResolveDocketRef`].
     Docket {
         /// One verdict per dispute, in input order.
         verdicts: Vec<DocketVerdict>,
+    },
+    /// The request referenced content the judge does not hold: the caller
+    /// should upload the named bodies and retry. Never a partial answer —
+    /// a docket with any unresolvable digest performs no resolution work.
+    NeedPayload {
+        /// The digests the judge could not resolve, deduplicated, in first
+        /// reference order.
+        digests: Vec<PayloadDigest>,
+    },
+    /// Answer to [`Request::Payload`].
+    PayloadStored {
+        /// Digest of each uploaded claim, in upload order (computed by the
+        /// judge from the received bytes).
+        digests: Vec<PayloadDigest>,
     },
     /// Answer to [`Request::ListModels`].
     Models {
@@ -285,11 +526,15 @@ impl WireFault {
     }
 }
 
-/// Encodes one message into a complete frame (header + payload). Fails
-/// with [`WatermarkError::FrameTooLarge`] if the payload exceeds what the
-/// u32 length prefix can announce — the sender-side mirror of the
-/// receiver's cap, surfaced as a typed error rather than a panic.
-pub fn encode_frame<T: Serialize + ?Sized>(message: &T) -> WatermarkResult<Vec<u8>> {
+/// Encodes one message into a complete frame (header + payload) carrying
+/// `correlation_id`. Fails with [`WatermarkError::FrameTooLarge`] if the
+/// payload exceeds what the u32 length prefix can announce — the
+/// sender-side mirror of the receiver's cap, surfaced as a typed error
+/// rather than a panic.
+pub fn encode_frame<T: Serialize + ?Sized>(
+    correlation_id: u64,
+    message: &T,
+) -> WatermarkResult<Vec<u8>> {
     let payload = persist::encode_value_bytes(&message.to_value());
     if u32::try_from(payload.len()).is_err() {
         return Err(WatermarkError::FrameTooLarge {
@@ -300,6 +545,7 @@ pub fn encode_frame<T: Serialize + ?Sized>(message: &T) -> WatermarkResult<Vec<u
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
     frame.extend_from_slice(PROTO_MAGIC);
     frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&correlation_id.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
     Ok(frame)
@@ -307,8 +553,12 @@ pub fn encode_frame<T: Serialize + ?Sized>(message: &T) -> WatermarkResult<Vec<u
 
 /// Decodes one message from a complete frame produced by [`encode_frame`],
 /// validating magic, version, the length prefix (against `max_frame_bytes`)
-/// and the absence of trailing bytes.
-pub fn decode_frame<T: Deserialize>(frame: &[u8], max_frame_bytes: usize) -> WatermarkResult<T> {
+/// and the absence of trailing bytes. Returns the frame's correlation id
+/// with the message.
+pub fn decode_frame<T: Deserialize>(frame: &[u8], max_frame_bytes: usize) -> WatermarkResult<(u64, T)> {
+    if frame.len() >= FRAME_PRELUDE_BYTES {
+        check_prelude(&frame[..FRAME_PRELUDE_BYTES])?;
+    }
     if frame.len() < FRAME_HEADER_BYTES {
         return Err(violation(format!(
             "frame of {} bytes is shorter than the {FRAME_HEADER_BYTES}-byte header",
@@ -316,15 +566,14 @@ pub fn decode_frame<T: Deserialize>(frame: &[u8], max_frame_bytes: usize) -> Wat
         )));
     }
     let (header, payload) = frame.split_at(FRAME_HEADER_BYTES);
-    check_header(header, max_frame_bytes).and_then(|announced| {
-        if payload.len() != announced {
-            return Err(violation(format!(
-                "frame announces a {announced}-byte payload but carries {} bytes",
-                payload.len()
-            )));
-        }
-        decode_payload(payload)
-    })
+    let (correlation_id, announced) = check_header(header, max_frame_bytes)?;
+    if payload.len() != announced {
+        return Err(violation(format!(
+            "frame announces a {announced}-byte payload but carries {} bytes",
+            payload.len()
+        )));
+    }
+    Ok((correlation_id, decode_payload(payload)?))
 }
 
 /// Decodes a message from raw payload bytes (the part after the header, as
@@ -334,54 +583,72 @@ pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> WatermarkResult<T> {
     T::from_value(&value).map_err(|err| violation(format!("payload does not decode: {err}")))
 }
 
-/// Validates a 10-byte frame header, returning the announced payload
-/// length.
-fn check_header(header: &[u8], max_frame_bytes: usize) -> WatermarkResult<usize> {
-    if &header[..4] != PROTO_MAGIC {
+/// Validates the magic + version prelude of a frame header.
+pub fn check_prelude(prelude: &[u8]) -> WatermarkResult<()> {
+    debug_assert!(prelude.len() >= FRAME_PRELUDE_BYTES);
+    if &prelude[..4] != PROTO_MAGIC {
         return Err(violation(format!(
             "bad frame magic {:02x?} (expected \"WDTP\")",
-            &header[..4]
+            &prelude[..4]
         )));
     }
-    let version = u16::from_le_bytes([header[4], header[5]]);
+    let version = u16::from_le_bytes([prelude[4], prelude[5]]);
     if version != PROTOCOL_VERSION {
         return Err(WatermarkError::UnsupportedProtocolVersion {
             found: version,
             supported: PROTOCOL_VERSION,
         });
     }
-    let announced = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    Ok(())
+}
+
+/// Validates a full frame header, returning the correlation id and the
+/// announced payload length.
+fn check_header(header: &[u8], max_frame_bytes: usize) -> WatermarkResult<(u64, usize)> {
+    check_prelude(&header[..FRAME_PRELUDE_BYTES])?;
+    let correlation_id = u64::from_le_bytes(header[6..14].try_into().expect("header slice is 8 bytes"));
+    let announced =
+        u32::from_le_bytes(header[14..18].try_into().expect("header slice is 4 bytes")) as usize;
     if announced > max_frame_bytes {
         return Err(WatermarkError::FrameTooLarge {
             size: announced as u64,
             max: max_frame_bytes as u64,
         });
     }
-    Ok(announced)
+    Ok((correlation_id, announced))
 }
 
-/// Writes one message as a frame to `writer` (single `write_all`, so a
-/// frame is never interleaved when the writer is shared carefully).
+/// Writes one message as a frame carrying `correlation_id` to `writer`
+/// (single `write_all`, so a frame is never interleaved when the writer is
+/// shared carefully).
 pub fn write_message<T: Serialize + ?Sized, W: Write>(
     writer: &mut W,
+    correlation_id: u64,
     message: &T,
 ) -> WatermarkResult<()> {
-    let frame = encode_frame(message)?;
+    let frame = encode_frame(correlation_id, message)?;
     writer.write_all(&frame).map_err(io_violation)?;
     writer.flush().map_err(io_violation)
 }
 
-/// Reads one frame from `reader` and returns its payload bytes.
+/// Reads one frame from `reader` and returns its correlation id and
+/// payload bytes.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
 /// frames); a stream that ends *inside* a frame — a half-closed socket
-/// mid-message — is a [`WatermarkError::ProtocolViolation`]. The announced
-/// payload length is validated against `max_frame_bytes` before any
-/// allocation, and the read buffer grows with the bytes actually received
-/// rather than trusting the prefix.
-pub fn read_frame<R: Read>(reader: &mut R, max_frame_bytes: usize) -> WatermarkResult<Option<Vec<u8>>> {
+/// mid-message — is a [`WatermarkError::ProtocolViolation`]. Magic and
+/// version are validated as soon as the prelude arrives (so a v1 peer is
+/// refused with a version error before its shorter header runs out), the
+/// announced payload length is validated against `max_frame_bytes` before
+/// any allocation, and the read buffer grows with the bytes actually
+/// received rather than trusting the prefix.
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_frame_bytes: usize,
+) -> WatermarkResult<Option<(u64, Vec<u8>)>> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     let mut filled = 0usize;
+    let mut prelude_checked = false;
     while filled < header.len() {
         let n = match reader.read(&mut header[filled..]) {
             Ok(n) => n,
@@ -399,8 +666,12 @@ pub fn read_frame<R: Read>(reader: &mut R, max_frame_bytes: usize) -> WatermarkR
             )));
         }
         filled += n;
+        if !prelude_checked && filled >= FRAME_PRELUDE_BYTES {
+            check_prelude(&header[..FRAME_PRELUDE_BYTES])?;
+            prelude_checked = true;
+        }
     }
-    let announced = check_header(&header, max_frame_bytes)?;
+    let (correlation_id, announced) = check_header(&header, max_frame_bytes)?;
     // Allocation cap: reserve at most 64 KiB up front; everything past that
     // is grown by `read_to_end` as bytes actually arrive, so a hostile
     // length prefix below the cap still cannot reserve more memory than the
@@ -412,17 +683,17 @@ pub fn read_frame<R: Read>(reader: &mut R, max_frame_bytes: usize) -> WatermarkR
             "stream closed after {read} of {announced} payload bytes"
         )));
     }
-    Ok(Some(payload))
+    Ok(Some((correlation_id, payload)))
 }
 
-/// Reads one message from `reader`. End-of-stream before any byte yields
-/// `Ok(None)`.
+/// Reads one message from `reader`, returning its correlation id.
+/// End-of-stream before any byte yields `Ok(None)`.
 pub fn read_message<T: Deserialize, R: Read>(
     reader: &mut R,
     max_frame_bytes: usize,
-) -> WatermarkResult<Option<T>> {
+) -> WatermarkResult<Option<(u64, T)>> {
     match read_frame(reader, max_frame_bytes)? {
-        Some(payload) => Ok(Some(decode_payload(&payload)?)),
+        Some((correlation_id, payload)) => Ok(Some((correlation_id, decode_payload(&payload)?))),
         None => Ok(None),
     }
 }
@@ -461,13 +732,15 @@ mod tests {
     }
 
     fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(message: &T) {
-        let frame = encode_frame(message).unwrap();
+        let frame = encode_frame(7, message).unwrap();
         assert_eq!(&frame[..4], PROTO_MAGIC);
-        let decoded: T = decode_frame(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let (corr, decoded) = decode_frame::<T>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(corr, 7);
         assert_eq!(&decoded, message);
         // Streamed path: read_frame + decode_payload see the same message.
         let mut reader = std::io::Cursor::new(frame);
-        let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        let (corr, payload) = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(corr, 7);
         let streamed: T = decode_payload(&payload).unwrap();
         assert_eq!(&streamed, message);
         // And the stream is exhausted: the next read is a clean EOF.
@@ -479,19 +752,29 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(10);
         let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2).generate(&mut rng);
         let model = RandomForest::fit(&dataset, &ForestParams::with_trees(4), &mut rng);
+        let digest = PayloadDigest::of_model(&model);
         let claim = sample_claim();
         round_trip(&Request::Ping);
         round_trip(&Request::RegisterModel {
             model_id: "m".into(),
             model,
         });
+        round_trip(&Request::RegisterModelRef {
+            model_id: "m2".into(),
+            digest,
+        });
         round_trip(&Request::Resolve {
             model_id: "m".into(),
             claim: claim.clone(),
         });
         round_trip(&Request::ResolveDocket {
-            disputes: vec![Dispute::new("m", claim)],
+            disputes: vec![Dispute::new("m", claim.clone())],
         });
+        round_trip(&Request::ResolveDocketRef {
+            bodies: vec![claim.clone()],
+            disputes: vec![DisputeRef::new("m", PayloadDigest::of_claim(&claim))],
+        });
+        round_trip(&Request::Payload { claims: vec![claim] });
         round_trip(&Request::ListModels);
         round_trip(&Request::Deregister { model_id: "m".into() });
     }
@@ -504,14 +787,17 @@ mod tests {
             bit_agreement: 0.75,
             queries_issued: 42,
         };
+        let digest = PayloadDigest { hi: 1, lo: 2 };
         round_trip(&Response::Pong {
             protocol_version: PROTOCOL_VERSION,
             format_version: persist::FORMAT_VERSION,
             models_registered: 3,
+            claims_cached: 9,
         });
         round_trip(&Response::Registered {
             model_id: "m".into(),
             num_trees: 16,
+            digest,
         });
         round_trip(&Response::Resolved {
             report: report.clone(),
@@ -527,6 +813,12 @@ mod tests {
                 },
             ],
         });
+        round_trip(&Response::NeedPayload {
+            digests: vec![digest, PayloadDigest { hi: 3, lo: 4 }],
+        });
+        round_trip(&Response::PayloadStored {
+            digests: vec![digest],
+        });
         round_trip(&Response::Models {
             model_ids: vec!["a".into(), "b".into()],
         });
@@ -540,8 +832,17 @@ mod tests {
     }
 
     #[test]
+    fn correlation_ids_round_trip_the_full_u64_range() {
+        for corr in [0u64, 1, u64::from(u32::MAX) + 1, u64::MAX] {
+            let frame = encode_frame(corr, &Request::Ping).unwrap();
+            let (decoded, _) = decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(decoded, corr);
+        }
+    }
+
+    #[test]
     fn bad_magic_is_a_protocol_violation() {
-        let mut frame = encode_frame(&Request::Ping).unwrap();
+        let mut frame = encode_frame(1, &Request::Ping).unwrap();
         frame[..4].copy_from_slice(b"WDTE"); // the *artefact* magic
         assert!(matches!(
             decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
@@ -551,7 +852,7 @@ mod tests {
 
     #[test]
     fn future_version_is_a_typed_error() {
-        let mut frame = encode_frame(&Request::Ping).unwrap();
+        let mut frame = encode_frame(1, &Request::Ping).unwrap();
         frame[4] = 0xFF;
         frame[5] = 0x7F;
         match decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
@@ -563,10 +864,38 @@ mod tests {
         }
     }
 
+    /// A v1 frame (10-byte header: magic, version 1, length) must be
+    /// refused as an unsupported *version* — on the prelude alone — rather
+    /// than misparsed or reported as truncation, even though its header is
+    /// shorter than the v2 header.
+    #[test]
+    fn v1_frames_are_refused_with_a_version_error() {
+        let mut v1_frame = Vec::new();
+        v1_frame.extend_from_slice(PROTO_MAGIC);
+        v1_frame.extend_from_slice(&1u16.to_le_bytes());
+        v1_frame.extend_from_slice(&4u32.to_le_bytes());
+        v1_frame.extend_from_slice(&[0, 0, 0, 0]);
+        let mut reader = std::io::Cursor::new(&v1_frame);
+        match read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
+            WatermarkError::UnsupportedProtocolVersion { found, supported } => {
+                assert_eq!(found, 1);
+                assert_eq!(supported, PROTOCOL_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        // The whole-frame decoder agrees, even though the v1 frame is
+        // shorter than a v2 header.
+        assert!(v1_frame.len() < FRAME_HEADER_BYTES);
+        assert!(matches!(
+            decode_frame::<Request>(&v1_frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
+            WatermarkError::UnsupportedProtocolVersion { .. }
+        ));
+    }
+
     #[test]
     fn oversized_length_prefix_is_refused_before_allocating() {
-        let mut frame = encode_frame(&Request::Ping).unwrap();
-        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut frame = encode_frame(1, &Request::Ping).unwrap();
+        frame[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
         match decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
             WatermarkError::FrameTooLarge { size, max } => {
                 assert_eq!(size, u64::from(u32::MAX));
@@ -585,10 +914,13 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_protocol_violations() {
-        let frame = encode_frame(&Request::Resolve {
-            model_id: "m".into(),
-            claim: sample_claim(),
-        })
+        let frame = encode_frame(
+            1,
+            &Request::Resolve {
+                model_id: "m".into(),
+                claim: sample_claim(),
+            },
+        )
         .unwrap();
         for cut in [
             1,
@@ -610,12 +942,12 @@ mod tests {
 
     #[test]
     fn trailing_bytes_inside_a_frame_are_rejected() {
-        let mut frame = encode_frame(&Request::Ping).unwrap();
+        let mut frame = encode_frame(1, &Request::Ping).unwrap();
         // Grow the payload and fix up the length prefix so the frame itself
         // is well-formed — the *payload* now has trailing bytes.
         frame.push(0);
         let announced = (frame.len() - FRAME_HEADER_BYTES) as u32;
-        frame[6..10].copy_from_slice(&announced.to_le_bytes());
+        frame[14..18].copy_from_slice(&announced.to_le_bytes());
         assert!(matches!(
             decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
             WatermarkError::ProtocolViolation { .. }
@@ -625,11 +957,60 @@ mod tests {
     #[test]
     fn wrong_message_shape_is_a_protocol_violation() {
         // A valid frame carrying a Response where a Request is expected.
-        let frame = encode_frame(&Response::Models { model_ids: vec![] }).unwrap();
+        let frame = encode_frame(1, &Response::Models { model_ids: vec![] }).unwrap();
         assert!(matches!(
             decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
             WatermarkError::ProtocolViolation { .. }
         ));
+    }
+
+    #[test]
+    fn claim_digests_cover_the_full_claim_content() {
+        let claim = sample_claim();
+        // Deterministic and equal for equal content.
+        assert_eq!(
+            PayloadDigest::of_claim(&claim),
+            PayloadDigest::of_claim(&claim.clone())
+        );
+        // Sensitive to every component — including the test set, which
+        // `disguise_seed` deliberately skips.
+        let base = PayloadDigest::of_claim(&claim);
+        let mut other_signature = claim.clone();
+        other_signature.signature =
+            Signature::from_bits(claim.signature.bits().iter().map(|&b| !b).collect());
+        assert_ne!(PayloadDigest::of_claim(&other_signature), base);
+        let mut other_trigger = claim.clone();
+        other_trigger.trigger_set = claim.trigger_set.with_flipped_labels();
+        assert_ne!(PayloadDigest::of_claim(&other_trigger), base);
+        let mut other_test = claim.clone();
+        other_test.test_set = claim.test_set.with_flipped_labels();
+        assert_ne!(
+            PayloadDigest::of_claim(&other_test),
+            base,
+            "the content digest must cover the test set"
+        );
+        // Domain separation: a claim digest never equals a model digest.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2).generate(&mut rng);
+        let model = RandomForest::fit(&dataset, &ForestParams::with_trees(2), &mut rng);
+        assert_ne!(PayloadDigest::of_model(&model), base);
+    }
+
+    #[test]
+    fn model_digests_are_content_sensitive() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let dataset = SyntheticSpec::breast_cancer_like().scaled(0.2).generate(&mut rng);
+        let model_a = RandomForest::fit(&dataset, &ForestParams::with_trees(3), &mut rng);
+        let model_b = RandomForest::fit(&dataset, &ForestParams::with_trees(3), &mut rng);
+        assert_eq!(
+            PayloadDigest::of_model(&model_a),
+            PayloadDigest::of_model(&model_a.clone())
+        );
+        assert_ne!(
+            PayloadDigest::of_model(&model_a),
+            PayloadDigest::of_model(&model_b),
+            "independently trained forests must not share a digest"
+        );
     }
 
     #[test]

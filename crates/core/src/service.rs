@@ -40,13 +40,14 @@
 
 use crate::error::{WatermarkError, WatermarkResult};
 use crate::persist;
+use crate::proto::PayloadDigest;
 use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use wdte_data::{Dataset, Label};
 use wdte_trees::{CompiledForest, Kernel, RandomForest};
 
@@ -54,6 +55,10 @@ use wdte_trees::{CompiledForest, Kernel, RandomForest};
 /// Small enough to spread one large claim across every core, large enough
 /// that the per-shard row copy is negligible next to the tree walks.
 pub const DEFAULT_BATCH_SHARD_ROWS: usize = 256;
+
+/// Default byte budget of the digest-keyed claim cache (256 MiB of claim
+/// payload — roughly a few hundred typical claims).
+pub const DEFAULT_CLAIM_CACHE_BYTES: usize = 256 << 20;
 
 /// File name of the model manifest inside a warm-start directory.
 pub const MODEL_MANIFEST_FILE: &str = "manifest.json";
@@ -74,6 +79,147 @@ impl Dispute {
             model_id: model_id.into(),
             claim,
         }
+    }
+}
+
+/// One dispute of a content-addressed docket, claims shared rather than
+/// owned: the form the wire front-end hands to
+/// [`DisputeService::resolve_docket_shared`] after resolving digest
+/// references against the claim cache. The digest keys the deduplication —
+/// two disputes with the same `(model_id, digest)` pair are resolved once
+/// and share the verdict.
+#[derive(Debug, Clone)]
+pub struct SharedDispute {
+    /// Registry id of the suspect model.
+    pub model_id: String,
+    /// Content digest of the claim (as computed by [`ClaimCache::insert`]).
+    pub digest: PayloadDigest,
+    /// The owner's evidence, shared with the cache.
+    pub claim: Arc<OwnershipClaim>,
+}
+
+impl SharedDispute {
+    /// Builds a shared dispute.
+    pub fn new(model_id: impl Into<String>, digest: PayloadDigest, claim: Arc<OwnershipClaim>) -> Self {
+        Self {
+            model_id: model_id.into(),
+            digest,
+            claim,
+        }
+    }
+}
+
+/// Digest-keyed cache of claim bodies, the server half of the v2 wire
+/// protocol's content addressing: a claim uploaded once is later
+/// referenced by its [`PayloadDigest`] alone. Digests are always computed
+/// *here*, from the bytes actually received — a peer cannot bind a digest
+/// to content the judge never saw, so a poisoned entry would require a
+/// digest collision, not a lying client.
+///
+/// Eviction is least-recently-used over a byte budget estimated from the
+/// claim's dataset payloads (`0` = unlimited, matching the codebase's
+/// 0-disables convention). Evicting an entry only drops the cache's
+/// reference: in-flight resolutions holding the `Arc` finish unaffected,
+/// and a peer that references an evicted digest is asked to re-upload via
+/// `NeedPayload`.
+#[derive(Debug)]
+pub struct ClaimCache {
+    budget_bytes: usize,
+    inner: Mutex<ClaimCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct ClaimCacheInner {
+    map: HashMap<PayloadDigest, Arc<OwnershipClaim>>,
+    /// Digests in least-recently-used-first order.
+    order: VecDeque<PayloadDigest>,
+    bytes: usize,
+}
+
+/// Approximate heap footprint of a claim: the dataset payloads dominate
+/// (8 bytes per feature value), signature and labels are rounding error
+/// but counted for claims with degenerate shapes.
+fn claim_footprint(claim: &OwnershipClaim) -> usize {
+    let dataset = |d: &Dataset| d.len() * (d.num_features() * 8 + 1);
+    dataset(&claim.trigger_set) + dataset(&claim.test_set) + claim.signature.len()
+}
+
+impl ClaimCache {
+    /// Creates a cache with the given byte budget (`0` = unlimited).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(ClaimCacheInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClaimCacheInner> {
+        self.inner.lock().expect("claim cache lock is never poisoned")
+    }
+
+    /// Inserts a claim, computing its digest from the content, and returns
+    /// the digest with the (possibly pre-existing) shared body. Re-inserting
+    /// an equal claim refreshes its recency instead of duplicating it.
+    pub fn insert(&self, claim: OwnershipClaim) -> (PayloadDigest, Arc<OwnershipClaim>) {
+        let digest = PayloadDigest::of_claim(&claim);
+        let mut inner = self.lock();
+        if let Some(existing) = inner.map.get(&digest).cloned() {
+            Self::touch(&mut inner, digest);
+            return (digest, existing);
+        }
+        let footprint = claim_footprint(&claim);
+        let shared = Arc::new(claim);
+        inner.map.insert(digest, Arc::clone(&shared));
+        inner.order.push_back(digest);
+        inner.bytes += footprint;
+        if self.budget_bytes > 0 {
+            while inner.bytes > self.budget_bytes {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                if let Some(evicted) = inner.map.remove(&oldest) {
+                    inner.bytes = inner.bytes.saturating_sub(claim_footprint(&evicted));
+                }
+            }
+        }
+        (digest, shared)
+    }
+
+    /// The cached claim with this digest, if present; refreshes recency.
+    pub fn get(&self, digest: &PayloadDigest) -> Option<Arc<OwnershipClaim>> {
+        let mut inner = self.lock();
+        let found = inner.map.get(digest).cloned();
+        if found.is_some() {
+            Self::touch(&mut inner, *digest);
+        }
+        found
+    }
+
+    fn touch(inner: &mut ClaimCacheInner, digest: PayloadDigest) {
+        if let Some(position) = inner.order.iter().position(|d| *d == digest) {
+            inner.order.remove(position);
+            inner.order.push_back(digest);
+        }
+    }
+
+    /// Number of cached claims.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated bytes of cached claim payload.
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// The configured byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
     }
 }
 
@@ -124,6 +270,7 @@ pub struct DisputeServiceBuilder {
     max_docket: Option<usize>,
     warm_start_dirs: Vec<PathBuf>,
     kernel: Option<Kernel>,
+    claim_cache_bytes: Option<usize>,
 }
 
 impl DisputeServiceBuilder {
@@ -154,6 +301,15 @@ impl DisputeServiceBuilder {
         self
     }
 
+    /// Byte budget of the digest-keyed [`ClaimCache`] backing the wire
+    /// protocol's content-addressed payloads (`serve_judge
+    /// --claim-cache-mb`). `0` means unlimited, matching the 0-disables
+    /// convention. Defaults to [`DEFAULT_CLAIM_CACHE_BYTES`].
+    pub fn claim_cache_bytes(mut self, bytes: usize) -> Self {
+        self.claim_cache_bytes = Some(bytes);
+        self
+    }
+
     /// Warm-starts the registry from a directory containing a
     /// [`ModelManifest`] plus the artefact files it names (as written by
     /// the `table2` experiment under `results/models/`). May be called
@@ -172,6 +328,7 @@ impl DisputeServiceBuilder {
             self.batch_shard_rows.unwrap_or(DEFAULT_BATCH_SHARD_ROWS),
             self.max_docket,
             self.kernel.unwrap_or_default(),
+            self.claim_cache_bytes.unwrap_or(DEFAULT_CLAIM_CACHE_BYTES),
         );
         for dir in &self.warm_start_dirs {
             let manifest = ModelManifest::load_dir(dir)?;
@@ -188,6 +345,11 @@ impl DisputeServiceBuilder {
 #[derive(Debug)]
 pub struct DisputeService {
     registry: RwLock<HashMap<String, Arc<CompiledForest>>>,
+    /// Compiled models by content digest, for digest-only re-registration
+    /// ([`Self::register_by_digest`]). Entries are pruned when the last
+    /// registry id sharing the compiled form is deregistered.
+    model_digests: RwLock<HashMap<PayloadDigest, Arc<CompiledForest>>>,
+    claims: ClaimCache,
     compile_count: AtomicUsize,
     batch_shard_rows: usize,
     max_docket: Option<usize>,
@@ -196,7 +358,12 @@ pub struct DisputeService {
 
 impl Default for DisputeService {
     fn default() -> Self {
-        Self::with_options(DEFAULT_BATCH_SHARD_ROWS, None, Kernel::default())
+        Self::with_options(
+            DEFAULT_BATCH_SHARD_ROWS,
+            None,
+            Kernel::default(),
+            DEFAULT_CLAIM_CACHE_BYTES,
+        )
     }
 }
 
@@ -219,17 +386,34 @@ impl DisputeService {
         note = "use `DisputeService::builder().batch_shard_rows(rows).build()` instead"
     )]
     pub fn with_batch_shard_rows(batch_shard_rows: usize) -> Self {
-        Self::with_options(batch_shard_rows.max(1), None, Kernel::default())
+        Self::with_options(
+            batch_shard_rows.max(1),
+            None,
+            Kernel::default(),
+            DEFAULT_CLAIM_CACHE_BYTES,
+        )
     }
 
-    fn with_options(batch_shard_rows: usize, max_docket: Option<usize>, kernel: Kernel) -> Self {
+    fn with_options(
+        batch_shard_rows: usize,
+        max_docket: Option<usize>,
+        kernel: Kernel,
+        claim_cache_bytes: usize,
+    ) -> Self {
         Self {
             registry: RwLock::new(HashMap::new()),
+            model_digests: RwLock::new(HashMap::new()),
+            claims: ClaimCache::new(claim_cache_bytes),
             compile_count: AtomicUsize::new(0),
             batch_shard_rows,
             max_docket,
             kernel,
         }
+    }
+
+    /// The digest-keyed claim cache backing content-addressed payloads.
+    pub fn claims(&self) -> &ClaimCache {
+        &self.claims
     }
 
     /// The batch-inference kernel configured via
@@ -312,14 +496,68 @@ impl DisputeService {
             .cloned()
     }
 
+    /// Registers a pointer-tree model like [`register`](Self::register) and
+    /// additionally indexes the compiled form under the model's content
+    /// digest, so a later [`register_by_digest`](Self::register_by_digest)
+    /// can reuse it without re-uploading the model. This is the
+    /// registration path the wire front-end drives; the returned digest is
+    /// echoed to the client.
+    pub fn register_digested(
+        &self,
+        model_id: impl Into<String>,
+        model: &RandomForest,
+    ) -> (PayloadDigest, Arc<CompiledForest>) {
+        let digest = PayloadDigest::of_model(model);
+        let compiled = self.register(model_id, model);
+        self.model_digests
+            .write()
+            .expect("model digest index lock is never poisoned")
+            .insert(digest, Arc::clone(&compiled));
+        (digest, compiled)
+    }
+
+    /// Registers an already-uploaded model under a (possibly new) id by
+    /// content digest alone; `None` if no model with that digest is
+    /// indexed (the caller should fall back to a full upload).
+    pub fn register_by_digest(
+        &self,
+        model_id: impl Into<String>,
+        digest: PayloadDigest,
+    ) -> Option<Arc<CompiledForest>> {
+        let compiled = self
+            .model_digests
+            .read()
+            .expect("model digest index lock is never poisoned")
+            .get(&digest)
+            .cloned()?;
+        self.publish(model_id.into(), Arc::clone(&compiled));
+        Some(compiled)
+    }
+
     /// Removes a model from the registry; returns the compiled form if the
     /// id was registered. In-flight resolutions holding the `Arc` finish
-    /// unaffected.
+    /// unaffected. Digest-index entries are pruned once no registry id
+    /// shares the removed compiled form, so a deregistered model cannot be
+    /// resurrected by digest.
     pub fn deregister(&self, model_id: &str) -> Option<Arc<CompiledForest>> {
-        self.registry
+        let removed = self
+            .registry
             .write()
             .expect("dispute registry lock is never poisoned")
-            .remove(model_id)
+            .remove(model_id)?;
+        let still_registered = self
+            .registry
+            .read()
+            .expect("dispute registry lock is never poisoned")
+            .values()
+            .any(|compiled| Arc::ptr_eq(compiled, &removed));
+        if !still_registered {
+            self.model_digests
+                .write()
+                .expect("model digest index lock is never poisoned")
+                .retain(|_, compiled| !Arc::ptr_eq(compiled, &removed));
+        }
+        Some(removed)
     }
 
     /// Ids of every registered model, sorted lexicographically. The
@@ -409,6 +647,47 @@ impl DisputeService {
             }
         }
         Ok(self.resolve_many(disputes))
+    }
+
+    /// Resolves a content-addressed docket with deduplication: disputes
+    /// sharing a `(model_id, digest)` pair are resolved once and the
+    /// verdict is scattered back to every duplicate position. Resolution
+    /// is deterministic in the claim content (the disguise permutation is
+    /// seeded from the claim itself), so the scattered verdicts are
+    /// bit-identical to resolving each dispute independently — this is the
+    /// wire path's throughput win, not a semantic change.
+    ///
+    /// The [`max_docket`](DisputeServiceBuilder::max_docket) cap counts
+    /// the *pre-deduplication* docket size, mirroring
+    /// [`resolve_docket`](Self::resolve_docket).
+    pub fn resolve_docket_shared(
+        &self,
+        disputes: &[SharedDispute],
+    ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
+        if let Some(max) = self.max_docket {
+            if disputes.len() > max {
+                return Err(WatermarkError::DocketTooLarge {
+                    size: disputes.len(),
+                    max,
+                });
+            }
+        }
+        let mut index_of: HashMap<(&str, PayloadDigest), usize> = HashMap::new();
+        let mut distinct: Vec<&SharedDispute> = Vec::new();
+        let slots: Vec<usize> = disputes
+            .iter()
+            .map(|dispute| {
+                *index_of.entry((dispute.model_id.as_str(), dispute.digest)).or_insert_with(|| {
+                    distinct.push(dispute);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+        let resolved: Vec<WatermarkResult<VerificationReport>> = distinct
+            .par_iter()
+            .map(|dispute| self.resolve(&dispute.model_id, &dispute.claim))
+            .collect();
+        Ok(slots.into_iter().map(|slot| resolved[slot].clone()).collect())
     }
 }
 
@@ -741,6 +1020,128 @@ mod tests {
         assert_eq!(
             via_shards.resolve("m", &claim).unwrap(),
             via_builder.resolve("m", &claim).unwrap()
+        );
+    }
+
+    #[test]
+    fn claim_cache_dedups_and_evicts_by_lru_byte_budget() {
+        let (test, outcome) = embedded();
+        let big = claim_for(&outcome, &test);
+        let small = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            outcome.trigger_set.clone(),
+        );
+        // Unlimited cache: re-inserting an equal claim dedups to one entry
+        // sharing one body.
+        let cache = ClaimCache::new(0);
+        let (digest_a, body_a) = cache.insert(big.clone());
+        let (digest_b, body_b) = cache.insert(big.clone());
+        assert_eq!(digest_a, digest_b);
+        assert!(Arc::ptr_eq(&body_a, &body_b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&digest_a).as_deref(), Some(&big));
+        assert!(cache.get(&PayloadDigest { hi: 0, lo: 0 }).is_none());
+
+        // A budget that fits two big claims or (big + small), but not two
+        // big claims *and* the small one: the third insertion must evict
+        // exactly the least-recently-used entry, and `get` refreshes
+        // recency.
+        let budget = 2 * claim_footprint(&big) + claim_footprint(&small) - 1;
+        let cache = ClaimCache::new(budget);
+        let (big_digest, _) = cache.insert(big.clone());
+        let (small_digest, _) = cache.insert(small.clone());
+        assert_eq!(cache.len(), 2, "both claims fit the budget exactly");
+        // Touch the big claim so the small one is now least recently used,
+        // then overflow the budget: the small claim is evicted.
+        assert!(cache.get(&big_digest).is_some());
+        let third = OwnershipClaim::new(
+            Signature::from_bits(outcome.signature.bits().iter().map(|&b| !b).collect()),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        let (third_digest, _) = cache.insert(third);
+        assert!(cache.get(&small_digest).is_none(), "LRU entry evicted");
+        assert!(cache.get(&big_digest).is_some());
+        assert!(cache.get(&third_digest).is_some());
+        assert!(cache.bytes() <= budget);
+    }
+
+    #[test]
+    fn resolve_docket_shared_dedups_to_bit_identical_verdicts() {
+        let (test, outcome) = embedded();
+        let genuine = claim_for(&outcome, &test);
+        let forged = OwnershipClaim::new(
+            Signature::from_bits(outcome.signature.bits().iter().map(|&b| !b).collect()),
+            outcome.trigger_set.clone(),
+            test.clone(),
+        );
+        let service = DisputeService::builder().build().unwrap();
+        service.register("m", &outcome.model);
+
+        // A docket repeating two distinct claims many times, plus one
+        // unknown-model dispute: exactly the wire fixture shape.
+        let disputes: Vec<Dispute> = (0..12)
+            .map(|i| {
+                let claim = if i % 2 == 0 {
+                    genuine.clone()
+                } else {
+                    forged.clone()
+                };
+                let model_id = if i == 5 { "ghost" } else { "m" };
+                Dispute::new(model_id, claim)
+            })
+            .collect();
+        let shared: Vec<SharedDispute> = disputes
+            .iter()
+            .map(|dispute| {
+                let (digest, claim) = service.claims().insert(dispute.claim.clone());
+                SharedDispute::new(dispute.model_id.clone(), digest, claim)
+            })
+            .collect();
+        let reference = service.resolve_many(&disputes);
+        let deduped = service.resolve_docket_shared(&shared).unwrap();
+        assert_eq!(deduped.len(), reference.len());
+        for (i, (a, b)) in deduped.iter().zip(&reference).enumerate() {
+            assert_eq!(a, b, "dispute {i}");
+        }
+        // Only two distinct claims ever entered the cache.
+        assert_eq!(service.claims().len(), 2);
+
+        // The docket cap counts pre-dedup size.
+        let capped = DisputeService::builder().max_docket(3).build().unwrap();
+        capped.register("m", &outcome.model);
+        let oversized: Vec<SharedDispute> = shared[..4].to_vec();
+        assert!(matches!(
+            capped.resolve_docket_shared(&oversized).unwrap_err(),
+            WatermarkError::DocketTooLarge { size: 4, max: 3 }
+        ));
+    }
+
+    #[test]
+    fn register_by_digest_reuses_the_compiled_form_until_deregistered() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::builder().build().unwrap();
+        let (digest, compiled) = service.register_digested("a", &outcome.model);
+        assert_eq!(digest, PayloadDigest::of_model(&outcome.model));
+        // Digest-only registration under a second id: no recompilation,
+        // same compiled form, resolvable.
+        let reused = service.register_by_digest("b", digest).unwrap();
+        assert!(Arc::ptr_eq(&compiled, &reused));
+        assert_eq!(service.compile_count(), 1);
+        assert!(service.resolve("b", &claim).unwrap().verified);
+        // Unknown digests miss.
+        assert!(service.register_by_digest("c", PayloadDigest { hi: 1, lo: 2 }).is_none());
+        // The index survives while any id still serves the compiled form …
+        service.deregister("a");
+        assert!(service.register_by_digest("a2", digest).is_some());
+        // … and is pruned once the last id is gone.
+        service.deregister("a2");
+        service.deregister("b");
+        assert!(
+            service.register_by_digest("d", digest).is_none(),
+            "a fully deregistered model must not be resurrectable by digest"
         );
     }
 }

@@ -81,8 +81,8 @@ fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
         DisputeClient::connect(addr).map_err(|err| format!("could not reach the judge: {err}"))?;
     let pong = client.ping().map_err(|err| format!("ping failed: {err}"))?;
     println!(
-        "judge at {addr}: protocol v{}, format v{}, {} models registered",
-        pong.protocol_version, pong.format_version, pong.models_registered
+        "judge at {addr}: protocol v{}, format v{}, {} models registered, {} claims cached",
+        pong.protocol_version, pong.format_version, pong.models_registered, pong.claims_cached
     );
     let trees = client
         .register_model("smoke-deployment", &outcome.model)
@@ -132,6 +132,36 @@ fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
             "implausible verdict split ({upheld}/{claims} upheld): the fixture must mix genuine and forged claims"
         ));
     }
+
+    // The pipelined path: three copies of the docket in flight at once,
+    // redeemed out of order. Content addressing means the repeats travel
+    // as digests, and every verdict vector must still match the serial one.
+    let tickets = [
+        client
+            .send_docket(&docket)
+            .map_err(|err| format!("pipelined send failed: {err}"))?,
+        client
+            .send_docket(&docket)
+            .map_err(|err| format!("pipelined send failed: {err}"))?,
+        client
+            .send_docket(&docket)
+            .map_err(|err| format!("pipelined send failed: {err}"))?,
+    ];
+    for (i, ticket) in tickets.into_iter().rev().enumerate() {
+        let pipelined = client
+            .recv_docket(ticket)
+            .map_err(|err| format!("pipelined recv failed: {err}"))?;
+        if pipelined != served {
+            return Err(format!(
+                "pipelined docket {i} differs from the sequential verdicts"
+            ));
+        }
+    }
+    let cached = client.ping().map_err(|err| format!("ping failed: {err}"))?.claims_cached;
+    if cached == 0 {
+        return Err("the judge cached no claim payloads after four dockets".to_string());
+    }
+    println!("pipelined 3 dockets out of order, bit-identical again ({cached} claims cached)");
     // Leave the judge as we found it.
     client
         .deregister("smoke-deployment")

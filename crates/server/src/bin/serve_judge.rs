@@ -8,12 +8,20 @@
 //! ```text
 //! serve_judge [--addr 127.0.0.1:7431] [--warm-start DIR]...
 //!             [--port-file PATH] [--max-docket N] [--shard-rows N]
-//!             [--workers N] [--max-connections N] [--kernel NAME]
+//!             [--workers N] [--max-connections N] [--max-pipeline N]
+//!             [--claim-cache-mb N] [--kernel NAME]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes the
 //! actually-bound address to a file once listening, so scripts (the CI
 //! smoke job) can discover it race-free.
+//!
+//! The judge speaks WDTP v2: every connection may pipeline requests (up
+//! to `--max-pipeline` in flight each; `0` = unbounded) and claims are
+//! content-addressed — bodies travel once and later dockets reference
+//! them by digest against a bounded claim cache (`--claim-cache-mb`, `0`
+//! = unbounded). One readiness-driven thread owns every socket, so
+//! `--max-connections` (`0` = unlimited) bounds descriptors, not threads.
 //!
 //! `--workers N` sizes the one process-global work-stealing pool every
 //! connection shares (`0` = one worker per core) and is also installed as
@@ -41,6 +49,8 @@ struct Args {
     shard_rows: Option<usize>,
     workers: usize,
     max_connections: usize,
+    max_pipeline: Option<usize>,
+    claim_cache_mb: Option<usize>,
     read_timeout_secs: Option<u64>,
     kernel: Kernel,
 }
@@ -54,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         shard_rows: None,
         workers: 0,
         max_connections: 64,
+        max_pipeline: None,
+        claim_cache_mb: None,
         read_timeout_secs: None,
         kernel: Kernel::default(),
     };
@@ -80,6 +92,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-connections: {e}"))?
             }
+            "--max-pipeline" => {
+                args.max_pipeline =
+                    Some(value("--max-pipeline")?.parse().map_err(|e| format!("--max-pipeline: {e}"))?)
+            }
+            "--claim-cache-mb" => {
+                args.claim_cache_mb = Some(
+                    value("--claim-cache-mb")?
+                        .parse()
+                        .map_err(|e| format!("--claim-cache-mb: {e}"))?,
+                )
+            }
             "--read-timeout-secs" => {
                 args.read_timeout_secs = Some(
                     value("--read-timeout-secs")?
@@ -95,7 +118,10 @@ fn parse_args() -> Result<Args, String> {
                     "usage: serve_judge [--addr HOST:PORT] [--warm-start DIR]... \
                      [--port-file PATH] [--max-docket N] [--shard-rows N] \
                      [--workers N (shared pool size; 0 = one per core)] \
-                     [--max-connections N] [--read-timeout-secs N (0 = never)] \
+                     [--max-connections N (0 = unlimited)] \
+                     [--max-pipeline N (in-flight requests per connection; 0 = unbounded)] \
+                     [--claim-cache-mb N (content-addressed claim cache; 0 = unbounded)] \
+                     [--read-timeout-secs N (0 = never)] \
                      [--kernel scalar|blocked|quantized|auto]"
                 );
                 std::process::exit(0);
@@ -128,6 +154,11 @@ fn main() -> ExitCode {
     if let Some(rows) = args.shard_rows {
         builder = builder.batch_shard_rows(rows);
     }
+    if let Some(mb) = args.claim_cache_mb {
+        // 0 disables the budget (unbounded cache) by the same convention
+        // as the other limits.
+        builder = builder.claim_cache_bytes(mb << 20);
+    }
     if let Some(max) = args.max_docket {
         builder = builder.max_docket(max);
     }
@@ -148,6 +179,9 @@ fn main() -> ExitCode {
         worker_threads: args.workers,
         ..ServerConfig::default()
     };
+    if let Some(depth) = args.max_pipeline {
+        config.max_pipeline = depth;
+    }
     if let Some(secs) = args.read_timeout_secs {
         // 0 disables idle reaping entirely (trusted networks only).
         config.read_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));

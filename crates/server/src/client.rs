@@ -1,21 +1,32 @@
 //! The claimant's side of the wire: a typed client over one TCP
-//! connection to a judge.
+//! connection to a judge, with WDTP v2 pipelining and content-addressed
+//! claim upload.
+//!
+//! [`DisputeClient::send_docket`] / [`DisputeClient::recv_docket`] split
+//! the request and response halves of a docket so several dockets can be
+//! in flight at once; responses are matched back by correlation id, and
+//! out-of-order arrivals for other in-flight dockets are stashed until
+//! their ticket is redeemed. Claim bodies travel once per connection:
+//! later dockets reference them by content digest, and a judge that has
+//! evicted a body answers `NeedPayload`, which the client recovers from
+//! transparently by resending the docket with the missing bodies inlined.
 
 use serde::{Serialize, Value};
+use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use wdte_core::error::{WatermarkError, WatermarkResult};
-use wdte_core::proto::{self, Request, Response};
+use wdte_core::proto::{self, DisputeRef, PayloadDigest, Request, Response, NO_CORRELATION};
 use wdte_core::verify::{OwnershipClaim, VerificationReport};
 use wdte_core::Dispute;
 use wdte_trees::RandomForest;
 
 /// Wire encodings of the payload-heavy requests, built from *borrowed*
 /// data. `Request`'s derive needs an owned enum, which would force every
-/// `resolve_docket` call to deep-copy the full docket (trigger + disguise
-/// datasets per claim) just to serialize it; these mirrors produce the
-/// exact same [`Value`] — and therefore the exact same frame bytes — from
+/// docket call to deep-copy the full docket (trigger + disguise datasets
+/// per claim) just to serialize it; these mirrors produce the exact same
+/// [`Value`] — and therefore the exact same frame bytes — from
 /// references. Parity with the derive is locked down by the
 /// `borrowed_requests_encode_identically_to_the_owned_enum` test.
 struct BorrowedRegisterModel<'a> {
@@ -28,8 +39,9 @@ struct BorrowedResolve<'a> {
     claim: &'a OwnershipClaim,
 }
 
-struct BorrowedResolveDocket<'a> {
-    disputes: &'a [Dispute],
+struct BorrowedResolveDocketRef<'a> {
+    bodies: &'a [&'a OwnershipClaim],
+    disputes: &'a [DisputeRef],
 }
 
 fn variant(name: &str, fields: Vec<(String, Value)>) -> Value {
@@ -60,11 +72,17 @@ impl Serialize for BorrowedResolve<'_> {
     }
 }
 
-impl Serialize for BorrowedResolveDocket<'_> {
+impl Serialize for BorrowedResolveDocketRef<'_> {
     fn to_value(&self) -> Value {
         variant(
-            "ResolveDocket",
-            vec![("disputes".to_string(), self.disputes.to_value())],
+            "ResolveDocketRef",
+            vec![
+                (
+                    "bodies".to_string(),
+                    Value::Seq(self.bodies.iter().map(|claim| claim.to_value()).collect()),
+                ),
+                ("disputes".to_string(), self.disputes.to_value()),
+            ],
         )
     }
 }
@@ -74,10 +92,17 @@ impl Serialize for BorrowedResolveDocket<'_> {
 pub struct ClientConfig {
     /// Total connection attempts before giving up (at least 1). Retrying
     /// covers the common race of a client starting before the judge has
-    /// bound its socket.
+    /// bound its socket. A connection that is established but cannot be
+    /// configured (socket option failures) counts as one failed attempt,
+    /// not a hard error.
     pub connect_attempts: u32,
-    /// Backoff between connection attempts; doubles per attempt.
+    /// Backoff between connection attempts; doubles per attempt, capped
+    /// at [`max_retry_backoff`](Self::max_retry_backoff).
     pub retry_backoff: Duration,
+    /// Upper bound on the exponential backoff between attempts, so large
+    /// `connect_attempts` values retry steadily instead of sleeping for
+    /// minutes.
+    pub max_retry_backoff: Duration,
     /// Per-attempt connect timeout; `None` uses the OS default.
     pub connect_timeout: Option<Duration>,
     /// Socket read timeout while waiting for a response; `None` waits
@@ -94,6 +119,7 @@ impl Default for ClientConfig {
         Self {
             connect_attempts: 3,
             retry_backoff: Duration::from_millis(100),
+            max_retry_backoff: Duration::from_secs(5),
             connect_timeout: Some(Duration::from_secs(5)),
             read_timeout: None,
             write_timeout: Some(Duration::from_secs(30)),
@@ -111,26 +137,77 @@ pub struct PongInfo {
     pub format_version: u16,
     /// Number of models currently registered.
     pub models_registered: u64,
+    /// Number of claim bodies in the judge's content cache.
+    pub claims_cached: u64,
 }
 
+/// Receipt for a docket sent with [`DisputeClient::send_docket`] and not
+/// yet received. Redeem it — exactly once — with
+/// [`DisputeClient::recv_docket`]; tickets of one client are not valid on
+/// another.
+#[derive(Debug)]
+pub struct DocketTicket {
+    correlation_id: u64,
+}
+
+impl DocketTicket {
+    /// The wire correlation id this ticket's verdicts will arrive under.
+    pub fn correlation_id(&self) -> u64 {
+        self.correlation_id
+    }
+}
+
+/// Everything needed to retry one in-flight docket if the judge answers
+/// `NeedPayload`: the dispute list by digest, plus a retained copy of
+/// every distinct claim body so the retry can always inline what the
+/// judge is missing (even bodies the judge had cached at send time and
+/// evicted since).
+#[derive(Debug)]
+struct PendingDocket {
+    model_ids: Vec<String>,
+    digests: Vec<PayloadDigest>,
+    bodies: HashMap<PayloadDigest, OwnershipClaim>,
+    retries: u8,
+}
+
+/// `NeedPayload` recovery attempts per docket before giving up. The
+/// second retry inlines *every* body of the docket, which a correct judge
+/// answers from the request-local bodies alone — a third demand means the
+/// peer is not honouring the protocol.
+const MAX_NEED_PAYLOAD_RETRIES: u8 = 3;
+
 /// A typed client driving one connection to a
-/// [`JudgeServer`](crate::JudgeServer). Requests are answered in order on
-/// the same
-/// connection; results are exactly what the in-process
-/// [`wdte_core::DisputeService`] would have returned (bit-identical
-/// reports, reconstructed typed errors).
+/// [`JudgeServer`](crate::JudgeServer). Results are exactly what the
+/// in-process [`wdte_core::DisputeService`] would have returned
+/// (bit-identical reports, reconstructed typed errors), regardless of how
+/// many dockets are in flight or in what order the judge completes them.
 #[derive(Debug)]
 pub struct DisputeClient {
     reader: BufReader<TcpStream>,
     addr: String,
     max_frame_bytes: usize,
     /// Set after any transport-level failure (write error, read
-    /// error/timeout, unparseable or missing response frame). Once the
-    /// stream may hold a stale or partial response, request/response
-    /// pairing is lost: a retry could consume the *previous* request's
-    /// answer and silently misattribute verdicts. A broken client refuses
-    /// further calls; reconnect instead.
+    /// error/timeout, unparseable response frame, unknown correlation
+    /// id). Once the stream state is unknown, request/response pairing is
+    /// lost and a retry could silently misattribute verdicts; a broken
+    /// client refuses further calls — reconnect instead.
     broken: bool,
+    /// Next correlation id to stamp on a request frame (0 is reserved).
+    next_correlation: u64,
+    /// Correlation ids sent and not yet answered; a response outside this
+    /// set poisons the connection.
+    outstanding: HashSet<u64>,
+    /// Responses that arrived while waiting for a different correlation
+    /// id, parked until their ticket is redeemed.
+    stash: HashMap<u64, Response>,
+    /// In-flight dockets by correlation id.
+    pending: HashMap<u64, PendingDocket>,
+    /// Digests of claim bodies this connection has already uploaded; such
+    /// claims travel as digest-only references until the judge reports an
+    /// eviction.
+    sent_claims: HashSet<PayloadDigest>,
+    /// Digests of models this connection has already uploaded.
+    sent_models: HashSet<PayloadDigest>,
 }
 
 impl DisputeClient {
@@ -145,17 +222,13 @@ impl DisputeClient {
         config: ClientConfig,
     ) -> WatermarkResult<Self> {
         let display = addr.to_string();
-        let io_err = |message: String| WatermarkError::Io {
-            path: display.clone(),
-            message,
-        };
         let attempts = config.connect_attempts.max(1);
-        let mut backoff = config.retry_backoff;
+        let mut backoff = config.retry_backoff.min(config.max_retry_backoff);
         let mut last_error = String::from("address did not resolve");
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                backoff = backoff.saturating_mul(2).min(config.max_retry_backoff);
             }
             let resolved: Vec<SocketAddr> = match addr.to_socket_addrs() {
                 Ok(addrs) => addrs.collect(),
@@ -171,27 +244,39 @@ impl DisputeClient {
                 };
                 match connected {
                     Ok(stream) => {
-                        stream
+                        // A socket that connects but cannot be configured
+                        // counts as one failed attempt — it must not
+                        // abort the whole retry loop, which exists
+                        // precisely to ride out transient conditions.
+                        let configured = stream
                             .set_read_timeout(config.read_timeout)
-                            .map_err(|e| io_err(e.to_string()))?;
-                        stream
-                            .set_write_timeout(config.write_timeout)
-                            .map_err(|e| io_err(e.to_string()))?;
+                            .and_then(|()| stream.set_write_timeout(config.write_timeout));
+                        if let Err(err) = configured {
+                            last_error = err.to_string();
+                            continue;
+                        }
                         let _ = stream.set_nodelay(true);
                         return Ok(Self {
                             reader: BufReader::new(stream),
                             addr: display,
                             max_frame_bytes: config.max_frame_bytes,
                             broken: false,
+                            next_correlation: 1,
+                            outstanding: HashSet::new(),
+                            stash: HashMap::new(),
+                            pending: HashMap::new(),
+                            sent_claims: HashSet::new(),
+                            sent_models: HashSet::new(),
                         });
                     }
                     Err(err) => last_error = err.to_string(),
                 }
             }
         }
-        Err(io_err(format!(
-            "could not connect after {attempts} attempts: {last_error}"
-        )))
+        Err(WatermarkError::Io {
+            path: display,
+            message: format!("could not connect after {attempts} attempts: {last_error}"),
+        })
     }
 
     /// The address this client is connected to, as given to `connect`.
@@ -206,9 +291,12 @@ impl DisputeClient {
         self.broken
     }
 
-    /// One request/response exchange. The request may be the [`Request`]
-    /// enum itself or one of the borrowed wire mirrors above.
-    fn call<T: Serialize + ?Sized>(&mut self, request: &T) -> WatermarkResult<Response> {
+    /// Number of dockets sent and not yet received.
+    pub fn pending_dockets(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn ensure_usable(&self) -> WatermarkResult<()> {
         if self.broken {
             return Err(WatermarkError::ProtocolViolation {
                 detail: format!(
@@ -217,34 +305,101 @@ impl DisputeClient {
                 ),
             });
         }
-        // Encoding failures (e.g. an over-u32 frame) happen before any
-        // byte reaches the wire, so they do NOT poison the connection.
-        let frame = proto::encode_frame(request)?;
-        let result = self.exchange(&frame);
-        if result.is_err() {
-            self.broken = true;
-        }
-        result
+        Ok(())
     }
 
-    /// Writes an encoded frame and reads the answer; any failure here
-    /// means the stream state is unknown (the caller poisons it).
-    fn exchange(&mut self, frame: &[u8]) -> WatermarkResult<Response> {
-        let addr = self.addr.clone();
-        let stream = self.reader.get_mut();
-        stream
-            .write_all(frame)
-            .and_then(|()| stream.flush())
-            .map_err(|err| WatermarkError::Io {
-                path: addr,
-                message: err.to_string(),
-            })?;
-        match proto::read_message::<Response, _>(&mut self.reader, self.max_frame_bytes)? {
-            Some(response) => Ok(response),
-            None => Err(WatermarkError::ProtocolViolation {
-                detail: format!("judge at {} closed the connection without answering", self.addr),
-            }),
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_correlation;
+        self.next_correlation = self.next_correlation.wrapping_add(1);
+        if self.next_correlation == NO_CORRELATION {
+            self.next_correlation = 1;
         }
+        id
+    }
+
+    /// Writes one already-encoded frame; poisons the connection on any
+    /// transport failure.
+    fn write_frame(&mut self, frame: &[u8]) -> WatermarkResult<()> {
+        let result = {
+            let stream = self.reader.get_mut();
+            stream.write_all(frame).and_then(|()| stream.flush())
+        };
+        result.map_err(|err| {
+            self.broken = true;
+            WatermarkError::Io {
+                path: self.addr.clone(),
+                message: err.to_string(),
+            }
+        })
+    }
+
+    /// Reads responses until the one for `correlation_id` arrives,
+    /// stashing responses for other in-flight requests. An id that was
+    /// never sent — including the reserved 0 the judge uses for
+    /// frame-level errors — poisons the connection.
+    fn read_until(&mut self, correlation_id: u64) -> WatermarkResult<Response> {
+        if let Some(response) = self.stash.remove(&correlation_id) {
+            return Ok(response);
+        }
+        loop {
+            let received = proto::read_message::<Response, _>(&mut self.reader, self.max_frame_bytes);
+            let (corr, response) = match received {
+                Ok(Some(pair)) => pair,
+                Ok(None) => {
+                    self.broken = true;
+                    return Err(WatermarkError::ProtocolViolation {
+                        detail: format!(
+                            "judge at {} closed the connection without answering",
+                            self.addr
+                        ),
+                    });
+                }
+                Err(err) => {
+                    self.broken = true;
+                    return Err(err);
+                }
+            };
+            if corr == correlation_id {
+                return Ok(response);
+            }
+            if corr == NO_CORRELATION {
+                // A frame-level fault: the judge could not attribute the
+                // failure to any request and is about to close.
+                self.broken = true;
+                return Err(match response {
+                    Response::Error { fault } => fault.into_error(),
+                    other => WatermarkError::ProtocolViolation {
+                        detail: format!("judge sent an unsolicited {other:?}"),
+                    },
+                });
+            }
+            if self.outstanding.contains(&corr) {
+                self.stash.insert(corr, response);
+                continue;
+            }
+            self.broken = true;
+            return Err(WatermarkError::ProtocolViolation {
+                detail: format!(
+                    "judge at {} answered correlation id {corr}, which this client never sent",
+                    self.addr
+                ),
+            });
+        }
+    }
+
+    /// One sequential request/response exchange. The request may be the
+    /// [`Request`] enum itself or one of the borrowed wire mirrors above.
+    /// Dockets in flight are serviced (stashed) while waiting.
+    fn call<T: Serialize + ?Sized>(&mut self, request: &T) -> WatermarkResult<Response> {
+        self.ensure_usable()?;
+        let correlation_id = self.next_id();
+        // Encoding failures (e.g. an over-u32 frame) happen before any
+        // byte reaches the wire, so they do NOT poison the connection.
+        let frame = proto::encode_frame(correlation_id, request)?;
+        self.outstanding.insert(correlation_id);
+        let result = self.write_frame(&frame).and_then(|()| self.read_until(correlation_id));
+        self.outstanding.remove(&correlation_id);
+        result
     }
 
     /// Converts an unexpected response kind into a typed error, unwrapping
@@ -265,10 +420,12 @@ impl DisputeClient {
                 protocol_version,
                 format_version,
                 models_registered,
+                claims_cached,
             } => Ok(PongInfo {
                 protocol_version,
                 format_version,
                 models_registered,
+                claims_cached,
             }),
             other => Err(Self::unexpected(other, "Pong")),
         }
@@ -276,18 +433,69 @@ impl DisputeClient {
 
     /// Registers a pointer-tree model under `model_id`; the judge compiles
     /// it once. Returns the tree count the judge registered.
+    ///
+    /// Models are content-addressed: a model this connection has already
+    /// uploaded is registered by digest alone (no re-upload), falling back
+    /// to the full upload if the judge no longer holds it. The judge's
+    /// digest echo is cross-checked against the locally computed digest,
+    /// so a hash-algorithm divergence between client and judge surfaces as
+    /// a typed error instead of silent cache misses.
     pub fn register_model(
         &mut self,
         model_id: impl Into<String>,
         model: &RandomForest,
     ) -> WatermarkResult<usize> {
         let model_id = model_id.into();
+        let digest = PayloadDigest::of_model(model);
+        if self.sent_models.contains(&digest) {
+            match self.call(&Request::RegisterModelRef {
+                model_id: model_id.clone(),
+                digest,
+            })? {
+                Response::Registered {
+                    num_trees,
+                    digest: echo,
+                    ..
+                } => {
+                    return if echo == digest {
+                        Ok(num_trees as usize)
+                    } else {
+                        Err(WatermarkError::ProtocolViolation {
+                            detail: format!(
+                                "judge registered digest {echo} for a reference to {digest}"
+                            ),
+                        })
+                    };
+                }
+                Response::NeedPayload { .. } => {
+                    // The judge dropped the model since our upload; fall
+                    // back to sending it in full.
+                    self.sent_models.remove(&digest);
+                }
+                other => return Err(Self::unexpected(other, "Registered")),
+            }
+        }
         let request = BorrowedRegisterModel {
             model_id: &model_id,
             model,
         };
         match self.call(&request)? {
-            Response::Registered { num_trees, .. } => Ok(num_trees as usize),
+            Response::Registered {
+                num_trees,
+                digest: echo,
+                ..
+            } => {
+                if echo != digest {
+                    return Err(WatermarkError::ProtocolViolation {
+                        detail: format!(
+                            "judge computed model digest {echo} where this client computed \
+                             {digest}; digest algorithms are out of sync"
+                        ),
+                    });
+                }
+                self.sent_models.insert(digest);
+                Ok(num_trees as usize)
+            }
             other => Err(Self::unexpected(other, "Registered")),
         }
     }
@@ -309,19 +517,140 @@ impl DisputeClient {
         }
     }
 
-    /// Resolves a whole docket; one verdict per dispute in input order,
-    /// exactly as `DisputeService::resolve_many` returns them in process.
+    /// Sends a docket without waiting for its verdicts, returning a
+    /// ticket to redeem with [`recv_docket`](Self::recv_docket). Any
+    /// number of dockets (and other requests) may be in flight at once;
+    /// the judge answers each as it completes.
+    ///
+    /// Claims are deduplicated by content digest: bodies the judge has
+    /// not seen on this connection are inlined, everything else travels
+    /// as an 16-byte digest reference.
+    pub fn send_docket(&mut self, disputes: &[Dispute]) -> WatermarkResult<DocketTicket> {
+        self.ensure_usable()?;
+        let correlation_id = self.next_id();
+        let mut model_ids = Vec::with_capacity(disputes.len());
+        let mut digests = Vec::with_capacity(disputes.len());
+        let mut bodies: HashMap<PayloadDigest, OwnershipClaim> = HashMap::new();
+        let mut refs = Vec::with_capacity(disputes.len());
+        let mut inline: Vec<&OwnershipClaim> = Vec::new();
+        let mut inline_digests: HashSet<PayloadDigest> = HashSet::new();
+        for dispute in disputes {
+            let digest = PayloadDigest::of_claim(&dispute.claim);
+            if !self.sent_claims.contains(&digest) && inline_digests.insert(digest) {
+                inline.push(&dispute.claim);
+            }
+            bodies.entry(digest).or_insert_with(|| dispute.claim.clone());
+            refs.push(DisputeRef::new(dispute.model_id.clone(), digest));
+            model_ids.push(dispute.model_id.clone());
+            digests.push(digest);
+        }
+        let frame = proto::encode_frame(
+            correlation_id,
+            &BorrowedResolveDocketRef {
+                bodies: &inline,
+                disputes: &refs,
+            },
+        )?;
+        self.write_frame(&frame)?;
+        self.sent_claims.extend(inline_digests);
+        self.outstanding.insert(correlation_id);
+        self.pending.insert(
+            correlation_id,
+            PendingDocket {
+                model_ids,
+                digests,
+                bodies,
+                retries: 0,
+            },
+        );
+        Ok(DocketTicket { correlation_id })
+    }
+
+    /// Waits for the verdicts of one in-flight docket: one verdict per
+    /// dispute in input order, exactly as `DisputeService::resolve_many`
+    /// returns them in process. Responses for *other* in-flight tickets
+    /// that arrive first are stashed, so tickets may be redeemed in any
+    /// order. `NeedPayload` answers (the judge evicted a referenced claim
+    /// body) are recovered transparently by resending the docket with the
+    /// missing bodies inlined.
+    pub fn recv_docket(
+        &mut self,
+        ticket: DocketTicket,
+    ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
+        let correlation_id = ticket.correlation_id;
+        if !self.pending.contains_key(&correlation_id) {
+            return Err(WatermarkError::ProtocolViolation {
+                detail: format!("docket ticket {correlation_id} is unknown to this client"),
+            });
+        }
+        self.ensure_usable().inspect_err(|_| self.finish(correlation_id))?;
+        loop {
+            let response = match self.read_until(correlation_id) {
+                Ok(response) => response,
+                Err(err) => {
+                    self.finish(correlation_id);
+                    return Err(err);
+                }
+            };
+            match response {
+                Response::Docket { verdicts } => {
+                    self.finish(correlation_id);
+                    return Ok(verdicts.into_iter().map(proto::DocketVerdict::into_result).collect());
+                }
+                Response::NeedPayload { digests } => {
+                    // Those bodies are gone from the judge's cache; stop
+                    // referencing them digest-only in future dockets too.
+                    for digest in &digests {
+                        self.sent_claims.remove(digest);
+                    }
+                    let frame = match self.build_resend(correlation_id, &digests) {
+                        Ok(frame) => frame,
+                        Err(err) => {
+                            self.finish(correlation_id);
+                            return Err(err);
+                        }
+                    };
+                    if let Err(err) = self.write_frame(&frame) {
+                        self.finish(correlation_id);
+                        return Err(err);
+                    }
+                }
+                Response::Error { fault } => {
+                    self.finish(correlation_id);
+                    return Err(fault.into_error());
+                }
+                other => {
+                    self.finish(correlation_id);
+                    return Err(Self::unexpected(other, "Docket"));
+                }
+            }
+        }
+    }
+
+    /// Sends `dockets` back-to-back, then collects every verdict set:
+    /// the wire stays busy while the judge resolves, instead of one
+    /// round-trip per docket. Verdicts are returned per docket, in input
+    /// order, bit-identical to resolving each docket sequentially.
+    pub fn pipeline_dockets<D: AsRef<[Dispute]>>(
+        &mut self,
+        dockets: &[D],
+    ) -> WatermarkResult<Vec<Vec<WatermarkResult<VerificationReport>>>> {
+        let tickets: Vec<DocketTicket> = dockets
+            .iter()
+            .map(|docket| self.send_docket(docket.as_ref()))
+            .collect::<WatermarkResult<_>>()?;
+        tickets.into_iter().map(|ticket| self.recv_docket(ticket)).collect()
+    }
+
+    /// Resolves a whole docket synchronously; one verdict per dispute in
+    /// input order. Equivalent to [`send_docket`](Self::send_docket)
+    /// immediately followed by [`recv_docket`](Self::recv_docket).
     pub fn resolve_docket(
         &mut self,
         disputes: &[Dispute],
     ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
-        let request = BorrowedResolveDocket { disputes };
-        match self.call(&request)? {
-            Response::Docket { verdicts } => {
-                Ok(verdicts.into_iter().map(proto::DocketVerdict::into_result).collect())
-            }
-            other => Err(Self::unexpected(other, "Docket")),
-        }
+        let ticket = self.send_docket(disputes)?;
+        self.recv_docket(ticket)
     }
 
     /// Sorted ids of every model registered with the judge.
@@ -341,6 +670,62 @@ impl DisputeClient {
             Response::Deregistered { existed, .. } => Ok(existed),
             other => Err(Self::unexpected(other, "Deregistered")),
         }
+    }
+
+    /// Drops every record of one in-flight docket.
+    fn finish(&mut self, correlation_id: u64) {
+        self.pending.remove(&correlation_id);
+        self.outstanding.remove(&correlation_id);
+        self.stash.remove(&correlation_id);
+    }
+
+    /// Builds the retry frame for a `NeedPayload` answer. The first retry
+    /// inlines exactly the demanded bodies; the second inlines every body
+    /// of the docket (which a correct judge answers from the request
+    /// alone, whatever its cache does); a third demand is a protocol
+    /// violation.
+    fn build_resend(
+        &mut self,
+        correlation_id: u64,
+        missing: &[PayloadDigest],
+    ) -> WatermarkResult<Vec<u8>> {
+        let entry = self
+            .pending
+            .get_mut(&correlation_id)
+            .expect("recv_docket verified the ticket is pending");
+        entry.retries += 1;
+        if entry.retries >= MAX_NEED_PAYLOAD_RETRIES {
+            return Err(WatermarkError::ProtocolViolation {
+                detail: "judge kept demanding claim bodies that were sent inline".to_string(),
+            });
+        }
+        let inline: Vec<&OwnershipClaim> = if entry.retries >= 2 {
+            entry.bodies.values().collect()
+        } else {
+            missing
+                .iter()
+                .map(|digest| {
+                    entry.bodies.get(digest).ok_or_else(|| WatermarkError::ProtocolViolation {
+                        detail: format!(
+                            "judge demanded body {digest}, which this docket never referenced"
+                        ),
+                    })
+                })
+                .collect::<WatermarkResult<_>>()?
+        };
+        let refs: Vec<DisputeRef> = entry
+            .model_ids
+            .iter()
+            .zip(&entry.digests)
+            .map(|(model_id, digest)| DisputeRef::new(model_id.clone(), *digest))
+            .collect();
+        proto::encode_frame(
+            correlation_id,
+            &BorrowedResolveDocketRef {
+                bodies: &inline,
+                disputes: &refs,
+            },
+        )
     }
 }
 
@@ -363,12 +748,10 @@ mod tests {
         let (trigger, test) = dataset.split_train_test(0.2, &mut rng);
         let model = RandomForest::fit(&dataset, &ForestParams::with_trees(3), &mut rng);
         let claim = OwnershipClaim::new(Signature::random(3, 0.5, &mut rng), trigger, test);
-        let disputes = vec![
-            Dispute::new("m", claim.clone()),
-            Dispute::new("other", claim.clone()),
-        ];
+        let digest = PayloadDigest::of_claim(&claim);
+        let refs = vec![DisputeRef::new("m", digest), DisputeRef::new("other", digest)];
 
-        let frame = |value: &dyn Serialize| proto::encode_frame(value).unwrap();
+        let frame = |value: &dyn Serialize| proto::encode_frame(41, value).unwrap();
         assert_eq!(
             frame(&BorrowedRegisterModel {
                 model_id: "m",
@@ -390,8 +773,14 @@ mod tests {
             })
         );
         assert_eq!(
-            frame(&BorrowedResolveDocket { disputes: &disputes }),
-            frame(&Request::ResolveDocket { disputes })
+            frame(&BorrowedResolveDocketRef {
+                bodies: &[&claim],
+                disputes: &refs
+            }),
+            frame(&Request::ResolveDocketRef {
+                bodies: vec![claim.clone()],
+                disputes: refs.clone()
+            })
         );
     }
 }

@@ -2,36 +2,45 @@
 //!
 //! Network front-end for the dispute-resolution service: the paper's
 //! *judge* as an independently deployable process. A [`JudgeServer`]
-//! listens on a TCP socket, speaks the versioned `WDTP` frame protocol of
-//! [`wdte_core::proto`], and drives a shared
+//! listens on a TCP socket, speaks the versioned `WDTP` v2 frame protocol
+//! of [`wdte_core::proto`], and drives a shared
 //! [`DisputeService`](wdte_core::DisputeService); a [`DisputeClient`]
-//! gives owners and claimants a typed API over the same wire.
+//! gives owners and claimants a typed, pipelined API over the same wire.
 //!
 //! Everything is hand-rolled on `std::net` — the build environment is
-//! offline, and the blocking, thread-per-connection model is the right
-//! shape for the workload: a dispute docket is CPU-bound in tree
-//! traversals, which the service fans out across the one process-global
-//! work-stealing pool shared by every connection (`serve_judge --workers`
-//! sizes it; [`ServerConfig::worker_threads`] scopes a per-request width
-//! limit over it), so each connection handler just needs to keep one
-//! socket fed.
+//! offline. The server is a readiness-driven event loop: one thread
+//! `poll(2)`s the listener and every connection's read side, reassembles
+//! frames, and hands each decoded request to the one process-global
+//! work-stealing pool (`serve_judge --workers` sizes it;
+//! [`ServerConfig::worker_threads`] scopes a per-request width limit over
+//! it). Responses are written by the workers as they complete — out of
+//! order across a connection's pipelined requests, matched back by
+//! correlation id — so an idle connection costs a file descriptor, not a
+//! parked thread. Claims and models are content-addressed: bodies travel
+//! once, later requests reference them by digest and the judge answers a
+//! miss with `NeedPayload`.
 //!
 //! ```rust,ignore
 //! // Judge process:
 //! let service = Arc::new(DisputeService::builder().warm_start_dir("results/models").build()?);
 //! let server = JudgeServer::bind("127.0.0.1:7431", service, ServerConfig::default())?;
-//! server.serve()?; // blocking accept loop
+//! server.serve()?; // blocking event loop
 //!
-//! // Claimant process:
+//! // Claimant process: stream dockets without waiting for verdicts.
 //! let mut client = DisputeClient::connect("127.0.0.1:7431")?;
-//! let report = client.resolve("bobs-api", &claim)?;
+//! let tickets: Vec<_> = dockets.iter().map(|d| client.send_docket(d)).collect::<Result<_, _>>()?;
+//! for ticket in tickets {
+//!     let verdicts = client.recv_docket(ticket)?;
+//! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the poll(2) FFI module in `server` carries
+// the crate's one documented `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod server;
 
-pub use client::{ClientConfig, DisputeClient, PongInfo};
+pub use client::{ClientConfig, DisputeClient, DocketTicket, PongInfo};
 pub use server::{JudgeServer, RunningServer, ServerConfig, ServerHandle};

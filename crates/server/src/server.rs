@@ -1,35 +1,135 @@
-//! The judge's side of the wire: a blocking TCP accept loop driving a
-//! shared [`DisputeService`].
+//! The judge's side of the wire: a readiness-driven accept/read loop
+//! (non-blocking sockets + `poll(2)`) feeding decoded requests into the
+//! shared work-stealing pool.
+//!
+//! One event-loop thread owns every socket's *read* side: it polls the
+//! listener and all connections, runs each connection's frame state
+//! machine on readable bytes, and hands complete requests to
+//! `rayon::spawn`. Responses are written by the pool workers through a
+//! per-connection [`ConnWriter`] (a `try_clone`d socket behind a mutex),
+//! so out-of-order completion across a connection's in-flight requests is
+//! the normal case — WDTP v2 correlation ids let the client match them
+//! up. Idle connections therefore cost one file descriptor and a little
+//! state, not a parked thread.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 use wdte_core::error::{WatermarkError, WatermarkResult};
-use wdte_core::proto::{self, DocketVerdict, Request, Response, WireFault};
-use wdte_core::{persist, DisputeService};
+use wdte_core::proto::{
+    self, DocketVerdict, PayloadDigest, Request, Response, WireFault, FRAME_HEADER_BYTES,
+    FRAME_PRELUDE_BYTES, NO_CORRELATION,
+};
+use wdte_core::{persist, DisputeService, OwnershipClaim, SharedDispute, VerificationReport};
+
+#[cfg(not(unix))]
+compile_error!("wdte-server's readiness loop is built on poll(2) and requires a unix target");
+
+/// Minimal FFI surface over `poll(2)`. This module is the only place in
+/// the workspace allowed to use `unsafe` (the crate root carries
+/// `#![deny(unsafe_code)]`): the build environment is offline, so the
+/// usual `libc`/`mio` crates are unavailable and the one syscall std does
+/// not wrap has to be declared by hand. std itself links libc, so the
+/// symbol is always present.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    /// Layout-compatible mirror of C's `struct pollfd`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    #[cfg(target_os = "linux")]
+    type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = u32;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
+    }
+
+    /// Polls `fds` for up to `timeout_ms` (0 = immediate, negative =
+    /// forever), returning how many entries have non-zero `revents`.
+    /// Retries on `EINTR`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is an exclusively borrowed slice of
+            // `#[repr(C)]` structs matching the kernel's pollfd layout,
+            // valid for the whole call, and `nfds` is its exact length;
+            // the kernel only writes within the slice (the `revents`
+            // fields).
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    /// Polls a single descriptor, returning whether it became ready.
+    pub fn poll_one(fd: i32, events: i16, timeout_ms: i32) -> io::Result<bool> {
+        let mut fds = [PollFd {
+            fd,
+            events,
+            revents: 0,
+        }];
+        Ok(poll_fds(&mut fds, timeout_ms)? > 0)
+    }
+}
+
+/// Poll timeout of the event loop. Bounds how quickly the loop notices a
+/// shutdown request, a connection whose pipeline-cap pause should lift,
+/// and idle reaping — without a self-pipe, this tick is the wake-up of
+/// last resort.
+const POLL_TICK_MS: i32 = 20;
 
 /// Tuning knobs of a [`JudgeServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connections served by dedicated handler threads at any one time.
-    /// Arrivals beyond the cap are served *inline* on the accept thread —
-    /// natural backpressure instead of an unbounded thread explosion.
+    /// Cap on concurrently open connections; arrivals beyond it wait in
+    /// the listener's accept queue until a slot frees (TCP backpressure).
+    /// `0` means unlimited, matching the 0-disables convention of every
+    /// other knob in the workspace (`max_docket(0)`, the `serve_judge`
+    /// flags) — with the readiness loop an idle connection costs a file
+    /// descriptor, not a thread, so unlimited is a reasonable choice on
+    /// trusted networks.
     pub max_connections: usize,
     /// Receiver-side cap on one frame's payload; hostile length prefixes
     /// beyond it are refused before any allocation.
     pub max_frame_bytes: usize,
-    /// Per-connection socket read timeout; a timeout closes the
-    /// connection (idle keep-alive reaping). Defaults to two minutes:
-    /// with `None`, `max_connections` idle sockets would pin every
-    /// dedicated handler slot forever and permanently degrade the judge
-    /// to serialized inline serving. Only set `None` on trusted networks.
+    /// Idle reaping: a connection with no in-flight requests and no bytes
+    /// received for this long is closed. `None` keeps idle connections
+    /// forever — only sensible on trusted networks.
     pub read_timeout: Option<Duration>,
+    /// Per-response write deadline. A worker delivering a response to a
+    /// peer that stops draining its socket gives up (and closes the
+    /// connection) after this long, so a stalled client cannot pin pool
+    /// workers indefinitely. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Per-connection cap on decoded requests in flight at once. A
+    /// connection at the cap stops being polled for reads until a
+    /// response completes — pipelining backpressure, so one greedy client
+    /// cannot queue unbounded work. `0` means unlimited.
+    pub max_pipeline: usize,
     /// Per-request width limit scoped (via the rayon shim's virtual
-    /// [`rayon::ThreadPool`] handle) around each connection's request
-    /// processing. All connections share the one process-global
-    /// work-stealing pool — sized by `serve_judge --workers` through
+    /// [`rayon::ThreadPool`] handle) around each request's processing.
+    /// All requests share the one process-global work-stealing pool —
+    /// sized by `serve_judge --workers` through
     /// [`rayon::ThreadPoolBuilder::build_global`] — and this limit caps
     /// how wide each request's dispute × batch-shard fan-out splits on
     /// that shared pool; `0` imposes no per-request limit (requests use
@@ -40,24 +140,18 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            max_connections: 64,
+            max_connections: 256,
             max_frame_bytes: proto::DEFAULT_MAX_FRAME_BYTES,
             read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_pipeline: 64,
             worker_threads: 0,
         }
     }
 }
 
-/// Read timeout forced on connections served *inline* on the accept
-/// thread (arrivals beyond `max_connections`). The accept thread must
-/// never be parked indefinitely by one idle peer — that would wedge every
-/// future accept (and shutdown) behind a single slow-loris connection —
-/// so saturated-mode connections are only served while they keep frames
-/// coming.
-const SATURATED_READ_TIMEOUT: Duration = Duration::from_secs(5);
-
 /// Cloneable remote control for a serving [`JudgeServer`]: signals the
-/// accept loop to stop from any thread.
+/// event loop to stop from any thread.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
@@ -65,14 +159,29 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Requests shutdown: the accept loop exits at the next arrival. A
-    /// nudge connection is opened (and immediately closed) so a loop
-    /// blocked in `accept` wakes up; connections already being served
-    /// finish their in-flight requests.
+    /// Requests shutdown: the event loop exits at its next wake-up (the
+    /// ~20 ms poll tick bounds the wait). A nudge
+    /// connection is opened (and immediately closed) as a belt-and-braces
+    /// wake-up; requests already dispatched finish on the worker pool.
+    ///
+    /// The nudge always targets a *loopback* address: a server bound to
+    /// the unspecified address reports `0.0.0.0:port` (or `[::]:port`) as
+    /// its local address, and connecting to the unspecified address is
+    /// platform-dependent — on some systems it fails outright, which used
+    /// to leave the pre-poll accept loop parked forever.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Failure is fine: the listener is gone, so the loop has exited.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let ip = if self.addr.ip().is_unspecified() {
+            match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.addr.ip()
+        };
+        let nudge = SocketAddr::new(ip, self.addr.port());
+        // Failure is fine: the poll tick wakes the loop regardless.
+        let _ = TcpStream::connect_timeout(&nudge, Duration::from_millis(250));
     }
 }
 
@@ -121,10 +230,10 @@ impl JudgeServer {
         }
     }
 
-    /// Serves connections until [`ServerHandle::shutdown`] is called,
-    /// blocking the calling thread. Up to `max_connections` connections
-    /// are handled on dedicated threads; arrivals beyond that are served
-    /// inline on the accept thread, which backpressures the accept queue.
+    /// Runs the event loop until [`ServerHandle::shutdown`] is called,
+    /// blocking the calling thread. Requests already handed to the worker
+    /// pool at shutdown finish and their responses are still delivered
+    /// (each worker holds its connection's writer alive).
     pub fn serve(self) -> WatermarkResult<()> {
         let JudgeServer {
             service,
@@ -132,52 +241,103 @@ impl JudgeServer {
             config,
             stop,
         } = self;
-        let active = Arc::new(AtomicUsize::new(0));
-        for incoming in listener.incoming() {
+        listener.set_nonblocking(true).map_err(|err| WatermarkError::Io {
+            path: "listener".to_string(),
+            message: err.to_string(),
+        })?;
+        let listener_fd = listener.as_raw_fd();
+        let mut conns: Vec<Conn> = Vec::new();
+        loop {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = incoming else {
-                // Persistent accept failures (EMFILE when fds are
-                // exhausted, for instance) would otherwise busy-spin the
-                // accept thread at 100% CPU exactly when the judge should
-                // be shedding load.
-                std::thread::sleep(Duration::from_millis(20));
-                continue;
-            };
-            if active.load(Ordering::SeqCst) >= config.max_connections {
-                // Saturated: serve inline as backpressure, but the accept
-                // thread must stay responsive — an idle peer is bounded by
-                // the read timeout, an *active* peer by a one-request
-                // budget (it has to reconnect, by which time a dedicated
-                // slot has usually freed).
-                let saturated = ServerConfig {
-                    read_timeout: Some(
-                        config.read_timeout.map_or(SATURATED_READ_TIMEOUT, |configured| {
-                            configured.min(SATURATED_READ_TIMEOUT)
-                        }),
-                    ),
-                    ..config.clone()
-                };
-                serve_connection(&service, stream, &saturated, Some(1));
-                continue;
+            let accepting = config.max_connections == 0 || conns.len() < config.max_connections;
+            let mut fds = Vec::with_capacity(conns.len() + 1);
+            if accepting {
+                fds.push(sys::PollFd {
+                    fd: listener_fd,
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
             }
-            let service = Arc::clone(&service);
-            let config = config.clone();
-            let active = Arc::clone(&active);
-            active.fetch_add(1, Ordering::SeqCst);
-            std::thread::spawn(move || {
-                /// Decrements on every exit path, including a panicking
-                /// handler, so a poisoned connection can never leak a
-                /// connection slot.
-                struct Slot(Arc<AtomicUsize>);
-                impl Drop for Slot {
-                    fn drop(&mut self) {
-                        self.0.fetch_sub(1, Ordering::SeqCst);
+            // Connections at their pipeline cap (and half-closed ones)
+            // are left out of the poll set: their pending bytes stay in
+            // the kernel buffer until a response completes, which is
+            // exactly the backpressure the cap exists to apply.
+            let mut polled = Vec::with_capacity(conns.len());
+            for (index, conn) in conns.iter().enumerate() {
+                if conn.read_closed || conn.paused(&config) {
+                    continue;
+                }
+                fds.push(sys::PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+                polled.push(index);
+            }
+            sys::poll_fds(&mut fds, POLL_TICK_MS).map_err(|err| WatermarkError::Io {
+                path: "poll".to_string(),
+                message: err.to_string(),
+            })?;
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let offset = usize::from(accepting);
+            let mut closing: Vec<usize> = Vec::new();
+            for (slot, &index) in polled.iter().enumerate() {
+                if fds[offset + slot].revents == 0 {
+                    continue;
+                }
+                if !conns[index].drain(&service, &config) {
+                    closing.push(index);
+                }
+            }
+            for &index in closing.iter().rev() {
+                conns.swap_remove(index);
+            }
+            if accepting && fds.first().is_some_and(|entry| entry.revents != 0) {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if let Some(conn) = Conn::new(stream, &config) {
+                                conns.push(conn);
+                            }
+                            if config.max_connections != 0 && conns.len() >= config.max_connections {
+                                break;
+                            }
+                        }
+                        Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                        Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            // Persistent accept failures (EMFILE when fds
+                            // are exhausted, for instance) keep the
+                            // listener readable; without a pause the loop
+                            // would spin at 100% CPU exactly when the
+                            // judge should be shedding load.
+                            std::thread::sleep(Duration::from_millis(20));
+                            break;
+                        }
                     }
                 }
-                let _slot = Slot(active);
-                serve_connection(&service, stream, &config, None);
+            }
+            conns.retain(|conn| {
+                if conn.writer.dead.load(Ordering::Acquire) {
+                    return false;
+                }
+                if conn.read_closed {
+                    // Half-closed peer: keep the writer alive until the
+                    // last in-flight response is delivered.
+                    return conn.in_flight.load(Ordering::SeqCst) > 0;
+                }
+                if let Some(timeout) = config.read_timeout {
+                    if conn.in_flight.load(Ordering::SeqCst) == 0
+                        && conn.last_activity.elapsed() >= timeout
+                    {
+                        return false;
+                    }
+                }
+                true
             });
         }
         Ok(())
@@ -211,7 +371,7 @@ impl RunningServer {
         self.handle.clone()
     }
 
-    /// Stops the accept loop and joins the serving thread.
+    /// Stops the event loop and joins the serving thread.
     pub fn shutdown(self) -> WatermarkResult<()> {
         self.handle.shutdown();
         self.join.join().map_err(|_| WatermarkError::Remote {
@@ -220,65 +380,348 @@ impl RunningServer {
     }
 }
 
-/// Serves one connection: a loop of request frame → response frame, up to
-/// `request_limit` requests (`None` = until the peer closes).
-///
-/// Frame-level violations (bad magic, truncation, oversized prefix) leave
-/// the stream unsynchronized, so they are answered with a best-effort
-/// [`Response::Error`] and the connection is closed. A payload that frames
-/// correctly but does not decode as a [`Request`] is answered and the
-/// connection *kept*: framing is intact, so the next frame is readable.
-fn serve_connection(
-    service: &DisputeService,
-    stream: TcpStream,
-    config: &ServerConfig,
-    request_limit: Option<usize>,
-) {
-    let _ = stream.set_read_timeout(config.read_timeout);
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    let mut process = || loop {
-        if request_limit.is_some_and(|limit| served >= limit) {
-            break;
+/// The write half of a connection, shared between the event loop (error
+/// replies) and every pool worker carrying one of its responses. The
+/// mutex spans a whole frame so concurrent responses never interleave;
+/// the socket is non-blocking, so a full send buffer parks the writer in
+/// `poll(POLLOUT)` up to the configured deadline instead of forever.
+#[derive(Debug)]
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    fd: i32,
+    dead: AtomicBool,
+    write_timeout: Option<Duration>,
+}
+
+impl ConnWriter {
+    /// Writes one response frame; returns `false` (and marks the
+    /// connection dead) if the peer is gone or the deadline expired.
+    fn send(&self, correlation_id: u64, response: &Response) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
         }
-        match proto::read_frame(&mut reader, config.max_frame_bytes) {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                served += 1;
-                let response = match proto::decode_payload::<Request>(&payload) {
-                    Ok(request) => handle_request(service, request),
-                    Err(err) => Response::Error {
-                        fault: WireFault::from_error(&err),
-                    },
+        let frame = match proto::encode_frame(correlation_id, response) {
+            Ok(frame) => frame,
+            // The response itself cannot be framed (a >4 GiB payload);
+            // tell the peer which request died rather than hanging it.
+            Err(err) => {
+                let fallback = Response::Error {
+                    fault: WireFault::from_error(&err),
                 };
-                if proto::write_message(reader.get_mut(), &response).is_err() {
-                    break;
+                match proto::encode_frame(correlation_id, &fallback) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        self.dead.store(true, Ordering::Release);
+                        return false;
+                    }
                 }
             }
-            Err(err) => {
-                let _ = proto::write_message(
-                    reader.get_mut(),
-                    &Response::Error {
-                        fault: WireFault::from_error(&err),
-                    },
-                );
-                break;
+        };
+        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = self.write_timeout.map(|timeout| Instant::now() + timeout);
+        let mut written = 0usize;
+        while written < frame.len() {
+            match stream.write(&frame[written..]) {
+                Ok(0) => {
+                    self.dead.store(true, Ordering::Release);
+                    return false;
+                }
+                Ok(n) => written += n,
+                Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                Err(err) if err.kind() == ErrorKind::WouldBlock => {
+                    let wait_ms = match deadline {
+                        Some(deadline) => {
+                            let left = deadline.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                self.dead.store(true, Ordering::Release);
+                                return false;
+                            }
+                            left.as_millis().clamp(1, 1000) as i32
+                        }
+                        None => 1000,
+                    };
+                    if sys::poll_one(self.fd, sys::POLLOUT, wait_ms).is_err() {
+                        self.dead.store(true, Ordering::Release);
+                        return false;
+                    }
+                }
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    return false;
+                }
             }
         }
-    };
-    if config.worker_threads > 0 {
-        // A scoped width override, not a thread spawn: the handle owns no
-        // threads, and every request still executes on the shared global
-        // work-stealing pool, where nested fan-outs (docket → batch
-        // shards → trees) compose across connections.
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(config.worker_threads)
-            .build()
-            .expect("the rayon shim never fails to build a pool handle")
-            .install(process);
-    } else {
-        process();
+        true
+    }
+}
+
+/// Frame-reassembly state of one connection's read side.
+enum ReadState {
+    /// Collecting the 18-byte header; the magic + version prelude is
+    /// validated as soon as its 6 bytes arrive, so a v1 peer (whose
+    /// header is shorter) is refused with a version error instead of a
+    /// confusing truncation diagnostic.
+    Header {
+        buf: [u8; FRAME_HEADER_BYTES],
+        filled: usize,
+        prelude_checked: bool,
+    },
+    /// Collecting `announced` payload bytes for frame `correlation_id`.
+    Payload {
+        correlation_id: u64,
+        announced: usize,
+        buf: Vec<u8>,
+    },
+}
+
+impl ReadState {
+    fn header() -> Self {
+        ReadState::Header {
+            buf: [0u8; FRAME_HEADER_BYTES],
+            filled: 0,
+            prelude_checked: false,
+        }
+    }
+}
+
+/// One accepted connection as the event loop sees it.
+struct Conn {
+    /// The read half (the accepted socket itself, non-blocking).
+    stream: TcpStream,
+    /// The shared write half (a `try_clone`d descriptor).
+    writer: Arc<ConnWriter>,
+    state: ReadState,
+    /// Requests dispatched to the pool whose responses have not been
+    /// written yet. Incremented synchronously at dispatch, decremented by
+    /// a drop guard in the worker, so the pipeline cap can never leak.
+    in_flight: Arc<AtomicUsize>,
+    /// The peer half-closed its write side; the connection lingers only
+    /// to deliver in-flight responses.
+    read_closed: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    /// Prepares an accepted socket for the event loop; `None` if the
+    /// socket died before setup finished.
+    fn new(stream: TcpStream, config: &ServerConfig) -> Option<Self> {
+        stream.set_nonblocking(true).ok()?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone().ok()?;
+        let fd = write_half.as_raw_fd();
+        Some(Self {
+            stream,
+            writer: Arc::new(ConnWriter {
+                stream: Mutex::new(write_half),
+                fd,
+                dead: AtomicBool::new(false),
+                write_timeout: config.write_timeout,
+            }),
+            state: ReadState::header(),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            read_closed: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    /// Whether the pipeline cap forbids reading more requests for now.
+    fn paused(&self, config: &ServerConfig) -> bool {
+        config.max_pipeline > 0 && self.in_flight.load(Ordering::SeqCst) >= config.max_pipeline
+    }
+
+    /// Reads everything currently available, dispatching complete frames.
+    /// Returns `false` when the connection must be dropped now (protocol
+    /// violation or transport error); a clean half-close and the pipeline
+    /// cap both return `true` and are handled by the caller's bookkeeping.
+    fn drain(&mut self, service: &Arc<DisputeService>, config: &ServerConfig) -> bool {
+        let mut scratch = [0u8; 16 << 10];
+        loop {
+            if self.paused(config) {
+                return true;
+            }
+            match &mut self.state {
+                ReadState::Header {
+                    buf,
+                    filled,
+                    prelude_checked,
+                } => match self.stream.read(&mut buf[*filled..]) {
+                    Ok(0) => {
+                        if *filled == 0 {
+                            self.read_closed = true;
+                            return true;
+                        }
+                        Self::send_fault(
+                            &self.writer,
+                            NO_CORRELATION,
+                            &WatermarkError::ProtocolViolation {
+                                detail: format!(
+                                    "stream closed after {filled} of {FRAME_HEADER_BYTES} header bytes"
+                                ),
+                            },
+                        );
+                        return false;
+                    }
+                    Ok(n) => {
+                        *filled += n;
+                        self.last_activity = Instant::now();
+                        if !*prelude_checked && *filled >= FRAME_PRELUDE_BYTES {
+                            if let Err(err) = proto::check_prelude(&buf[..FRAME_PRELUDE_BYTES]) {
+                                Self::send_fault(&self.writer, NO_CORRELATION, &err);
+                                return false;
+                            }
+                            *prelude_checked = true;
+                        }
+                        if *filled == FRAME_HEADER_BYTES {
+                            let correlation_id = u64::from_le_bytes(
+                                buf[6..14].try_into().expect("header slice is 8 bytes"),
+                            );
+                            let announced = u32::from_le_bytes(
+                                buf[14..18].try_into().expect("header slice is 4 bytes"),
+                            ) as usize;
+                            if announced > config.max_frame_bytes {
+                                Self::send_fault(
+                                    &self.writer,
+                                    correlation_id,
+                                    &WatermarkError::FrameTooLarge {
+                                        size: announced as u64,
+                                        max: config.max_frame_bytes as u64,
+                                    },
+                                );
+                                return false;
+                            }
+                            // Reserve at most 64 KiB up front; the rest
+                            // grows as bytes actually arrive, so a
+                            // hostile prefix below the cap still cannot
+                            // reserve more memory than the peer sends.
+                            self.state = ReadState::Payload {
+                                correlation_id,
+                                announced,
+                                buf: Vec::with_capacity(announced.min(64 << 10)),
+                            };
+                        }
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => return true,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.writer.dead.store(true, Ordering::Release);
+                        return false;
+                    }
+                },
+                ReadState::Payload {
+                    correlation_id,
+                    announced,
+                    buf,
+                } => {
+                    if buf.len() == *announced {
+                        let correlation_id = *correlation_id;
+                        let payload = std::mem::take(buf);
+                        self.state = ReadState::header();
+                        Self::dispatch(
+                            service,
+                            config,
+                            &self.writer,
+                            &self.in_flight,
+                            correlation_id,
+                            payload,
+                        );
+                        continue;
+                    }
+                    let want = (*announced - buf.len()).min(scratch.len());
+                    match self.stream.read(&mut scratch[..want]) {
+                        Ok(0) => {
+                            Self::send_fault(
+                                &self.writer,
+                                *correlation_id,
+                                &WatermarkError::ProtocolViolation {
+                                    detail: format!(
+                                        "stream closed after {} of {announced} payload bytes",
+                                        buf.len()
+                                    ),
+                                },
+                            );
+                            return false;
+                        }
+                        Ok(n) => {
+                            buf.extend_from_slice(&scratch[..n]);
+                            self.last_activity = Instant::now();
+                        }
+                        Err(err) if err.kind() == ErrorKind::WouldBlock => return true,
+                        Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.writer.dead.store(true, Ordering::Release);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-effort structured error reply for frame-level failures.
+    fn send_fault(writer: &ConnWriter, correlation_id: u64, err: &WatermarkError) {
+        let _ = writer.send(
+            correlation_id,
+            &Response::Error {
+                fault: WireFault::from_error(err),
+            },
+        );
+    }
+
+    /// Hands one complete frame to the worker pool. A payload that does
+    /// not decode as a [`Request`] is answered inline and the connection
+    /// kept: framing is intact, so the next frame is readable.
+    fn dispatch(
+        service: &Arc<DisputeService>,
+        config: &ServerConfig,
+        writer: &Arc<ConnWriter>,
+        in_flight: &Arc<AtomicUsize>,
+        correlation_id: u64,
+        payload: Vec<u8>,
+    ) {
+        let request = match proto::decode_payload::<Request>(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                Self::send_fault(writer, correlation_id, &err);
+                return;
+            }
+        };
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        let service = Arc::clone(service);
+        let writer = Arc::clone(writer);
+        let in_flight = Arc::clone(in_flight);
+        let width = config.worker_threads;
+        rayon::spawn(move || {
+            /// Decrements on every exit path, including a panicking
+            /// handler, so a poisoned request can never wedge its
+            /// connection at the pipeline cap.
+            struct Guard(Arc<AtomicUsize>);
+            impl Drop for Guard {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let _guard = Guard(in_flight);
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if width > 0 {
+                    // A scoped width override, not a thread spawn: the
+                    // handle owns no threads, and the request still
+                    // executes on the shared global work-stealing pool.
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(width)
+                        .build()
+                        .expect("the rayon shim never fails to build a pool handle")
+                        .install(|| handle_request(&service, request))
+                } else {
+                    handle_request(&service, request)
+                }
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                fault: WireFault::Internal {
+                    detail: "judge panicked while serving the request".to_string(),
+                },
+            });
+            writer.send(correlation_id, &response);
+        });
     }
 }
 
@@ -289,11 +732,28 @@ fn handle_request(service: &DisputeService, request: Request) -> Response {
             protocol_version: proto::PROTOCOL_VERSION,
             format_version: persist::FORMAT_VERSION,
             models_registered: service.len() as u64,
+            claims_cached: service.claims().len() as u64,
         },
         Request::RegisterModel { model_id, model } => {
             let num_trees = model.num_trees() as u64;
-            service.register(model_id.clone(), &model);
-            Response::Registered { model_id, num_trees }
+            let (digest, _compiled) = service.register_digested(model_id.clone(), &model);
+            Response::Registered {
+                model_id,
+                num_trees,
+                digest,
+            }
+        }
+        Request::RegisterModelRef { model_id, digest } => {
+            match service.register_by_digest(model_id.clone(), digest) {
+                Some(compiled) => Response::Registered {
+                    model_id,
+                    num_trees: compiled.num_trees() as u64,
+                    digest,
+                },
+                None => Response::NeedPayload {
+                    digests: vec![digest],
+                },
+            }
         }
         Request::Resolve { model_id, claim } => match service.resolve(&model_id, &claim) {
             Ok(report) => Response::Resolved { report },
@@ -301,13 +761,57 @@ fn handle_request(service: &DisputeService, request: Request) -> Response {
                 fault: WireFault::from_error(&err),
             },
         },
-        Request::ResolveDocket { disputes } => match service.resolve_docket(&disputes) {
-            Ok(verdicts) => Response::Docket {
-                verdicts: verdicts.into_iter().map(DocketVerdict::from_result).collect(),
-            },
-            Err(err) => Response::Error {
-                fault: WireFault::from_error(&err),
-            },
+        Request::ResolveDocket { disputes } => {
+            // Full-body dockets go through the same content cache and
+            // dedup path as digest dockets: duplicate claims inside one
+            // docket resolve once, and their bodies become available for
+            // later digest-only references.
+            let shared: Vec<SharedDispute> = disputes
+                .into_iter()
+                .map(|dispute| {
+                    let (digest, claim) = service.claims().insert(dispute.claim);
+                    SharedDispute::new(dispute.model_id, digest, claim)
+                })
+                .collect();
+            docket_response(service.resolve_docket_shared(&shared))
+        }
+        Request::ResolveDocketRef { bodies, disputes } => {
+            // Inlined bodies are looked up request-locally *first*: a
+            // digest carried in this very request must resolve even if
+            // the cache is too small to hold it, otherwise a client
+            // retrying after NeedPayload could loop forever.
+            let mut local: HashMap<PayloadDigest, Arc<OwnershipClaim>> =
+                HashMap::with_capacity(bodies.len());
+            for body in bodies {
+                let (digest, claim) = service.claims().insert(body);
+                local.insert(digest, claim);
+            }
+            let mut missing: Vec<PayloadDigest> = Vec::new();
+            let mut seen: HashSet<PayloadDigest> = HashSet::new();
+            let mut shared: Vec<SharedDispute> = Vec::with_capacity(disputes.len());
+            for dispute in disputes {
+                match local
+                    .get(&dispute.digest)
+                    .cloned()
+                    .or_else(|| service.claims().get(&dispute.digest))
+                {
+                    Some(claim) => {
+                        shared.push(SharedDispute::new(dispute.model_id, dispute.digest, claim));
+                    }
+                    None => {
+                        if seen.insert(dispute.digest) {
+                            missing.push(dispute.digest);
+                        }
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                return Response::NeedPayload { digests: missing };
+            }
+            docket_response(service.resolve_docket_shared(&shared))
+        }
+        Request::Payload { claims } => Response::PayloadStored {
+            digests: claims.into_iter().map(|claim| service.claims().insert(claim).0).collect(),
         },
         Request::ListModels => Response::Models {
             model_ids: service.model_ids(),
@@ -316,5 +820,17 @@ fn handle_request(service: &DisputeService, request: Request) -> Response {
             let existed = service.deregister(&model_id).is_some();
             Response::Deregistered { model_id, existed }
         }
+    }
+}
+
+/// Wire rendering of a docket resolution outcome.
+fn docket_response(result: WatermarkResult<Vec<WatermarkResult<VerificationReport>>>) -> Response {
+    match result {
+        Ok(verdicts) => Response::Docket {
+            verdicts: verdicts.into_iter().map(DocketVerdict::from_result).collect(),
+        },
+        Err(err) => Response::Error {
+            fault: WireFault::from_error(&err),
+        },
     }
 }

@@ -1,16 +1,17 @@
 //! Integration suite for the judge-as-a-service layer: loopback
-//! round-trips that must be bit-identical to in-process resolution, and
-//! the protocol's negative paths (malformed frames, hostile length
-//! prefixes, future versions, half-closed sockets).
+//! round-trips that must be bit-identical to in-process resolution, the
+//! WDTP v2 pipelining and content-addressing paths, and the protocol's
+//! negative paths (malformed frames, v1 peers, hostile length prefixes,
+//! unknown correlation ids, half-closed sockets).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wdte_core::error::WatermarkError;
-use wdte_core::proto::{self, Request, Response, WireFault};
+use wdte_core::proto::{self, DisputeRef, PayloadDigest, Request, Response, WireFault};
 use wdte_core::{
     Dispute, DisputeService, OwnershipClaim, Signature, WatermarkConfig, WatermarkOutcome, Watermarker,
 };
@@ -47,7 +48,8 @@ fn start_server(service: Arc<DisputeService>) -> RunningServer {
 }
 
 /// Acceptance gate of the network layer: a 64-claim docket resolved
-/// through `DisputeClient` is bit-identical to `resolve_many` in process.
+/// through `DisputeClient` is bit-identical to `resolve_many` in process,
+/// even though the wire deduplicates the repeated claim bodies.
 #[test]
 fn loopback_docket_is_bit_identical_to_in_process_resolution() {
     let (test, outcome) = embedded(71);
@@ -95,6 +97,107 @@ fn loopback_docket_is_bit_identical_to_in_process_resolution() {
     server.shutdown().unwrap();
 }
 
+/// Several dockets in flight at once must produce exactly the verdicts of
+/// resolving them one at a time — and of resolving them in process.
+#[test]
+fn pipelined_dockets_are_bit_identical_to_sequential_ones() {
+    let (test, outcome) = embedded(75);
+    let genuine = claim_for(&outcome, &test);
+    let mut rng = SmallRng::seed_from_u64(123);
+    let forged = OwnershipClaim::new(
+        Signature::random(12, 0.5, &mut rng),
+        test.select(&test.sample_indices(outcome.trigger_set.len(), &mut rng)).unwrap(),
+        test.clone(),
+    );
+    let dockets: Vec<Vec<Dispute>> = (0..6)
+        .map(|d| {
+            (0..8)
+                .map(|i| {
+                    let claim = if (d + i) % 2 == 0 {
+                        genuine.clone()
+                    } else {
+                        forged.clone()
+                    };
+                    let model_id = if i == 3 && d == 2 { "ghost" } else { "deployment" };
+                    Dispute::new(model_id, claim)
+                })
+                .collect()
+        })
+        .collect();
+
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("deployment", &outcome.model);
+    let reference: Vec<_> = dockets.iter().map(|d| service.resolve_many(d)).collect();
+
+    let server = start_server(Arc::clone(&service));
+
+    let mut sequential_client = DisputeClient::connect(server.addr()).unwrap();
+    let sequential: Vec<_> =
+        dockets.iter().map(|d| sequential_client.resolve_docket(d).unwrap()).collect();
+
+    let mut pipelined_client = DisputeClient::connect(server.addr()).unwrap();
+    let pipelined = pipelined_client.pipeline_dockets(&dockets).unwrap();
+
+    assert_eq!(pipelined, sequential, "pipelining must not change verdicts");
+    assert_eq!(pipelined, reference, "wire verdicts must match in-process ones");
+    assert_eq!(pipelined_client.pending_dockets(), 0);
+    server.shutdown().unwrap();
+}
+
+/// Tickets may be redeemed in any order: responses that arrive for a
+/// not-yet-redeemed ticket are stashed, not lost or misattributed.
+#[test]
+fn tickets_can_be_received_out_of_order() {
+    let (test, outcome) = embedded(76);
+    let claim = claim_for(&outcome, &test);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("m", &outcome.model);
+    let big: Vec<Dispute> = (0..16).map(|_| Dispute::new("m", claim.clone())).collect();
+    let small = vec![Dispute::new("m", claim.clone())];
+    let reference_big = service.resolve_many(&big);
+    let reference_small = service.resolve_many(&small);
+
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    let ticket_big = client.send_docket(&big).unwrap();
+    let ticket_small = client.send_docket(&small).unwrap();
+    assert_eq!(client.pending_dockets(), 2);
+
+    // Redeem in reverse send order; whichever response lands first for
+    // the other ticket is stashed.
+    assert_eq!(client.recv_docket(ticket_small).unwrap(), reference_small);
+    assert_eq!(client.recv_docket(ticket_big).unwrap(), reference_big);
+    assert_eq!(client.pending_dockets(), 0);
+    assert!(!client.is_broken());
+    server.shutdown().unwrap();
+}
+
+/// A judge whose claim cache is too small to hold anything answers every
+/// digest-only docket with `NeedPayload`; the client must recover
+/// transparently (resend with bodies inlined) and still produce verdicts
+/// bit-identical to the in-process ones.
+#[test]
+fn need_payload_recovery_survives_a_tiny_claim_cache() {
+    let (test, outcome) = embedded(77);
+    let claim = claim_for(&outcome, &test);
+    // A 1-byte budget evicts every inserted claim immediately.
+    let service = Arc::new(DisputeService::builder().claim_cache_bytes(1).build().unwrap());
+    service.register("m", &outcome.model);
+    let docket: Vec<Dispute> = (0..4).map(|_| Dispute::new("m", claim.clone())).collect();
+    let reference = service.resolve_many(&docket);
+
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    // First docket inlines the body (never sent before) — resolves from
+    // the request-local bodies even though the cache forgets it at once.
+    assert_eq!(client.resolve_docket(&docket).unwrap(), reference);
+    // Second docket references the claim digest-only, the judge answers
+    // NeedPayload, and the client resends with the body inlined.
+    assert_eq!(client.resolve_docket(&docket).unwrap(), reference);
+    assert!(!client.is_broken());
+    server.shutdown().unwrap();
+}
+
 #[test]
 fn full_client_surface_round_trips() {
     let (test, outcome) = embedded(72);
@@ -106,9 +209,17 @@ fn full_client_surface_round_trips() {
     let pong = client.ping().unwrap();
     assert_eq!(pong.protocol_version, proto::PROTOCOL_VERSION);
     assert_eq!(pong.models_registered, 0);
+    assert_eq!(pong.claims_cached, 0);
 
     assert_eq!(client.register_model("m", &outcome.model).unwrap(), 12);
+    // Same model again: the client registers by digest reference, and the
+    // judge reuses the compiled form instead of recompiling.
     assert_eq!(client.register_model("aaa", &outcome.model).unwrap(), 12);
+    assert_eq!(
+        service.compile_count(),
+        1,
+        "digest re-registration reuses the compiled form"
+    );
     assert_eq!(client.list_models().unwrap(), ["aaa", "m"], "listings are sorted");
 
     let report = client.resolve("m", &claim).unwrap();
@@ -125,6 +236,11 @@ fn full_client_surface_round_trips() {
         client.resolve_docket(&oversized).unwrap_err(),
         WatermarkError::DocketTooLarge { size: 5, max: 4 }
     ));
+
+    // Dockets feed the judge's content cache, visible in the next pong.
+    let docket: Vec<Dispute> = (0..2).map(|_| Dispute::new("m", claim.clone())).collect();
+    assert!(client.resolve_docket(&docket).unwrap()[0].as_ref().unwrap().verified);
+    assert_eq!(client.ping().unwrap().claims_cached, 1, "duplicates cached once");
 
     assert!(client.deregister("aaa").unwrap());
     assert!(
@@ -166,15 +282,24 @@ fn raw_connection(server: &RunningServer) -> TcpStream {
     stream
 }
 
-fn read_error_response(stream: &mut TcpStream) -> WireFault {
-    let mut reader = std::io::BufReader::new(stream);
-    let response: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
-        .expect("server answers before closing")
-        .expect("server answers before closing");
+fn read_error_response(stream: &mut TcpStream) -> (u64, WireFault) {
+    let mut reader = BufReader::new(stream);
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .expect("server answers before closing")
+            .expect("server answers before closing");
     match response {
-        Response::Error { fault } => fault,
+        Response::Error { fault } => (corr, fault),
         other => panic!("expected an error response, got {other:?}"),
     }
+}
+
+/// One raw request/response exchange with correlation id `corr`.
+fn exchange(reader: &mut BufReader<TcpStream>, corr: u64, request: &Request) -> (u64, Response) {
+    proto::write_message(reader.get_mut(), corr, request).unwrap();
+    proto::read_message(reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .unwrap()
+        .expect("server answers")
 }
 
 #[test]
@@ -182,13 +307,43 @@ fn bad_magic_gets_an_error_response_and_a_closed_connection() {
     let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
     let mut stream = raw_connection(&server);
     stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
-    assert!(matches!(
-        read_error_response(&mut stream),
-        WireFault::BadRequest { .. }
-    ));
+    let (corr, fault) = read_error_response(&mut stream);
+    assert_eq!(
+        corr,
+        proto::NO_CORRELATION,
+        "frame-level faults carry the reserved id"
+    );
+    assert!(matches!(fault, WireFault::BadRequest { .. }));
     // The server closed its side: the next read is EOF.
     let mut rest = Vec::new();
     assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown().unwrap();
+}
+
+/// A WDTP v1 peer has a 10-byte header (no correlation id). The v2 server
+/// must refuse it with a version fault as soon as the 6-byte prelude
+/// arrives — not stall waiting for 18 header bytes or misparse the v1
+/// length prefix as correlation bits.
+#[test]
+fn v1_client_is_refused_with_a_version_fault() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let mut stream = raw_connection(&server);
+    // Hand-built v1 frame: magic + version 1 + u32 length + payload.
+    let payload = b"\x00";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(proto::PROTO_MAGIC);
+    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame).unwrap();
+    match read_error_response(&mut stream) {
+        (corr, WireFault::UnsupportedProtocolVersion { found, supported }) => {
+            assert_eq!(corr, proto::NO_CORRELATION);
+            assert_eq!(found, 1);
+            assert_eq!(supported, proto::PROTOCOL_VERSION);
+        }
+        (_, other) => panic!("expected a version fault, got {other:?}"),
+    }
     server.shutdown().unwrap();
 }
 
@@ -196,15 +351,15 @@ fn bad_magic_gets_an_error_response_and_a_closed_connection() {
 fn future_protocol_version_is_refused_with_a_structured_fault() {
     let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
     let mut stream = raw_connection(&server);
-    let mut frame = proto::encode_frame(&Request::Ping).unwrap();
+    let mut frame = proto::encode_frame(1, &Request::Ping).unwrap();
     frame[4..6].copy_from_slice(&999u16.to_le_bytes());
     stream.write_all(&frame).unwrap();
     match read_error_response(&mut stream) {
-        WireFault::UnsupportedProtocolVersion { found, supported } => {
+        (_, WireFault::UnsupportedProtocolVersion { found, supported }) => {
             assert_eq!(found, 999);
             assert_eq!(supported, proto::PROTOCOL_VERSION);
         }
-        other => panic!("expected a version fault, got {other:?}"),
+        (_, other) => panic!("expected a version fault, got {other:?}"),
     }
     server.shutdown().unwrap();
 }
@@ -226,16 +381,18 @@ fn oversized_length_prefix_is_refused_without_reading_the_payload() {
     let mut header = Vec::new();
     header.extend_from_slice(proto::PROTO_MAGIC);
     header.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&77u64.to_le_bytes());
     header.extend_from_slice(&u32::MAX.to_le_bytes());
     stream.write_all(&header).unwrap();
     // No payload is ever sent — the server must answer from the header
     // alone instead of waiting for 4 GiB.
     match read_error_response(&mut stream) {
-        WireFault::FrameTooLarge { size, max } => {
+        (corr, WireFault::FrameTooLarge { size, max }) => {
+            assert_eq!(corr, 77, "the offending request's id is echoed");
             assert_eq!(size, u64::from(u32::MAX));
             assert_eq!(max, 1024);
         }
-        other => panic!("expected a frame-size fault, got {other:?}"),
+        (_, other) => panic!("expected a frame-size fault, got {other:?}"),
     }
     server.shutdown().unwrap();
 }
@@ -246,7 +403,7 @@ fn half_closed_socket_mid_frame_does_not_wedge_the_server() {
     let server = start_server(Arc::clone(&service));
 
     // A client sends half a frame, then closes its write side.
-    let frame = proto::encode_frame(&Request::ListModels).unwrap();
+    let frame = proto::encode_frame(3, &Request::ListModels).unwrap();
     let mut stream = raw_connection(&server);
     stream.write_all(&frame[..frame.len() / 2]).unwrap();
     stream.shutdown(std::net::Shutdown::Write).unwrap();
@@ -254,7 +411,7 @@ fn half_closed_socket_mid_frame_does_not_wedge_the_server() {
     // (best effort) before closing — it must not hang on the missing half.
     assert!(matches!(
         read_error_response(&mut stream),
-        WireFault::BadRequest { .. }
+        (_, WireFault::BadRequest { .. })
     ));
 
     // And the server is still fully alive for the next client.
@@ -269,12 +426,14 @@ fn half_closed_socket_between_frames_is_a_clean_goodbye() {
     let mut stream = raw_connection(&server);
     // A complete ping, then a write-side shutdown: the server answers the
     // ping and closes without inventing an error.
-    stream.write_all(&proto::encode_frame(&Request::Ping).unwrap()).unwrap();
+    stream.write_all(&proto::encode_frame(9, &Request::Ping).unwrap()).unwrap();
     stream.shutdown(std::net::Shutdown::Write).unwrap();
-    let mut reader = std::io::BufReader::new(&mut stream);
-    let response: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
-        .unwrap()
-        .expect("the ping sent before the shutdown is answered");
+    let mut reader = BufReader::new(&mut stream);
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .expect("the ping sent before the shutdown is answered");
+    assert_eq!(corr, 9);
     assert!(matches!(response, Response::Pong { .. }));
     assert!(
         proto::read_message::<Response, _>(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
@@ -294,26 +453,31 @@ fn garbage_payload_in_a_valid_frame_keeps_the_connection_usable() {
     let mut frame = Vec::new();
     frame.extend_from_slice(proto::PROTO_MAGIC);
     frame.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&21u64.to_le_bytes());
     let payload = [0x3Fu8; 16]; // unknown value tag
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
     // Follow up with a valid ping *on the same socket*.
-    frame.extend_from_slice(&proto::encode_frame(&Request::Ping).unwrap());
+    frame.extend_from_slice(&proto::encode_frame(22, &Request::Ping).unwrap());
     stream.write_all(&frame).unwrap();
 
-    let mut reader = std::io::BufReader::new(stream);
-    let first: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
-        .unwrap()
-        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let (first_corr, first): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(first_corr, 21, "the decode failure is attributed to its frame");
     assert!(matches!(
         first,
         Response::Error {
             fault: WireFault::BadRequest { .. }
         }
     ));
-    let second: Response = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
-        .unwrap()
-        .unwrap();
+    let (second_corr, second): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(second_corr, 22);
     assert!(
         matches!(second, Response::Pong { .. }),
         "the connection survived the bad payload"
@@ -321,10 +485,151 @@ fn garbage_payload_in_a_valid_frame_keeps_the_connection_usable() {
     server.shutdown().unwrap();
 }
 
+/// A digest the judge has never seen — in a docket reference or a model
+/// reference — is answered with `NeedPayload` naming exactly that digest;
+/// uploading the body via `Payload` then makes the same reference
+/// resolvable.
+#[test]
+fn unknown_digests_get_a_need_payload_answer_and_uploads_cure_it() {
+    let (test, outcome) = embedded(78);
+    let claim = claim_for(&outcome, &test);
+    let digest = PayloadDigest::of_claim(&claim);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("m", &outcome.model);
+    let reference = service.resolve("m", &claim).unwrap();
+    let server = start_server(Arc::clone(&service));
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    // Digest-only docket before any upload: NeedPayload, no verdicts.
+    let request = Request::ResolveDocketRef {
+        bodies: vec![],
+        disputes: vec![DisputeRef::new("m", digest)],
+    };
+    let (corr, response) = exchange(&mut reader, 5, &request);
+    assert_eq!(corr, 5);
+    assert_eq!(
+        response,
+        Response::NeedPayload {
+            digests: vec![digest]
+        }
+    );
+
+    // Upload the body; the judge echoes the digest it computed.
+    let (corr, response) = exchange(
+        &mut reader,
+        6,
+        &Request::Payload {
+            claims: vec![claim.clone()],
+        },
+    );
+    assert_eq!(corr, 6);
+    assert_eq!(
+        response,
+        Response::PayloadStored {
+            digests: vec![digest]
+        }
+    );
+
+    // The same digest-only docket now resolves, bit-identical.
+    let (corr, response) = exchange(&mut reader, 7, &request);
+    assert_eq!(corr, 7);
+    match response {
+        Response::Docket { verdicts } => {
+            assert_eq!(verdicts.len(), 1);
+            assert_eq!(verdicts[0].clone().into_result().unwrap(), reference);
+        }
+        other => panic!("expected verdicts, got {other:?}"),
+    }
+
+    // Model references behave the same way.
+    let ghost = PayloadDigest::of_claim(&claim); // any digest no *model* has
+    let (corr, response) = exchange(
+        &mut reader,
+        8,
+        &Request::RegisterModelRef {
+            model_id: "copy".to_string(),
+            digest: ghost,
+        },
+    );
+    assert_eq!(corr, 8);
+    assert_eq!(response, Response::NeedPayload { digests: vec![ghost] });
+    server.shutdown().unwrap();
+}
+
+/// Raw interleaving: two requests written back-to-back are both answered,
+/// each under its own correlation id, whatever order the judge finishes
+/// them in.
+#[test]
+fn interleaved_requests_complete_out_of_order_by_correlation_id() {
+    let (test, outcome) = embedded(79);
+    let claim = claim_for(&outcome, &test);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    service.register("m", &outcome.model);
+    let server = start_server(Arc::clone(&service));
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    // A slow docket then a fast ping, pipelined in one write burst.
+    let docket = Request::ResolveDocket {
+        disputes: (0..8).map(|_| Dispute::new("m", claim.clone())).collect(),
+    };
+    let mut burst = proto::encode_frame(100, &docket).unwrap();
+    burst.extend_from_slice(&proto::encode_frame(101, &Request::Ping).unwrap());
+    reader.get_mut().write_all(&burst).unwrap();
+
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let (corr, response): (u64, Response) =
+            proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .expect("both pipelined requests are answered");
+        seen.insert(corr, response);
+    }
+    assert!(matches!(seen.get(&101), Some(Response::Pong { .. })));
+    match seen.get(&100) {
+        Some(Response::Docket { verdicts }) => assert_eq!(verdicts.len(), 8),
+        other => panic!("expected docket verdicts, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+/// A judge answering a correlation id the client never sent poisons the
+/// connection: pairing is lost, so any further exchange could
+/// misattribute verdicts.
+#[test]
+fn an_unknown_correlation_id_poisons_the_client() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let rogue = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (corr, _request): (u64, Request) =
+            proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .unwrap();
+        // Answer under a different id than the request carried.
+        proto::write_message(
+            &mut stream,
+            corr ^ 0xDEAD,
+            &Response::Models { model_ids: vec![] },
+        )
+        .unwrap();
+    });
+
+    let mut client = DisputeClient::connect(addr).unwrap();
+    match client.ping().unwrap_err() {
+        WatermarkError::ProtocolViolation { detail } => {
+            assert!(detail.contains("correlation id"), "unexpected detail: {detail}")
+        }
+        other => panic!("expected a correlation violation, got {other:?}"),
+    }
+    assert!(client.is_broken());
+    rogue.join().unwrap();
+}
+
 #[test]
 fn connect_retry_covers_a_late_binding_judge() {
     // Nothing is listening on this port yet.
-    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = probe.local_addr().unwrap();
     drop(probe);
 
@@ -347,7 +652,7 @@ fn connect_retry_covers_a_late_binding_judge() {
     server_thread.join().unwrap().shutdown().unwrap();
 
     // With no judge at all, the retries exhaust into a typed Io error.
-    let gone = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let gone = TcpListener::bind("127.0.0.1:0").unwrap();
     let dead_addr = gone.local_addr().unwrap();
     drop(gone);
     let err = DisputeClient::connect_with(
@@ -363,17 +668,104 @@ fn connect_retry_covers_a_late_binding_judge() {
     assert!(matches!(err, WatermarkError::Io { .. }));
 }
 
+/// The exponential backoff between connect attempts is capped by
+/// `max_retry_backoff`: many attempts retry steadily instead of doubling
+/// into multi-minute sleeps.
 #[test]
-fn an_idle_connection_cannot_wedge_a_saturated_accept_loop() {
-    // max_connections: 0 forces every connection onto the accept thread
-    // (full saturation). The configured read timeout bounds how long an
-    // idle peer may hold it.
+fn connect_backoff_is_capped() {
+    let gone = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead_addr = gone.local_addr().unwrap();
+    drop(gone);
+
+    let started = Instant::now();
+    let err = DisputeClient::connect_with(
+        dead_addr,
+        ClientConfig {
+            connect_attempts: 4,
+            retry_backoff: Duration::from_millis(200),
+            max_retry_backoff: Duration::from_millis(250),
+            connect_timeout: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, WatermarkError::Io { .. }));
+    // Capped sleeps: 200 + 250 + 250 = 700 ms. Uncapped doubling would be
+    // 200 + 400 + 800 = 1400 ms; leave slack for scheduling noise.
+    assert!(
+        elapsed < Duration::from_millis(1200),
+        "backoff was not capped: took {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(600),
+        "backoff did not happen at all: took {elapsed:?}"
+    );
+}
+
+/// A socket-option failure after a successful connect counts as one
+/// failed attempt — it must not abort the retry loop. `Duration::ZERO` is
+/// rejected by `set_read_timeout`, which makes it a deterministic way to
+/// force that path.
+#[test]
+fn a_socket_option_failure_counts_as_a_failed_attempt() {
+    let server = start_server(Arc::new(DisputeService::builder().build().unwrap()));
+    let err = DisputeClient::connect_with(
+        server.addr(),
+        ClientConfig {
+            connect_attempts: 2,
+            retry_backoff: Duration::from_millis(10),
+            read_timeout: Some(Duration::ZERO),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap_err();
+    match err {
+        WatermarkError::Io { message, .. } => assert!(
+            message.contains("could not connect after 2 attempts"),
+            "the option failure must exhaust the retry budget, not abort: {message}"
+        ),
+        other => panic!("expected an Io error, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+/// `max_connections: 0` means unlimited: many held-open idle connections
+/// must not stop new arrivals from being served.
+#[test]
+fn zero_max_connections_means_unlimited() {
     let service = Arc::new(DisputeService::builder().build().unwrap());
     let server = JudgeServer::bind(
         "127.0.0.1:0",
         service,
         ServerConfig {
             max_connections: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+
+    // Dozens of idle peers holding their sockets open.
+    let idle: Vec<TcpStream> = (0..32).map(|_| TcpStream::connect(server.addr()).unwrap()).collect();
+
+    // A real client is served immediately alongside them.
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.ping().unwrap().protocol_version, proto::PROTOCOL_VERSION);
+    drop(idle);
+    drop(client);
+    server.shutdown().unwrap();
+}
+
+/// Idle connections are reaped after `read_timeout` with no in-flight
+/// requests, so slow-loris peers cost a descriptor only temporarily.
+#[test]
+fn idle_connections_are_reaped_after_the_read_timeout() {
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = JudgeServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
             read_timeout: Some(Duration::from_millis(200)),
             ..ServerConfig::default()
         },
@@ -381,26 +773,39 @@ fn an_idle_connection_cannot_wedge_a_saturated_accept_loop() {
     .unwrap()
     .spawn();
 
-    // A slow-loris peer: connects and sends nothing.
-    let idle = TcpStream::connect(server.addr()).unwrap();
-
-    // A real client arrives while the accept thread is parked on the idle
-    // peer. Once the idle read times out, the loop accepts and serves it —
-    // the retry budget far outlasts the 200 ms timeout.
-    let mut client = DisputeClient::connect_with(
-        server.addr(),
-        ClientConfig {
-            connect_attempts: 10,
-            retry_backoff: Duration::from_millis(100),
-            read_timeout: Some(Duration::from_secs(10)),
-            ..ClientConfig::default()
-        },
-    )
-    .unwrap();
-    assert_eq!(client.ping().unwrap().protocol_version, proto::PROTOCOL_VERSION);
-    drop(idle);
-    drop(client);
+    let mut idle = raw_connection(&server);
+    std::thread::sleep(Duration::from_millis(700));
+    let mut rest = Vec::new();
+    assert_eq!(
+        idle.read_to_end(&mut rest).unwrap(),
+        0,
+        "the server closed the idle connection"
+    );
     server.shutdown().unwrap();
+}
+
+/// Regression test for the shutdown nudge: a server bound to the
+/// unspecified address reports `0.0.0.0:port`, and the wake-up nudge must
+/// target loopback instead of connecting to `0.0.0.0` (whose behaviour is
+/// platform-dependent).
+#[test]
+fn shutdown_completes_on_an_unspecified_address_bind() {
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = JudgeServer::bind("0.0.0.0:0", service, ServerConfig::default())
+        .unwrap()
+        .spawn();
+    assert!(server.addr().ip().is_unspecified());
+
+    let finished = std::thread::spawn(move || server.shutdown());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !finished.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "shutdown wedged on an unspecified-address bind"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    finished.join().unwrap().unwrap();
 }
 
 #[test]
