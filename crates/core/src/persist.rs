@@ -20,12 +20,14 @@
 //!   as their raw IEEE-754 bit pattern, preserving even `NaN` payloads.
 //!
 //! **Version policy:** the header version is bumped whenever the encoding
-//! of existing data changes shape. Readers accept exactly the version they
-//! were built with and fail with
+//! of existing data changes shape. Readers accept the versions in
+//! `[MIN_SUPPORTED_VERSION, FORMAT_VERSION]` and fail with
 //! [`WatermarkError::UnsupportedFormatVersion`] otherwise — a dispute must
-//! never be decided on a silently misread artefact. Corrupted or truncated
-//! files surface as [`WatermarkError::CorruptedArtifact`], never as a
-//! panic.
+//! never be decided on a silently misread artefact. Version 2 added the
+//! k-class label model: model payloads carry a `num_classes` field, and
+//! version-1 artefacts (which are binary by construction) load with
+//! `num_classes = 2`. Corrupted or truncated files surface as
+//! [`WatermarkError::CorruptedArtifact`], never as a panic.
 
 use crate::error::{WatermarkError, WatermarkResult};
 use serde::{Deserialize, Serialize, Value};
@@ -38,8 +40,12 @@ pub const MAGIC: &[u8; 4] = b"WDTE";
 /// Container tag of the binary encoding, directly after the magic bytes.
 pub const BINARY_TAG: u8 = b'B';
 
-/// Format version this build writes and accepts.
-pub const FORMAT_VERSION: u16 = 1;
+/// Format version this build writes (and the newest it accepts).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Oldest format version this build still reads. Version-1 artefacts
+/// predate the k-class label model and decode as binary (`k = 2`).
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
 
 /// Nesting depth accepted by the binary decoder; deeper input is treated
 /// as corrupted rather than risking unbounded recursion.
@@ -179,7 +185,7 @@ fn payload_value(bytes: &[u8]) -> WatermarkResult<Value> {
 }
 
 fn check_version(found: u16) -> WatermarkResult<()> {
-    if found != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&found) {
         return Err(WatermarkError::UnsupportedFormatVersion {
             found,
             supported: FORMAT_VERSION,
@@ -476,12 +482,37 @@ mod tests {
         }
 
         let json = String::from_utf8(to_bytes(&42u32, Format::Json)).unwrap();
-        let bumped = json.replace("\"version\": 1", "\"version\": 999");
+        let bumped = json.replace(&format!("\"version\": {FORMAT_VERSION}"), "\"version\": 999");
         assert_ne!(json, bumped, "the envelope must contain the version field");
         match from_bytes::<u32>(bumped.as_bytes()).unwrap_err() {
             WatermarkError::UnsupportedFormatVersion { found, .. } => assert_eq!(found, 999),
             other => panic!("expected version error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load() {
+        // Rewind the header to the pre-k-class version: a payload whose
+        // shape did not change must decode under the widened window.
+        let mut binary = to_bytes(&vec![1u64, 2, 3], Format::Binary);
+        binary[5..7].copy_from_slice(&MIN_SUPPORTED_VERSION.to_le_bytes());
+        assert_eq!(from_bytes::<Vec<u64>>(&binary).unwrap(), vec![1, 2, 3]);
+
+        let json = String::from_utf8(to_bytes(&7u32, Format::Json)).unwrap();
+        let rewound = json.replace(
+            &format!("\"version\": {FORMAT_VERSION}"),
+            &format!("\"version\": {MIN_SUPPORTED_VERSION}"),
+        );
+        assert_ne!(json, rewound);
+        assert_eq!(from_bytes::<u32>(rewound.as_bytes()).unwrap(), 7);
+
+        // Versions below the window still fail.
+        let mut ancient = to_bytes(&7u32, Format::Binary);
+        ancient[5..7].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            from_bytes::<u32>(&ancient).unwrap_err(),
+            WatermarkError::UnsupportedFormatVersion { found: 0, .. }
+        ));
     }
 
     #[test]

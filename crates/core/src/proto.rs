@@ -8,18 +8,23 @@
 //! on-disk artefacts — a dispute must never be decided on a silently
 //! misread message.
 //!
-//! ## Frame format (v2)
+//! ## Frame format (v2 layout, spoken at v3)
 //!
 //! Every message travels as one length-prefixed frame:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "WDTP"
-//! 4       2     protocol version (little-endian u16, currently 2)
+//! 4       2     protocol version (little-endian u16, currently 3)
 //! 6       8     correlation id (little-endian u64)
 //! 14      4     payload length in bytes (little-endian u32)
 //! 18      len   payload: one value in the persist binary codec
 //! ```
+//!
+//! v3 keeps the v2 frame layout but changes the shape of model payloads:
+//! forests carry a `num_classes` field (the k-class label model), so a v2
+//! judge must refuse a v3 frame loudly instead of misreading it — and
+//! vice versa.
 //!
 //! The **correlation id** is new in v2: a client stamps every request with
 //! an id of its choosing, and the judge echoes that id on the response
@@ -83,8 +88,9 @@ use wdte_trees::{Node, RandomForest};
 /// artefact file can never be mistaken for a frame, or vice versa).
 pub const PROTO_MAGIC: &[u8; 4] = b"WDTP";
 
-/// Protocol version this build speaks and accepts.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Protocol version this build speaks and accepts. v3 = the v2 frame
+/// layout with k-class model payloads (forests carry `num_classes`).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Bytes of the header prelude: magic + version. The prelude is validated
 /// on its own before the rest of the header is read, so a frame from a
@@ -201,8 +207,13 @@ impl PayloadDigest {
                     Node::Leaf { label, counts } => {
                         stream.eat(0);
                         stream.eat(label.index() as u64);
-                        stream.eat(counts.negative.to_bits());
-                        stream.eat(counts.positive.to_bits());
+                        // Per-class weights in index order; for binary
+                        // models this is exactly the old [negative,
+                        // positive] word stream, so k = 2 digests are
+                        // unchanged.
+                        for &weight in counts.slice() {
+                            stream.eat(weight.to_bits());
+                        }
                     }
                     Node::Internal {
                         feature,

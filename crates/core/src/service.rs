@@ -261,9 +261,8 @@ impl ModelManifest {
     }
 }
 
-/// Configures and builds a [`DisputeService`] — the one documented
-/// construction path (the accreted `new` / `with_batch_shard_rows` /
-/// per-file registration constructors are deprecated shims over it).
+/// Configures and builds a [`DisputeService`] — the one construction
+/// path besides [`DisputeService::default`].
 #[derive(Debug, Clone, Default)]
 pub struct DisputeServiceBuilder {
     batch_shard_rows: Option<usize>,
@@ -371,27 +370,6 @@ impl DisputeService {
     /// Starts configuring a service. See [`DisputeServiceBuilder`].
     pub fn builder() -> DisputeServiceBuilder {
         DisputeServiceBuilder::default()
-    }
-
-    /// Creates an empty service with the default batch shard size.
-    #[deprecated(since = "0.1.0", note = "use `DisputeService::builder().build()` instead")]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Creates an empty service with a custom verification-batch shard
-    /// size (rows per worker task; clamped to at least 1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `DisputeService::builder().batch_shard_rows(rows).build()` instead"
-    )]
-    pub fn with_batch_shard_rows(batch_shard_rows: usize) -> Self {
-        Self::with_options(
-            batch_shard_rows.max(1),
-            None,
-            Kernel::default(),
-            DEFAULT_CLAIM_CACHE_BYTES,
-        )
     }
 
     fn with_options(
@@ -1002,24 +980,23 @@ mod tests {
         assert_eq!(uncapped.max_docket(), None);
     }
 
-    /// PR 2/3 constructors keep working as deprecated shims over the
-    /// builder: same defaults, same behaviour.
+    /// The builder with explicit options resolves identically to the
+    /// all-defaults service: shard size is a throughput knob, never a
+    /// behaviour knob.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_behave_like_the_builder() {
+    fn builder_shard_size_does_not_change_behaviour() {
         let (test, outcome) = embedded();
         let claim = claim_for(&outcome, &test);
-        let via_new = DisputeService::new();
-        let via_shards = DisputeService::with_batch_shard_rows(7);
-        let via_builder = DisputeService::builder().batch_shard_rows(7).build().unwrap();
-        for service in [&via_new, &via_shards, &via_builder] {
+        let via_default = DisputeService::default();
+        let via_shards = DisputeService::builder().batch_shard_rows(7).build().unwrap();
+        for service in [&via_default, &via_shards] {
             service.register("m", &outcome.model);
             assert!(service.resolve("m", &claim).unwrap().verified);
             assert_eq!(service.max_docket(), None);
         }
         assert_eq!(
-            via_shards.resolve("m", &claim).unwrap(),
-            via_builder.resolve("m", &claim).unwrap()
+            via_default.resolve("m", &claim).unwrap(),
+            via_shards.resolve("m", &claim).unwrap()
         );
     }
 

@@ -136,11 +136,21 @@ impl Signature {
     }
 
     /// The prediction tree `i` must produce for a trigger instance whose
-    /// true label is `label`: the correct label for 0-bits, the flipped
-    /// label for 1-bits.
+    /// true label is `label`, in a binary label space: the correct label
+    /// for 0-bits, the flipped label for 1-bits. Equivalent to
+    /// [`Self::required_prediction_k`] with `num_classes = 2`.
     pub fn required_prediction(&self, i: usize, label: Label) -> Label {
+        self.required_prediction_k(i, label, 2)
+    }
+
+    /// The prediction tree `i` must produce for a trigger instance whose
+    /// true label is `label` in a `num_classes`-class label space: the
+    /// correct label for 0-bits, the deterministically *rotated* label
+    /// `(c + 1) mod k` for 1-bits. For `k = 2` the rotation is exactly the
+    /// paper's label flip, so the binary protocol is unchanged.
+    pub fn required_prediction_k(&self, i: usize, label: Label, num_classes: usize) -> Label {
         if self.bits[i] {
-            label.flipped()
+            label.rotated(num_classes)
         } else {
             label
         }

@@ -199,6 +199,7 @@ pub fn verify_ownership_with_rng<O: ModelOracle + ?Sized, R: Rng + ?Sized>(
     let mut instance_matches = vec![false; claim.trigger_set.len()];
     let mut matching_bits = 0usize;
     let mut total_bits = 0usize;
+    let num_classes = claim.trigger_set.num_classes();
     let batch_responses = model.query_batch(&batch);
     for (position, responses) in batch_responses.iter().enumerate() {
         let Some(trigger_index) = origin[position] else {
@@ -207,7 +208,7 @@ pub fn verify_ownership_with_rng<O: ModelOracle + ?Sized, R: Rng + ?Sized>(
         let label = claim.trigger_set.label(trigger_index);
         let mut all_match = responses.len() == claim.signature.len();
         for (i, &response) in responses.iter().enumerate().take(claim.signature.len()) {
-            let required = claim.signature.required_prediction(i, label);
+            let required = claim.signature.required_prediction_k(i, label, num_classes);
             if response == required {
                 matching_bits += 1;
             } else {

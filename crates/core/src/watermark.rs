@@ -237,7 +237,7 @@ impl Watermarker {
             };
             trees.push(tree);
         }
-        let model = RandomForest::from_trees(trees);
+        let model = RandomForest::from_trees_with_classes(trees, train.num_classes());
 
         Ok(WatermarkOutcome {
             model,
@@ -416,17 +416,19 @@ pub fn compiled_trigger_compliance(compiled: &CompiledForest, trigger: &Dataset)
 
 /// Checks the watermark property directly on a model: every tree with bit 0
 /// classifies every trigger instance correctly and every tree with bit 1
-/// misclassifies it.
+/// misclassifies it (as the deterministic class rotation `(c + 1) mod k`,
+/// which for binary labels is exactly the paper's flip).
 pub fn watermark_holds(model: &RandomForest, signature: &Signature, trigger_set: &Dataset) -> bool {
     if model.num_trees() != signature.len() {
         return false;
     }
+    let num_classes = trigger_set.num_classes();
     trigger_set.iter().all(|(instance, label)| {
         model
             .predict_all(instance)
             .iter()
             .enumerate()
-            .all(|(i, &prediction)| prediction == signature.required_prediction(i, label))
+            .all(|(i, &prediction)| prediction == signature.required_prediction_k(i, label, num_classes))
     })
 }
 

@@ -3,11 +3,14 @@
 //! The synthetic generators make the experiments self-contained, but the
 //! loader lets users drop in the real MNIST2-6 / breast-cancer / ijcnn1
 //! dumps (features followed by a numeric label column) and rerun every
-//! experiment unchanged.
+//! experiment unchanged. Label parsing is explicit about its numeric
+//! convention — the paper's signed `{-1, +1}` or class indices
+//! `{0..k-1}` — so a `0.0` in a signed-binary file is a typed error, not a
+//! silent negative.
 
 use crate::dataset::Dataset;
 use crate::error::{DataError, DataResult};
-use crate::label::Label;
+use crate::label::{Label, LabelConvention};
 use crate::matrix::DenseMatrix;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -21,15 +24,41 @@ pub enum LabelColumn {
     Last,
 }
 
-/// Parses a labeled dataset from CSV text.
+/// Parses a labeled dataset from CSV text using the paper's signed binary
+/// `{-1, +1}` label convention.
 ///
 /// * `has_header` skips the first line.
-/// * Labels may use the `{-1, +1}` or `{0, 1}` convention.
+///
+/// Use [`parse_csv_with`] for `{0..k-1}` class-index labels.
 pub fn parse_csv(
     reader: impl Read,
     label_column: LabelColumn,
     has_header: bool,
     name: &str,
+) -> DataResult<Dataset> {
+    parse_csv_with(
+        reader,
+        label_column,
+        has_header,
+        name,
+        LabelConvention::SignedBinary,
+    )
+}
+
+/// Parses a labeled dataset from CSV text under an explicit label
+/// convention.
+///
+/// A label value outside the convention's set surfaces as
+/// [`DataError::LabelOutsideConvention`], naming the expected set. Under
+/// [`LabelConvention::Indexed`] the resulting dataset carries the
+/// convention's class count even when some classes are absent from the
+/// file.
+pub fn parse_csv_with(
+    reader: impl Read,
+    label_column: LabelColumn,
+    has_header: bool,
+    name: &str,
+    convention: LabelConvention,
 ) -> DataResult<Dataset> {
     let reader = BufReader::new(reader);
     let mut features = DenseMatrix::zeros(0, 0);
@@ -63,40 +92,59 @@ pub fn parse_csv(
             LabelColumn::First => row_buffer.remove(0),
             LabelColumn::Last => row_buffer.pop().expect("length checked above"),
         };
-        let label = Label::from_f64(label_value).map_err(|_| DataError::Parse {
-            line: human_line,
-            message: format!("label value {label_value} is not in {{-1, 0, +1}}"),
-        })?;
+        let label = Label::parse_numeric(label_value, convention)?;
         features.push_row(&row_buffer)?;
         labels.push(label);
     }
     if labels.is_empty() {
         return Err(DataError::EmptyDataset);
     }
-    Dataset::new(name, features, labels)
+    match convention {
+        LabelConvention::SignedBinary => Dataset::new(name, features, labels),
+        LabelConvention::Indexed { num_classes } => {
+            Dataset::with_classes(name, features, labels, num_classes)
+        }
+    }
 }
 
-/// Loads a labeled dataset from a CSV file on disk.
+/// Loads a labeled dataset from a CSV file on disk (signed binary labels).
 pub fn load_csv(
     path: impl AsRef<Path>,
     label_column: LabelColumn,
     has_header: bool,
 ) -> DataResult<Dataset> {
+    load_csv_with(path, label_column, has_header, LabelConvention::SignedBinary)
+}
+
+/// Loads a labeled dataset from a CSV file on disk under an explicit label
+/// convention.
+pub fn load_csv_with(
+    path: impl AsRef<Path>,
+    label_column: LabelColumn,
+    has_header: bool,
+    convention: LabelConvention,
+) -> DataResult<Dataset> {
     let path = path.as_ref();
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset").to_string();
     let file = std::fs::File::open(path)?;
-    parse_csv(file, label_column, has_header, &name)
+    parse_csv_with(file, label_column, has_header, &name, convention)
 }
 
-/// Writes a dataset as CSV with the label in the last column (using the
-/// `{-1, +1}` convention).
+/// Writes a dataset as CSV with the label in the last column. Two-class
+/// datasets use the paper's `{-1, +1}` convention; k-class datasets write
+/// the class index, matching what [`parse_csv_with`] expects back.
 pub fn write_csv(dataset: &Dataset, mut writer: impl Write) -> DataResult<()> {
+    let signed = dataset.num_classes() == 2;
     for (row, label) in dataset.iter() {
         let mut record = String::with_capacity(row.len() * 8);
         for value in row {
             record.push_str(&format!("{value},"));
         }
-        record.push_str(&format!("{}", label.as_i8()));
+        if signed {
+            record.push_str(&format!("{}", label.as_i8()));
+        } else {
+            record.push_str(&format!("{}", label.index()));
+        }
         writeln!(writer, "{record}")?;
     }
     Ok(())
@@ -124,12 +172,56 @@ mod tests {
     }
 
     #[test]
-    fn parse_label_first_and_zero_one_labels() {
+    fn parse_label_first_with_indexed_convention() {
         let text = "1,0.5,0.25\n0,0.75,0.5\n";
-        let dataset = parse_csv(text.as_bytes(), LabelColumn::First, false, "demo").unwrap();
+        let dataset = parse_csv_with(
+            text.as_bytes(),
+            LabelColumn::First,
+            false,
+            "demo",
+            LabelConvention::Indexed { num_classes: 2 },
+        )
+        .unwrap();
         assert_eq!(dataset.label(0), Label::Positive);
         assert_eq!(dataset.label(1), Label::Negative);
         assert_eq!(dataset.instance(0), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn signed_binary_rejects_zero_with_a_typed_error() {
+        let text = "0.1,0.2,0\n";
+        let err = parse_csv(text.as_bytes(), LabelColumn::Last, false, "x").unwrap_err();
+        match err {
+            DataError::LabelOutsideConvention { value, convention } => {
+                assert_eq!(value, 0.0);
+                assert!(convention.contains("-1"), "convention was {convention}");
+            }
+            other => panic!("expected LabelOutsideConvention, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_convention_parses_k_class_labels() {
+        let text = "0.1,0.2,0\n0.3,0.4,2\n0.5,0.6,1\n";
+        let dataset = parse_csv_with(
+            text.as_bytes(),
+            LabelColumn::Last,
+            false,
+            "demo",
+            LabelConvention::Indexed { num_classes: 4 },
+        )
+        .unwrap();
+        assert_eq!(dataset.num_classes(), 4);
+        assert_eq!(dataset.label(1).index(), 2);
+        let err = parse_csv_with(
+            "0.1,0.2,4\n".as_bytes(),
+            LabelColumn::Last,
+            false,
+            "demo",
+            LabelConvention::Indexed { num_classes: 4 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::LabelOutsideConvention { .. }));
     }
 
     #[test]
@@ -140,7 +232,7 @@ mod tests {
 
         let bad_label = "0.1,0.2,7\n";
         let err = parse_csv(bad_label.as_bytes(), LabelColumn::Last, false, "x").unwrap_err();
-        assert!(matches!(err, DataError::Parse { .. }));
+        assert!(matches!(err, DataError::LabelOutsideConvention { .. }));
     }
 
     #[test]
@@ -170,5 +262,32 @@ mod tests {
                 assert!((a - b).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn k_class_round_trip_writes_class_indices() {
+        let c = |i: usize| Label::from_index(i).unwrap();
+        let rows = vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]];
+        let dataset = Dataset::with_classes(
+            "k3",
+            DenseMatrix::from_rows(&rows).unwrap(),
+            vec![c(0), c(2), c(1)],
+            3,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        write_csv(&dataset, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer.clone()).unwrap();
+        assert!(text.lines().next().unwrap().ends_with(",0"));
+        let reparsed = parse_csv_with(
+            buffer.as_slice(),
+            LabelColumn::Last,
+            false,
+            "k3",
+            LabelConvention::Indexed { num_classes: 3 },
+        )
+        .unwrap();
+        assert_eq!(reparsed.labels(), dataset.labels());
+        assert_eq!(reparsed.num_classes(), 3);
     }
 }

@@ -36,6 +36,9 @@ pub struct Dataset {
     pub name: String,
     features: DenseMatrix,
     labels: Vec<Label>,
+    /// Number of classes `k` of the label space (at least 2). Every label
+    /// index is strictly below this.
+    num_classes: usize,
     /// Shared across clones and label-flipped copies; rebuilt on feature
     /// mutation (`normalize`).
     cache: Arc<TrainingCache>,
@@ -44,7 +47,10 @@ pub struct Dataset {
 /// Equality ignores the derived training cache.
 impl PartialEq for Dataset {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.features == other.features && self.labels == other.labels
+        self.name == other.name
+            && self.features == other.features
+            && self.labels == other.labels
+            && self.num_classes == other.num_classes
     }
 }
 
@@ -54,6 +60,7 @@ impl Serialize for Dataset {
             ("name".to_string(), self.name.to_value()),
             ("features".to_string(), self.features.to_value()),
             ("labels".to_string(), self.labels.to_value()),
+            ("num_classes".to_string(), self.num_classes.to_value()),
         ])
     }
 }
@@ -64,28 +71,68 @@ impl Deserialize for Dataset {
         let name = String::from_value(serde::map_get(entries, "name")?)?;
         let features = DenseMatrix::from_value(serde::map_get(entries, "features")?)?;
         let labels: Vec<Label> = Vec::from_value(serde::map_get(entries, "labels")?)?;
-        // Re-validate through the checked constructor so a corrupted
+        // Re-validate through the checked constructors so a corrupted
         // serialized dataset (label count disagreeing with the feature
-        // rows) is rejected instead of panicking during verification.
-        Dataset::new(name, features, labels)
-            .map_err(|err| DeError::new(format!("invalid Dataset: {err}")))
+        // rows, labels outside the class count) is rejected instead of
+        // panicking during verification. Pre-k-class artifacts have no
+        // `num_classes` entry; they are binary by construction, so the
+        // inferring constructor restores them as k = 2.
+        let num_classes = entries.iter().find(|(key, _)| key == "num_classes");
+        match num_classes {
+            Some((_, value)) => {
+                let num_classes = usize::from_value(value)?;
+                Dataset::with_classes(name, features, labels, num_classes)
+            }
+            None => Dataset::new(name, features, labels),
+        }
+        .map_err(|err| DeError::new(format!("invalid Dataset: {err}")))
     }
 }
 
 impl Dataset {
     /// Builds a dataset, validating that the number of labels matches the
-    /// number of feature rows.
+    /// number of feature rows. The class count is inferred as
+    /// `max(2, largest label index + 1)`; use [`Dataset::with_classes`]
+    /// when the label space is known (a subset may not exercise every
+    /// class).
     pub fn new(name: impl Into<String>, features: DenseMatrix, labels: Vec<Label>) -> DataResult<Self> {
+        let inferred = labels.iter().map(|label| label.index() + 1).max().unwrap_or(2).max(2);
+        Self::with_classes(name, features, labels, inferred)
+    }
+
+    /// Builds a dataset over an explicit k-class label space, validating
+    /// the label count against the feature rows and every label index
+    /// against `num_classes`.
+    pub fn with_classes(
+        name: impl Into<String>,
+        features: DenseMatrix,
+        labels: Vec<Label>,
+        num_classes: usize,
+    ) -> DataResult<Self> {
         if features.rows() != labels.len() {
             return Err(DataError::LabelCountMismatch {
                 rows: features.rows(),
                 labels: labels.len(),
             });
         }
+        let num_classes = num_classes.max(2);
+        if num_classes > Label::MAX_CLASSES {
+            return Err(DataError::InvalidClassIndex {
+                index: num_classes - 1,
+                num_classes: Label::MAX_CLASSES,
+            });
+        }
+        if let Some(bad) = labels.iter().find(|label| label.index() >= num_classes) {
+            return Err(DataError::InvalidClassIndex {
+                index: bad.index(),
+                num_classes,
+            });
+        }
         Ok(Self {
             name: name.into(),
             features,
             labels,
+            num_classes,
             cache: Arc::default(),
         })
     }
@@ -133,6 +180,12 @@ impl Dataset {
         self.features.cols()
     }
 
+    /// Number of classes `k` of the label space (at least 2).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     /// Borrow of the feature matrix.
     #[inline]
     pub fn features(&self) -> &DenseMatrix {
@@ -170,7 +223,7 @@ impl Dataset {
 
     /// Weighted class counts over the whole dataset (unit weights).
     pub fn class_counts(&self) -> ClassCounts {
-        let mut counts = ClassCounts::new();
+        let mut counts = ClassCounts::with_classes(self.num_classes);
         for &label in &self.labels {
             counts.add(label, 1.0);
         }
@@ -178,19 +231,21 @@ impl Dataset {
     }
 
     /// Class distribution as `(positive_fraction, negative_fraction)`;
-    /// this is the "Distribution" column of Table 1.
+    /// this is the "Distribution" column of Table 1. For `k > 2` these are
+    /// the shares of classes 1 and 0 (they no longer sum to one).
     pub fn class_distribution(&self) -> (f64, f64) {
         let counts = self.class_counts();
         let total = counts.total();
         if total == 0.0 {
             (0.0, 0.0)
         } else {
-            (counts.positive / total, counts.negative / total)
+            (counts.positive() / total, counts.negative() / total)
         }
     }
 
     /// Copies the given instance indices (order preserved, duplicates
-    /// allowed) into a new dataset.
+    /// allowed) into a new dataset. The class count of the label space is
+    /// preserved even when the subset misses some classes.
     pub fn select(&self, indices: &[usize]) -> DataResult<Dataset> {
         let features = self.features.select_rows(indices)?;
         let mut labels = Vec::with_capacity(indices.len());
@@ -203,24 +258,29 @@ impl Dataset {
             }
             labels.push(self.labels[index]);
         }
-        Dataset::new(self.name.clone(), features, labels)
+        Dataset::with_classes(self.name.clone(), features, labels, self.num_classes)
     }
 
-    /// Returns a copy of the dataset with every label flipped
-    /// (`(x, y) -> (x, -y)`), as used to build `D'_trigger` in Algorithm 1.
+    /// Returns a copy of the dataset with every label rotated to the next
+    /// class (`(x, y) -> (x, -y)` for binary labels), as used to build
+    /// `D'_trigger` in Algorithm 1; for `k > 2` the flip generalizes to
+    /// the deterministic rotation `(index + 1) mod k`.
     ///
-    /// The copy shares this dataset's training cache: flipping labels does
-    /// not change the feature matrix, so presorted columns stay valid.
+    /// The copy shares this dataset's training cache: rewriting labels
+    /// does not change the feature matrix, so presorted columns stay
+    /// valid.
     pub fn with_flipped_labels(&self) -> Dataset {
         Dataset {
             name: self.name.clone(),
             features: self.features.clone(),
-            labels: self.labels.iter().map(|l| l.flipped()).collect(),
+            labels: self.labels.iter().map(|l| l.rotated(self.num_classes)).collect(),
+            num_classes: self.num_classes,
             cache: Arc::clone(&self.cache),
         }
     }
 
-    /// Returns a copy with the labels of the listed indices flipped; like
+    /// Returns a copy with the labels of the listed indices rotated to the
+    /// next class (flipped, for binary labels); like
     /// [`Dataset::with_flipped_labels`], the copy shares the training
     /// cache of the original.
     pub fn with_labels_flipped_at(&self, indices: &[usize]) -> DataResult<Dataset> {
@@ -232,17 +292,19 @@ impl Dataset {
                     len: labels.len(),
                 });
             }
-            labels[index] = labels[index].flipped();
+            labels[index] = labels[index].rotated(self.num_classes);
         }
         Ok(Dataset {
             name: self.name.clone(),
             features: self.features.clone(),
             labels,
+            num_classes: self.num_classes,
             cache: Arc::clone(&self.cache),
         })
     }
 
-    /// Concatenates two datasets with the same dimensionality.
+    /// Concatenates two datasets with the same dimensionality. The result
+    /// spans the union of both label spaces.
     pub fn concat(&self, other: &Dataset) -> DataResult<Dataset> {
         if !self.is_empty() && !other.is_empty() && self.num_features() != other.num_features() {
             return Err(DataError::DimensionMismatch {
@@ -256,7 +318,12 @@ impl Dataset {
         }
         let mut labels = self.labels.clone();
         labels.extend_from_slice(&other.labels);
-        Dataset::new(self.name.clone(), features, labels)
+        Dataset::with_classes(
+            self.name.clone(),
+            features,
+            labels,
+            self.num_classes.max(other.num_classes),
+        )
     }
 
     /// Min-max normalizes all features into `[0, 1]` in place and returns
@@ -304,9 +371,9 @@ impl Dataset {
         );
         let mut train_indices = Vec::new();
         let mut test_indices = Vec::new();
-        for class in Label::ALL {
+        for class in 0..self.num_classes {
             let mut class_indices: Vec<usize> =
-                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+                (0..self.len()).filter(|&i| self.labels[i].index() == class).collect();
             class_indices.shuffle(rng);
             let split = ((class_indices.len() as f64) * train_fraction).round() as usize;
             let split = split.min(class_indices.len());
@@ -335,9 +402,9 @@ impl Dataset {
         }
         let fraction = target as f64 / self.len() as f64;
         let mut selected = Vec::with_capacity(target);
-        for class in Label::ALL {
+        for class in 0..self.num_classes {
             let mut class_indices: Vec<usize> =
-                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+                (0..self.len()).filter(|&i| self.labels[i].index() == class).collect();
             class_indices.shuffle(rng);
             let take = ((class_indices.len() as f64) * fraction).round() as usize;
             selected.extend_from_slice(&class_indices[..take.min(class_indices.len())]);

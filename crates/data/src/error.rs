@@ -23,6 +23,21 @@ pub enum DataError {
     EmptyDataset,
     /// A label value outside the supported binary set was encountered.
     InvalidLabel(f64),
+    /// A numeric label did not belong to the expected parsing convention
+    /// (the paper's `{-1, +1}` or the class-index `{0..k-1}` set).
+    LabelOutsideConvention {
+        /// Offending numeric value.
+        value: f64,
+        /// Human-readable rendering of the expected convention.
+        convention: String,
+    },
+    /// A class index was at or beyond the dataset's class count.
+    InvalidClassIndex {
+        /// Offending class index.
+        index: usize,
+        /// Number of classes of the dataset.
+        num_classes: usize,
+    },
     /// A split fraction or similar ratio was outside `(0, 1)`.
     InvalidFraction(f64),
     /// An index referred to a row or column that does not exist.
@@ -57,6 +72,12 @@ impl fmt::Display for DataError {
             }
             DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             DataError::InvalidLabel(v) => write!(f, "invalid binary label value {v}"),
+            DataError::LabelOutsideConvention { value, convention } => {
+                write!(f, "label value {value} is not in the expected set {convention}")
+            }
+            DataError::InvalidClassIndex { index, num_classes } => {
+                write!(f, "class index {index} out of range for {num_classes} classes")
+            }
             DataError::InvalidFraction(v) => write!(f, "fraction {v} outside the open interval (0, 1)"),
             DataError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for length {len}")

@@ -1,7 +1,6 @@
 //! K-fold cross-validation splits, used by the grid-search substrate.
 
 use crate::dataset::Dataset;
-use crate::label::Label;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -26,9 +25,9 @@ pub fn stratified_k_folds<R: Rng + ?Sized>(dataset: &Dataset, k: usize, rng: &mu
     // Assign each instance to a fold, spreading each class round-robin so
     // the class proportions stay balanced even for small minority classes.
     let mut fold_of = vec![0usize; dataset.len()];
-    for class in Label::ALL {
+    for class in 0..dataset.num_classes() {
         let mut class_indices: Vec<usize> =
-            (0..dataset.len()).filter(|&i| dataset.label(i) == class).collect();
+            (0..dataset.len()).filter(|&i| dataset.label(i).index() == class).collect();
         class_indices.shuffle(rng);
         for (position, index) in class_indices.into_iter().enumerate() {
             fold_of[index] = position % k;
@@ -50,6 +49,7 @@ pub fn stratified_k_folds<R: Rng + ?Sized>(dataset: &Dataset, k: usize, rng: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::label::Label;
     use crate::matrix::DenseMatrix;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -105,6 +105,27 @@ mod tests {
                 positives, 5,
                 "each fold should hold an equal share of the minority class"
             );
+        }
+    }
+
+    #[test]
+    fn folds_stratify_every_class_of_a_k_class_dataset() {
+        let n = 120;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<Label> = (0..n).map(|i| Label::from_index(i % 4).unwrap()).collect();
+        let dataset =
+            Dataset::with_classes("k4", DenseMatrix::from_rows(&rows).unwrap(), labels, 4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let folds = stratified_k_folds(&dataset, 3, &mut rng);
+        for fold in &folds {
+            for class in 0..4 {
+                let share = fold
+                    .validation_indices
+                    .iter()
+                    .filter(|&&i| dataset.label(i).index() == class)
+                    .count();
+                assert_eq!(share, 10, "class {class} unevenly spread");
+            }
         }
     }
 

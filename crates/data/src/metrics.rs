@@ -1,87 +1,166 @@
-//! Evaluation metrics for binary classifiers.
+//! Evaluation metrics for k-class classifiers.
 
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// A 2x2 confusion matrix for binary classification.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// A k×k confusion matrix.
+///
+/// Cell `(t, p)` counts instances of true class `t` predicted as class
+/// `p`. The binary accessors ([`ConfusionMatrix::true_positive`] and
+/// friends) are views onto the two-class corner of the matrix, with class
+/// 1 as "positive" and class 0 as "negative", matching the pre-k-class
+/// binary implementation exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
-    /// Positive instances predicted positive.
-    pub true_positive: usize,
-    /// Negative instances predicted negative.
-    pub true_negative: usize,
-    /// Negative instances predicted positive.
-    pub false_positive: usize,
-    /// Positive instances predicted negative.
-    pub false_negative: usize,
+    /// Row-major `classes × classes` cells; row = truth, column = predicted.
+    cells: Vec<usize>,
+    classes: usize,
+}
+
+impl Default for ConfusionMatrix {
+    fn default() -> Self {
+        Self::with_classes(2)
+    }
 }
 
 impl ConfusionMatrix {
+    /// An empty matrix over `num_classes` classes (at least 2).
+    pub fn with_classes(num_classes: usize) -> Self {
+        let classes = num_classes.max(2);
+        ConfusionMatrix {
+            cells: vec![0; classes * classes],
+            classes,
+        }
+    }
+
     /// Builds a confusion matrix from parallel slices of true and predicted
-    /// labels.
+    /// labels; the class count is inferred from the largest label index
+    /// seen (at least 2).
     ///
     /// # Panics
     /// Panics if the slices have different lengths.
     pub fn from_predictions(truth: &[Label], predicted: &[Label]) -> Self {
+        let classes = truth.iter().chain(predicted).map(|label| label.index() + 1).max().unwrap_or(2);
+        Self::from_predictions_with_classes(truth, predicted, classes)
+    }
+
+    /// [`ConfusionMatrix::from_predictions`] over an explicit class count,
+    /// for evaluations where the sample may not exercise every class.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or a label index is at
+    /// or beyond `num_classes`.
+    pub fn from_predictions_with_classes(
+        truth: &[Label],
+        predicted: &[Label],
+        num_classes: usize,
+    ) -> Self {
         assert_eq!(
             truth.len(),
             predicted.len(),
             "label slices must have equal length"
         );
-        let mut matrix = ConfusionMatrix::default();
+        let mut matrix = Self::with_classes(num_classes);
+        let classes = matrix.classes;
         for (&t, &p) in truth.iter().zip(predicted) {
-            match (t, p) {
-                (Label::Positive, Label::Positive) => matrix.true_positive += 1,
-                (Label::Negative, Label::Negative) => matrix.true_negative += 1,
-                (Label::Negative, Label::Positive) => matrix.false_positive += 1,
-                (Label::Positive, Label::Negative) => matrix.false_negative += 1,
-            }
+            assert!(
+                t.index() < classes && p.index() < classes,
+                "label index out of range for {classes} classes"
+            );
+            matrix.cells[t.index() * classes + p.index()] += 1;
         }
         matrix
     }
 
-    /// Total number of instances.
-    pub fn total(&self) -> usize {
-        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    /// Number of classes `k` the matrix tracks.
+    pub fn num_classes(&self) -> usize {
+        self.classes
     }
 
-    /// Fraction of correct predictions. Returns `0.0` for an empty matrix.
+    /// Count of instances of true class `truth` predicted as `predicted`.
+    ///
+    /// # Panics
+    /// Panics if either index is at or beyond `num_classes()`.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        assert!(truth < self.classes && predicted < self.classes);
+        self.cells[truth * self.classes + predicted]
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.cells.iter().sum()
+    }
+
+    fn diagonal(&self) -> usize {
+        (0..self.classes).map(|c| self.cells[c * self.classes + c]).sum()
+    }
+
+    fn predicted_as(&self, class: usize) -> usize {
+        (0..self.classes).map(|t| self.cells[t * self.classes + class]).sum()
+    }
+
+    fn truly(&self, class: usize) -> usize {
+        self.cells[class * self.classes..(class + 1) * self.classes].iter().sum()
+    }
+
+    /// Positive instances predicted positive (cell `(1, 1)`).
+    pub fn true_positive(&self) -> usize {
+        self.count(1, 1)
+    }
+
+    /// Negative instances predicted negative (cell `(0, 0)`).
+    pub fn true_negative(&self) -> usize {
+        self.count(0, 0)
+    }
+
+    /// Negative instances predicted positive (cell `(0, 1)`).
+    pub fn false_positive(&self) -> usize {
+        self.count(0, 1)
+    }
+
+    /// Positive instances predicted negative (cell `(1, 0)`).
+    pub fn false_negative(&self) -> usize {
+        self.count(1, 0)
+    }
+
+    /// Fraction of correct predictions (the diagonal over the total).
+    /// Returns `0.0` for an empty matrix.
     pub fn accuracy(&self) -> f64 {
         let total = self.total();
         if total == 0 {
             0.0
         } else {
-            (self.true_positive + self.true_negative) as f64 / total as f64
+            self.diagonal() as f64 / total as f64
         }
     }
 
-    /// Precision of the positive class (`TP / (TP + FP)`). Returns `0.0`
-    /// when no positive predictions were made.
-    pub fn precision(&self) -> f64 {
-        let denom = self.true_positive + self.false_positive;
+    /// Precision of one class: its diagonal cell over everything predicted
+    /// as it. Returns `0.0` when the class is never predicted.
+    pub fn precision_for(&self, class: usize) -> f64 {
+        let denom = self.predicted_as(class);
         if denom == 0 {
             0.0
         } else {
-            self.true_positive as f64 / denom as f64
+            self.count(class, class) as f64 / denom as f64
         }
     }
 
-    /// Recall of the positive class (`TP / (TP + FN)`). Returns `0.0` when
-    /// there are no positive instances.
-    pub fn recall(&self) -> f64 {
-        let denom = self.true_positive + self.false_negative;
+    /// Recall of one class: its diagonal cell over its true instances.
+    /// Returns `0.0` when the class has no instances.
+    pub fn recall_for(&self, class: usize) -> f64 {
+        let denom = self.truly(class);
         if denom == 0 {
             0.0
         } else {
-            self.true_positive as f64 / denom as f64
+            self.count(class, class) as f64 / denom as f64
         }
     }
 
-    /// Harmonic mean of precision and recall. Returns `0.0` when both are
-    /// zero.
-    pub fn f1(&self) -> f64 {
-        let p = self.precision();
-        let r = self.recall();
+    /// F1 of one class: the harmonic mean of its precision and recall.
+    /// Returns `0.0` when both are zero.
+    pub fn f1_for(&self, class: usize) -> f64 {
+        let p = self.precision_for(class);
+        let r = self.recall_for(class);
         if p + r == 0.0 {
             0.0
         } else {
@@ -89,22 +168,79 @@ impl ConfusionMatrix {
         }
     }
 
+    /// Precision of the positive class (`TP / (TP + FP)`). Returns `0.0`
+    /// when no positive predictions were made.
+    pub fn precision(&self) -> f64 {
+        self.precision_for(1)
+    }
+
+    /// Recall of the positive class (`TP / (TP + FN)`). Returns `0.0` when
+    /// there are no positive instances.
+    pub fn recall(&self) -> f64 {
+        self.recall_for(1)
+    }
+
+    /// Harmonic mean of positive-class precision and recall. Returns `0.0`
+    /// when both are zero.
+    pub fn f1(&self) -> f64 {
+        self.f1_for(1)
+    }
+
+    /// Macro-averaged precision: the unweighted mean of per-class
+    /// precisions.
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.classes).map(|c| self.precision_for(c)).sum::<f64>() / self.classes as f64
+    }
+
+    /// Macro-averaged recall: the unweighted mean of per-class recalls
+    /// (identical to [`ConfusionMatrix::balanced_accuracy`]).
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.classes).map(|c| self.recall_for(c)).sum::<f64>() / self.classes as f64
+    }
+
+    /// Macro-averaged F1: the unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes).map(|c| self.f1_for(c)).sum::<f64>() / self.classes as f64
+    }
+
     /// Balanced accuracy: mean of per-class recalls. Useful for the heavily
     /// imbalanced ijcnn1-like dataset (10%/90%).
     pub fn balanced_accuracy(&self) -> f64 {
-        let pos_denom = self.true_positive + self.false_negative;
-        let neg_denom = self.true_negative + self.false_positive;
-        let pos_recall = if pos_denom == 0 {
-            0.0
-        } else {
-            self.true_positive as f64 / pos_denom as f64
-        };
-        let neg_recall = if neg_denom == 0 {
-            0.0
-        } else {
-            self.true_negative as f64 / neg_denom as f64
-        };
-        (pos_recall + neg_recall) / 2.0
+        self.macro_recall()
+    }
+}
+
+/// Serializes as `{classes, cells}`; deserialization also accepts the
+/// pre-k-class four-field binary struct.
+impl Serialize for ConfusionMatrix {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("classes".to_string(), self.classes.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ConfusionMatrix {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = value.as_map().ok_or_else(|| DeError::expected("map", "ConfusionMatrix"))?;
+        if entries.iter().any(|(key, _)| key == "cells") {
+            let classes = usize::from_value(serde::map_get(entries, "classes")?)?;
+            let cells: Vec<usize> = Vec::from_value(serde::map_get(entries, "cells")?)?;
+            if classes < 2 || cells.len() != classes * classes {
+                return Err(DeError::new(format!(
+                    "invalid ConfusionMatrix: {} cells for {classes} classes",
+                    cells.len()
+                )));
+            }
+            return Ok(ConfusionMatrix { cells, classes });
+        }
+        let mut matrix = ConfusionMatrix::with_classes(2);
+        matrix.cells[3] = usize::from_value(serde::map_get(entries, "true_positive")?)?;
+        matrix.cells[0] = usize::from_value(serde::map_get(entries, "true_negative")?)?;
+        matrix.cells[1] = usize::from_value(serde::map_get(entries, "false_positive")?)?;
+        matrix.cells[2] = usize::from_value(serde::map_get(entries, "false_negative")?)?;
+        Ok(matrix)
     }
 }
 
@@ -119,7 +255,8 @@ pub fn accuracy(truth: &[Label], predicted: &[Label]) -> f64 {
 /// Area under the ROC curve for scores where larger means "more positive".
 ///
 /// Computed via the Mann-Whitney U statistic; ties contribute 1/2. Returns
-/// `0.5` when either class is absent (no ranking information).
+/// `0.5` when either class is absent (no ranking information). In a
+/// k-class setting this is the one-vs-rest AUC of class 1.
 pub fn roc_auc(truth: &[Label], scores: &[f64]) -> f64 {
     assert_eq!(truth.len(), scores.len(), "scores must align with labels");
     let positives: Vec<f64> = truth
@@ -177,10 +314,10 @@ mod tests {
         let truth = [P, P, N, N, P];
         let predicted = [P, N, N, P, P];
         let m = ConfusionMatrix::from_predictions(&truth, &predicted);
-        assert_eq!(m.true_positive, 2);
-        assert_eq!(m.false_negative, 1);
-        assert_eq!(m.true_negative, 1);
-        assert_eq!(m.false_positive, 1);
+        assert_eq!(m.true_positive(), 2);
+        assert_eq!(m.false_negative(), 1);
+        assert_eq!(m.true_negative(), 1);
+        assert_eq!(m.false_positive(), 1);
         assert_eq!(m.total(), 5);
         assert!((m.accuracy() - 0.6).abs() < 1e-12);
     }
@@ -194,6 +331,7 @@ mod tests {
         assert_eq!(m.recall(), 1.0);
         assert_eq!(m.f1(), 1.0);
         assert_eq!(m.balanced_accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
     }
 
     #[test]
@@ -213,6 +351,64 @@ mod tests {
         let m = ConfusionMatrix::from_predictions(&truth, &predicted);
         assert!((m.accuracy() - 0.9).abs() < 1e-12);
         assert!((m.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_class_cells_and_macro_metrics() {
+        let c = |i: usize| Label::from_index(i).unwrap();
+        // 3 classes: class 0 perfectly predicted, class 1 half right,
+        // class 2 never predicted correctly.
+        let truth = [c(0), c(0), c(1), c(1), c(2), c(2)];
+        let predicted = [c(0), c(0), c(1), c(2), c(0), c(1)];
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(1, 2), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.total(), 6);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        // Recalls: 1.0, 0.5, 0.0 → macro recall 0.5.
+        assert!((m.macro_recall() - 0.5).abs() < 1e-12);
+        // Precisions: 2/3, 1/2, 0 → macro precision 7/18.
+        assert!((m.macro_precision() - 7.0 / 18.0).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.0 && m.macro_f1() < 1.0);
+        assert_eq!(m.f1_for(2), 0.0);
+    }
+
+    #[test]
+    fn explicit_class_count_covers_unseen_classes() {
+        let truth = [N, P];
+        let m = ConfusionMatrix::from_predictions_with_classes(&truth, &truth, 5);
+        assert_eq!(m.num_classes(), 5);
+        assert_eq!(m.recall_for(4), 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn binary_views_agree_with_macro_metrics_for_two_classes() {
+        let truth = [P, P, N, N, P, N];
+        let predicted = [P, N, N, P, P, N];
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        let macro_recall = (m.recall_for(0) + m.recall_for(1)) / 2.0;
+        assert_eq!(m.balanced_accuracy(), macro_recall);
+        assert_eq!(m.precision(), m.precision_for(1));
+    }
+
+    #[test]
+    fn serde_round_trip_and_legacy_binary_shape() {
+        let truth = [P, N, P];
+        let m = ConfusionMatrix::from_predictions(&truth, &truth);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        let legacy: ConfusionMatrix = serde_json::from_str(
+            "{\"true_positive\":2,\"true_negative\":1,\"false_positive\":3,\"false_negative\":4}",
+        )
+        .unwrap();
+        assert_eq!(legacy.true_positive(), 2);
+        assert_eq!(legacy.true_negative(), 1);
+        assert_eq!(legacy.false_positive(), 3);
+        assert_eq!(legacy.false_negative(), 4);
     }
 
     #[test]

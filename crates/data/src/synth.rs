@@ -283,6 +283,112 @@ impl SyntheticSpec {
     }
 }
 
+/// Specification of a k-class synthetic dataset, the workload generator
+/// behind the multi-class experiment driver. Each class is a mixture of
+/// axis-aligned Gaussian clusters in an informative subspace (the
+/// `Clustered` style above, generalized to k classes); label noise rotates
+/// labels to the next class so every corruption is a genuine class change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClassSpec {
+    /// Dataset name used for reporting.
+    pub name: String,
+    /// Number of instances to generate.
+    pub instances: usize,
+    /// Number of features per instance.
+    pub features: usize,
+    /// Number of classes `k` (at least 2).
+    pub num_classes: usize,
+    /// Number of features that actually carry class signal.
+    pub informative_features: usize,
+    /// Standard deviation of the per-instance feature noise.
+    pub noise_std: f64,
+    /// Fraction of labels rotated to the next class after generation.
+    pub label_noise: f64,
+}
+
+impl MultiClassSpec {
+    /// A laptop-sized k-class workload with a learnable cluster structure,
+    /// used by the k ∈ {2, 3, 5, 10} experiment sweep.
+    pub fn k_class(num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        Self {
+            name: format!("synth-k{num_classes}"),
+            instances: 240 * num_classes,
+            features: 16,
+            num_classes,
+            informative_features: 10,
+            noise_std: 0.06,
+            label_noise: 0.01,
+        }
+    }
+
+    /// Returns a copy with the instance count scaled by `factor`
+    /// (never below 30 instances per class).
+    pub fn scaled(&self, factor: f64) -> MultiClassSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut spec = self.clone();
+        spec.instances = ((self.instances as f64 * factor).round() as usize).max(30 * self.num_classes);
+        spec
+    }
+
+    /// Generates the dataset. All randomness comes from `rng`, so a fixed
+    /// seed reproduces the same dataset bit-for-bit.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        assert!(self.num_classes >= 2, "need at least two classes");
+        assert!(self.features >= 1, "need at least one feature");
+        let informative = self.informative_features.min(self.features).max(1);
+        // Two clusters per class keeps the decision surface non-linear
+        // without making k=10 unlearnable at laptop-sized instance counts.
+        let centers: Vec<Vec<Vec<f64>>> = (0..self.num_classes)
+            .map(|_| sample_cluster_centers(2, informative, rng))
+            .collect();
+        let base = self.instances / self.num_classes;
+        let remainder = self.instances % self.num_classes;
+        let noise = Normal::new(0.0, self.noise_std).expect("valid std");
+        let mut rows = Vec::with_capacity(self.instances);
+        let mut labels = Vec::with_capacity(self.instances);
+        for (class, clusters) in centers.iter().enumerate() {
+            let count = base + usize::from(class < remainder);
+            let label = Label::from_index(class).expect("class fits a label");
+            for _ in 0..count {
+                let center = &clusters[rng.gen_range(0..clusters.len())];
+                let mut row = Vec::with_capacity(self.features);
+                // An index loop (not an iterator chain) keeps the RNG call
+                // order explicit, which generated datasets depend on.
+                #[allow(clippy::needless_range_loop)]
+                for feature in 0..self.features {
+                    let value = if feature < informative {
+                        (center[feature] + noise.sample(rng)).clamp(0.0, 1.0)
+                    } else {
+                        rng.gen_range(0.0..1.0)
+                    };
+                    row.push(value);
+                }
+                rows.push(row);
+                labels.push(label);
+            }
+        }
+
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.shuffle(rng);
+        let mut shuffled_rows = Vec::with_capacity(rows.len());
+        let mut shuffled_labels = Vec::with_capacity(labels.len());
+        for &i in &order {
+            shuffled_rows.push(std::mem::take(&mut rows[i]));
+            shuffled_labels.push(labels[i]);
+        }
+        for label in shuffled_labels.iter_mut() {
+            if rng.gen_bool(self.label_noise.clamp(0.0, 1.0)) {
+                *label = label.rotated(self.num_classes);
+            }
+        }
+
+        let features = DenseMatrix::from_rows(&shuffled_rows).expect("generated rows are rectangular");
+        Dataset::with_classes(self.name.clone(), features, shuffled_labels, self.num_classes)
+            .expect("labels align with rows")
+    }
+}
+
 /// Draws a stroke prototype: a few random walks over a `side x side` grid,
 /// marking roughly `target_active` pixels with high intensity and leaving a
 /// dim halo around them.
@@ -430,6 +536,41 @@ mod tests {
     }
 
     #[test]
+    fn k_class_generator_produces_balanced_learnable_classes() {
+        for k in [2usize, 3, 5, 10] {
+            let spec = MultiClassSpec::k_class(k);
+            let mut rng = SmallRng::seed_from_u64(17);
+            let dataset = spec.generate(&mut rng);
+            assert_eq!(dataset.num_classes(), k);
+            assert_eq!(dataset.len(), spec.instances);
+            // Balanced within rounding plus the 1% rotation noise.
+            let expected = spec.instances as f64 / k as f64;
+            for class in 0..k {
+                let count = dataset.labels().iter().filter(|l| l.index() == class).count() as f64;
+                assert!(
+                    (count - expected).abs() < expected * 0.25 + 2.0,
+                    "class {class} count {count} far from {expected}"
+                );
+            }
+            for (row, _) in dataset.iter() {
+                for &v in row {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_class_generation_is_deterministic_per_seed() {
+        let spec = MultiClassSpec::k_class(5);
+        let a = spec.generate(&mut SmallRng::seed_from_u64(7));
+        let b = spec.generate(&mut SmallRng::seed_from_u64(7));
+        let c = spec.generate(&mut SmallRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn classes_are_linearly_separable_enough_for_a_stump_vote() {
         // A crude learnability check that does not depend on the tree crate:
         // using per-feature class means on a train half, a nearest-mean
@@ -445,18 +586,15 @@ mod tests {
         let mut count_pos = 0.0f64;
         let mut count_neg = 0.0f64;
         for (row, label) in train.iter() {
-            match label {
-                Label::Positive => {
-                    count_pos += 1.0;
-                    for (m, &v) in mean_pos.iter_mut().zip(row) {
-                        *m += v;
-                    }
+            if label == Label::Positive {
+                count_pos += 1.0;
+                for (m, &v) in mean_pos.iter_mut().zip(row) {
+                    *m += v;
                 }
-                Label::Negative => {
-                    count_neg += 1.0;
-                    for (m, &v) in mean_neg.iter_mut().zip(row) {
-                        *m += v;
-                    }
+            } else {
+                count_neg += 1.0;
+                for (m, &v) in mean_neg.iter_mut().zip(row) {
+                    *m += v;
                 }
             }
         }

@@ -15,6 +15,7 @@
 //! | Figure 5 (forged instances) | [`security::figure5`] | `fig5` |
 //! | Suppression analysis (§3.3) | [`security::suppression_row`] | `suppression` |
 //! | Theorem 1 validation | [`theorem1`] | `theorem1` |
+//! | k-class sweep (beyond the paper) | [`multiclass`] | `multiclass` |
 //!
 //! All binaries accept `--full` for paper-scale parameters and default to a
 //! laptop-sized configuration that preserves the qualitative trends; see
@@ -25,6 +26,7 @@
 
 pub mod accuracy;
 pub mod datasets;
+pub mod multiclass;
 pub mod report;
 pub mod security;
 pub mod settings;

@@ -123,14 +123,32 @@ pub struct ForgeryQuery<'a> {
 
 impl<'a> ForgeryQuery<'a> {
     /// Builds the per-tree required predictions from a signature bit-string
-    /// and a target label, following the paper's convention: tree `i` must
-    /// predict `label` iff bit `i` is 0, and the opposite label otherwise.
+    /// and a target label, following the paper's binary convention: tree
+    /// `i` must predict `label` iff bit `i` is 0, and the opposite label
+    /// otherwise. Equivalent to [`Self::from_signature_bits_k`] with
+    /// `num_classes = 2`.
     pub fn from_signature_bits(
         bits: &[bool],
         label: Label,
         reference: Option<(&'a [f64], f64)>,
     ) -> Self {
-        let required = bits.iter().map(|&bit| if bit { label.flipped() } else { label }).collect();
+        Self::from_signature_bits_k(bits, label, 2, reference)
+    }
+
+    /// Builds the per-tree required predictions for a `num_classes`-class
+    /// label space: tree `i` must predict `label` iff bit `i` is 0, and
+    /// the deterministically rotated label `(c + 1) mod k` otherwise —
+    /// the same rotation the watermarking embed and verify paths use.
+    pub fn from_signature_bits_k(
+        bits: &[bool],
+        label: Label,
+        num_classes: usize,
+        reference: Option<(&'a [f64], f64)>,
+    ) -> Self {
+        let required = bits
+            .iter()
+            .map(|&bit| if bit { label.rotated(num_classes) } else { label })
+            .collect();
         Self { required, reference }
     }
 }

@@ -8,7 +8,7 @@
 //! exposes exactly that interface; majority voting is layered on top.
 
 use crate::params::ForestParams;
-use crate::tree::{DecisionTree, TreeStats};
+use crate::tree::{DecisionTree, Node, TreeStats};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -22,6 +22,22 @@ pub struct RandomForest {
     trees: Vec<DecisionTree>,
     feature_subsets: Vec<Vec<usize>>,
     num_features: usize,
+    num_classes: usize,
+}
+
+/// Smallest class count covering every leaf label of `trees` (at least 2);
+/// the k assumed for forests whose artefacts predate the explicit field.
+fn max_leaf_classes(trees: &[DecisionTree]) -> usize {
+    trees
+        .iter()
+        .flat_map(|tree| tree.nodes())
+        .filter_map(|node| match node {
+            Node::Leaf { label, .. } => Some(label.index() + 1),
+            Node::Internal { .. } => None,
+        })
+        .max()
+        .unwrap_or(2)
+        .max(2)
 }
 
 /// Deserialization validates the forest-level invariants (each tree's
@@ -65,10 +81,28 @@ impl Deserialize for RandomForest {
                 )));
             }
         }
+        // Forests serialized before the k-class generalization carry no
+        // class count; they are binary by construction, so infer k from the
+        // leaf labels instead of rejecting the artefact.
+        let leaf_classes = max_leaf_classes(&trees);
+        let num_classes = match entries.iter().find(|(key, _)| key == "num_classes") {
+            Some((_, value)) => {
+                let declared = usize::from_value(value)?;
+                if declared < leaf_classes {
+                    return Err(DeError::new(format!(
+                        "invalid RandomForest: claims {declared} classes but a leaf predicts class {}",
+                        leaf_classes - 1
+                    )));
+                }
+                declared
+            }
+            None => leaf_classes,
+        };
         Ok(RandomForest {
             trees,
             feature_subsets,
             num_features,
+            num_classes,
         })
     }
 }
@@ -121,6 +155,7 @@ impl RandomForest {
             trees,
             feature_subsets,
             num_features: dataset.num_features(),
+            num_classes: dataset.num_classes(),
         }
     }
 
@@ -131,13 +166,30 @@ impl RandomForest {
     /// # Panics
     /// Panics if `trees` is empty or the trees disagree on dimensionality.
     pub fn from_trees(trees: Vec<DecisionTree>) -> Self {
+        let num_classes = max_leaf_classes(&trees);
+        Self::from_trees_with_classes(trees, num_classes)
+    }
+
+    /// [`RandomForest::from_trees`] with an explicit class count, for
+    /// ensembles whose trees do not happen to predict every class.
+    ///
+    /// # Panics
+    /// Panics if `trees` is empty, the trees disagree on dimensionality, or
+    /// a leaf predicts a class at or beyond `num_classes`.
+    pub fn from_trees_with_classes(trees: Vec<DecisionTree>, num_classes: usize) -> Self {
         assert!(!trees.is_empty(), "a forest needs at least one tree");
+        let num_classes = num_classes.max(2);
+        assert!(
+            max_leaf_classes(&trees) <= num_classes,
+            "a leaf predicts a class beyond num_classes"
+        );
         let num_features = trees.iter().map(|t| t.num_features()).max().expect("non-empty");
         let feature_subsets = trees.iter().map(|_| (0..num_features).collect()).collect();
         RandomForest {
             trees,
             feature_subsets,
             num_features,
+            num_classes,
         }
     }
 
@@ -149,6 +201,11 @@ impl RandomForest {
     /// Number of features of the training space.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Number of classes `k` the forest votes over.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
     }
 
     /// Borrow of the individual trees.
@@ -167,20 +224,31 @@ impl RandomForest {
         self.trees.iter().map(|t| t.predict(instance)).collect()
     }
 
-    /// Majority-vote prediction for one instance (ties go to the negative
-    /// class).
-    pub fn predict(&self, instance: &[f64]) -> Label {
-        let positive_votes =
-            self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
-        if 2 * positive_votes > self.trees.len() {
-            Label::Positive
-        } else {
-            Label::Negative
+    /// Per-class vote counts for one instance, indexed by class.
+    pub fn vote_counts(&self, instance: &[f64]) -> Vec<usize> {
+        let mut votes = vec![0usize; self.num_classes];
+        for tree in &self.trees {
+            votes[tree.predict(instance).index()] += 1;
         }
+        votes
+    }
+
+    /// Plurality-vote prediction for one instance; ties go to the lowest
+    /// class index (the negative class for k=2, matching the binary
+    /// implementation's `2·positives > m` rule exactly).
+    pub fn predict(&self, instance: &[f64]) -> Label {
+        let votes = self.vote_counts(instance);
+        let mut winner = 0usize;
+        for (class, &count) in votes.iter().enumerate().skip(1) {
+            if count > votes[winner] {
+                winner = class;
+            }
+        }
+        Label::from_index(winner).expect("class count bounded by Label::MAX_CLASSES")
     }
 
     /// Fraction of trees voting for the positive class; a calibrated score
-    /// usable for ROC analysis.
+    /// usable for ROC analysis (one-vs-rest for class 1 when k > 2).
     pub fn positive_vote_fraction(&self, instance: &[f64]) -> f64 {
         let positive_votes =
             self.trees.iter().filter(|t| t.predict(instance) == Label::Positive).count();
@@ -201,10 +269,15 @@ impl RandomForest {
         wdte_data::accuracy(dataset.labels(), &predictions)
     }
 
-    /// Confusion matrix of majority-vote predictions over a dataset.
+    /// Confusion matrix of majority-vote predictions over a dataset, sized
+    /// to cover both the forest's and the dataset's class count.
     pub fn confusion(&self, dataset: &Dataset) -> ConfusionMatrix {
         let predictions = self.predict_dataset(dataset);
-        ConfusionMatrix::from_predictions(dataset.labels(), &predictions)
+        ConfusionMatrix::from_predictions_with_classes(
+            dataset.labels(),
+            &predictions,
+            self.num_classes.max(dataset.num_classes()),
+        )
     }
 
     /// Structural statistics of every tree, in tree order.

@@ -188,8 +188,9 @@ pub trait InferenceKernel: Send + Sync {
         labels: &mut [Label],
     );
 
-    /// Adds each row's positive-vote count into `votes` (one slot per
-    /// sample; callers pass zeroed buffers).
+    /// Adds each row's per-class vote counts into `votes` (sample-major,
+    /// `forest.num_classes()` slots per sample; callers pass zeroed
+    /// buffers).
     fn vote_rows(
         &self,
         forest: &CompiledForest,
@@ -529,9 +530,8 @@ impl<const W: usize> InferenceKernel for BlockedKernel<W> {
     ) {
         let num_trees = forest.num_trees();
         run_blocked::<W, false, _>(forest, values, cols, samples, |sample, tree, label| {
-            if label == 1 {
-                labels[sample * num_trees + tree] = Label::Positive;
-            }
+            labels[sample * num_trees + tree] =
+                Label::from_index(label as usize).expect("validated leaf class");
         });
     }
 
@@ -543,8 +543,9 @@ impl<const W: usize> InferenceKernel for BlockedKernel<W> {
         samples: usize,
         votes: &mut [u32],
     ) {
+        let classes = forest.num_classes().max(2);
         run_blocked::<W, false, _>(forest, values, cols, samples, |sample, _, label| {
-            votes[sample] += label;
+            votes[sample * classes + label as usize] += 1;
         });
     }
 }
@@ -569,9 +570,8 @@ impl<const W: usize> InferenceKernel for QuantizedKernel<W> {
     ) {
         let num_trees = forest.num_trees();
         run_blocked::<W, true, _>(forest, values, cols, samples, |sample, tree, label| {
-            if label == 1 {
-                labels[sample * num_trees + tree] = Label::Positive;
-            }
+            labels[sample * num_trees + tree] =
+                Label::from_index(label as usize).expect("validated leaf class");
         });
     }
 
@@ -583,8 +583,9 @@ impl<const W: usize> InferenceKernel for QuantizedKernel<W> {
         samples: usize,
         votes: &mut [u32],
     ) {
+        let classes = forest.num_classes().max(2);
         run_blocked::<W, true, _>(forest, values, cols, samples, |sample, _, label| {
-            votes[sample] += label;
+            votes[sample * classes + label as usize] += 1;
         });
     }
 }
@@ -606,7 +607,7 @@ pub(super) fn autotune(
         candidates[1 + 2 * i] = ResolvedKernel::Blocked { width };
         candidates[2 + 2 * i] = ResolvedKernel::Quantized { width };
     }
-    let mut votes = vec![0u32; probe_rows];
+    let mut votes = vec![0u32; probe_rows * forest.num_classes().max(2)];
     let mut best = candidates[0];
     let mut best_ns = u128::MAX;
     for candidate in candidates {

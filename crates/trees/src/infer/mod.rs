@@ -77,6 +77,9 @@ pub struct CompiledForest {
     right: Vec<u32>,
     tree_starts: Vec<u32>,
     num_features: usize,
+    /// Number of classes `k` of the label space; leaf class indices are
+    /// validated to stay below it.
+    num_classes: usize,
     /// Branchless traversal table derived from the SoA arrays (see
     /// [`HotNode`]); never serialized.
     hot: Vec<HotNode>,
@@ -108,6 +111,7 @@ impl PartialEq for CompiledForest {
             && self.right == other.right
             && self.tree_starts == other.tree_starts
             && self.num_features == other.num_features
+            && self.num_classes == other.num_classes
     }
 }
 
@@ -185,12 +189,26 @@ fn build_depths(feature: &[u32], left: &[u32], right: &[u32], tree_starts: &[u32
         .collect()
 }
 
+/// Index of the class with the most votes; ties go to the lowest class
+/// index, which for binary labels reproduces the paper's tie-to-negative
+/// majority rule (`positive` wins iff `2 * positive > m`).
+fn argmax_class(counts: &[u32]) -> usize {
+    let mut winner = 0usize;
+    for (class, &count) in counts.iter().enumerate().skip(1) {
+        if count > counts[winner] {
+            winner = class;
+        }
+    }
+    winner
+}
+
 /// Per-tree predictions for a batch of samples, stored sample-major (the
 /// votes of one sample are contiguous).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchPredictions {
     labels: Vec<Label>,
     num_trees: usize,
+    num_classes: usize,
 }
 
 impl BatchPredictions {
@@ -204,6 +222,11 @@ impl BatchPredictions {
         self.num_trees
     }
 
+    /// Number of classes `k` of the forest that produced these votes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     /// Per-tree votes of one sample, in tree order.
     ///
     /// # Panics
@@ -212,19 +235,33 @@ impl BatchPredictions {
         &self.labels[sample * self.num_trees..(sample + 1) * self.num_trees]
     }
 
-    /// Number of trees voting [`Label::Positive`] for one sample.
+    /// Number of trees voting [`Label::Positive`] for one sample (the
+    /// one-vs-rest view of class 1 for `k > 2`).
     pub fn positive_votes(&self, sample: usize) -> usize {
         self.sample(sample).iter().filter(|&&l| l == Label::Positive).count()
     }
 
-    /// Majority vote of one sample (ties go to the negative class,
-    /// matching [`RandomForest::predict`]).
-    pub fn majority(&self, sample: usize) -> Label {
-        if 2 * self.positive_votes(sample) > self.num_trees {
-            Label::Positive
-        } else {
-            Label::Negative
+    /// Number of trees voting each class for one sample, indexed by class.
+    pub fn class_votes(&self, sample: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes.max(2)];
+        for label in self.sample(sample) {
+            counts[label.index()] += 1;
         }
+        counts
+    }
+
+    /// Plurality vote of one sample (ties go to the lowest class index,
+    /// which for binary labels is the negative class, matching
+    /// [`RandomForest::predict`]).
+    pub fn majority(&self, sample: usize) -> Label {
+        let counts = self.class_votes(sample);
+        let mut winner = 0usize;
+        for (class, &count) in counts.iter().enumerate().skip(1) {
+            if count > counts[winner] {
+                winner = class;
+            }
+        }
+        Label::from_index(winner).expect("class index fits u16")
     }
 
     /// Iterator over per-sample vote slices.
@@ -244,6 +281,7 @@ impl CompiledForest {
             right: Vec::with_capacity(total_nodes),
             tree_starts: Vec::with_capacity(forest.num_trees() + 1),
             num_features: forest.num_features(),
+            num_classes: forest.num_classes(),
             hot: Vec::new(),
             depths: Vec::new(),
             depth_order: Vec::new(),
@@ -320,6 +358,11 @@ impl CompiledForest {
         self.num_features
     }
 
+    /// Number of classes `k` of the label space.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     /// Total number of nodes across all trees.
     pub fn total_nodes(&self) -> usize {
         self.feature.len()
@@ -341,11 +384,8 @@ impl CompiledForest {
         loop {
             let feature = self.feature[node];
             if feature == LEAF_MARKER {
-                return if self.left[node] == 1 {
-                    Label::Positive
-                } else {
-                    Label::Negative
-                };
+                return Label::from_index(self.left[node] as usize)
+                    .expect("leaf class indices are validated to fit the label space");
             }
             node = if instance[feature as usize] <= self.threshold[node] {
                 self.left[node] as usize
@@ -447,20 +487,17 @@ impl CompiledForest {
             .collect()
     }
 
-    /// Majority-vote prediction for one instance (ties go to the negative
-    /// class); equivalent to [`RandomForest::predict`].
+    /// Plurality-vote prediction for one instance (ties go to the lowest
+    /// class index); equivalent to [`RandomForest::predict`].
     pub fn predict(&self, instance: &[f64]) -> Label {
-        let positive = (0..self.num_trees())
-            .filter(|&t| self.walk(self.tree_starts[t] as usize, instance) == Label::Positive)
-            .count();
-        if 2 * positive > self.num_trees() {
-            Label::Positive
-        } else {
-            Label::Negative
+        let mut counts = vec![0u32; self.num_classes.max(2)];
+        for tree in 0..self.num_trees() {
+            counts[self.walk(self.tree_starts[tree] as usize, instance).index()] += 1;
         }
+        Label::from_index(argmax_class(&counts)).expect("class index fits u16")
     }
 
-    /// Block-wise majority-vote predictions for every row of a feature
+    /// Block-wise plurality-vote predictions for every row of a feature
     /// matrix. This is the deployment hot path: all trees are walked over
     /// one block of samples before moving to the next block, so a tree's
     /// node arrays stay cached across the whole block.
@@ -468,22 +505,42 @@ impl CompiledForest {
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn predict_batch(&self, features: &DenseMatrix) -> Vec<Label> {
-        let votes = self.positive_vote_counts(features);
-        let majority_threshold = self.num_trees();
-        votes
-            .into_iter()
-            .map(|positive| {
-                if 2 * positive as usize > majority_threshold {
-                    Label::Positive
-                } else {
-                    Label::Negative
-                }
-            })
-            .collect()
+        self.predict_batch_with(features, Kernel::Scalar)
     }
 
-    /// Block-wise count of trees voting positive, per row, through the
-    /// scalar reference kernel.
+    /// Block-wise per-class vote counts, sample-major (`samples × k`, one
+    /// `u32` per class per row), through the scalar reference kernel.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn class_vote_counts(&self, features: &DenseMatrix) -> Vec<u32> {
+        self.class_vote_counts_with(features, Kernel::Scalar)
+    }
+
+    /// [`Self::class_vote_counts`] through an explicitly selected kernel;
+    /// every kernel returns bit-identical counts.
+    ///
+    /// # Panics
+    /// Panics if `features.cols() < num_features()`.
+    pub fn class_vote_counts_with(&self, features: &DenseMatrix, kernel: Kernel) -> Vec<u32> {
+        assert!(
+            features.cols() >= self.num_features,
+            "batch has {} features but the model needs {}",
+            features.cols(),
+            self.num_features
+        );
+        let samples = features.rows();
+        let values = features.as_slice();
+        let cols = features.cols();
+        let mut votes = vec![0u32; samples * self.num_classes.max(2)];
+        let resolved = self.resolve_kernel(kernel, values, cols, samples);
+        resolved.implementation().vote_rows(self, values, cols, samples, &mut votes);
+        votes
+    }
+
+    /// Block-wise count of trees voting positive (class 1), per row,
+    /// through the scalar reference kernel; the one-vs-rest view of class
+    /// 1 for `k > 2`.
     ///
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
@@ -497,33 +554,25 @@ impl CompiledForest {
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn positive_vote_counts_with(&self, features: &DenseMatrix, kernel: Kernel) -> Vec<u32> {
-        assert!(
-            features.cols() >= self.num_features,
-            "batch has {} features but the model needs {}",
-            features.cols(),
-            self.num_features
-        );
-        let samples = features.rows();
-        let values = features.as_slice();
-        let cols = features.cols();
-        let mut votes = vec![0u32; samples];
-        let resolved = self.resolve_kernel(kernel, values, cols, samples);
-        resolved.implementation().vote_rows(self, values, cols, samples, &mut votes);
-        votes
+        let classes = self.num_classes.max(2);
+        self.class_vote_counts_with(features, kernel)
+            .chunks_exact(classes)
+            .map(|row| row[1])
+            .collect()
     }
 
-    /// Scalar positive-vote kernel body: the tree-lockstep walk for wide
-    /// rows over deep ensembles, 64-sample blocks otherwise.
+    /// Scalar per-class-vote kernel body: the tree-lockstep walk for wide
+    /// rows over deep ensembles, 64-sample blocks otherwise. `votes` is
+    /// sample-major with `num_classes` slots per row.
     fn scalar_vote_rows(&self, values: &[f64], cols: usize, samples: usize, votes: &mut [u32]) {
+        let classes = self.num_classes.max(2);
         if self.prefers_tree_lockstep(cols) {
             let mut states = vec![0u32; self.num_trees()];
-            for (sample, vote) in votes.iter_mut().enumerate() {
+            for (sample, row_votes) in votes.chunks_exact_mut(classes).enumerate().take(samples) {
                 let row = &values[sample * cols..(sample + 1) * cols];
-                let mut positive = 0u32;
-                // Leaf labels are class indices (0/1), so the positive
-                // vote count is a plain add.
-                self.tree_lockstep(row, &mut states, |_, label| positive += label);
-                *vote += positive;
+                // Leaf labels are class indices, so each vote is one
+                // increment of that class's slot.
+                self.tree_lockstep(row, &mut states, |_, label| row_votes[label as usize] += 1);
             }
             return;
         }
@@ -533,7 +582,7 @@ impl CompiledForest {
             let block = block_start..block_end;
             for tree in 0..self.num_trees() {
                 self.lockstep_block(tree, values, cols, block.clone(), &mut states, |lane, label| {
-                    votes[block_start + lane] += label;
+                    votes[(block_start + lane) * classes + label as usize] += 1;
                 });
             }
         }
@@ -640,7 +689,11 @@ impl CompiledForest {
         resolved
             .implementation()
             .predict_all_rows(self, values, cols, samples, &mut labels);
-        BatchPredictions { labels, num_trees }
+        BatchPredictions {
+            labels,
+            num_trees,
+            num_classes: self.num_classes,
+        }
     }
 
     /// Scalar per-tree-prediction kernel body: the tree-lockstep walk for
@@ -659,9 +712,7 @@ impl CompiledForest {
                 let row = &values[sample * cols..(sample + 1) * cols];
                 let out = &mut labels[sample * num_trees..(sample + 1) * num_trees];
                 self.tree_lockstep(row, &mut states, |tree, label| {
-                    if label == 1 {
-                        out[tree] = Label::Positive;
-                    }
+                    out[tree] = Label::from_index(label as usize).expect("validated leaf class");
                 });
             }
             return;
@@ -672,9 +723,8 @@ impl CompiledForest {
             let block = block_start..block_end;
             for tree in 0..num_trees {
                 self.lockstep_block(tree, values, cols, block.clone(), &mut states, |lane, label| {
-                    if label == 1 {
-                        labels[(block_start + lane) * num_trees + tree] = Label::Positive;
-                    }
+                    labels[(block_start + lane) * num_trees + tree] =
+                        Label::from_index(label as usize).expect("validated leaf class");
                 });
             }
         }
@@ -741,7 +791,11 @@ impl CompiledForest {
         for shard in shards {
             labels.extend(shard.labels);
         }
-        BatchPredictions { labels, num_trees }
+        BatchPredictions {
+            labels,
+            num_trees,
+            num_classes: self.num_classes,
+        }
     }
 
     /// [`Self::predict_batch`] through an explicitly selected kernel.
@@ -749,26 +803,19 @@ impl CompiledForest {
     /// # Panics
     /// Panics if `features.cols() < num_features()`.
     pub fn predict_batch_with(&self, features: &DenseMatrix, kernel: Kernel) -> Vec<Label> {
-        let votes = self.positive_vote_counts_with(features, kernel);
-        let majority_threshold = self.num_trees();
-        votes
-            .into_iter()
-            .map(|positive| {
-                if 2 * positive as usize > majority_threshold {
-                    Label::Positive
-                } else {
-                    Label::Negative
-                }
-            })
+        let classes = self.num_classes.max(2);
+        self.class_vote_counts_with(features, kernel)
+            .chunks_exact(classes)
+            .map(|row| Label::from_index(argmax_class(row)).expect("class index fits u16"))
             .collect()
     }
 
-    /// Majority-vote predictions for every instance of a dataset.
+    /// Plurality-vote predictions for every instance of a dataset.
     pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<Label> {
         self.predict_batch(dataset.features())
     }
 
-    /// Majority-vote accuracy over a dataset.
+    /// Plurality-vote accuracy over a dataset.
     pub fn accuracy(&self, dataset: &Dataset) -> f64 {
         if dataset.is_empty() {
             return 0.0;
@@ -807,7 +854,15 @@ impl CompiledForest {
         right: Vec<u32>,
         tree_starts: Vec<u32>,
         num_features: usize,
+        num_classes: usize,
     ) -> Result<Self, String> {
+        let num_classes = num_classes.max(2);
+        if num_classes > Label::MAX_CLASSES {
+            return Err(format!(
+                "num_classes {num_classes} exceeds the supported maximum {}",
+                Label::MAX_CLASSES
+            ));
+        }
         let nodes = feature.len();
         if threshold.len() != nodes || left.len() != nodes || right.len() != nodes {
             return Err(format!(
@@ -838,8 +893,11 @@ impl CompiledForest {
             let mut child_refs = vec![0u32; hi - lo];
             for node in lo..hi {
                 if feature[node] == LEAF_MARKER {
-                    if left[node] > 1 {
-                        return Err(format!("leaf node {node} has invalid label index {}", left[node]));
+                    if left[node] as usize >= num_classes {
+                        return Err(format!(
+                            "leaf node {node} has class index {} but the model has {num_classes} classes",
+                            left[node]
+                        ));
                     }
                 } else {
                     if (feature[node] as usize) >= num_features {
@@ -886,6 +944,7 @@ impl CompiledForest {
             right,
             tree_starts,
             num_features,
+            num_classes,
             hot,
             depths,
             depth_order,
@@ -907,6 +966,7 @@ impl Serialize for CompiledForest {
             ("right".to_string(), self.right.to_value()),
             ("tree_starts".to_string(), self.tree_starts.to_value()),
             ("num_features".to_string(), self.num_features.to_value()),
+            ("num_classes".to_string(), self.num_classes.to_value()),
         ])
     }
 }
@@ -927,10 +987,33 @@ impl Deserialize for CompiledForest {
         let threshold = Vec::from_value(serde::map_get(entries, "threshold")?)?;
         let left = Vec::from_value(serde::map_get(entries, "left")?)?;
         let right = Vec::from_value(serde::map_get(entries, "right")?)?;
-        let tree_starts = Vec::from_value(serde::map_get(entries, "tree_starts")?)?;
+        let tree_starts: Vec<u32> = Vec::from_value(serde::map_get(entries, "tree_starts")?)?;
         let num_features = usize::from_value(serde::map_get(entries, "num_features")?)?;
-        CompiledForest::from_raw_parts(feature, threshold, left, right, tree_starts, num_features)
-            .map_err(|detail| DeError::new(format!("invalid CompiledForest: {detail}")))
+        // Artifacts written before the k-class generalization carry no
+        // class count; they are binary by construction, except that any
+        // larger leaf index present still raises it so validation passes
+        // exactly when the arrays are self-consistent.
+        let num_classes = match entries.iter().find(|(key, _)| key == "num_classes") {
+            Some((_, value)) => usize::from_value(value)?,
+            None => feature
+                .iter()
+                .zip(&left)
+                .filter(|(&f, _)| f == LEAF_MARKER)
+                .map(|(_, &label)| label as usize + 1)
+                .max()
+                .unwrap_or(2)
+                .max(2),
+        };
+        CompiledForest::from_raw_parts(
+            feature,
+            threshold,
+            left,
+            right,
+            tree_starts,
+            num_features,
+            num_classes,
+        )
+        .map_err(|detail| DeError::new(format!("invalid CompiledForest: {detail}")))
     }
 }
 
@@ -1049,6 +1132,7 @@ mod tests {
             compiled.right.clone(),
             compiled.tree_starts.clone(),
             compiled.num_features,
+            compiled.num_classes,
         )
         .is_err());
         // Child index escaping its tree segment.
@@ -1063,6 +1147,7 @@ mod tests {
                 compiled.right.clone(),
                 compiled.tree_starts.clone(),
                 compiled.num_features,
+                compiled.num_classes,
             )
             .is_err());
         }
@@ -1078,6 +1163,7 @@ mod tests {
                 cyclic_right,
                 compiled.tree_starts.clone(),
                 compiled.num_features,
+                compiled.num_classes,
             )
             .is_err());
         }
@@ -1093,6 +1179,7 @@ mod tests {
                 compiled.right.clone(),
                 compiled.tree_starts.clone(),
                 compiled.num_features,
+                compiled.num_classes,
             )
             .is_err());
         }
@@ -1110,6 +1197,7 @@ mod tests {
             dag_right,
             vec![0, chain],
             1,
+            2,
         )
         .unwrap_err()
         .contains("exactly once"));
@@ -1122,6 +1210,7 @@ mod tests {
             compiled.right.clone(),
             compiled.tree_starts.clone(),
             compiled.num_features,
+            compiled.num_classes,
         )
         .is_ok());
     }

@@ -18,10 +18,10 @@
 //! seed (same candidate enumeration, thresholds, and zero-gain policy).
 
 use crate::params::SplitCriterion;
-use wdte_data::{ClassCounts, DenseMatrix, Label};
+use wdte_data::{entropy_of, gini_of, total_of, ClassCounts, DenseMatrix, Label};
 
 /// A candidate axis-aligned split `x[feature] <= threshold`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Split {
     /// Feature index the split tests.
     pub feature: usize,
@@ -72,19 +72,40 @@ pub fn children_impurity(
     gini_scale: f64,
     criterion: SplitCriterion,
 ) -> f64 {
+    children_impurity_parts(left.slice(), right.slice(), total_weight, gini_scale, criterion)
+}
+
+/// [`children_impurity`] over raw per-class weight slices (index = class),
+/// the form the segment splitter's branch-free accumulators produce. The
+/// two-class fused Gini fast path is taken exactly when both slices hold
+/// two classes, so every strategy working at the same class count stays
+/// bit-identical.
+#[inline]
+pub fn children_impurity_parts(
+    left: &[f64],
+    right: &[f64],
+    total_weight: f64,
+    gini_scale: f64,
+    criterion: SplitCriterion,
+) -> f64 {
     match criterion {
         SplitCriterion::Gini => {
-            // Fused over the common denominator: one division per boundary
-            // (`p_l·n_l/w_l + p_r·n_r/w_r = (p_l·n_l·w_r + p_r·n_r·w_l)/(w_l·w_r)`).
-            let left_weight = left.total();
-            let right_weight = right.total();
-            let numerator = left.positive * left.negative * right_weight
-                + right.positive * right.negative * left_weight;
-            numerator / (left_weight * right_weight) * gini_scale
+            if let ([left_negative, left_positive], [right_negative, right_positive]) = (left, right) {
+                // Fused over the common denominator: one division per boundary
+                // (`p_l·n_l/w_l + p_r·n_r/w_r = (p_l·n_l·w_r + p_r·n_r·w_l)/(w_l·w_r)`).
+                let left_weight = total_of(left);
+                let right_weight = total_of(right);
+                let numerator = left_positive * left_negative * right_weight
+                    + right_positive * right_negative * left_weight;
+                numerator / (left_weight * right_weight) * gini_scale
+            } else {
+                (total_of(left) / total_weight) * gini_of(left)
+                    + (total_of(right) / total_weight) * gini_of(right)
+            }
         }
         SplitCriterion::Entropy => {
-            (left.total() / total_weight) * left.entropy()
-                + (right.total() / total_weight) * right.entropy()
+            (total_of(left) / total_weight) * entropy_of(left)
+                + (total_of(right) / total_weight) * entropy_of(right)
         }
     }
 }
@@ -128,11 +149,12 @@ pub fn best_split(
     candidate_features: &[usize],
     criterion: SplitCriterion,
     min_samples_leaf: usize,
+    num_classes: usize,
 ) -> Option<Split> {
     if indices.len() < 2 * min_samples_leaf.max(1) {
         return None;
     }
-    let mut parent_counts = ClassCounts::new();
+    let mut parent_counts = ClassCounts::with_classes(num_classes);
     for &i in indices {
         parent_counts.add(labels[i], weights[i]);
     }
@@ -159,8 +181,8 @@ pub fn best_split(
         // away from non-finite values.
         column.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-        let mut left_counts = ClassCounts::new();
-        let mut right_counts = parent_counts;
+        let mut left_counts = ClassCounts::with_classes(num_classes);
+        let mut right_counts = parent_counts.clone();
         // Scan split positions between consecutive samples.
         for position in 0..column.len() - 1 {
             let (value, label, weight) = column[position];
@@ -200,8 +222,8 @@ pub fn best_split(
                     feature,
                     threshold: midpoint_threshold(value, next_value),
                     gain,
-                    left_counts,
-                    right_counts,
+                    left_counts: left_counts.clone(),
+                    right_counts: right_counts.clone(),
                     left_samples,
                     right_samples,
                     bin: None,
@@ -236,6 +258,7 @@ mod tests {
             &[0],
             SplitCriterion::Gini,
             1,
+            2,
         )
         .expect("split exists");
         assert_eq!(split.feature, 0);
@@ -263,6 +286,7 @@ mod tests {
             &[0, 1],
             SplitCriterion::Entropy,
             1,
+            2,
         )
         .expect("split exists");
         assert_eq!(split.feature, 1);
@@ -281,7 +305,8 @@ mod tests {
             &[0, 1, 2],
             &[0],
             SplitCriterion::Gini,
-            2
+            2,
+            2,
         )
         .is_none());
     }
@@ -298,7 +323,8 @@ mod tests {
             &[0, 1],
             &[0],
             SplitCriterion::Gini,
-            1
+            1,
+            2,
         )
         .is_none());
     }
@@ -315,7 +341,8 @@ mod tests {
             &[0, 1, 2, 3],
             &[0],
             SplitCriterion::Gini,
-            1
+            1,
+            2,
         )
         .is_none());
     }
@@ -336,6 +363,7 @@ mod tests {
             &[0],
             SplitCriterion::Gini,
             1,
+            2,
         )
         .unwrap();
         let split_weighted = best_split(
@@ -346,6 +374,7 @@ mod tests {
             &[0],
             SplitCriterion::Gini,
             1,
+            2,
         )
         .unwrap();
         // Both should cut immediately after the positive sample. The
@@ -371,6 +400,7 @@ mod tests {
             &[0],
             SplitCriterion::Gini,
             1,
+            2,
         )
         .expect("finite values still admit a split");
         assert!(split.threshold.is_finite());
@@ -391,7 +421,8 @@ mod tests {
             &[0, 1, 2],
             &[0],
             SplitCriterion::Gini,
-            1
+            1,
+            2,
         )
         .is_none());
     }
@@ -409,7 +440,8 @@ mod tests {
             &[0, 1],
             &[0],
             SplitCriterion::Gini,
-            1
+            1,
+            2,
         )
         .is_none());
     }

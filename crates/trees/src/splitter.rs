@@ -18,12 +18,13 @@
 //!   class histogram over precomputed per-sample bin codes and considers
 //!   only bin edges as thresholds.
 //!
-//! Class-weight bookkeeping is branchless: instead of matching on the
-//! label per sample (a ~50%-mispredicted branch on shuffled labels), each
-//! sample carries a `(weight-if-positive, weight-if-negative)` pair where
-//! the inactive side is `0.0`. Adding `0.0` is a bitwise no-op for the
-//! non-negative accumulators involved, so results stay bit-identical to
-//! the naive reference while the scan loop vectorizes.
+//! Class-weight bookkeeping is branchless: each gathered sample carries
+//! its class code and weight, and scans accumulate `acc[class] += weight`
+//! into per-class running totals. For two classes this produces bit-for-bit
+//! the sums of the earlier `(weight-if-positive, weight-if-negative)` pair
+//! scheme — skipping an inactive class's `+= 0.0` is a bitwise no-op for
+//! these non-negative accumulators — while generalizing to any class
+//! count.
 //!
 //! After the one-time workspace initialization, node expansion performs
 //! **zero heap allocations**: segment partitioning writes through
@@ -31,9 +32,9 @@
 //! index ranges.
 
 use crate::params::SplitCriterion;
-use crate::split::{children_impurity, gini_scale, impurity, midpoint_threshold, Split};
+use crate::split::{children_impurity_parts, gini_scale, impurity, midpoint_threshold, Split};
 use std::sync::Arc;
-use wdte_data::{Binning, ClassCounts, Label, Presort};
+use wdte_data::{total_of, Binning, ClassCounts, Label, Presort};
 
 /// Reusable buffers for segment-based tree construction. Create once (or
 /// reuse across trees via [`crate::DecisionTree::fit_weighted_with_workspace`])
@@ -47,18 +48,11 @@ pub struct SplitWorkspace {
     /// Exact mode: `k × n` row ids parallel to `vals`. Histogram mode:
     /// unused.
     rows: Vec<u32>,
-    /// Exact mode: `k × n` per-sample weight-if-positive (`0.0` for
-    /// negative samples), parallel to `vals`; gathered once per tree so
-    /// the scan reads sequentially and branch-free.
-    wpos: Vec<f64>,
-    /// Exact mode: `k × n` per-sample weight-if-negative, parallel to
-    /// `vals`.
-    wneg: Vec<f64>,
-    /// Per-row weight-if-positive (`n`), rebuilt per tree (weights change
-    /// between Algorithm 1 rounds).
-    row_wpos: Vec<f64>,
-    /// Per-row weight-if-negative (`n`).
-    row_wneg: Vec<f64>,
+    /// Exact mode: `k × n` per-sample weights, parallel to `vals`; gathered
+    /// once per tree so the scan reads sequentially.
+    wgt: Vec<f64>,
+    /// Exact mode: `k × n` per-sample class codes, parallel to `vals`.
+    cls: Vec<u16>,
     /// Node membership buffer (`n` row ids, ascending within each node's
     /// segment — the same iteration order as the naive builder's index
     /// lists, which keeps weighted-count summation bit-identical).
@@ -69,16 +63,19 @@ pub struct SplitWorkspace {
     scratch_vals: Vec<f64>,
     /// Partition scratch for the right-child run (row ids).
     scratch_rows: Vec<u32>,
-    /// Partition scratch for the right-child run (weight-if-positive).
-    scratch_wpos: Vec<f64>,
-    /// Partition scratch for the right-child run (weight-if-negative).
-    scratch_wneg: Vec<f64>,
-    /// Histogram mode: per-bin positive weight, reused per feature.
-    hist_pos: Vec<f64>,
-    /// Histogram mode: per-bin negative weight, reused per feature.
-    hist_neg: Vec<f64>,
+    /// Partition scratch for the right-child run (weights).
+    scratch_wgt: Vec<f64>,
+    /// Partition scratch for the right-child run (class codes).
+    scratch_cls: Vec<u16>,
+    /// Histogram mode: per-(bin, class) weight, `num_classes`-strided,
+    /// reused per feature.
+    hist_w: Vec<f64>,
     /// Histogram mode: per-bin sample counts, reused per feature.
     hist_n: Vec<u32>,
+    /// Per-class left-child weight accumulator, reused per scan.
+    left_acc: Vec<f64>,
+    /// Per-class right-child weight accumulator, reused per scan.
+    right_acc: Vec<f64>,
 }
 
 impl SplitWorkspace {
@@ -104,6 +101,7 @@ pub(crate) struct NodeSplitter<'a> {
     candidates: &'a [usize],
     criterion: SplitCriterion,
     min_samples_leaf: usize,
+    num_classes: usize,
     n: usize,
     ws: &'a mut SplitWorkspace,
 }
@@ -111,6 +109,7 @@ pub(crate) struct NodeSplitter<'a> {
 impl<'a> NodeSplitter<'a> {
     /// Prepares the workspace for a tree over `n` samples and hands back
     /// the splitter. The root node owns the full segment `[0, n)`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         backend: Backend,
         labels: &'a [Label],
@@ -118,55 +117,44 @@ impl<'a> NodeSplitter<'a> {
         candidates: &'a [usize],
         criterion: SplitCriterion,
         min_samples_leaf: usize,
+        num_classes: usize,
         ws: &'a mut SplitWorkspace,
     ) -> Self {
         let n = labels.len();
         let k = candidates.len();
+        let classes = num_classes.max(2);
         // Buffers are sized with `resize_buffer` (no re-zeroing when the
         // size is unchanged — every entry that is read is written first,
         // either here or during partitioning).
         resize_buffer(&mut ws.goes_left, n, false);
         resize_buffer(&mut ws.scratch_vals, n, 0.0);
         resize_buffer(&mut ws.scratch_rows, n, 0);
+        resize_buffer(&mut ws.left_acc, classes, 0.0);
+        resize_buffer(&mut ws.right_acc, classes, 0.0);
         ws.member.clear();
         ws.member.extend(0..n as u32);
-        // Branchless class-weight pairs, one branch per row instead of one
-        // per (row, feature, node) during scans.
-        resize_buffer(&mut ws.row_wpos, n, 0.0);
-        resize_buffer(&mut ws.row_wneg, n, 0.0);
-        for row in 0..n {
-            let weight = weights[row];
-            if labels[row] == Label::Positive {
-                ws.row_wpos[row] = weight;
-                ws.row_wneg[row] = 0.0;
-            } else {
-                ws.row_wpos[row] = 0.0;
-                ws.row_wneg[row] = weight;
-            }
-        }
         match &backend {
             Backend::Exact(presort) => {
                 resize_buffer(&mut ws.vals, k * n, 0.0);
                 resize_buffer(&mut ws.rows, k * n, 0);
-                resize_buffer(&mut ws.wpos, k * n, 0.0);
-                resize_buffer(&mut ws.wneg, k * n, 0.0);
-                resize_buffer(&mut ws.scratch_wpos, n, 0.0);
-                resize_buffer(&mut ws.scratch_wneg, n, 0.0);
+                resize_buffer(&mut ws.wgt, k * n, 0.0);
+                resize_buffer(&mut ws.cls, k * n, 0);
+                resize_buffer(&mut ws.scratch_wgt, n, 0.0);
+                resize_buffer(&mut ws.scratch_cls, n, 0);
                 for (ci, &feature) in candidates.iter().enumerate() {
                     let base = ci * n;
                     ws.vals[base..base + n].copy_from_slice(presort.sorted_values(feature));
                     ws.rows[base..base + n].copy_from_slice(presort.sorted_rows(feature));
                     for position in 0..n {
                         let row = ws.rows[base + position] as usize;
-                        ws.wpos[base + position] = ws.row_wpos[row];
-                        ws.wneg[base + position] = ws.row_wneg[row];
+                        ws.wgt[base + position] = weights[row];
+                        ws.cls[base + position] = labels[row].index() as u16;
                     }
                 }
             }
             Backend::Histogram(binning) => {
                 let bins = binning.max_bins();
-                resize_buffer(&mut ws.hist_pos, bins, 0.0);
-                resize_buffer(&mut ws.hist_neg, bins, 0.0);
+                resize_buffer(&mut ws.hist_w, bins * classes, 0.0);
                 resize_buffer(&mut ws.hist_n, bins, 0);
             }
         }
@@ -177,6 +165,7 @@ impl<'a> NodeSplitter<'a> {
             candidates,
             criterion,
             min_samples_leaf,
+            num_classes: classes,
             n,
             ws,
         }
@@ -192,7 +181,7 @@ impl<'a> NodeSplitter<'a> {
     /// Weighted class counts of a node, summed in ascending row order (the
     /// naive builder's order, for bit-identical results).
     pub(crate) fn counts(&self, lo: usize, hi: usize) -> ClassCounts {
-        let mut counts = ClassCounts::new();
+        let mut counts = ClassCounts::with_classes(self.num_classes);
         for &row in self.node_rows(lo, hi) {
             let row = row as usize;
             counts.add(self.labels[row], self.weights[row]);
@@ -231,7 +220,7 @@ impl<'a> NodeSplitter<'a> {
     }
 
     fn best_split_exact(
-        &self,
+        &mut self,
         lo: usize,
         hi: usize,
         parent_counts: &ClassCounts,
@@ -242,26 +231,29 @@ impl<'a> NodeSplitter<'a> {
         let total_weight = parent_counts.total();
         let scale = gini_scale(total_weight);
         let min1 = self.min_samples_leaf.max(1);
+        let parent = parent_counts.slice();
+        let ws = &mut *self.ws;
         let mut best: Option<Split> = None;
         // Running best gain as a plain scalar so the hot loop compares
         // without touching the (large) `Split` struct.
         let mut best_gain = f64::NEG_INFINITY;
         for (ci, &feature) in self.candidates.iter().enumerate() {
             let base = ci * n;
-            let vals = &self.ws.vals[base + lo..base + hi];
-            let wpos = &self.ws.wpos[base + lo..base + hi];
-            let wneg = &self.ws.wneg[base + lo..base + hi];
+            let vals = &ws.vals[base + lo..base + hi];
+            let cls = &ws.cls[base + lo..base + hi];
+            let wgt = &ws.wgt[base + lo..base + hi];
             if vals[len - 1] == vals[0] {
                 continue; // constant within this node: no admissible boundary
             }
+            ws.left_acc.fill(0.0);
+            ws.right_acc.copy_from_slice(parent);
             // Sorted order puts -inf first and NaN/+inf last, so finite
             // endpoints prove the whole segment finite and the hot loop
             // can drop its per-boundary finiteness checks.
             let scan = ScanArgs {
                 vals,
-                wpos,
-                wneg,
-                parent_counts,
+                cls,
+                wgt,
                 parent_impurity,
                 total_weight,
                 scale,
@@ -270,9 +262,21 @@ impl<'a> NodeSplitter<'a> {
                 feature,
             };
             if vals[0].is_finite() && vals[len - 1].is_finite() {
-                scan_feature_exact::<true>(&scan, &mut best, &mut best_gain);
+                scan_feature_exact::<true>(
+                    &scan,
+                    &mut ws.left_acc,
+                    &mut ws.right_acc,
+                    &mut best,
+                    &mut best_gain,
+                );
             } else {
-                scan_feature_exact::<false>(&scan, &mut best, &mut best_gain);
+                scan_feature_exact::<false>(
+                    &scan,
+                    &mut ws.left_acc,
+                    &mut ws.right_acc,
+                    &mut best,
+                    &mut best_gain,
+                );
             }
         }
         best
@@ -289,6 +293,7 @@ impl<'a> NodeSplitter<'a> {
         let len = hi - lo;
         let total_weight = parent_counts.total();
         let scale = gini_scale(total_weight);
+        let classes = self.num_classes;
         let mut best: Option<Split> = None;
         let ws = &mut *self.ws;
         for &feature in self.candidates {
@@ -299,25 +304,24 @@ impl<'a> NodeSplitter<'a> {
             let codes = binning.codes(feature);
             // Accumulate the node's weighted class histogram (branch-free,
             // see the module docs).
-            ws.hist_pos[..bins].fill(0.0);
-            ws.hist_neg[..bins].fill(0.0);
+            ws.hist_w[..bins * classes].fill(0.0);
             ws.hist_n[..bins].fill(0);
             for &row in &ws.member[lo..hi] {
                 let row = row as usize;
                 let code = codes[row] as usize;
-                ws.hist_pos[code] += ws.row_wpos[row];
-                ws.hist_neg[code] += ws.row_wneg[row];
+                ws.hist_w[code * classes + self.labels[row].index()] += self.weights[row];
                 ws.hist_n[code] += 1;
             }
             // Scan bin boundaries left to right.
-            let mut left_counts = ClassCounts::new();
-            let mut right_counts = *parent_counts;
+            ws.left_acc.fill(0.0);
+            ws.right_acc.copy_from_slice(parent_counts.slice());
             let mut left_samples = 0usize;
             for bin in 0..bins - 1 {
-                left_counts.positive += ws.hist_pos[bin];
-                left_counts.negative += ws.hist_neg[bin];
-                right_counts.positive -= ws.hist_pos[bin];
-                right_counts.negative -= ws.hist_neg[bin];
+                for class in 0..classes {
+                    let w = ws.hist_w[bin * classes + class];
+                    ws.left_acc[class] += w;
+                    ws.right_acc[class] -= w;
+                }
                 left_samples += ws.hist_n[bin] as usize;
                 let right_samples = len - left_samples;
                 if left_samples < self.min_samples_leaf.max(1)
@@ -325,13 +329,18 @@ impl<'a> NodeSplitter<'a> {
                 {
                     continue;
                 }
-                let left_weight = left_counts.total();
-                let right_weight = right_counts.total();
+                let left_weight = total_of(&ws.left_acc);
+                let right_weight = total_of(&ws.right_acc);
                 if left_weight <= 0.0 || right_weight <= 0.0 {
                     continue;
                 }
-                let children =
-                    children_impurity(&left_counts, &right_counts, total_weight, scale, self.criterion);
+                let children = children_impurity_parts(
+                    &ws.left_acc,
+                    &ws.right_acc,
+                    total_weight,
+                    scale,
+                    self.criterion,
+                );
                 let gain = parent_impurity - children;
                 let better = best.as_ref().map_or(gain >= 0.0, |b| gain > b.gain);
                 if better {
@@ -339,8 +348,8 @@ impl<'a> NodeSplitter<'a> {
                         feature,
                         threshold: binning.edge(feature, bin),
                         gain,
-                        left_counts,
-                        right_counts,
+                        left_counts: ClassCounts::from_slice(&ws.left_acc),
+                        right_counts: ClassCounts::from_slice(&ws.right_acc),
                         left_samples,
                         right_samples,
                         bin: Some(bin),
@@ -383,7 +392,7 @@ impl<'a> NodeSplitter<'a> {
             left_size += usize::from(goes_left);
         }
         // Stable two-way partition of every candidate column's segment,
-        // carrying the gathered (value, row, wpos, wneg) tuples along.
+        // carrying the gathered (value, row, weight, class) tuples along.
         for ci in 0..self.candidates.len() {
             let base = ci * n;
             let mut write = base + lo;
@@ -393,21 +402,21 @@ impl<'a> NodeSplitter<'a> {
                 if ws.goes_left[row as usize] {
                     ws.rows[write] = row;
                     ws.vals[write] = ws.vals[position];
-                    ws.wpos[write] = ws.wpos[position];
-                    ws.wneg[write] = ws.wneg[position];
+                    ws.wgt[write] = ws.wgt[position];
+                    ws.cls[write] = ws.cls[position];
                     write += 1;
                 } else {
                     ws.scratch_rows[spill] = row;
                     ws.scratch_vals[spill] = ws.vals[position];
-                    ws.scratch_wpos[spill] = ws.wpos[position];
-                    ws.scratch_wneg[spill] = ws.wneg[position];
+                    ws.scratch_wgt[spill] = ws.wgt[position];
+                    ws.scratch_cls[spill] = ws.cls[position];
                     spill += 1;
                 }
             }
             ws.rows[write..base + hi].copy_from_slice(&ws.scratch_rows[..spill]);
             ws.vals[write..base + hi].copy_from_slice(&ws.scratch_vals[..spill]);
-            ws.wpos[write..base + hi].copy_from_slice(&ws.scratch_wpos[..spill]);
-            ws.wneg[write..base + hi].copy_from_slice(&ws.scratch_wneg[..spill]);
+            ws.wgt[write..base + hi].copy_from_slice(&ws.scratch_wgt[..spill]);
+            ws.cls[write..base + hi].copy_from_slice(&ws.scratch_cls[..spill]);
         }
         partition_member(ws, lo, hi);
         lo + left_size
@@ -428,9 +437,8 @@ impl<'a> NodeSplitter<'a> {
 /// Inputs of one feature's exact boundary scan.
 struct ScanArgs<'a> {
     vals: &'a [f64],
-    wpos: &'a [f64],
-    wneg: &'a [f64],
-    parent_counts: &'a ClassCounts,
+    cls: &'a [u16],
+    wgt: &'a [f64],
     parent_impurity: f64,
     total_weight: f64,
     scale: f64,
@@ -440,37 +448,37 @@ struct ScanArgs<'a> {
 }
 
 /// Scans one feature's sorted segment for the best boundary, updating the
-/// running best across features. `ALL_FINITE` selects the fast loop
-/// without per-boundary finiteness checks (sound whenever the segment's
-/// endpoints are finite, because the segment is sorted).
+/// running best across features. `left`/`right` are the per-class weight
+/// accumulators, pre-seeded to zero and the parent counts respectively.
+/// `ALL_FINITE` selects the fast loop without per-boundary finiteness
+/// checks (sound whenever the segment's endpoints are finite, because the
+/// segment is sorted).
 fn scan_feature_exact<const ALL_FINITE: bool>(
     args: &ScanArgs<'_>,
+    left: &mut [f64],
+    right: &mut [f64],
     best: &mut Option<Split>,
     best_gain: &mut f64,
 ) {
     let len = args.vals.len();
     let min1 = args.min1;
-    let mut left_pos = 0.0f64;
-    let mut left_neg = 0.0f64;
-    let mut right_pos = args.parent_counts.positive;
-    let mut right_neg = args.parent_counts.negative;
     // Boundaries outside [min1 - 1, len - min1) can never satisfy
     // `min_samples_leaf`; accumulating the prefix separately keeps those
     // checks out of the hot loop entirely.
     for position in 0..min1 - 1 {
-        left_pos += args.wpos[position];
-        left_neg += args.wneg[position];
-        right_pos -= args.wpos[position];
-        right_neg -= args.wneg[position];
+        let class = args.cls[position] as usize;
+        let weight = args.wgt[position];
+        left[class] += weight;
+        right[class] -= weight;
     }
     for position in min1 - 1..len - min1 {
-        // Branch-free class accumulation: the inactive side of the
-        // (wpos, wneg) pair is 0.0, and adding/subtracting 0.0 is bitwise
-        // identity for these non-negative accumulators.
-        left_pos += args.wpos[position];
-        left_neg += args.wneg[position];
-        right_pos -= args.wpos[position];
-        right_neg -= args.wneg[position];
+        // Branch-free class accumulation: only the sample's own class cell
+        // moves, which is bitwise identical to also adding 0.0 to every
+        // other (non-negative) accumulator.
+        let class = args.cls[position] as usize;
+        let weight = args.wgt[position];
+        left[class] += weight;
+        right[class] -= weight;
         let value = args.vals[position];
         let next_value = args.vals[position + 1];
         // Ties cannot split (and in the general path, NaN neighbours and
@@ -483,26 +491,13 @@ fn scan_feature_exact<const ALL_FINITE: bool>(
         } else if !(next_value > value) || !value.is_finite() || !next_value.is_finite() {
             continue;
         }
-        let left_counts = ClassCounts {
-            negative: left_neg,
-            positive: left_pos,
-        };
-        let right_counts = ClassCounts {
-            negative: right_neg,
-            positive: right_pos,
-        };
-        let left_weight = left_counts.total();
-        let right_weight = right_counts.total();
+        let left_weight = total_of(left);
+        let right_weight = total_of(right);
         if left_weight <= 0.0 || right_weight <= 0.0 {
             continue;
         }
-        let children = children_impurity(
-            &left_counts,
-            &right_counts,
-            args.total_weight,
-            args.scale,
-            args.criterion,
-        );
+        let children =
+            children_impurity_parts(left, right, args.total_weight, args.scale, args.criterion);
         let gain = args.parent_impurity - children;
         // Zero-gain splits are accepted when nothing better exists (see
         // the naive search for the rationale: XOR-like patterns and the
@@ -520,8 +515,8 @@ fn scan_feature_exact<const ALL_FINITE: bool>(
                 feature: args.feature,
                 threshold: midpoint_threshold(value, next_value),
                 gain,
-                left_counts,
-                right_counts,
+                left_counts: ClassCounts::from_slice(left),
+                right_counts: ClassCounts::from_slice(right),
                 left_samples,
                 right_samples: len - left_samples,
                 bin: None,

@@ -190,17 +190,39 @@ impl DecisionTree {
         );
 
         let labels = dataset.labels();
+        let num_classes = dataset.num_classes();
         let nodes = match params.strategy {
-            SplitStrategy::ExactNaive => {
-                grow_naive(dataset.features(), labels, weights, candidate_features, params)
-            }
+            SplitStrategy::ExactNaive => grow_naive(
+                dataset.features(),
+                labels,
+                weights,
+                candidate_features,
+                params,
+                num_classes,
+            ),
             SplitStrategy::Exact => {
                 let backend = Backend::Exact(dataset.presort());
-                grow_segmented(backend, labels, weights, candidate_features, params, workspace)
+                grow_segmented(
+                    backend,
+                    labels,
+                    weights,
+                    candidate_features,
+                    params,
+                    num_classes,
+                    workspace,
+                )
             }
             SplitStrategy::Histogram { bins } => {
                 let backend = Backend::Histogram(dataset.binning(bins.clamp(2, u16::MAX as usize)));
-                grow_segmented(backend, labels, weights, candidate_features, params, workspace)
+                grow_segmented(
+                    backend,
+                    labels,
+                    weights,
+                    candidate_features,
+                    params,
+                    num_classes,
+                    workspace,
+                )
             }
         };
         DecisionTree {
@@ -310,7 +332,7 @@ impl DecisionTree {
                 out.push(LeafRegion {
                     bounds,
                     label: *label,
-                    counts: *counts,
+                    counts: counts.clone(),
                 });
             }
             Node::Internal {
@@ -382,6 +404,7 @@ fn grow_naive(
     weights: &[f64],
     candidate_features: &[usize],
     params: &TreeParams,
+    num_classes: usize,
 ) -> Vec<Node> {
     let max_leaves = params.max_leaves.unwrap_or(usize::MAX).max(1);
     let mut builder = NaiveBuilder {
@@ -392,6 +415,7 @@ fn grow_naive(
         weights,
         candidate_features,
         params,
+        num_classes,
     };
     let root_indices: Vec<usize> = (0..labels.len()).collect();
     builder.push_leaf(root_indices, 0);
@@ -419,6 +443,7 @@ fn grow_segmented(
     weights: &[f64],
     candidate_features: &[usize],
     params: &TreeParams,
+    num_classes: usize,
     workspace: &mut SplitWorkspace,
 ) -> Vec<Node> {
     let max_leaves = params.max_leaves.unwrap_or(usize::MAX).max(1);
@@ -429,6 +454,7 @@ fn grow_segmented(
         candidate_features,
         params.criterion,
         params.min_samples_leaf,
+        num_classes,
         workspace,
     );
     let mut builder = SegmentBuilder {
@@ -467,13 +493,14 @@ struct NaiveBuilder<'a> {
     weights: &'a [f64],
     candidate_features: &'a [usize],
     params: &'a TreeParams,
+    num_classes: usize,
 }
 
 impl<'a> NaiveBuilder<'a> {
     /// Creates a leaf node for `indices`, evaluates its best split, and adds
     /// it to the frontier (if it is allowed to be split later).
     fn push_leaf(&mut self, indices: Vec<usize>, depth: usize) -> usize {
-        let mut counts = ClassCounts::new();
+        let mut counts = ClassCounts::with_classes(self.num_classes);
         for &i in &indices {
             counts.add(self.labels[i], self.weights[i]);
         }
@@ -494,6 +521,7 @@ impl<'a> NaiveBuilder<'a> {
                 self.candidate_features,
                 self.params.criterion,
                 self.params.min_samples_leaf,
+                self.num_classes,
             );
             if split.is_some() {
                 self.frontier.push(FrontierEntry {
@@ -570,7 +598,7 @@ impl<'a> SegmentBuilder<'a> {
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf {
             label: counts.majority(),
-            counts,
+            counts: counts.clone(),
         });
 
         let depth_allows_split = self.params.max_depth.is_none_or(|max| depth < max);

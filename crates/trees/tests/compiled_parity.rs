@@ -31,6 +31,22 @@ fn dataset_from(rows: Vec<Vec<f64>>, label_bits: &[bool]) -> Dataset {
     Dataset::new("parity", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
 }
 
+/// A k-class dataset with labels chosen by arbitrary picks reduced
+/// modulo `num_classes`.
+fn k_class_dataset_from(rows: Vec<Vec<f64>>, class_picks: &[u8], num_classes: usize) -> Dataset {
+    let labels: Vec<Label> = class_picks[..rows.len()]
+        .iter()
+        .map(|&pick| Label::from_index(pick as usize % num_classes).unwrap())
+        .collect();
+    Dataset::with_classes(
+        "parity-k",
+        DenseMatrix::from_rows(&rows).unwrap(),
+        labels,
+        num_classes,
+    )
+    .unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -78,6 +94,52 @@ proptest! {
         for (index, &vote) in votes.iter().enumerate() {
             prop_assert_eq!(vote as usize, probe_batch.positive_votes(index));
         }
+    }
+
+    /// The batch-parity property over k-class label spaces: compiled
+    /// predictions, plurality votes and per-class counts must all agree
+    /// with the recursive reference for every k of the sweep, and serde
+    /// round trips must preserve the class count.
+    #[test]
+    fn compiled_batch_matches_recursive_predictions_for_k_classes(
+        rows in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 12..48),
+        probes in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 1..24),
+        class_picks in proptest::collection::vec(any::<u8>(), 48),
+        k_pick in 0usize..4,
+        num_trees in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let num_classes = [2usize, 3, 5, 10][k_pick];
+        let dataset = k_class_dataset_from(rows, &class_picks, num_classes);
+        let params = ForestParams {
+            num_trees,
+            tree: TreeParams::with_max_depth(5),
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(forest.num_classes(), num_classes);
+        let compiled = CompiledForest::compile(&forest);
+        prop_assert_eq!(compiled.num_classes(), num_classes);
+
+        prop_assert_eq!(compiled.predict_dataset(&dataset), forest.predict_dataset(&dataset));
+        let probe_matrix = DenseMatrix::from_rows(&probes).unwrap();
+        let probe_batch = compiled.predict_all_batch(&probe_matrix);
+        prop_assert_eq!(probe_batch.num_classes(), num_classes);
+        for (index, probe) in probes.iter().enumerate() {
+            prop_assert_eq!(probe_batch.sample(index), forest.predict_all(probe).as_slice());
+            prop_assert_eq!(compiled.predict(probe), forest.predict(probe));
+            // The plurality of the batch agrees with the pointer walk's
+            // plurality, tie-broken identically (lowest class index).
+            prop_assert_eq!(probe_batch.majority(index), forest.predict(probe));
+            // Per-class counts reconcile with the forest's own tally.
+            prop_assert_eq!(probe_batch.class_votes(index), forest.vote_counts(probe));
+        }
+
+        // Serde preserves the class count along with behaviour.
+        let json = serde_json::to_string(&compiled).unwrap();
+        let restored: CompiledForest = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(restored.num_classes(), num_classes);
+        prop_assert_eq!(&restored, &compiled);
     }
 
     #[test]

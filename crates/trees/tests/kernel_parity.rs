@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use wdte_data::{Dataset, DenseMatrix, Label};
 use wdte_trees::{CompiledForest, ForestParams, Kernel, RandomForest, TreeParams};
 
@@ -57,11 +57,29 @@ fn dataset_from(rows: Vec<Vec<f64>>, label_bits: &[bool]) -> Dataset {
     Dataset::new("kernel-parity", DenseMatrix::from_rows(&rows).unwrap(), labels).unwrap()
 }
 
+/// A k-class dataset whose labels are arbitrary class picks reduced
+/// modulo `num_classes`.
+fn k_class_dataset_from(rows: Vec<Vec<f64>>, class_picks: &[u8], num_classes: usize) -> Dataset {
+    let labels: Vec<Label> = class_picks[..rows.len()]
+        .iter()
+        .map(|&pick| Label::from_index(pick as usize % num_classes).unwrap())
+        .collect();
+    Dataset::with_classes(
+        "kernel-parity-k",
+        DenseMatrix::from_rows(&rows).unwrap(),
+        labels,
+        num_classes,
+    )
+    .unwrap()
+}
+
 /// A single-feature chain tree: each internal node sends `x <= t` to a
 /// leaf and larger values onward, so one probe exercises every threshold
 /// until its first `<=` hit. Built through `from_raw_parts` so thresholds
-/// are taken verbatim (training would snap them to data midpoints).
-fn chain_forest(thresholds: &[f64]) -> CompiledForest {
+/// are taken verbatim (training would snap them to data midpoints). Leaf
+/// labels cycle through all `num_classes` classes so wrong turns change
+/// verdicts.
+fn chain_forest(thresholds: &[f64], num_classes: usize) -> CompiledForest {
     let depth = thresholds.len();
     let nodes = 2 * depth + 1;
     let mut feature = vec![u32::MAX; nodes];
@@ -73,12 +91,19 @@ fn chain_forest(thresholds: &[f64]) -> CompiledForest {
         feature[node] = 0;
         threshold[node] = t;
         left[node] = node as u32 + 1;
-        // Leaf at node+1 alternates labels so wrong turns change verdicts.
-        left[node + 1] = (step % 2) as u32;
+        left[node + 1] = (step % num_classes) as u32;
     }
-    left[nodes - 1] = 1; // terminal leaf
-    CompiledForest::from_raw_parts(feature, threshold, left, right, vec![0, nodes as u32], 1)
-        .expect("chain forest is structurally valid")
+    left[nodes - 1] = 1 % num_classes as u32; // terminal leaf
+    CompiledForest::from_raw_parts(
+        feature,
+        threshold,
+        left,
+        right,
+        vec![0, nodes as u32],
+        1,
+        num_classes,
+    )
+    .expect("chain forest is structurally valid")
 }
 
 /// Asserts every kernel reproduces the recursive per-tree walk on `rows`,
@@ -102,6 +127,25 @@ fn assert_kernels_match(compiled: &CompiledForest, rows: &[Vec<f64>]) {
                 batch.positive_votes(index),
                 "kernel {kernel}, row {index}"
             );
+        }
+        // Per-class counts: every row sums to the tree count, matches the
+        // per-tree labels class by class, and its class-1 column is the
+        // one-vs-rest positive count above.
+        let classes = compiled.num_classes().max(2);
+        let class_votes = compiled.class_vote_counts_with(&matrix, kernel);
+        assert_eq!(class_votes.len(), rows.len() * classes, "kernel {kernel}");
+        for (index, row_votes) in class_votes.chunks_exact(classes).enumerate() {
+            assert_eq!(
+                row_votes.iter().map(|&v| v as usize).sum::<usize>(),
+                compiled.num_trees(),
+                "kernel {kernel}, row {index}"
+            );
+            assert_eq!(
+                row_votes.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                batch.class_votes(index),
+                "kernel {kernel}, row {index}"
+            );
+            assert_eq!(row_votes[1] as usize, batch.positive_votes(index));
         }
         assert_eq!(
             compiled.predict_batch_with(&matrix, kernel),
@@ -150,12 +194,44 @@ proptest! {
         assert_kernels_match(&compiled, &probes);
     }
 
+    /// The trained-forest parity property, over k-class label spaces: for
+    /// every k in the sweep the kernels must agree with the recursive walk
+    /// on adversarial feature values, and the per-class vote counts must
+    /// reconcile with the per-tree labels.
+    #[test]
+    fn kernels_match_recursive_walk_on_k_class_forests(
+        rows in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 12..48),
+        probes in proptest::collection::vec(proptest::collection::vec(feature_value(), 4), 1..24),
+        class_picks in proptest::collection::vec(any::<u8>(), 48),
+        k_pick in 0usize..4,
+        num_trees in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let num_classes = [2usize, 3, 5, 10][k_pick];
+        let dataset = k_class_dataset_from(rows, &class_picks, num_classes);
+        let params = ForestParams {
+            num_trees,
+            tree: TreeParams::with_max_depth(5),
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(seed));
+        let compiled = CompiledForest::compile(&forest);
+        prop_assert_eq!(compiled.num_classes(), num_classes);
+
+        for probe in &probes {
+            prop_assert_eq!(compiled.predict_all(probe), forest.predict_all(probe));
+            prop_assert_eq!(compiled.predict(probe), forest.predict(probe));
+        }
+        assert_kernels_match(&compiled, &probes);
+    }
+
     #[test]
     fn kernels_agree_on_f32_boundary_thresholds(
         thresholds in proptest::collection::vec(BoundaryThreshold, 1..24),
         extra in proptest::collection::vec(feature_value(), 8),
+        num_classes in prop_oneof![Just(2usize), Just(3), Just(5), Just(10)],
     ) {
-        let compiled = chain_forest(&thresholds);
+        let compiled = chain_forest(&thresholds, num_classes);
         // Probe exactly on, one f32 ULP around, and away from every
         // threshold — the values whose `f32` compare can lie.
         let mut probes: Vec<Vec<f64>> = Vec::new();
@@ -195,11 +271,59 @@ fn leaf_only_trees_agree_across_kernels() {
 fn deep_chains_walk_identically_across_kernels() {
     // 2048 levels — deeper than any trained tree, stressing the lockstep
     // step count, the BFS renumbering and the quantized fallback re-walk.
+    // Run the chain with every k of the sweep: the leaf labels cycle, so
+    // for k > 2 a mis-stepped walk lands on a different class index.
     let thresholds: Vec<f64> = (0..2048).map(|i| f64::from(i) * 0.001 - 1.0).collect();
-    let compiled = chain_forest(&thresholds);
-    let probes: Vec<Vec<f64>> = (0..40)
-        .map(|i| vec![f64::from(i) * 0.061 - 1.2])
-        .chain([vec![f64::NAN], vec![f64::INFINITY], vec![f64::NEG_INFINITY]])
+    for num_classes in [2usize, 3, 5, 10] {
+        let compiled = chain_forest(&thresholds, num_classes);
+        let probes: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i) * 0.061 - 1.2])
+            .chain([vec![f64::NAN], vec![f64::INFINITY], vec![f64::NEG_INFINITY]])
+            .collect();
+        assert_kernels_match(&compiled, &probes);
+    }
+}
+
+/// k = 2 bit-identity regression: a fixed-seed forest over a fixed
+/// dataset must keep producing exactly these majority labels and positive
+/// vote counts, under every kernel. The parity properties above tie all
+/// kernels to the recursive walk for *one* build; pinning literal values
+/// additionally catches any future change that shifts training or
+/// inference for binary models, however internally consistent.
+#[test]
+fn fixed_seed_binary_outputs_are_pinned() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C5);
+    let rows: Vec<Vec<f64>> =
+        (0..64).map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
+    let label_bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+    let dataset = dataset_from(rows, &label_bits);
+    let params = ForestParams {
+        num_trees: 9,
+        tree: TreeParams::with_max_depth(6),
+        ..ForestParams::default()
+    };
+    let forest = RandomForest::fit(&dataset, &params, &mut SmallRng::seed_from_u64(41));
+    let compiled = CompiledForest::compile(&forest);
+    assert_eq!(compiled.num_classes(), 2);
+
+    let probes: Vec<Vec<f64>> = (0..12)
+        .map(|i| (0..4).map(|j| f64::from(i * 4 + j) * 0.17 - 3.9).collect())
         .collect();
-    assert_kernels_match(&compiled, &probes);
+    let matrix = DenseMatrix::from_rows(&probes).unwrap();
+
+    let expected_labels: Vec<usize> = vec![1, 1, 1, 0, 1, 0, 0, 1, 0, 0, 0, 0];
+    let expected_votes: Vec<u32> = vec![8, 8, 8, 4, 7, 2, 0, 9, 4, 4, 4, 4];
+    for kernel in KERNELS {
+        let labels: Vec<usize> = compiled
+            .predict_batch_with(&matrix, kernel)
+            .iter()
+            .map(|label| label.index())
+            .collect();
+        assert_eq!(labels, expected_labels, "kernel {kernel}");
+        assert_eq!(
+            compiled.positive_vote_counts_with(&matrix, kernel),
+            expected_votes,
+            "kernel {kernel}"
+        );
+    }
 }

@@ -81,26 +81,30 @@ fn truncated_files_yield_typed_errors_for_every_artefact() {
 
 #[test]
 fn version_mismatch_is_reported_with_both_versions() {
+    let future = persist::FORMAT_VERSION + 1;
     let (model, _, _) = fixture();
     let mut binary = persist::to_bytes(&model, Format::Binary);
     // Header: 4 magic bytes, 1 container tag, then the u16 LE version.
-    binary[5] = 2;
-    binary[6] = 0;
+    binary[5..7].copy_from_slice(&future.to_le_bytes());
     match persist::from_bytes::<RandomForest>(&binary).unwrap_err() {
         WatermarkError::UnsupportedFormatVersion { found, supported } => {
-            assert_eq!(found, 2);
+            assert_eq!(found, future);
             assert_eq!(supported, persist::FORMAT_VERSION);
         }
         other => panic!("expected a version error, got {other:?}"),
     }
 
     let json = String::from_utf8(persist::to_bytes(&model, Format::Json)).unwrap();
-    let bumped = json.replacen("\"version\": 1", "\"version\": 2", 1);
+    let bumped = json.replacen(
+        &format!("\"version\": {}", persist::FORMAT_VERSION),
+        &format!("\"version\": {future}"),
+        1,
+    );
     assert_ne!(bumped, json);
-    assert!(matches!(
-        persist::from_bytes::<RandomForest>(bumped.as_bytes()).unwrap_err(),
-        WatermarkError::UnsupportedFormatVersion { found: 2, .. }
-    ));
+    match persist::from_bytes::<RandomForest>(bumped.as_bytes()).unwrap_err() {
+        WatermarkError::UnsupportedFormatVersion { found, .. } => assert_eq!(found, future),
+        other => panic!("expected a version error, got {other:?}"),
+    }
 }
 
 #[test]
