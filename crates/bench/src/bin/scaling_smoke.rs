@@ -20,7 +20,7 @@
 //! scaling_smoke [--workers 1,2,4] [--claims N] [--samples N]
 //!               [--shard-rows N] [--kernel NAME] [--out PATH]
 //!               [--enforce-speedup X.Y]
-//! scaling_smoke --wire [--connections C] [--dockets D] [--claims N]
+//! scaling_smoke --wire [--auth] [--connections C] [--dockets D] [--claims N]
 //!               [--out PATH] [--enforce-claims-per-sec X]
 //! ```
 //!
@@ -42,6 +42,13 @@
 //! hard-fails (exit `2`) unless **every** served verdict vector is
 //! bit-identical to the in-process `resolve_many` reference.
 //!
+//! `--auth` (wire mode only) keys the loopback judge with one synthetic
+//! tenant and authenticates every generator connection, so the identical
+//! workload measures the per-frame HMAC cost: same dockets, same
+//! bit-identity gate, every frame tagged and sequence-checked. Comparing
+//! an `--auth` run against an anonymous one isolates the authentication
+//! overhead of the wire path.
+//!
 //! Exit codes: `2` = bit-identity violation (always fatal, both modes),
 //! `3` = a measured floor was missed — the widest run fell below
 //! `--enforce-speedup` in scaling mode (CI passes a generous `0.85` so
@@ -56,11 +63,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wdte_core::{
-    Dispute, DisputeService, Kernel, OwnershipClaim, Signature, VerificationReport, WatermarkConfig,
-    WatermarkResult, Watermarker,
+    Dispute, DisputeService, Kernel, KeyRing, OwnershipClaim, Signature, TenantId, VerificationReport,
+    WatermarkConfig, WatermarkOutcome, WatermarkResult, Watermarker,
 };
 use wdte_data::SyntheticSpec;
-use wdte_server::{DisputeClient, JudgeServer, ServerConfig};
+use wdte_server::{ClientAuth, DisputeClient, JudgeServer, ServerConfig};
 
 struct Args {
     workers: Vec<usize>,
@@ -76,6 +83,9 @@ struct Args {
     bench_one: Option<usize>,
     /// Open-loop wire-path load-generator mode.
     wire: bool,
+    /// Wire mode only: key the loopback judge and authenticate every
+    /// generator connection, measuring the per-frame HMAC cost.
+    auth: bool,
     connections: usize,
     dockets: usize,
     enforce_claims_per_sec: Option<f64>,
@@ -93,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
         enforce_speedup: None,
         bench_one: None,
         wire: false,
+        auth: false,
         connections: 4,
         dockets: 16,
         enforce_claims_per_sec: None,
@@ -137,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
                 args.out_was_set = true;
             }
             "--wire" => args.wire = true,
+            "--auth" => args.auth = true,
             "--connections" => {
                 args.connections =
                     value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
@@ -173,8 +185,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: scaling_smoke [--workers 1,2,4] [--claims N] [--samples N] \
                      [--shard-rows N] [--kernel scalar|blocked|quantized|auto] [--out PATH] \
                      [--enforce-speedup X.Y]\n\
-                     \x20      scaling_smoke --wire [--connections C] [--dockets D] [--claims N] \
-                     [--out PATH] [--enforce-claims-per-sec X]"
+                     \x20      scaling_smoke --wire [--auth] [--connections C] [--dockets D] \
+                     [--claims N] [--out PATH] [--enforce-claims-per-sec X]"
                 );
                 std::process::exit(0);
             }
@@ -202,7 +214,7 @@ fn build_docket(
     shard_rows: usize,
     kernel: Kernel,
     heavy_decoys: bool,
-) -> (DisputeService, Vec<Dispute>) {
+) -> (DisputeService, Vec<Dispute>, WatermarkOutcome) {
     // Deterministic fixture, same spirit as `judge_smoke`: every run of
     // this binary measures the identical workload.
     let mut rng = SmallRng::seed_from_u64(0x5CA1E);
@@ -261,7 +273,7 @@ fn build_docket(
         .build()
         .expect("an empty builder always builds");
     service.register("scaling-deployment", &outcome.model);
-    (service, docket)
+    (service, docket, outcome)
 }
 
 /// FNV-1a over the debug rendering of the verdict vector: a cheap,
@@ -289,12 +301,35 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// verdict arrival. Hard-fails on any verdict that differs from the
 /// in-process reference.
 fn wire_mode(args: &Args) -> ExitCode {
-    let (service, docket) = build_docket(args.claims, args.shard_rows, args.kernel, false);
+    let (service, docket, outcome) = build_docket(args.claims, args.shard_rows, args.kernel, false);
     // One in-process reference resolution; every served docket must match
     // its fingerprint bit for bit.
     let reference_fp = fingerprint(&service.resolve_many(&docket));
     let service = Arc::new(service);
-    let server = match JudgeServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()) {
+    // With --auth the judge is keyed with one synthetic tenant and every
+    // generator authenticates as it: same workload, every frame tagged.
+    let tenant = TenantId::new("bench").expect("the bench tenant id is valid");
+    let secret = b"scaling-smoke shared secret".to_vec();
+    if args.auth {
+        // Models are tenant-namespaced: the fixture registration above
+        // lives in the anonymous namespace, so the bench tenant needs its
+        // own registration of the same model (the compiled forest is
+        // shared — this adds a namespace entry, not a second compile).
+        service
+            .register_digested_as(&tenant, "scaling-deployment".to_string(), &outcome.model)
+            .expect("the bench tenant registration is within quota");
+    }
+    let config = if args.auth {
+        let mut ring = KeyRing::default();
+        ring.insert(tenant.clone(), secret.clone());
+        ServerConfig {
+            key_ring: Some(Arc::new(ring)),
+            ..ServerConfig::default()
+        }
+    } else {
+        ServerConfig::default()
+    };
+    let server = match JudgeServer::bind("127.0.0.1:0", Arc::clone(&service), config) {
         Ok(server) => server.spawn(),
         Err(err) => {
             eprintln!("scaling_smoke: could not bind the loopback judge: {err}");
@@ -305,16 +340,22 @@ fn wire_mode(args: &Args) -> ExitCode {
     let (connections, dockets) = (args.connections, args.dockets);
     println!(
         "scaling_smoke --wire: {connections} connections x {dockets} pipelined dockets x {} \
-         claims against the loopback judge at {addr}",
-        args.claims
+         claims against the {} loopback judge at {addr}",
+        args.claims,
+        if args.auth { "authenticated" } else { "open" }
     );
 
     let started = Instant::now();
     let generators: Vec<_> = (0..connections)
         .map(|_| {
             let docket = docket.clone();
+            let auth = args.auth.then(|| ClientAuth::new(tenant.clone(), secret.clone()));
             std::thread::spawn(move || -> Result<Vec<Duration>, String> {
-                let mut client = DisputeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut client = match auth {
+                    Some(auth) => DisputeClient::connect_authenticated(addr, auth),
+                    None => DisputeClient::connect(addr),
+                }
+                .map_err(|e| format!("connect: {e}"))?;
                 // Open loop: every docket is sent up front; nothing waits
                 // for a verdict before offering more load.
                 let mut sent = Vec::with_capacity(dockets);
@@ -380,11 +421,12 @@ fn wire_mode(args: &Args) -> ExitCode {
         "target/bench-results/wire_load.json".to_string()
     };
     let artifact = format!(
-        "{{\n  \"mode\": \"open_loop_wire\",\n  \"connections\": {connections},\n  \
+        "{{\n  \"mode\": \"open_loop_wire\",\n  \"auth\": {},\n  \"connections\": {connections},\n  \
          \"dockets_per_connection\": {dockets},\n  \"claims_per_docket\": {},\n  \
          \"total_claims\": {total_claims},\n  \"wall_ms\": {:.3},\n  \
          \"claims_per_sec\": {claims_per_sec:.0},\n  \"docket_latency_ms\": {{ \
          \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n  \"bit_identical\": true\n}}\n",
+        args.auth,
         args.claims,
         wall.as_secs_f64() * 1e3,
         p50.as_secs_f64() * 1e3,
@@ -421,7 +463,7 @@ fn bench_one(width: usize, args: &Args) -> ExitCode {
         eprintln!("scaling_smoke: could not size the global pool to {width}: {err}");
         return ExitCode::FAILURE;
     }
-    let (service, docket) = build_docket(args.claims, args.shard_rows, args.kernel, true);
+    let (service, docket, _outcome) = build_docket(args.claims, args.shard_rows, args.kernel, true);
     // Warm-up run doubles as the fingerprint source — and, for `auto`,
     // triggers the one-time kernel microprobe so the resolved kernel is
     // known before any timed sample.

@@ -106,6 +106,30 @@ pub enum WatermarkError {
         /// The error message as reported by the peer.
         message: String,
     },
+    /// A frame failed authentication: unknown tenant, bad or missing HMAC
+    /// tag, or a replayed (non-monotonic) sequence number.
+    AuthenticationFailed {
+        /// What failed — kept deliberately coarse so the error cannot be
+        /// used as a padding/length oracle against the tag.
+        detail: String,
+    },
+    /// A request crossed a tenant boundary: the caller asked about a model
+    /// (or another resource) owned by a different tenant namespace.
+    Forbidden {
+        /// What was refused.
+        detail: String,
+    },
+    /// A per-tenant quota would be exceeded; refused before allocating,
+    /// like the frame caps.
+    QuotaExceeded {
+        /// Which quota axis was hit (`"models"`, `"docket"`,
+        /// `"claim-bytes"`, `"in-flight"`).
+        resource: String,
+        /// Usage the request would have reached.
+        used: u64,
+        /// The configured per-tenant limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for WatermarkError {
@@ -159,6 +183,16 @@ impl fmt::Display for WatermarkError {
             WatermarkError::Remote { message } => {
                 write!(f, "remote judge reported: {message}")
             }
+            WatermarkError::AuthenticationFailed { detail } => {
+                write!(f, "frame authentication failed: {detail}")
+            }
+            WatermarkError::Forbidden { detail } => {
+                write!(f, "forbidden: {detail}")
+            }
+            WatermarkError::QuotaExceeded { resource, used, limit } => write!(
+                f,
+                "tenant quota exceeded on `{resource}`: {used} > limit {limit}"
+            ),
         }
     }
 }

@@ -27,6 +27,9 @@
 //! * [`proto`] — the versioned wire protocol ("WDTP" frames) the
 //!   `wdte-server` crate serves over TCP, making the judge independently
 //!   deployable.
+//! * [`tenant`] — the multi-tenant layer: HMAC-SHA-256 frame
+//!   authentication, per-tenant namespaces and quotas, and the accounting
+//!   behind the `Stats` request.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod persist;
 pub mod proto;
 pub mod service;
 pub mod signature;
+pub mod tenant;
 pub mod verify;
 pub mod watermark;
 
@@ -58,6 +62,7 @@ pub use service::{
     SharedDispute, DEFAULT_BATCH_SHARD_ROWS, DEFAULT_CLAIM_CACHE_BYTES, MODEL_MANIFEST_FILE,
 };
 pub use signature::Signature;
+pub use tenant::{KeyRing, TenantCounters, TenantId, TenantLedger, TenantQuotas, TenantStatsEntry};
 pub use verify::{
     verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
 };
@@ -80,6 +85,7 @@ pub mod prelude {
     pub use crate::proto;
     pub use crate::service::{Dispute, DisputeService, DisputeServiceBuilder, ModelManifest};
     pub use crate::signature::Signature;
+    pub use crate::tenant::{KeyRing, TenantId, TenantQuotas};
     pub use crate::verify::{
         verify_ownership, verify_ownership_with_rng, ModelOracle, OwnershipClaim, VerificationReport,
     };

@@ -8,32 +8,45 @@
 //! on-disk artefacts — a dispute must never be decided on a silently
 //! misread message.
 //!
-//! ## Frame format (v2 layout, spoken at v3)
+//! ## Frame format (v4)
 //!
 //! Every message travels as one length-prefixed frame:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "WDTP"
-//! 4       2     protocol version (little-endian u16, currently 3)
+//! 4       2     protocol version (little-endian u16, currently 4)
 //! 6       8     correlation id (little-endian u64)
-//! 14      4     payload length in bytes (little-endian u32)
-//! 18      len   payload: one value in the persist binary codec
+//! 14      8     sequence number (little-endian u64; 0 on anonymous frames)
+//! 22      16    tenant id (ASCII, zero-padded; all-zero = anonymous)
+//! 38      16    authentication tag (truncated HMAC-SHA-256; zero when
+//!               anonymous)
+//! 54      4     payload length in bytes (little-endian u32)
+//! 58      len   payload: one value in the persist binary codec
 //! ```
 //!
-//! v3 keeps the v2 frame layout but changes the shape of model payloads:
-//! forests carry a `num_classes` field (the k-class label model), so a v2
-//! judge must refuse a v3 frame loudly instead of misreading it — and
-//! vice versa.
+//! v4 widens the header with the three authentication fields of the
+//! multi-tenant judge (see [`crate::tenant`]): a fixed tenant field, a
+//! per-connection **sequence number**, and an HMAC-SHA-256 **tag** over
+//! the frame transcript (magic, version, correlation id, sequence, tenant
+//! field, payload length, payload) under the tenant's shared secret,
+//! truncated to [`TAG_BYTES`]. The sequence must grow strictly
+//! monotonically within one connection, and it is folded into the tag, so
+//! a byte-identical replayed frame is refused even though its tag is
+//! genuine. *Anonymous* frames — the only kind a judge without a key file
+//! sees — carry zeroes in all three fields; a judge holding keys refuses
+//! them. Requests are authenticated client→judge only: response frames
+//! always travel with zeroed auth fields (the judge is the trusted party
+//! of the paper's protocol). v3 had an 18-byte header without these
+//! fields; v3 model payloads (k-class forests) are carried unchanged.
 //!
-//! The **correlation id** is new in v2: a client stamps every request with
-//! an id of its choosing, and the judge echoes that id on the response
-//! frame. Responses therefore no longer need to arrive in request order —
-//! a client can keep many dockets in flight on one connection and match
-//! each verdict to its request by id (see `DisputeClient::send_docket` /
-//! `recv_docket` in the server crate). Id `0` is reserved for server
-//! errors answering a frame whose header could not be parsed (there is no
-//! request id to echo).
+//! The **correlation id** (since v2) lets a client stamp every request
+//! with an id of its choosing, echoed on the response frame. Responses
+//! therefore need not arrive in request order — a client can keep many
+//! dockets in flight on one connection and match each verdict to its
+//! request by id (see `DisputeClient::send_docket` / `recv_docket` in the
+//! server crate). Id `0` is reserved for server errors answering a frame
+//! whose header could not be parsed (there is no request id to echo).
 //!
 //! The payload is a [`serde::Value`] rendered with the exact
 //! tag-length-value codec `persist` uses for binary artefacts, so forests,
@@ -88,9 +101,10 @@ use wdte_trees::{Node, RandomForest};
 /// artefact file can never be mistaken for a frame, or vice versa).
 pub const PROTO_MAGIC: &[u8; 4] = b"WDTP";
 
-/// Protocol version this build speaks and accepts. v3 = the v2 frame
-/// layout with k-class model payloads (forests carry `num_classes`).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// Protocol version this build speaks and accepts. v4 = the authenticated
+/// multi-tenant header (sequence + tenant + tag fields) carrying v3's
+/// k-class message payloads.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Bytes of the header prelude: magic + version. The prelude is validated
 /// on its own before the rest of the header is read, so a frame from a
@@ -98,9 +112,18 @@ pub const PROTOCOL_VERSION: u16 = 3;
 /// is refused with a version error instead of being misparsed.
 pub const FRAME_PRELUDE_BYTES: usize = 6;
 
+/// Size of the fixed tenant-id field in the frame header.
+pub const TENANT_FIELD_BYTES: usize = 16;
+
+/// Size of the truncated HMAC-SHA-256 authentication tag.
+pub const TAG_BYTES: usize = 16;
+
+/// Byte offset of the length prefix within the header (its last field).
+pub const LENGTH_OFFSET: usize = FRAME_HEADER_BYTES - 4;
+
 /// Number of bytes before the payload: magic + version + correlation id +
-/// length prefix.
-pub const FRAME_HEADER_BYTES: usize = 18;
+/// sequence + tenant field + tag + length prefix.
+pub const FRAME_HEADER_BYTES: usize = 6 + 8 + 8 + TENANT_FIELD_BYTES + TAG_BYTES + 4;
 
 /// Correlation id used by a judge answering a frame whose header could not
 /// be parsed: there is no request id to echo.
@@ -330,6 +353,10 @@ pub enum Request {
         /// Registry id to remove.
         model_id: String,
     },
+    /// Asks for per-tenant accounting. An authenticated tenant receives
+    /// its own row only; on a judge running without keys the anonymous
+    /// caller sees every namespace.
+    Stats,
 }
 
 /// The judge's answer to one [`Request`].
@@ -393,6 +420,11 @@ pub enum Response {
         model_id: String,
         /// Whether the id was registered before the request.
         existed: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// One row per visible tenant, sorted by tenant id.
+        tenants: Vec<crate::tenant::TenantStatsEntry>,
     },
     /// The request could not be served at all.
     Error {
@@ -485,6 +517,27 @@ pub enum WireFault {
         /// The rendered error message.
         detail: String,
     },
+    /// The frame failed authentication (unknown tenant, bad tag, replayed
+    /// sequence, or an anonymous frame on a keyed judge).
+    AuthFailed {
+        /// What failed, coarsely.
+        detail: String,
+    },
+    /// The request crossed a tenant boundary.
+    Forbidden {
+        /// What was refused.
+        detail: String,
+    },
+    /// A per-tenant quota would have been exceeded; nothing was allocated
+    /// or resolved.
+    QuotaExceeded {
+        /// The quota axis that was hit.
+        resource: String,
+        /// Usage the request would have reached.
+        used: u64,
+        /// The configured per-tenant limit.
+        limit: u64,
+    },
 }
 
 impl WireFault {
@@ -511,6 +564,21 @@ impl WireFault {
                 size: *size,
                 max: *max,
             },
+            WatermarkError::AuthenticationFailed { detail } => WireFault::AuthFailed {
+                detail: detail.clone(),
+            },
+            WatermarkError::Forbidden { detail } => WireFault::Forbidden {
+                detail: detail.clone(),
+            },
+            WatermarkError::QuotaExceeded {
+                resource,
+                used,
+                limit,
+            } => WireFault::QuotaExceeded {
+                resource: resource.clone(),
+                used: *used,
+                limit: *limit,
+            },
             other => WireFault::Internal {
                 detail: other.to_string(),
             },
@@ -533,12 +601,47 @@ impl WireFault {
             }
             WireFault::FrameTooLarge { size, max } => WatermarkError::FrameTooLarge { size, max },
             WireFault::Internal { detail } => WatermarkError::Remote { message: detail },
+            WireFault::AuthFailed { detail } => WatermarkError::AuthenticationFailed { detail },
+            WireFault::Forbidden { detail } => WatermarkError::Forbidden { detail },
+            WireFault::QuotaExceeded {
+                resource,
+                used,
+                limit,
+            } => WatermarkError::QuotaExceeded {
+                resource,
+                used,
+                limit,
+            },
         }
     }
 }
 
-/// Encodes one message into a complete frame (header + payload) carrying
-/// `correlation_id`. Fails with [`WatermarkError::FrameTooLarge`] if the
+/// The parsed fixed-size part of one v4 frame: everything the receiver
+/// knows before (and about) the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The sender's correlation id, echoed on the response.
+    pub correlation_id: u64,
+    /// Per-connection sequence number (0 on anonymous frames).
+    pub sequence: u64,
+    /// Raw zero-padded tenant field (all-zero = anonymous).
+    pub tenant: [u8; TENANT_FIELD_BYTES],
+    /// Truncated HMAC tag (all-zero on anonymous frames).
+    pub tag: [u8; TAG_BYTES],
+    /// Announced payload length in bytes.
+    pub announced: usize,
+}
+
+impl FrameHeader {
+    /// Whether the frame carries no authentication fields at all.
+    pub fn is_anonymous(&self) -> bool {
+        self.sequence == 0 && self.tenant.iter().all(|&b| b == 0) && self.tag.iter().all(|&b| b == 0)
+    }
+}
+
+/// Encodes one message into a complete *anonymous* frame (header +
+/// payload) carrying `correlation_id`: sequence, tenant and tag fields
+/// are all zero. Fails with [`WatermarkError::FrameTooLarge`] if the
 /// payload exceeds what the u32 length prefix can announce — the
 /// sender-side mirror of the receiver's cap, surfaced as a typed error
 /// rather than a panic.
@@ -547,6 +650,38 @@ pub fn encode_frame<T: Serialize + ?Sized>(
     message: &T,
 ) -> WatermarkResult<Vec<u8>> {
     let payload = persist::encode_value_bytes(&message.to_value());
+    assemble_frame(
+        correlation_id,
+        0,
+        &[0u8; TENANT_FIELD_BYTES],
+        &[0u8; TAG_BYTES],
+        &payload,
+    )
+}
+
+/// Encodes one message into an *authenticated* frame: the tenant id and
+/// `sequence` travel in the header and the tag is computed over the full
+/// frame transcript under `key` (see [`crate::tenant::frame_tag`]).
+pub fn encode_frame_auth<T: Serialize + ?Sized>(
+    correlation_id: u64,
+    message: &T,
+    tenant: &crate::tenant::TenantId,
+    sequence: u64,
+    key: &[u8],
+) -> WatermarkResult<Vec<u8>> {
+    let payload = persist::encode_value_bytes(&message.to_value());
+    let tenant_field = tenant.field();
+    let tag = crate::tenant::frame_tag(key, correlation_id, sequence, &tenant_field, &payload);
+    assemble_frame(correlation_id, sequence, &tenant_field, &tag, &payload)
+}
+
+fn assemble_frame(
+    correlation_id: u64,
+    sequence: u64,
+    tenant_field: &[u8; TENANT_FIELD_BYTES],
+    tag: &[u8; TAG_BYTES],
+    payload: &[u8],
+) -> WatermarkResult<Vec<u8>> {
     if u32::try_from(payload.len()).is_err() {
         return Err(WatermarkError::FrameTooLarge {
             size: payload.len() as u64,
@@ -557,8 +692,11 @@ pub fn encode_frame<T: Serialize + ?Sized>(
     frame.extend_from_slice(PROTO_MAGIC);
     frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     frame.extend_from_slice(&correlation_id.to_le_bytes());
+    frame.extend_from_slice(&sequence.to_le_bytes());
+    frame.extend_from_slice(tenant_field);
+    frame.extend_from_slice(tag);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(payload);
     Ok(frame)
 }
 
@@ -577,14 +715,15 @@ pub fn decode_frame<T: Deserialize>(frame: &[u8], max_frame_bytes: usize) -> Wat
         )));
     }
     let (header, payload) = frame.split_at(FRAME_HEADER_BYTES);
-    let (correlation_id, announced) = check_header(header, max_frame_bytes)?;
-    if payload.len() != announced {
+    let header = check_header(header, max_frame_bytes)?;
+    if payload.len() != header.announced {
         return Err(violation(format!(
-            "frame announces a {announced}-byte payload but carries {} bytes",
+            "frame announces a {}-byte payload but carries {} bytes",
+            header.announced,
             payload.len()
         )));
     }
-    Ok((correlation_id, decode_payload(payload)?))
+    Ok((header.correlation_id, decode_payload(payload)?))
 }
 
 /// Decodes a message from raw payload bytes (the part after the header, as
@@ -613,20 +752,35 @@ pub fn check_prelude(prelude: &[u8]) -> WatermarkResult<()> {
     Ok(())
 }
 
-/// Validates a full frame header, returning the correlation id and the
-/// announced payload length.
-fn check_header(header: &[u8], max_frame_bytes: usize) -> WatermarkResult<(u64, usize)> {
+/// Validates a full frame header, returning its parsed fields (including
+/// the authentication fields a keyed receiver verifies once the payload
+/// has arrived).
+pub fn check_header(header: &[u8], max_frame_bytes: usize) -> WatermarkResult<FrameHeader> {
     check_prelude(&header[..FRAME_PRELUDE_BYTES])?;
     let correlation_id = u64::from_le_bytes(header[6..14].try_into().expect("header slice is 8 bytes"));
-    let announced =
-        u32::from_le_bytes(header[14..18].try_into().expect("header slice is 4 bytes")) as usize;
+    let sequence = u64::from_le_bytes(header[14..22].try_into().expect("header slice is 8 bytes"));
+    let tenant: [u8; TENANT_FIELD_BYTES] = header[22..22 + TENANT_FIELD_BYTES]
+        .try_into()
+        .expect("header slice is 16 bytes");
+    let tag: [u8; TAG_BYTES] = header[38..38 + TAG_BYTES].try_into().expect("header slice is 16 bytes");
+    let announced = u32::from_le_bytes(
+        header[LENGTH_OFFSET..FRAME_HEADER_BYTES]
+            .try_into()
+            .expect("header slice is 4 bytes"),
+    ) as usize;
     if announced > max_frame_bytes {
         return Err(WatermarkError::FrameTooLarge {
             size: announced as u64,
             max: max_frame_bytes as u64,
         });
     }
-    Ok((correlation_id, announced))
+    Ok(FrameHeader {
+        correlation_id,
+        sequence,
+        tenant,
+        tag,
+        announced,
+    })
 }
 
 /// Writes one message as a frame carrying `correlation_id` to `writer`
@@ -642,7 +796,7 @@ pub fn write_message<T: Serialize + ?Sized, W: Write>(
     writer.flush().map_err(io_violation)
 }
 
-/// Reads one frame from `reader` and returns its correlation id and
+/// Reads one frame from `reader` and returns its parsed header and
 /// payload bytes.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
@@ -652,11 +806,13 @@ pub fn write_message<T: Serialize + ?Sized, W: Write>(
 /// refused with a version error before its shorter header runs out), the
 /// announced payload length is validated against `max_frame_bytes` before
 /// any allocation, and the read buffer grows with the bytes actually
-/// received rather than trusting the prefix.
+/// received rather than trusting the prefix. Authentication fields are
+/// parsed but *not* verified here — a keyed receiver runs
+/// [`crate::tenant::KeyRing::verify_frame`] on the result.
 pub fn read_frame<R: Read>(
     reader: &mut R,
     max_frame_bytes: usize,
-) -> WatermarkResult<Option<(u64, Vec<u8>)>> {
+) -> WatermarkResult<Option<(FrameHeader, Vec<u8>)>> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     let mut filled = 0usize;
     let mut prelude_checked = false;
@@ -682,7 +838,8 @@ pub fn read_frame<R: Read>(
             prelude_checked = true;
         }
     }
-    let (correlation_id, announced) = check_header(&header, max_frame_bytes)?;
+    let header = check_header(&header, max_frame_bytes)?;
+    let announced = header.announced;
     // Allocation cap: reserve at most 64 KiB up front; everything past that
     // is grown by `read_to_end` as bytes actually arrive, so a hostile
     // length prefix below the cap still cannot reserve more memory than the
@@ -694,7 +851,7 @@ pub fn read_frame<R: Read>(
             "stream closed after {read} of {announced} payload bytes"
         )));
     }
-    Ok(Some((correlation_id, payload)))
+    Ok(Some((header, payload)))
 }
 
 /// Reads one message from `reader`, returning its correlation id.
@@ -704,7 +861,7 @@ pub fn read_message<T: Deserialize, R: Read>(
     max_frame_bytes: usize,
 ) -> WatermarkResult<Option<(u64, T)>> {
     match read_frame(reader, max_frame_bytes)? {
-        Some((correlation_id, payload)) => Ok(Some((correlation_id, decode_payload(&payload)?))),
+        Some((header, payload)) => Ok(Some((header.correlation_id, decode_payload(&payload)?))),
         None => Ok(None),
     }
 }
@@ -750,8 +907,9 @@ mod tests {
         assert_eq!(&decoded, message);
         // Streamed path: read_frame + decode_payload see the same message.
         let mut reader = std::io::Cursor::new(frame);
-        let (corr, payload) = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
-        assert_eq!(corr, 7);
+        let (header, payload) = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(header.correlation_id, 7);
+        assert!(header.is_anonymous(), "plain encode_frame must stay anonymous");
         let streamed: T = decode_payload(&payload).unwrap();
         assert_eq!(&streamed, message);
         // And the stream is exhausted: the next read is a clean EOF.
@@ -788,6 +946,7 @@ mod tests {
         round_trip(&Request::Payload { claims: vec![claim] });
         round_trip(&Request::ListModels);
         round_trip(&Request::Deregister { model_id: "m".into() });
+        round_trip(&Request::Stats);
     }
 
     #[test]
@@ -837,8 +996,34 @@ mod tests {
             model_id: "m".into(),
             existed: false,
         });
+        round_trip(&Response::Stats {
+            tenants: vec![crate::tenant::TenantStatsEntry {
+                tenant: "alice".into(),
+                models: 2,
+                dockets: 10,
+                claims: 640,
+                cache_hits: 600,
+                cache_misses: 40,
+                evictions: 1,
+                auth_failures: 3,
+                claim_bytes: 1 << 20,
+                in_flight: 4,
+            }],
+        });
         round_trip(&Response::Error {
             fault: WireFault::DocketTooLarge { size: 1000, max: 64 },
+        });
+        round_trip(&Response::Error {
+            fault: WireFault::AuthFailed {
+                detail: "bad tag".into(),
+            },
+        });
+        round_trip(&Response::Error {
+            fault: WireFault::QuotaExceeded {
+                resource: "models".into(),
+                used: 3,
+                limit: 2,
+            },
         });
     }
 
@@ -906,7 +1091,7 @@ mod tests {
     #[test]
     fn oversized_length_prefix_is_refused_before_allocating() {
         let mut frame = encode_frame(1, &Request::Ping).unwrap();
-        frame[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        frame[LENGTH_OFFSET..FRAME_HEADER_BYTES].copy_from_slice(&u32::MAX.to_le_bytes());
         match decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err() {
             WatermarkError::FrameTooLarge { size, max } => {
                 assert_eq!(size, u64::from(u32::MAX));
@@ -958,10 +1143,56 @@ mod tests {
         // is well-formed — the *payload* now has trailing bytes.
         frame.push(0);
         let announced = (frame.len() - FRAME_HEADER_BYTES) as u32;
-        frame[14..18].copy_from_slice(&announced.to_le_bytes());
+        frame[LENGTH_OFFSET..FRAME_HEADER_BYTES].copy_from_slice(&announced.to_le_bytes());
         assert!(matches!(
             decode_frame::<Request>(&frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err(),
             WatermarkError::ProtocolViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn authenticated_frames_verify_and_refuse_tampering_and_replay() {
+        use crate::tenant::{KeyRing, TenantId};
+        let tenant = TenantId::new("alice").unwrap();
+        let frame = encode_frame_auth(9, &Request::Ping, &tenant, 5, b"s3cret").unwrap();
+        let mut reader = std::io::Cursor::new(&frame);
+        let (header, payload) = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        assert!(!header.is_anonymous());
+        assert_eq!(header.correlation_id, 9);
+        assert_eq!(header.sequence, 5);
+        let mut ring = KeyRing::new();
+        ring.insert(tenant.clone(), b"s3cret".to_vec());
+        assert_eq!(ring.verify_frame(&header, &payload, 4).unwrap(), tenant);
+        // The payload decodes exactly as an anonymous frame's would.
+        let decoded: Request = decode_payload(&payload).unwrap();
+        assert_eq!(decoded, Request::Ping);
+        // A byte-identical replay is refused once the sequence is spent.
+        assert!(matches!(
+            ring.verify_frame(&header, &payload, 5).unwrap_err(),
+            WatermarkError::AuthenticationFailed { .. }
+        ));
+        // Tampering with the payload breaks the tag.
+        let mut tampered = payload.clone();
+        tampered[0] ^= 1;
+        assert!(matches!(
+            ring.verify_frame(&header, &tampered, 4).unwrap_err(),
+            WatermarkError::AuthenticationFailed { .. }
+        ));
+        // A key the judge does not hold breaks the tag too.
+        let mut wrong_ring = KeyRing::new();
+        wrong_ring.insert(tenant, b"other".to_vec());
+        assert!(matches!(
+            wrong_ring.verify_frame(&header, &payload, 4).unwrap_err(),
+            WatermarkError::AuthenticationFailed { .. }
+        ));
+        // An anonymous frame is refused outright by a keyed receiver.
+        let anon = encode_frame(9, &Request::Ping).unwrap();
+        let mut reader = std::io::Cursor::new(&anon);
+        let (anon_header, anon_payload) =
+            read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        assert!(matches!(
+            wrong_ring.verify_frame(&anon_header, &anon_payload, 0).unwrap_err(),
+            WatermarkError::AuthenticationFailed { .. }
         ));
     }
 
@@ -1053,6 +1284,17 @@ mod tests {
             WatermarkError::FrameTooLarge {
                 size: 1 << 40,
                 max: 1 << 28,
+            },
+            WatermarkError::AuthenticationFailed {
+                detail: "bad tag".into(),
+            },
+            WatermarkError::Forbidden {
+                detail: "model `m` belongs to another tenant".into(),
+            },
+            WatermarkError::QuotaExceeded {
+                resource: "docket".into(),
+                used: 100,
+                limit: 64,
             },
         ] {
             assert_eq!(WireFault::from_error(&structured).into_error(), structured);

@@ -41,10 +41,11 @@
 use crate::error::{WatermarkError, WatermarkResult};
 use crate::persist;
 use crate::proto::PayloadDigest;
+use crate::tenant::{TenantId, TenantLedger, TenantQuotas, TenantStatsEntry};
 use crate::verify::{verify_ownership, ModelOracle, OwnershipClaim, VerificationReport};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -60,8 +61,29 @@ pub const DEFAULT_BATCH_SHARD_ROWS: usize = 256;
 /// payload — roughly a few hundred typical claims).
 pub const DEFAULT_CLAIM_CACHE_BYTES: usize = 256 << 20;
 
+/// Fixed bookkeeping cost charged per cached claim on top of its payload
+/// bytes, so per-tenant byte quotas account for what an entry *actually*
+/// costs the judge: the 16-byte digest key stored twice (hash map + LRU
+/// deque), the hash-map bucket, the `Arc` allocation header, and the
+/// owner/model attribution sets. Deliberately a round, documented estimate
+/// rather than `size_of` arithmetic, so the accounting is stable across
+/// Rust versions and pinned by a unit test.
+pub const CLAIM_ENTRY_OVERHEAD_BYTES: usize = 160;
+
+/// Estimated resident bytes per compiled-forest node: the four SoA words
+/// (feature, threshold, left, right = 20 bytes), the 24-byte packed
+/// traversal record, and the per-level BFS layout the blocked/quantized
+/// kernels walk (~28 bytes amortized).
+const MODEL_NODE_FOOTPRINT_BYTES: usize = 72;
+
 /// File name of the model manifest inside a warm-start directory.
 pub const MODEL_MANIFEST_FILE: &str = "manifest.json";
+
+/// Approximate resident footprint of one compiled forest, used by the
+/// model-cache byte budget ([`DisputeServiceBuilder::model_cache_bytes`]).
+fn model_footprint(compiled: &CompiledForest) -> usize {
+    compiled.total_nodes() * MODEL_NODE_FOOTPRINT_BYTES + compiled.num_trees() * 16 + 512
+}
 
 /// One dispute filed with the judge: a claim against a registered model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,18 +152,38 @@ pub struct ClaimCache {
 
 #[derive(Debug, Default)]
 struct ClaimCacheInner {
-    map: HashMap<PayloadDigest, Arc<OwnershipClaim>>,
+    map: HashMap<PayloadDigest, ClaimEntry>,
     /// Digests in least-recently-used-first order.
     order: VecDeque<PayloadDigest>,
     bytes: usize,
+    /// Bytes attributed to each tenant: every owner of an entry is charged
+    /// its full footprint (each of them uploaded it independently), so a
+    /// tenant's attributed bytes never shrink because someone *else*
+    /// uploaded the same claim.
+    tenant_bytes: HashMap<TenantId, usize>,
+}
+
+#[derive(Debug)]
+struct ClaimEntry {
+    claim: Arc<OwnershipClaim>,
+    footprint: usize,
+    /// Tenants charged for this entry.
+    owners: HashSet<TenantId>,
+    /// Models the claim has been adjudicated against, for
+    /// [`ClaimCache::drop_model`].
+    models: HashSet<(TenantId, String)>,
 }
 
 /// Approximate heap footprint of a claim: the dataset payloads dominate
 /// (8 bytes per feature value), signature and labels are rounding error
-/// but counted for claims with degenerate shapes.
+/// but counted for claims with degenerate shapes, plus the fixed
+/// per-entry bookkeeping cost [`CLAIM_ENTRY_OVERHEAD_BYTES`].
 fn claim_footprint(claim: &OwnershipClaim) -> usize {
     let dataset = |d: &Dataset| d.len() * (d.num_features() * 8 + 1);
-    dataset(&claim.trigger_set) + dataset(&claim.test_set) + claim.signature.len()
+    dataset(&claim.trigger_set)
+        + dataset(&claim.test_set)
+        + claim.signature.len()
+        + CLAIM_ENTRY_OVERHEAD_BYTES
 }
 
 impl ClaimCache {
@@ -160,39 +202,124 @@ impl ClaimCache {
     /// Inserts a claim, computing its digest from the content, and returns
     /// the digest with the (possibly pre-existing) shared body. Re-inserting
     /// an equal claim refreshes its recency instead of duplicating it.
+    /// Attributes the bytes to the anonymous tenant with no quota — the
+    /// in-process path; the wire front-end uses
+    /// [`insert_for`](Self::insert_for).
     pub fn insert(&self, claim: OwnershipClaim) -> (PayloadDigest, Arc<OwnershipClaim>) {
+        self.insert_for(&TenantId::anonymous(), &TenantQuotas::default(), claim)
+            .expect("unlimited quotas never refuse an insert")
+    }
+
+    /// [`insert`](Self::insert) with per-tenant attribution: the tenant's
+    /// `max_claim_bytes` quota is checked against its *attributed* bytes
+    /// **before** the claim body is allocated into the cache, and refused
+    /// inserts leave the cache untouched. Re-inserting a claim another
+    /// tenant already uploaded charges this tenant too (content is shared,
+    /// accountability is not).
+    pub fn insert_for(
+        &self,
+        tenant: &TenantId,
+        quotas: &TenantQuotas,
+        claim: OwnershipClaim,
+    ) -> WatermarkResult<(PayloadDigest, Arc<OwnershipClaim>)> {
         let digest = PayloadDigest::of_claim(&claim);
-        let mut inner = self.lock();
-        if let Some(existing) = inner.map.get(&digest).cloned() {
-            Self::touch(&mut inner, digest);
-            return (digest, existing);
-        }
         let footprint = claim_footprint(&claim);
+        let mut inner = self.lock();
+        let already_owner = inner.map.get(&digest).is_some_and(|entry| entry.owners.contains(tenant));
+        if !already_owner {
+            let held = inner.tenant_bytes.get(tenant).copied().unwrap_or(0);
+            quotas.check_claim_bytes(held + footprint)?;
+        }
+        if let Some(shared) = {
+            let ClaimCacheInner {
+                map, tenant_bytes, ..
+            } = &mut *inner;
+            map.get_mut(&digest).map(|entry| {
+                if entry.owners.insert(tenant.clone()) {
+                    *tenant_bytes.entry(tenant.clone()).or_insert(0) += entry.footprint;
+                }
+                Arc::clone(&entry.claim)
+            })
+        } {
+            Self::touch(&mut inner, digest);
+            return Ok((digest, shared));
+        }
         let shared = Arc::new(claim);
-        inner.map.insert(digest, Arc::clone(&shared));
+        inner.map.insert(
+            digest,
+            ClaimEntry {
+                claim: Arc::clone(&shared),
+                footprint,
+                owners: HashSet::from([tenant.clone()]),
+                models: HashSet::new(),
+            },
+        );
         inner.order.push_back(digest);
         inner.bytes += footprint;
+        *inner.tenant_bytes.entry(tenant.clone()).or_insert(0) += footprint;
         if self.budget_bytes > 0 {
             while inner.bytes > self.budget_bytes {
                 let Some(oldest) = inner.order.pop_front() else {
                     break;
                 };
-                if let Some(evicted) = inner.map.remove(&oldest) {
-                    inner.bytes = inner.bytes.saturating_sub(claim_footprint(&evicted));
+                Self::drop_entry(&mut inner, &oldest);
+            }
+        }
+        Ok((digest, shared))
+    }
+
+    /// Removes `digest` from the map and refunds its bytes to every owner.
+    /// The caller is responsible for the `order` deque.
+    fn drop_entry(inner: &mut ClaimCacheInner, digest: &PayloadDigest) {
+        if let Some(evicted) = inner.map.remove(digest) {
+            inner.bytes = inner.bytes.saturating_sub(evicted.footprint);
+            for owner in &evicted.owners {
+                if let Some(held) = inner.tenant_bytes.get_mut(owner) {
+                    *held = held.saturating_sub(evicted.footprint);
                 }
             }
         }
-        (digest, shared)
     }
 
     /// The cached claim with this digest, if present; refreshes recency.
     pub fn get(&self, digest: &PayloadDigest) -> Option<Arc<OwnershipClaim>> {
         let mut inner = self.lock();
-        let found = inner.map.get(digest).cloned();
+        let found = inner.map.get(digest).map(|entry| Arc::clone(&entry.claim));
         if found.is_some() {
             Self::touch(&mut inner, *digest);
         }
         found
+    }
+
+    /// Records that the claim under `digest` was adjudicated against
+    /// `(tenant, model_id)`, so a later [`drop_model`](Self::drop_model)
+    /// for that model can drop it. No-op for unknown digests.
+    pub fn associate(&self, digest: &PayloadDigest, tenant: &TenantId, model_id: &str) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.map.get_mut(digest) {
+            entry.models.insert((tenant.clone(), model_id.to_string()));
+        }
+    }
+
+    /// Drops every cached claim whose *only* remaining model association is
+    /// `(tenant, model_id)` and detaches the association from the rest —
+    /// called on deregistration so a retired model's evidence cannot be
+    /// silently replayed against its successor under a stale digest.
+    /// Returns the number of entries dropped.
+    pub fn drop_model(&self, tenant: &TenantId, model_id: &str) -> usize {
+        let mut inner = self.lock();
+        let key = (tenant.clone(), model_id.to_string());
+        let mut dropped: Vec<PayloadDigest> = Vec::new();
+        for (digest, entry) in inner.map.iter_mut() {
+            if entry.models.remove(&key) && entry.models.is_empty() {
+                dropped.push(*digest);
+            }
+        }
+        for digest in &dropped {
+            Self::drop_entry(&mut inner, digest);
+        }
+        inner.order.retain(|d| !dropped.contains(d));
+        dropped.len()
     }
 
     fn touch(inner: &mut ClaimCacheInner, digest: PayloadDigest) {
@@ -212,9 +339,20 @@ impl ClaimCache {
         self.len() == 0
     }
 
-    /// Estimated bytes of cached claim payload.
+    /// Estimated bytes of cached claim payload (including per-entry
+    /// overhead).
     pub fn bytes(&self) -> usize {
         self.lock().bytes
+    }
+
+    /// Bytes currently attributed to `tenant`.
+    pub fn tenant_bytes(&self, tenant: &TenantId) -> usize {
+        self.lock().tenant_bytes.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Every tenant with attributed bytes, for stats assembly.
+    pub fn owner_tenants(&self) -> Vec<TenantId> {
+        self.lock().tenant_bytes.keys().cloned().collect()
     }
 
     /// The configured byte budget (`0` = unlimited).
@@ -270,6 +408,8 @@ pub struct DisputeServiceBuilder {
     warm_start_dirs: Vec<PathBuf>,
     kernel: Option<Kernel>,
     claim_cache_bytes: Option<usize>,
+    model_cache_bytes: Option<usize>,
+    tenant_quotas: Option<TenantQuotas>,
 }
 
 impl DisputeServiceBuilder {
@@ -309,11 +449,37 @@ impl DisputeServiceBuilder {
         self
     }
 
+    /// Byte budget for resident compiled forests (`serve_judge
+    /// --model-cache-mb`). When the resident set exceeds the budget, the
+    /// least-recently-used *evictable* model is dropped to its persisted
+    /// artefact and transparently recompiled on the next resolution
+    /// against it. Only file-backed models are evictable (a wire-uploaded
+    /// model has no artefact to fall back to), and warm-start models are
+    /// pinned. `0` means unlimited (the default), matching the 0-disables
+    /// convention.
+    pub fn model_cache_bytes(mut self, bytes: usize) -> Self {
+        self.model_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Per-tenant quotas enforced on the wire-facing (`*_as`) entry points
+    /// — models registered, docket size, attributed claim-cache bytes and
+    /// in-flight requests — each checked *before* the corresponding
+    /// allocation. Defaults to [`TenantQuotas::default`] (every axis
+    /// unlimited). The same quotas apply to every tenant, including the
+    /// anonymous one; trusted in-process callers using the legacy entry
+    /// points are never quota-checked.
+    pub fn tenant_quotas(mut self, quotas: TenantQuotas) -> Self {
+        self.tenant_quotas = Some(quotas);
+        self
+    }
+
     /// Warm-starts the registry from a directory containing a
     /// [`ModelManifest`] plus the artefact files it names (as written by
     /// the `table2` experiment under `results/models/`). May be called
     /// multiple times; directories are loaded in call order at
-    /// [`build`](Self::build) time.
+    /// [`build`](Self::build) time. Warm-start models are *pinned*: they
+    /// count toward the model-cache budget but are never evicted.
     pub fn warm_start_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.warm_start_dirs.push(dir.into());
         self
@@ -328,30 +494,113 @@ impl DisputeServiceBuilder {
             self.max_docket,
             self.kernel.unwrap_or_default(),
             self.claim_cache_bytes.unwrap_or(DEFAULT_CLAIM_CACHE_BYTES),
+            self.model_cache_bytes.unwrap_or(0),
+            self.tenant_quotas.unwrap_or_default(),
         );
         for dir in &self.warm_start_dirs {
             let manifest = ModelManifest::load_dir(dir)?;
             for entry in &manifest.models {
-                service.register_from_file(&entry.model_id, dir.join(&entry.file))?;
+                service.register_file_inner(
+                    &TenantId::anonymous(),
+                    entry.model_id.clone(),
+                    dir.join(&entry.file),
+                    true,
+                )?;
             }
         }
         Ok(service)
     }
 }
 
+/// Key of one registry entry: the owning tenant plus the caller-chosen
+/// model id. Namespaces are disjoint — two tenants can use the same id
+/// without ever observing each other's models.
+type ModelKey = (TenantId, String);
+
+/// One registered model. `compiled: None` means the model was evicted to
+/// its persisted artefact and will be transparently recompiled on the next
+/// resolution against it.
+#[derive(Debug)]
+struct ModelEntry {
+    compiled: Option<Arc<CompiledForest>>,
+    /// Estimated resident bytes of the compiled form (counted while
+    /// resident, refunded on eviction).
+    footprint: usize,
+    /// Pinned entries (warm-start models) are never evicted.
+    pinned: bool,
+    /// Persisted artefact backing the entry; only file-backed models are
+    /// evictable, because a wire-uploaded model has nothing to fall back
+    /// to.
+    source: Option<PathBuf>,
+}
+
+impl ModelEntry {
+    fn evictable(&self) -> bool {
+        !self.pinned && self.source.is_some()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ModelRegistry {
+    map: HashMap<ModelKey, ModelEntry>,
+    /// Resident, evictable keys in least-recently-used-first order.
+    order: VecDeque<ModelKey>,
+    /// Estimated bytes of all resident compiled forests.
+    resident_bytes: usize,
+}
+
+impl ModelRegistry {
+    fn touch(&mut self, key: &ModelKey) {
+        if let Some(position) = self.order.iter().position(|k| k == key) {
+            let key = self.order.remove(position).expect("position is in bounds");
+            self.order.push_back(key);
+        }
+    }
+
+    fn tenant_models(&self, tenant: &TenantId) -> usize {
+        self.map.keys().filter(|(owner, _)| owner == tenant).count()
+    }
+
+    /// The typed error for a model id absent from `tenant`'s namespace:
+    /// [`WatermarkError::Forbidden`] if another tenant holds the id (a
+    /// cross-namespace probe), [`WatermarkError::UnknownModel`] otherwise.
+    fn missing(&self, tenant: &TenantId, model_id: &str) -> WatermarkError {
+        if self.map.keys().any(|(owner, id)| id == model_id && owner != tenant) {
+            WatermarkError::Forbidden {
+                detail: format!("model `{model_id}` is not in tenant `{tenant}`'s namespace"),
+            }
+        } else {
+            WatermarkError::UnknownModel {
+                model_id: model_id.to_string(),
+            }
+        }
+    }
+}
+
 /// A registry of compiled suspect models plus a concurrent resolver for
 /// ownership claims against them. See the module docs for the guarantees.
+///
+/// Every model lives in a tenant namespace (see [`TenantId`]); the
+/// original single-tenant entry points operate on the anonymous namespace
+/// and behave exactly as before, while the `*_as` variants the wire
+/// front-end drives enforce namespace isolation
+/// ([`WatermarkError::Forbidden`]) and [`TenantQuotas`].
 #[derive(Debug)]
 pub struct DisputeService {
-    registry: RwLock<HashMap<String, Arc<CompiledForest>>>,
-    /// Compiled models by content digest, for digest-only re-registration
-    /// ([`Self::register_by_digest`]). Entries are pruned when the last
-    /// registry id sharing the compiled form is deregistered.
-    model_digests: RwLock<HashMap<PayloadDigest, Arc<CompiledForest>>>,
+    registry: Mutex<ModelRegistry>,
+    /// Compiled models by tenant-scoped content digest, for digest-only
+    /// re-registration ([`Self::register_by_digest`]). Scoping by tenant
+    /// means a digest learned out of band cannot resurrect another
+    /// tenant's model. Entries are pruned when the last registry id
+    /// sharing the compiled form is deregistered or evicted.
+    model_digests: RwLock<HashMap<(TenantId, PayloadDigest), Arc<CompiledForest>>>,
     claims: ClaimCache,
+    ledger: TenantLedger,
     compile_count: AtomicUsize,
     batch_shard_rows: usize,
     max_docket: Option<usize>,
+    model_cache_bytes: usize,
+    quotas: TenantQuotas,
     kernel: Kernel,
 }
 
@@ -362,6 +611,8 @@ impl Default for DisputeService {
             None,
             Kernel::default(),
             DEFAULT_CLAIM_CACHE_BYTES,
+            0,
+            TenantQuotas::default(),
         )
     }
 }
@@ -377,21 +628,43 @@ impl DisputeService {
         max_docket: Option<usize>,
         kernel: Kernel,
         claim_cache_bytes: usize,
+        model_cache_bytes: usize,
+        quotas: TenantQuotas,
     ) -> Self {
         Self {
-            registry: RwLock::new(HashMap::new()),
+            registry: Mutex::new(ModelRegistry::default()),
             model_digests: RwLock::new(HashMap::new()),
             claims: ClaimCache::new(claim_cache_bytes),
+            ledger: TenantLedger::new(),
             compile_count: AtomicUsize::new(0),
             batch_shard_rows,
             max_docket,
+            model_cache_bytes,
+            quotas,
             kernel,
         }
+    }
+
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, ModelRegistry> {
+        self.registry.lock().expect("dispute registry lock is never poisoned")
     }
 
     /// The digest-keyed claim cache backing content-addressed payloads.
     pub fn claims(&self) -> &ClaimCache {
         &self.claims
+    }
+
+    /// The per-tenant accounting ledger. The server front end records auth
+    /// failures and the in-flight gauge here; the service itself records
+    /// dockets, cache traffic and evictions.
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.ledger
+    }
+
+    /// The per-tenant quotas configured via
+    /// [`DisputeServiceBuilder::tenant_quotas`].
+    pub fn quotas(&self) -> &TenantQuotas {
+        &self.quotas
     }
 
     /// The batch-inference kernel configured via
@@ -400,15 +673,22 @@ impl DisputeService {
         self.kernel
     }
 
-    /// Registers a pointer-tree model, compiling it exactly once. The
-    /// compiled form is shared by every subsequent resolution. Registering
-    /// an id again replaces the previous model.
+    /// Registers a pointer-tree model in the anonymous namespace,
+    /// compiling it exactly once. The compiled form is shared by every
+    /// subsequent resolution. Registering an id again replaces the
+    /// previous model.
     pub fn register(&self, model_id: impl Into<String>, model: &RandomForest) -> Arc<CompiledForest> {
         // Compile outside the registry lock: registration of a large model
         // must not block resolutions against other models.
         let compiled = Arc::new(CompiledForest::compile(model));
         self.compile_count.fetch_add(1, Ordering::Relaxed);
-        self.publish(model_id.into(), Arc::clone(&compiled));
+        self.publish_model(
+            &TenantId::anonymous(),
+            model_id.into(),
+            Arc::clone(&compiled),
+            false,
+            None,
+        );
         compiled
     }
 
@@ -420,26 +700,57 @@ impl DisputeService {
         compiled: CompiledForest,
     ) -> Arc<CompiledForest> {
         let compiled = Arc::new(compiled);
-        self.publish(model_id.into(), Arc::clone(&compiled));
+        self.publish_model(
+            &TenantId::anonymous(),
+            model_id.into(),
+            Arc::clone(&compiled),
+            false,
+            None,
+        );
         compiled
     }
 
     /// Registers a model from a persisted artefact: either a
     /// [`CompiledForest`] (as written by `save_model_artifacts` /
     /// `persist::save`) or a pointer-tree [`RandomForest`], which is then
-    /// compiled once.
+    /// compiled once. File-backed models are *evictable* under the
+    /// [`model_cache_bytes`](DisputeServiceBuilder::model_cache_bytes)
+    /// budget: the artefact path is retained and the model is recompiled
+    /// transparently on the next resolution after an eviction.
     pub fn register_from_file(
         &self,
         model_id: impl Into<String>,
         path: impl AsRef<Path>,
     ) -> WatermarkResult<Arc<CompiledForest>> {
-        let path = path.as_ref();
+        self.register_file_inner(
+            &TenantId::anonymous(),
+            model_id.into(),
+            path.as_ref().to_path_buf(),
+            false,
+        )
+    }
+
+    fn register_file_inner(
+        &self,
+        tenant: &TenantId,
+        model_id: String,
+        path: PathBuf,
+        pinned: bool,
+    ) -> WatermarkResult<Arc<CompiledForest>> {
+        let compiled = self.load_artefact(&path)?;
+        self.publish_model(tenant, model_id, Arc::clone(&compiled), pinned, Some(path));
+        Ok(compiled)
+    }
+
+    /// Decodes (and, for pointer-tree artefacts, compiles) a persisted
+    /// model without touching the registry.
+    fn load_artefact(&self, path: &Path) -> WatermarkResult<Arc<CompiledForest>> {
         let bytes = std::fs::read(path).map_err(|err| WatermarkError::Io {
             path: path.display().to_string(),
             message: err.to_string(),
         })?;
         match persist::from_bytes::<CompiledForest>(&bytes) {
-            Ok(compiled) => Ok(self.register_compiled(model_id, compiled)),
+            Ok(compiled) => Ok(Arc::new(compiled)),
             // Container-level failures (wrong magic, future format version)
             // would hit any payload type: propagate.
             Err(
@@ -452,45 +763,179 @@ impl DisputeService {
             // report the first decode error, which names the corruption
             // precisely rather than a misleading shape mismatch.
             Err(first) => match persist::from_bytes::<RandomForest>(&bytes) {
-                Ok(model) => Ok(self.register(model_id, &model)),
+                Ok(model) => {
+                    let compiled = Arc::new(CompiledForest::compile(&model));
+                    self.compile_count.fetch_add(1, Ordering::Relaxed);
+                    Ok(compiled)
+                }
                 Err(_) => Err(first),
             },
         }
     }
 
-    fn publish(&self, model_id: String, compiled: Arc<CompiledForest>) {
-        self.registry
-            .write()
-            .expect("dispute registry lock is never poisoned")
-            .insert(model_id, compiled);
+    /// Inserts (or replaces) a registry entry and enforces the model-cache
+    /// byte budget, evicting least-recently-used file-backed models.
+    fn publish_model(
+        &self,
+        tenant: &TenantId,
+        model_id: String,
+        compiled: Arc<CompiledForest>,
+        pinned: bool,
+        source: Option<PathBuf>,
+    ) {
+        let key = (tenant.clone(), model_id);
+        let footprint = model_footprint(&compiled);
+        let mut reg = self.lock_registry();
+        if let Some(old) = reg.map.remove(&key) {
+            if old.compiled.is_some() {
+                reg.resident_bytes = reg.resident_bytes.saturating_sub(old.footprint);
+            }
+            reg.order.retain(|k| k != &key);
+        }
+        let entry = ModelEntry {
+            compiled: Some(compiled),
+            footprint,
+            pinned,
+            source,
+        };
+        if entry.evictable() {
+            reg.order.push_back(key.clone());
+        }
+        reg.resident_bytes += footprint;
+        reg.map.insert(key.clone(), entry);
+        self.enforce_model_budget(&mut reg, &key);
     }
 
-    /// The compiled model registered under `model_id`, if any.
+    /// Evicts least-recently-used evictable models until the resident set
+    /// fits the budget. The entry just published (`keep`) is exempt, so a
+    /// budget smaller than one model degrades to cache-nothing rather than
+    /// evicting what the caller is about to use.
+    fn enforce_model_budget(&self, reg: &mut ModelRegistry, keep: &ModelKey) {
+        if self.model_cache_bytes == 0 {
+            return;
+        }
+        while reg.resident_bytes > self.model_cache_bytes {
+            let Some(position) = reg.order.iter().position(|key| key != keep) else {
+                break;
+            };
+            let key = reg.order.remove(position).expect("position is in bounds");
+            let Some(entry) = reg.map.get_mut(&key) else {
+                continue;
+            };
+            if let Some(evicted) = entry.compiled.take() {
+                reg.resident_bytes = reg.resident_bytes.saturating_sub(entry.footprint);
+                self.ledger.record_evictions(&key.0, 1);
+                // The digest index must not keep the evicted form resident:
+                // prune this tenant's entries sharing it. A later
+                // RegisterByDigest misses and falls back to a full upload.
+                self.model_digests
+                    .write()
+                    .expect("model digest index lock is never poisoned")
+                    .retain(|(owner, _), compiled| {
+                        !(owner == &key.0 && Arc::ptr_eq(compiled, &evicted))
+                    });
+            }
+        }
+    }
+
+    /// The compiled model registered under `model_id` in the anonymous
+    /// namespace, if any; an evicted file-backed model is transparently
+    /// recompiled (errors from the reload surface as `None` here — use
+    /// [`model_as`](Self::model_as) for the typed error).
     pub fn model(&self, model_id: &str) -> Option<Arc<CompiledForest>> {
-        self.registry
-            .read()
-            .expect("dispute registry lock is never poisoned")
-            .get(model_id)
-            .cloned()
+        self.model_as(&TenantId::anonymous(), model_id).ok()
+    }
+
+    /// The compiled model registered under `model_id` in `tenant`'s
+    /// namespace. An evicted entry is recompiled from its persisted
+    /// artefact before returning (counted as a cache miss in the ledger);
+    /// an id held by another tenant is [`WatermarkError::Forbidden`].
+    pub fn model_as(&self, tenant: &TenantId, model_id: &str) -> WatermarkResult<Arc<CompiledForest>> {
+        let key = (tenant.clone(), model_id.to_string());
+        let source = {
+            let mut reg = self.lock_registry();
+            let resident = match reg.map.get(&key) {
+                Some(entry) => match &entry.compiled {
+                    Some(compiled) => Some((Arc::clone(compiled), entry.evictable())),
+                    None => None,
+                },
+                None => return Err(reg.missing(tenant, model_id)),
+            };
+            if let Some((compiled, evictable)) = resident {
+                if evictable {
+                    reg.touch(&key);
+                }
+                return Ok(compiled);
+            }
+            reg.map
+                .get(&key)
+                .and_then(|entry| entry.source.clone())
+                .expect("evicted entries always retain their artefact path")
+        };
+        // Transparent recompile-on-miss, outside the lock so resolutions
+        // against other models proceed. Two racing misses may both reload;
+        // the second publish wins and the budget holds either way.
+        self.ledger.record_cache_misses(tenant, 1);
+        let compiled = self.load_artefact(&source)?;
+        self.publish_model(
+            tenant,
+            model_id.to_string(),
+            Arc::clone(&compiled),
+            false,
+            Some(source),
+        );
+        Ok(compiled)
+    }
+
+    /// Checks the models-registered quota for registering `model_id`
+    /// (re-registering an existing id never counts as growth).
+    fn check_model_quota(&self, tenant: &TenantId, model_id: &str) -> WatermarkResult<()> {
+        let reg = self.lock_registry();
+        let additional = usize::from(!reg.map.contains_key(&(tenant.clone(), model_id.to_string())));
+        self.quotas.check_models(reg.tenant_models(tenant) + additional)
     }
 
     /// Registers a pointer-tree model like [`register`](Self::register) and
     /// additionally indexes the compiled form under the model's content
     /// digest, so a later [`register_by_digest`](Self::register_by_digest)
-    /// can reuse it without re-uploading the model. This is the
-    /// registration path the wire front-end drives; the returned digest is
+    /// can reuse it without re-uploading the model. The returned digest is
     /// echoed to the client.
     pub fn register_digested(
         &self,
         model_id: impl Into<String>,
         model: &RandomForest,
     ) -> (PayloadDigest, Arc<CompiledForest>) {
+        self.register_digested_inner(&TenantId::anonymous(), model_id.into(), model)
+    }
+
+    /// [`register_digested`](Self::register_digested) in `tenant`'s
+    /// namespace, with the models-registered quota checked before
+    /// compiling. This is the registration path the wire front-end drives.
+    pub fn register_digested_as(
+        &self,
+        tenant: &TenantId,
+        model_id: impl Into<String>,
+        model: &RandomForest,
+    ) -> WatermarkResult<(PayloadDigest, Arc<CompiledForest>)> {
+        let model_id = model_id.into();
+        self.check_model_quota(tenant, &model_id)?;
+        Ok(self.register_digested_inner(tenant, model_id, model))
+    }
+
+    fn register_digested_inner(
+        &self,
+        tenant: &TenantId,
+        model_id: String,
+        model: &RandomForest,
+    ) -> (PayloadDigest, Arc<CompiledForest>) {
         let digest = PayloadDigest::of_model(model);
-        let compiled = self.register(model_id, model);
+        let compiled = Arc::new(CompiledForest::compile(model));
+        self.compile_count.fetch_add(1, Ordering::Relaxed);
+        self.publish_model(tenant, model_id, Arc::clone(&compiled), false, None);
         self.model_digests
             .write()
             .expect("model digest index lock is never poisoned")
-            .insert(digest, Arc::clone(&compiled));
+            .insert((tenant.clone(), digest), Arc::clone(&compiled));
         (digest, compiled)
     }
 
@@ -502,53 +947,125 @@ impl DisputeService {
         model_id: impl Into<String>,
         digest: PayloadDigest,
     ) -> Option<Arc<CompiledForest>> {
+        self.register_by_digest_inner(&TenantId::anonymous(), model_id.into(), digest)
+    }
+
+    /// [`register_by_digest`](Self::register_by_digest) in `tenant`'s
+    /// namespace: only digests this tenant uploaded can match, and the
+    /// models-registered quota is checked first.
+    pub fn register_by_digest_as(
+        &self,
+        tenant: &TenantId,
+        model_id: impl Into<String>,
+        digest: PayloadDigest,
+    ) -> WatermarkResult<Option<Arc<CompiledForest>>> {
+        let model_id = model_id.into();
+        self.check_model_quota(tenant, &model_id)?;
+        Ok(self.register_by_digest_inner(tenant, model_id, digest))
+    }
+
+    fn register_by_digest_inner(
+        &self,
+        tenant: &TenantId,
+        model_id: String,
+        digest: PayloadDigest,
+    ) -> Option<Arc<CompiledForest>> {
         let compiled = self
             .model_digests
             .read()
             .expect("model digest index lock is never poisoned")
-            .get(&digest)
+            .get(&(tenant.clone(), digest))
             .cloned()?;
-        self.publish(model_id.into(), Arc::clone(&compiled));
+        self.publish_model(tenant, model_id, Arc::clone(&compiled), false, None);
         Some(compiled)
     }
 
-    /// Removes a model from the registry; returns the compiled form if the
-    /// id was registered. In-flight resolutions holding the `Arc` finish
-    /// unaffected. Digest-index entries are pruned once no registry id
-    /// shares the removed compiled form, so a deregistered model cannot be
-    /// resurrected by digest.
+    /// Removes a model from the anonymous namespace; returns the compiled
+    /// form if the id was registered *and resident*. In-flight resolutions
+    /// holding the `Arc` finish unaffected. Digest-index entries are
+    /// pruned once no registry id shares the removed compiled form, so a
+    /// deregistered model cannot be resurrected by digest — and the
+    /// model's cached claims are dropped (see [`ClaimCache::drop_model`]).
     pub fn deregister(&self, model_id: &str) -> Option<Arc<CompiledForest>> {
-        let removed = self
-            .registry
-            .write()
-            .expect("dispute registry lock is never poisoned")
-            .remove(model_id)?;
-        let still_registered = self
-            .registry
-            .read()
-            .expect("dispute registry lock is never poisoned")
-            .values()
-            .any(|compiled| Arc::ptr_eq(compiled, &removed));
-        if !still_registered {
-            self.model_digests
-                .write()
-                .expect("model digest index lock is never poisoned")
-                .retain(|_, compiled| !Arc::ptr_eq(compiled, &removed));
+        match self.deregister_inner(&TenantId::anonymous(), model_id) {
+            Ok((_, removed)) => removed,
+            Err(_) => None,
         }
-        Some(removed)
     }
 
-    /// Ids of every registered model, sorted lexicographically. The
-    /// registry is a hash map, whose iteration order varies across runs
-    /// (and Rust releases); sorting here makes registry listings — and the
-    /// wire protocol's `ListModels` response built on top — deterministic.
+    /// [`deregister`](Self::deregister) in `tenant`'s namespace. Returns
+    /// whether the id existed; attempting to deregister an id held by
+    /// another tenant is [`WatermarkError::Forbidden`].
+    pub fn deregister_as(&self, tenant: &TenantId, model_id: &str) -> WatermarkResult<bool> {
+        self.deregister_inner(tenant, model_id).map(|(existed, _)| existed)
+    }
+
+    fn deregister_inner(
+        &self,
+        tenant: &TenantId,
+        model_id: &str,
+    ) -> WatermarkResult<(bool, Option<Arc<CompiledForest>>)> {
+        let key = (tenant.clone(), model_id.to_string());
+        let removed = {
+            let mut reg = self.lock_registry();
+            match reg.map.remove(&key) {
+                Some(entry) => {
+                    reg.order.retain(|k| k != &key);
+                    if entry.compiled.is_some() {
+                        reg.resident_bytes = reg.resident_bytes.saturating_sub(entry.footprint);
+                    }
+                    entry.compiled
+                }
+                None => {
+                    let missing = reg.missing(tenant, model_id);
+                    return match missing {
+                        WatermarkError::UnknownModel { .. } => Ok((false, None)),
+                        forbidden => Err(forbidden),
+                    };
+                }
+            }
+        };
+        if let Some(removed_arc) = &removed {
+            let still_registered = self.lock_registry().map.iter().any(|((owner, _), entry)| {
+                owner == tenant
+                    && entry
+                        .compiled
+                        .as_ref()
+                        .is_some_and(|compiled| Arc::ptr_eq(compiled, removed_arc))
+            });
+            if !still_registered {
+                self.model_digests
+                    .write()
+                    .expect("model digest index lock is never poisoned")
+                    .retain(|(owner, _), compiled| {
+                        !(owner == tenant && Arc::ptr_eq(compiled, removed_arc))
+                    });
+            }
+        }
+        // Evidence adjudicated only against the retired model must not be
+        // silently replayable against a successor under a stale digest.
+        self.claims.drop_model(tenant, model_id);
+        Ok((true, removed))
+    }
+
+    /// Ids of every model in the anonymous namespace, sorted
+    /// lexicographically. The registry is a hash map, whose iteration
+    /// order varies across runs (and Rust releases); sorting here makes
+    /// registry listings — and the wire protocol's `ListModels` response
+    /// built on top — deterministic.
     pub fn model_ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self
-            .registry
-            .read()
-            .expect("dispute registry lock is never poisoned")
+        self.model_ids_for(&TenantId::anonymous())
+    }
+
+    /// Ids of every model in `tenant`'s namespace, sorted. A tenant can
+    /// never list another namespace — there is no cross-tenant variant.
+    pub fn model_ids_for(&self, tenant: &TenantId) -> Vec<String> {
+        let reg = self.lock_registry();
+        let mut ids: Vec<String> = reg
+            .map
             .keys()
-            .cloned()
+            .filter(|(owner, _)| owner == tenant)
+            .map(|(_, id)| id.clone())
             .collect();
         ids.sort_unstable();
         ids
@@ -560,9 +1077,21 @@ impl DisputeService {
         self.max_docket
     }
 
-    /// Number of registered models.
+    /// The model-cache byte budget (`0` = unlimited).
+    pub fn model_cache_bytes(&self) -> usize {
+        self.model_cache_bytes
+    }
+
+    /// Estimated bytes of all resident compiled forests, across tenants.
+    pub fn resident_model_bytes(&self) -> usize {
+        self.lock_registry().resident_bytes
+    }
+
+    /// Number of registered models across every namespace (evicted
+    /// file-backed models still count — they are registered, just not
+    /// resident).
     pub fn len(&self) -> usize {
-        self.registry.read().expect("dispute registry lock is never poisoned").len()
+        self.lock_registry().map.len()
     }
 
     /// Whether the registry is empty.
@@ -572,9 +1101,42 @@ impl DisputeService {
 
     /// Total number of [`CompiledForest::compile`] calls this service has
     /// performed — the compile-once guarantee made observable: resolving
-    /// any number of claims never increments it.
+    /// any number of claims never increments it (evicting a model under
+    /// the byte budget and resolving against it again does, once per
+    /// reload of a pointer-tree artefact).
     pub fn compile_count(&self) -> usize {
         self.compile_count.load(Ordering::Relaxed)
+    }
+
+    /// One tenant's `Stats` row: ledger counters plus the live gauges
+    /// (models registered, attributed claim-cache bytes).
+    pub fn stats_for(&self, tenant: &TenantId) -> TenantStatsEntry {
+        let counters = self.ledger.counters(tenant);
+        let models = self.lock_registry().tenant_models(tenant) as u64;
+        TenantStatsEntry {
+            tenant: tenant.to_string(),
+            models,
+            dockets: counters.dockets,
+            claims: counters.claims,
+            cache_hits: counters.cache_hits,
+            cache_misses: counters.cache_misses,
+            evictions: counters.evictions,
+            auth_failures: counters.auth_failures,
+            claim_bytes: self.claims.tenant_bytes(tenant) as u64,
+            in_flight: counters.in_flight,
+        }
+    }
+
+    /// Every tenant's `Stats` row, sorted by tenant id: the union of
+    /// tenants seen by the ledger, the registry and the claim cache. This
+    /// is what an *anonymous* (open) judge reports; an authenticated
+    /// tenant only ever sees its own [`stats_for`](Self::stats_for) row.
+    pub fn stats_all(&self) -> Vec<TenantStatsEntry> {
+        let mut tenants: BTreeSet<TenantId> =
+            self.ledger.snapshot().into_iter().map(|(tenant, _)| tenant).collect();
+        tenants.extend(self.lock_registry().map.keys().map(|(owner, _)| owner.clone()));
+        tenants.extend(self.claims.owner_tenants());
+        tenants.iter().map(|tenant| self.stats_for(tenant)).collect()
     }
 
     /// Resolves one claim against a registered model. The verification
@@ -585,9 +1147,19 @@ impl DisputeService {
         model_id: &str,
         claim: &OwnershipClaim,
     ) -> WatermarkResult<VerificationReport> {
-        let compiled = self.model(model_id).ok_or_else(|| WatermarkError::UnknownModel {
-            model_id: model_id.to_string(),
-        })?;
+        self.resolve_as(&TenantId::anonymous(), model_id, claim)
+    }
+
+    /// [`resolve`](Self::resolve) in `tenant`'s namespace: resolving
+    /// against another tenant's model is [`WatermarkError::Forbidden`],
+    /// and an evicted model is transparently recompiled first.
+    pub fn resolve_as(
+        &self,
+        tenant: &TenantId,
+        model_id: &str,
+        claim: &OwnershipClaim,
+    ) -> WatermarkResult<VerificationReport> {
+        let compiled = self.model_as(tenant, model_id)?;
         let oracle = ShardedOracle {
             compiled: &compiled,
             shard_rows: self.batch_shard_rows,
@@ -650,6 +1222,46 @@ impl DisputeService {
                 });
             }
         }
+        Ok(self.resolve_shared_inner(&TenantId::anonymous(), disputes))
+    }
+
+    /// [`resolve_docket_shared`](Self::resolve_docket_shared) in
+    /// `tenant`'s namespace — the entry point the wire front-end drives.
+    /// Enforces the tighter of the global docket cap and the tenant's
+    /// docket quota (both pre-dedup, both before any resolution work),
+    /// records the docket in the ledger, and associates every referenced
+    /// claim with its model so deregistration can drop them.
+    pub fn resolve_docket_shared_as(
+        &self,
+        tenant: &TenantId,
+        disputes: &[SharedDispute],
+    ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
+        self.check_docket_size(disputes.len())?;
+        for dispute in disputes {
+            self.claims.associate(&dispute.digest, tenant, &dispute.model_id);
+        }
+        self.ledger.record_docket(tenant, disputes.len() as u64);
+        Ok(self.resolve_shared_inner(tenant, disputes))
+    }
+
+    /// Checks a docket size against the global cap and the per-tenant
+    /// docket quota (the smaller of the two wins), without resolving
+    /// anything. Quotas are uniform across tenants, so no tenant argument
+    /// is needed.
+    pub fn check_docket_size(&self, size: usize) -> WatermarkResult<()> {
+        if let Some(max) = self.max_docket {
+            if size > max {
+                return Err(WatermarkError::DocketTooLarge { size, max });
+            }
+        }
+        self.quotas.check_docket(size)
+    }
+
+    fn resolve_shared_inner(
+        &self,
+        tenant: &TenantId,
+        disputes: &[SharedDispute],
+    ) -> Vec<WatermarkResult<VerificationReport>> {
         let mut index_of: HashMap<(&str, PayloadDigest), usize> = HashMap::new();
         let mut distinct: Vec<&SharedDispute> = Vec::new();
         let slots: Vec<usize> = disputes
@@ -663,9 +1275,9 @@ impl DisputeService {
             .collect();
         let resolved: Vec<WatermarkResult<VerificationReport>> = distinct
             .par_iter()
-            .map(|dispute| self.resolve(&dispute.model_id, &dispute.claim))
+            .map(|dispute| self.resolve_as(tenant, &dispute.model_id, &dispute.claim))
             .collect();
-        Ok(slots.into_iter().map(|slot| resolved[slot].clone()).collect())
+        slots.into_iter().map(|slot| resolved[slot].clone()).collect()
     }
 }
 
@@ -1120,5 +1732,279 @@ mod tests {
             service.register_by_digest("d", digest).is_none(),
             "a fully deregistered model must not be resurrectable by digest"
         );
+    }
+
+    fn tenant(name: &str) -> TenantId {
+        TenantId::new(name).unwrap()
+    }
+
+    #[test]
+    fn tenant_namespaces_isolate_models() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::builder().build().unwrap();
+        let acme = tenant("acme");
+        let rival = tenant("rival");
+        service.register_digested_as(&acme, "prod", &outcome.model).unwrap();
+        assert_eq!(service.model_ids_for(&acme), ["prod"]);
+        assert!(service.model_ids_for(&rival).is_empty());
+        assert!(service.resolve_as(&acme, "prod", &claim).unwrap().verified);
+        // Probing another tenant's id is Forbidden, not UnknownModel.
+        assert!(matches!(
+            service.resolve_as(&rival, "prod", &claim).unwrap_err(),
+            WatermarkError::Forbidden { .. }
+        ));
+        assert!(matches!(
+            service.deregister_as(&rival, "prod").unwrap_err(),
+            WatermarkError::Forbidden { .. }
+        ));
+        // A digest uploaded by one tenant never matches in another
+        // namespace, even though the content is identical.
+        let digest = PayloadDigest::of_model(&outcome.model);
+        assert!(service.register_by_digest_as(&rival, "copy", digest).unwrap().is_none());
+        assert!(service.register_by_digest_as(&acme, "copy", digest).unwrap().is_some());
+        // An id registered nowhere stays UnknownModel.
+        assert!(matches!(
+            service.resolve_as(&rival, "ghost", &claim).unwrap_err(),
+            WatermarkError::UnknownModel { .. }
+        ));
+        // Deregistering your own id works and leaves the rest untouched.
+        assert!(service.deregister_as(&acme, "prod").unwrap());
+        assert_eq!(service.model_ids_for(&acme), ["copy"]);
+    }
+
+    #[test]
+    fn tenant_quotas_refuse_before_allocation() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let quotas = TenantQuotas {
+            max_models: 1,
+            max_docket: 2,
+            max_claim_bytes: claim_footprint(&claim) + 10,
+            max_in_flight: 0,
+        };
+        let service = DisputeService::builder().tenant_quotas(quotas).build().unwrap();
+        let acme = tenant("acme");
+        service.register_digested_as(&acme, "one", &outcome.model).unwrap();
+        let err = service.register_digested_as(&acme, "two", &outcome.model).unwrap_err();
+        assert!(matches!(
+            err,
+            WatermarkError::QuotaExceeded { ref resource, used: 2, limit: 1 } if resource == "models"
+        ));
+        // Re-registering a held id is replacement, not growth.
+        service.register_digested_as(&acme, "one", &outcome.model).unwrap();
+        // Every tenant gets its own budget.
+        service.register_digested_as(&tenant("other"), "one", &outcome.model).unwrap();
+
+        // Docket axis: the per-tenant quota applies even with no global cap.
+        let (digest, shared) =
+            service.claims().insert_for(&acme, service.quotas(), claim.clone()).unwrap();
+        let disputes: Vec<SharedDispute> =
+            (0..3).map(|_| SharedDispute::new("one", digest, Arc::clone(&shared))).collect();
+        assert!(matches!(
+            service.resolve_docket_shared_as(&acme, &disputes).unwrap_err(),
+            WatermarkError::QuotaExceeded { ref resource, .. } if resource == "docket"
+        ));
+        let verdicts = service.resolve_docket_shared_as(&acme, &disputes[..2]).unwrap();
+        assert!(verdicts.iter().all(|v| v.as_ref().unwrap().verified));
+
+        // Claim-bytes axis: the refused insert allocates nothing, and
+        // re-inserting an already-owned claim is never re-charged.
+        service.claims().insert_for(&acme, service.quotas(), claim.clone()).unwrap();
+        let small = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            outcome.trigger_set.clone(),
+        );
+        let before = service.claims().len();
+        let err = service.claims().insert_for(&acme, service.quotas(), small.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            WatermarkError::QuotaExceeded { ref resource, .. } if resource == "claim-bytes"
+        ));
+        assert_eq!(service.claims().len(), before, "refused insert allocates nothing");
+        // The same claim fits another tenant's untouched budget.
+        service.claims().insert_for(&tenant("other"), service.quotas(), small).unwrap();
+    }
+
+    #[test]
+    fn model_cache_evicts_lru_and_recompiles_transparently() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let reference = verify_ownership(&outcome.model, &claim);
+        let dir = std::env::temp_dir().join(format!("wdte-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("a.wdte");
+        let path_b = dir.join("b.wdte");
+        persist::save(&path_a, &outcome.model, persist::Format::Binary).unwrap();
+        persist::save(&path_b, &outcome.model, persist::Format::Binary).unwrap();
+        // A budget that fits one compiled forest but not two.
+        let budget = model_footprint(&CompiledForest::compile(&outcome.model)) * 3 / 2;
+        let service = DisputeService::builder().model_cache_bytes(budget).build().unwrap();
+        let anon = TenantId::anonymous();
+
+        service.register_from_file("a", &path_a).unwrap();
+        service.register_from_file("b", &path_b).unwrap();
+        assert_eq!(service.len(), 2, "an evicted model stays registered");
+        assert_eq!(service.model_ids(), ["a", "b"]);
+        assert!(service.resident_model_bytes() <= budget);
+        assert_eq!(
+            service.ledger().counters(&anon).evictions,
+            1,
+            "registering b evicted a"
+        );
+
+        // Resolving against the evicted model transparently reloads and
+        // recompiles it — bit-identical verdict, one recorded cache miss —
+        // and LRU pressure then pushes b out.
+        assert_eq!(service.resolve("a", &claim).unwrap(), reference);
+        assert_eq!(service.ledger().counters(&anon).cache_misses, 1);
+        assert_eq!(service.ledger().counters(&anon).evictions, 2);
+        assert!(service.resident_model_bytes() <= budget);
+        assert_eq!(service.resolve("b", &claim).unwrap(), reference);
+        assert_eq!(service.ledger().counters(&anon).cache_misses, 2);
+
+        // A wire-registered model has no artefact to fall back to: it is
+        // never evicted, whatever the budget says.
+        service.register("wire-only", &outcome.model);
+        assert!(service.resolve("wire-only", &claim).unwrap().verified);
+        assert!(service.resolve("wire-only", &claim).unwrap().verified);
+        assert_eq!(
+            service.ledger().counters(&anon).cache_misses,
+            2,
+            "resident models never miss"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_models_are_pinned_and_never_evicted() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let dir = std::env::temp_dir().join(format!("wdte-pinned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        persist::save(dir.join("m.wdte"), &outcome.model, persist::Format::Binary).unwrap();
+        ModelManifest {
+            models: vec![ManifestEntry {
+                model_id: "warm".into(),
+                file: "m.wdte".into(),
+            }],
+        }
+        .save_dir(&dir)
+        .unwrap();
+        // A budget far smaller than the model: a pinned entry still boots
+        // resident and stays resident.
+        let service = DisputeService::builder()
+            .warm_start_dir(&dir)
+            .model_cache_bytes(1)
+            .build()
+            .unwrap();
+        assert_eq!(service.compile_count(), 1);
+        assert!(service.resolve("warm", &claim).unwrap().verified);
+        assert!(service.resolve("warm", &claim).unwrap().verified);
+        assert_eq!(service.compile_count(), 1, "pinned models never leave residency");
+        assert_eq!(service.ledger().counters(&TenantId::anonymous()).evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pins the claim-cache byte accounting: dataset payloads + signature +
+    /// the documented fixed per-entry overhead, with every owner of a
+    /// deduplicated entry charged its full footprint.
+    #[test]
+    fn claim_accounting_includes_entry_overhead_and_attributes_owners() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let payload = claim.trigger_set.len() * (claim.trigger_set.num_features() * 8 + 1)
+            + claim.test_set.len() * (claim.test_set.num_features() * 8 + 1)
+            + claim.signature.len();
+        assert_eq!(claim_footprint(&claim), payload + CLAIM_ENTRY_OVERHEAD_BYTES);
+
+        let cache = ClaimCache::new(0);
+        cache.insert(claim.clone());
+        assert_eq!(cache.bytes(), claim_footprint(&claim));
+        assert_eq!(
+            cache.tenant_bytes(&TenantId::anonymous()),
+            claim_footprint(&claim)
+        );
+
+        // Two tenants uploading the same claim share one body but are each
+        // attributed its full cost.
+        let cache = ClaimCache::new(0);
+        let quotas = TenantQuotas::unlimited();
+        cache.insert_for(&tenant("a"), &quotas, claim.clone()).unwrap();
+        cache.insert_for(&tenant("b"), &quotas, claim.clone()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), claim_footprint(&claim));
+        assert_eq!(cache.tenant_bytes(&tenant("a")), claim_footprint(&claim));
+        assert_eq!(cache.tenant_bytes(&tenant("b")), claim_footprint(&claim));
+        assert_eq!(cache.tenant_bytes(&tenant("c")), 0);
+    }
+
+    #[test]
+    fn deregistration_drops_the_models_cached_claims() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::builder().build().unwrap();
+        let acme = tenant("acme");
+        service.register_digested_as(&acme, "prod", &outcome.model).unwrap();
+        service.register_digested_as(&acme, "staging", &outcome.model).unwrap();
+
+        // One claim adjudicated only against prod …
+        let (digest, shared) =
+            service.claims().insert_for(&acme, service.quotas(), claim.clone()).unwrap();
+        let docket = [SharedDispute::new("prod", digest, Arc::clone(&shared))];
+        service.resolve_docket_shared_as(&acme, &docket).unwrap();
+        // … and one adjudicated against both models.
+        let other = OwnershipClaim::new(
+            outcome.signature.clone(),
+            outcome.trigger_set.clone(),
+            outcome.trigger_set.clone(),
+        );
+        let (other_digest, other_shared) =
+            service.claims().insert_for(&acme, service.quotas(), other.clone()).unwrap();
+        let docket = [
+            SharedDispute::new("prod", other_digest, Arc::clone(&other_shared)),
+            SharedDispute::new("staging", other_digest, other_shared),
+        ];
+        service.resolve_docket_shared_as(&acme, &docket).unwrap();
+        assert_eq!(service.claims().len(), 2);
+
+        assert!(service.deregister_as(&acme, "prod").unwrap());
+        // The prod-only evidence is gone: a later digest reference must
+        // re-upload instead of silently reusing a claim bound to the
+        // retired model.
+        assert!(service.claims().get(&digest).is_none(), "stale digest dropped");
+        // Evidence still bound to a live model survives.
+        assert!(service.claims().get(&other_digest).is_some());
+        assert_eq!(service.claims().tenant_bytes(&acme), claim_footprint(&other));
+    }
+
+    #[test]
+    fn stats_rows_report_counters_and_gauges() {
+        let (test, outcome) = embedded();
+        let claim = claim_for(&outcome, &test);
+        let service = DisputeService::builder().build().unwrap();
+        let acme = tenant("acme");
+        service.register_digested_as(&acme, "prod", &outcome.model).unwrap();
+        let (digest, shared) =
+            service.claims().insert_for(&acme, service.quotas(), claim.clone()).unwrap();
+        let docket: Vec<SharedDispute> = (0..3)
+            .map(|_| SharedDispute::new("prod", digest, Arc::clone(&shared)))
+            .collect();
+        service.resolve_docket_shared_as(&acme, &docket).unwrap();
+        let row = service.stats_for(&acme);
+        assert_eq!(row.tenant, "acme");
+        assert_eq!((row.models, row.dockets, row.claims), (1, 1, 3));
+        assert_eq!(row.claim_bytes as usize, claim_footprint(&claim));
+        assert_eq!(row.in_flight, 0);
+
+        // The open-judge view reports every namespace, sorted with the
+        // anonymous tenant first (it sorts as the empty id).
+        service.register("open-model", &outcome.model);
+        let all = service.stats_all();
+        let names: Vec<&str> = all.iter().map(|row| row.tenant.as_str()).collect();
+        assert_eq!(names, ["anonymous", "acme"]);
+        assert_eq!(all[0].models, 1);
+        assert_eq!(all[1].dockets, 1);
     }
 }

@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! judge_smoke --addr HOST:PORT [--claims N] [--kernel NAME]
+//!             [--key-file PATH --tenant NAME]
 //! ```
 //!
 //! `--kernel NAME` selects the inference kernel for the *in-process
@@ -16,17 +17,23 @@
 //! remote judge picks its own kernel via `serve_judge --kernel`, so
 //! running the smoke with a different name on each side proves verdicts
 //! are bit-identical *across* kernels, not just across the wire.
+//!
+//! `--key-file PATH --tenant NAME` authenticates every frame as `NAME`
+//! using the secret on that tenant's line of the key file (the same file
+//! handed to `serve_judge --key-file`). Every assertion is identical in
+//! both modes — authentication must never change a verdict.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 use wdte_core::{
-    Dispute, DisputeService, Kernel, OwnershipClaim, Signature, WatermarkConfig, Watermarker,
+    Dispute, DisputeService, Kernel, KeyRing, OwnershipClaim, Signature, TenantId, WatermarkConfig,
+    Watermarker,
 };
 use wdte_data::SyntheticSpec;
-use wdte_server::DisputeClient;
+use wdte_server::{ClientAuth, DisputeClient};
 
-fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
+fn run(addr: &str, claims: usize, kernel: Kernel, auth: Option<ClientAuth>) -> Result<(), String> {
     // Deterministic fixture: the same model and docket every run.
     let mut rng = SmallRng::seed_from_u64(0x5A5A);
     let dataset = SyntheticSpec::breast_cancer_like().scaled(0.6).generate(&mut rng);
@@ -77,8 +84,14 @@ fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
     let reference = reference_service.resolve_many(&docket);
 
     // The same docket, served over the wire.
-    let mut client =
-        DisputeClient::connect(addr).map_err(|err| format!("could not reach the judge: {err}"))?;
+    let mut client = match auth {
+        Some(auth) => {
+            println!("authenticating as tenant `{}`", auth.tenant());
+            DisputeClient::connect_authenticated(addr, auth)
+        }
+        None => DisputeClient::connect(addr),
+    }
+    .map_err(|err| format!("could not reach the judge: {err}"))?;
     let pong = client.ping().map_err(|err| format!("ping failed: {err}"))?;
     println!(
         "judge at {addr}: protocol v{}, format v{}, {} models registered, {} claims cached",
@@ -162,6 +175,16 @@ fn run(addr: &str, claims: usize, kernel: Kernel) -> Result<(), String> {
         return Err("the judge cached no claim payloads after four dockets".to_string());
     }
     println!("pipelined 3 dockets out of order, bit-identical again ({cached} claims cached)");
+    // Accounting must have seen this client's traffic: its own row (or,
+    // anonymously, some row) has at least the four dockets just resolved.
+    let stats = client.stats().map_err(|err| format!("stats failed: {err}"))?;
+    let dockets: u64 = stats.iter().map(|row| row.dockets).sum();
+    if dockets < 4 {
+        return Err(format!(
+            "stats report {dockets} dockets across {} tenants after four resolutions",
+            stats.len()
+        ));
+    }
     // Leave the judge as we found it.
     client
         .deregister("smoke-deployment")
@@ -175,6 +198,8 @@ fn main() -> ExitCode {
     let mut addr = None;
     let mut claims = 64usize;
     let mut kernel = Kernel::default();
+    let mut key_file: Option<String> = None;
+    let mut tenant: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -193,10 +218,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--key-file" => key_file = argv.next(),
+            "--tenant" => tenant = argv.next(),
             other => {
                 eprintln!(
                     "judge_smoke: unknown flag `{other}` \
-                     (usage: --addr HOST:PORT [--claims N] [--kernel NAME])"
+                     (usage: --addr HOST:PORT [--claims N] [--kernel NAME] \
+                     [--key-file PATH --tenant NAME])"
                 );
                 return ExitCode::FAILURE;
             }
@@ -206,7 +234,35 @@ fn main() -> ExitCode {
         eprintln!("judge_smoke: --addr HOST:PORT is required");
         return ExitCode::FAILURE;
     };
-    match run(&addr, claims, kernel) {
+    let auth = match (key_file, tenant) {
+        (None, None) => None,
+        (Some(path), Some(name)) => {
+            let ring = match KeyRing::load(std::path::Path::new(&path)) {
+                Ok(ring) => ring,
+                Err(err) => {
+                    eprintln!("judge_smoke: could not load --key-file {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tenant = match TenantId::new(name) {
+                Ok(tenant) => tenant,
+                Err(err) => {
+                    eprintln!("judge_smoke: --tenant: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(secret) = ring.key(&tenant) else {
+                eprintln!("judge_smoke: tenant `{tenant}` is not enrolled in {path}");
+                return ExitCode::FAILURE;
+            };
+            Some(ClientAuth::new(tenant, secret.to_vec()))
+        }
+        _ => {
+            eprintln!("judge_smoke: --key-file and --tenant must be given together");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&addr, claims, kernel, auth) {
         Ok(()) => {
             println!("judge_smoke: PASS");
             ExitCode::SUCCESS

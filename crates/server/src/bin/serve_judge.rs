@@ -9,19 +9,37 @@
 //! serve_judge [--addr 127.0.0.1:7431] [--warm-start DIR]...
 //!             [--port-file PATH] [--max-docket N] [--shard-rows N]
 //!             [--workers N] [--max-connections N] [--max-pipeline N]
-//!             [--claim-cache-mb N] [--kernel NAME]
+//!             [--claim-cache-mb N] [--model-cache-mb N] [--kernel NAME]
+//!             [--key-file PATH] [--quota-models N] [--quota-docket N]
+//!             [--quota-claim-mb N] [--quota-in-flight N]
+//!             [--stats-interval-secs N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes the
 //! actually-bound address to a file once listening, so scripts (the CI
 //! smoke job) can discover it race-free.
 //!
-//! The judge speaks WDTP v2: every connection may pipeline requests (up
+//! The judge speaks WDTP v4: every connection may pipeline requests (up
 //! to `--max-pipeline` in flight each; `0` = unbounded) and claims are
 //! content-addressed — bodies travel once and later dockets reference
 //! them by digest against a bounded claim cache (`--claim-cache-mb`, `0`
 //! = unbounded). One readiness-driven thread owns every socket, so
 //! `--max-connections` (`0` = unlimited) bounds descriptors, not threads.
+//!
+//! `--key-file PATH` turns on multi-tenant authentication: one
+//! `tenant:secret` line per tenant (`#` comments and blank lines are
+//! skipped), and every frame must then carry a valid HMAC-SHA-256 tag and
+//! a strictly increasing per-connection sequence. Each tenant sees only
+//! its own models, claims and stats. Without the flag the judge is open:
+//! auth fields are ignored and everything runs as the anonymous tenant.
+//!
+//! `--model-cache-mb N` bounds the bytes of resident compiled forests;
+//! over budget, the least-recently-used file-backed model is evicted and
+//! transparently recompiled from its artefact on next use (warm-started
+//! models are pinned). The `--quota-*` flags cap each tenant's models,
+//! docket size, attributed claim-cache bytes and in-flight requests
+//! (`0` = unlimited); `--stats-interval-secs` logs one per-tenant
+//! accounting line at that cadence (`0` = never).
 //!
 //! `--workers N` sizes the one process-global work-stealing pool every
 //! connection shares (`0` = one worker per core) and is also installed as
@@ -38,7 +56,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use wdte_core::{DisputeService, Kernel};
+use wdte_core::{DisputeService, Kernel, KeyRing, TenantQuotas};
 use wdte_server::{JudgeServer, ServerConfig};
 
 struct Args {
@@ -51,8 +69,12 @@ struct Args {
     max_connections: usize,
     max_pipeline: Option<usize>,
     claim_cache_mb: Option<usize>,
+    model_cache_mb: Option<usize>,
     read_timeout_secs: Option<u64>,
     kernel: Kernel,
+    key_file: Option<String>,
+    quotas: TenantQuotas,
+    stats_interval_secs: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,8 +88,12 @@ fn parse_args() -> Result<Args, String> {
         max_connections: 64,
         max_pipeline: None,
         claim_cache_mb: None,
+        model_cache_mb: None,
         read_timeout_secs: None,
         kernel: Kernel::default(),
+        key_file: None,
+        quotas: TenantQuotas::default(),
+        stats_interval_secs: 60,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -103,12 +129,44 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--claim-cache-mb: {e}"))?,
                 )
             }
+            "--model-cache-mb" => {
+                args.model_cache_mb = Some(
+                    value("--model-cache-mb")?
+                        .parse()
+                        .map_err(|e| format!("--model-cache-mb: {e}"))?,
+                )
+            }
             "--read-timeout-secs" => {
                 args.read_timeout_secs = Some(
                     value("--read-timeout-secs")?
                         .parse()
                         .map_err(|e| format!("--read-timeout-secs: {e}"))?,
                 )
+            }
+            "--key-file" => args.key_file = Some(value("--key-file")?),
+            "--quota-models" => {
+                args.quotas.max_models =
+                    value("--quota-models")?.parse().map_err(|e| format!("--quota-models: {e}"))?
+            }
+            "--quota-docket" => {
+                args.quotas.max_docket =
+                    value("--quota-docket")?.parse().map_err(|e| format!("--quota-docket: {e}"))?
+            }
+            "--quota-claim-mb" => {
+                let mb: usize = value("--quota-claim-mb")?
+                    .parse()
+                    .map_err(|e| format!("--quota-claim-mb: {e}"))?;
+                args.quotas.max_claim_bytes = mb << 20;
+            }
+            "--quota-in-flight" => {
+                args.quotas.max_in_flight = value("--quota-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--quota-in-flight: {e}"))?
+            }
+            "--stats-interval-secs" => {
+                args.stats_interval_secs = value("--stats-interval-secs")?
+                    .parse()
+                    .map_err(|e| format!("--stats-interval-secs: {e}"))?
             }
             "--kernel" => {
                 args.kernel = value("--kernel")?.parse().map_err(|e| format!("--kernel: {e}"))?
@@ -121,8 +179,13 @@ fn parse_args() -> Result<Args, String> {
                      [--max-connections N (0 = unlimited)] \
                      [--max-pipeline N (in-flight requests per connection; 0 = unbounded)] \
                      [--claim-cache-mb N (content-addressed claim cache; 0 = unbounded)] \
+                     [--model-cache-mb N (resident compiled forests; 0 = unbounded)] \
                      [--read-timeout-secs N (0 = never)] \
-                     [--kernel scalar|blocked|quantized|auto]"
+                     [--kernel scalar|blocked|quantized|auto] \
+                     [--key-file PATH (tenant:secret lines; enables authentication)] \
+                     [--quota-models N] [--quota-docket N] [--quota-claim-mb N] \
+                     [--quota-in-flight N (all quotas per tenant; 0 = unlimited)] \
+                     [--stats-interval-secs N (per-tenant accounting log; 0 = never)]"
                 );
                 std::process::exit(0);
             }
@@ -150,7 +213,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut builder = DisputeService::builder().kernel(args.kernel);
+    let key_ring = match &args.key_file {
+        Some(path) => match KeyRing::load(std::path::Path::new(path)) {
+            Ok(ring) if ring.is_empty() => {
+                eprintln!("serve_judge: key file {path} enrolls no tenants");
+                return ExitCode::FAILURE;
+            }
+            Ok(ring) => Some(Arc::new(ring)),
+            Err(err) => {
+                eprintln!("serve_judge: could not load --key-file {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut builder = DisputeService::builder().kernel(args.kernel).tenant_quotas(args.quotas);
     if let Some(rows) = args.shard_rows {
         builder = builder.batch_shard_rows(rows);
     }
@@ -158,6 +236,9 @@ fn main() -> ExitCode {
         // 0 disables the budget (unbounded cache) by the same convention
         // as the other limits.
         builder = builder.claim_cache_bytes(mb << 20);
+    }
+    if let Some(mb) = args.model_cache_mb {
+        builder = builder.model_cache_bytes(mb << 20);
     }
     if let Some(max) = args.max_docket {
         builder = builder.max_docket(max);
@@ -177,6 +258,7 @@ fn main() -> ExitCode {
     let mut config = ServerConfig {
         max_connections: args.max_connections,
         worker_threads: args.workers,
+        key_ring: key_ring.clone(),
         ..ServerConfig::default()
     };
     if let Some(depth) = args.max_pipeline {
@@ -194,13 +276,51 @@ fn main() -> ExitCode {
         }
     };
     let addr = server.local_addr();
+    let auth = match &key_ring {
+        Some(ring) => format!("authenticated, {} tenants", ring.len()),
+        None => "open".to_string(),
+    };
     println!(
         "serve_judge listening on {addr} (protocol v{}, {warm} models warm-started, \
-         {} shared pool workers, {} kernel)",
+         {} shared pool workers, {} kernel, {auth})",
         wdte_core::PROTOCOL_VERSION,
         rayon::current_num_threads(),
         service.kernel()
     );
+    if args.stats_interval_secs > 0 {
+        // Periodic per-tenant accounting line. The thread holds its own
+        // Arc and dies with the process; a judge with no traffic yet
+        // prints nothing rather than an empty line.
+        let stats_service = Arc::clone(&service);
+        let interval = std::time::Duration::from_secs(args.stats_interval_secs);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let rows = stats_service.stats_all();
+            if rows.is_empty() {
+                continue;
+            }
+            let summary: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    format!(
+                        "{}: models={} dockets={} claims={} hits={} misses={} evictions={} \
+                         auth_failures={} claim_bytes={} in_flight={}",
+                        row.tenant,
+                        row.models,
+                        row.dockets,
+                        row.claims,
+                        row.cache_hits,
+                        row.cache_misses,
+                        row.evictions,
+                        row.auth_failures,
+                        row.claim_bytes,
+                        row.in_flight
+                    )
+                })
+                .collect();
+            println!("serve_judge stats [{}]", summary.join(" | "));
+        });
+    }
     if let Some(path) = &args.port_file {
         // Write-then-rename so a watcher never reads a half-written file.
         let tmp = format!("{path}.tmp");

@@ -1,6 +1,6 @@
 //! The claimant's side of the wire: a typed client over one TCP
-//! connection to a judge, with WDTP v2 pipelining and content-addressed
-//! claim upload.
+//! connection to a judge, with WDTP pipelining, content-addressed claim
+//! upload and optional per-tenant frame authentication.
 //!
 //! [`DisputeClient::send_docket`] / [`DisputeClient::recv_docket`] split
 //! the request and response halves of a docket so several dockets can be
@@ -19,8 +19,34 @@ use std::time::Duration;
 use wdte_core::error::{WatermarkError, WatermarkResult};
 use wdte_core::proto::{self, DisputeRef, PayloadDigest, Request, Response, NO_CORRELATION};
 use wdte_core::verify::{OwnershipClaim, VerificationReport};
-use wdte_core::Dispute;
+use wdte_core::{Dispute, TenantId, TenantStatsEntry};
 use wdte_trees::RandomForest;
+
+/// Credentials for an authenticated connection: the tenant this client
+/// acts as and the shared secret enrolled for it in the judge's key file.
+/// Every frame the client sends is stamped with the tenant id, a
+/// strictly increasing per-connection sequence and an HMAC-SHA-256 tag.
+#[derive(Debug, Clone)]
+pub struct ClientAuth {
+    tenant: TenantId,
+    secret: Vec<u8>,
+}
+
+impl ClientAuth {
+    /// Credentials for `tenant` with `secret` (the raw bytes after the
+    /// `:` on the tenant's key-file line).
+    pub fn new(tenant: TenantId, secret: impl Into<Vec<u8>>) -> Self {
+        Self {
+            tenant,
+            secret: secret.into(),
+        }
+    }
+
+    /// The tenant these credentials act as.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+}
 
 /// Wire encodings of the payload-heavy requests, built from *borrowed*
 /// data. `Request`'s derive needs an owned enum, which would force every
@@ -112,6 +138,10 @@ pub struct ClientConfig {
     pub write_timeout: Option<Duration>,
     /// Receiver-side cap on one response frame's payload.
     pub max_frame_bytes: usize,
+    /// Frame-authentication credentials. `None` (the default) sends
+    /// anonymous frames, which an open judge accepts and a keyed judge
+    /// refuses with `AuthFailed`.
+    pub auth: Option<ClientAuth>,
 }
 
 impl Default for ClientConfig {
@@ -124,6 +154,7 @@ impl Default for ClientConfig {
             read_timeout: None,
             write_timeout: Some(Duration::from_secs(30)),
             max_frame_bytes: proto::DEFAULT_MAX_FRAME_BYTES,
+            auth: None,
         }
     }
 }
@@ -208,6 +239,13 @@ pub struct DisputeClient {
     sent_claims: HashSet<PayloadDigest>,
     /// Digests of models this connection has already uploaded.
     sent_models: HashSet<PayloadDigest>,
+    /// Frame-authentication credentials, if this client acts as a tenant.
+    auth: Option<ClientAuth>,
+    /// Next frame sequence for authenticated sends. Starts at 1 (a fresh
+    /// server connection accepts anything strictly above 0) and
+    /// increments per frame, so the judge's replay check always passes
+    /// for honest traffic.
+    next_sequence: u64,
 }
 
 impl DisputeClient {
@@ -267,6 +305,8 @@ impl DisputeClient {
                             pending: HashMap::new(),
                             sent_claims: HashSet::new(),
                             sent_models: HashSet::new(),
+                            auth: config.auth.clone(),
+                            next_sequence: 1,
                         });
                     }
                     Err(err) => last_error = err.to_string(),
@@ -279,9 +319,58 @@ impl DisputeClient {
         })
     }
 
+    /// Connects with default configuration plus authentication
+    /// credentials.
+    pub fn connect_authenticated(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        auth: ClientAuth,
+    ) -> WatermarkResult<Self> {
+        let config = ClientConfig {
+            auth: Some(auth),
+            ..ClientConfig::default()
+        };
+        Self::connect_with(addr, config)
+    }
+
     /// The address this client is connected to, as given to `connect`.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The tenant this client authenticates as, if any.
+    pub fn tenant(&self) -> Option<&TenantId> {
+        self.auth.as_ref().map(ClientAuth::tenant)
+    }
+
+    /// Encodes one request frame, stamping auth fields (tenant, sequence,
+    /// tag) when credentials are configured. The sequence is burned even
+    /// if the frame is never written — the judge only requires strictly
+    /// increasing sequences, so gaps are harmless. An associated fn over
+    /// the two fields it needs, so callers holding other `self` borrows
+    /// (the pending-docket map) can still encode.
+    fn encode_with<T: Serialize + ?Sized>(
+        auth: &Option<ClientAuth>,
+        next_sequence: &mut u64,
+        correlation_id: u64,
+        request: &T,
+    ) -> WatermarkResult<Vec<u8>> {
+        match auth {
+            None => proto::encode_frame(correlation_id, request),
+            Some(auth) => {
+                let sequence = *next_sequence;
+                *next_sequence += 1;
+                proto::encode_frame_auth(correlation_id, request, &auth.tenant, sequence, &auth.secret)
+            }
+        }
+    }
+
+    /// [`encode_with`](Self::encode_with) over `self`'s own auth state.
+    fn encode_request<T: Serialize + ?Sized>(
+        &mut self,
+        correlation_id: u64,
+        request: &T,
+    ) -> WatermarkResult<Vec<u8>> {
+        Self::encode_with(&self.auth, &mut self.next_sequence, correlation_id, request)
     }
 
     /// Whether this connection is poisoned by an earlier transport error
@@ -395,7 +484,7 @@ impl DisputeClient {
         let correlation_id = self.next_id();
         // Encoding failures (e.g. an over-u32 frame) happen before any
         // byte reaches the wire, so they do NOT poison the connection.
-        let frame = proto::encode_frame(correlation_id, request)?;
+        let frame = self.encode_request(correlation_id, request)?;
         self.outstanding.insert(correlation_id);
         let result = self.write_frame(&frame).and_then(|()| self.read_until(correlation_id));
         self.outstanding.remove(&correlation_id);
@@ -544,7 +633,7 @@ impl DisputeClient {
             model_ids.push(dispute.model_id.clone());
             digests.push(digest);
         }
-        let frame = proto::encode_frame(
+        let frame = self.encode_request(
             correlation_id,
             &BorrowedResolveDocketRef {
                 bodies: &inline,
@@ -719,13 +808,25 @@ impl DisputeClient {
             .zip(&entry.digests)
             .map(|(model_id, digest)| DisputeRef::new(model_id.clone(), *digest))
             .collect();
-        proto::encode_frame(
+        Self::encode_with(
+            &self.auth,
+            &mut self.next_sequence,
             correlation_id,
             &BorrowedResolveDocketRef {
                 bodies: &inline,
                 disputes: &refs,
             },
         )
+    }
+
+    /// Per-tenant accounting rows. An anonymous client of an open judge
+    /// sees every tenant (the operator's view); an authenticated client
+    /// sees exactly its own row.
+    pub fn stats(&mut self) -> WatermarkResult<Vec<TenantStatsEntry>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { tenants } => Ok(tenants),
+            other => Err(Self::unexpected(other, "Stats")),
+        }
     }
 }
 

@@ -2,10 +2,13 @@
 //!
 //! Network front-end for the dispute-resolution service: the paper's
 //! *judge* as an independently deployable process. A [`JudgeServer`]
-//! listens on a TCP socket, speaks the versioned `WDTP` v2 frame protocol
+//! listens on a TCP socket, speaks the versioned `WDTP` frame protocol
 //! of [`wdte_core::proto`], and drives a shared
 //! [`DisputeService`](wdte_core::DisputeService); a [`DisputeClient`]
 //! gives owners and claimants a typed, pipelined API over the same wire.
+//! With a [`wdte_core::KeyRing`] configured, the judge authenticates
+//! every frame (HMAC-SHA-256 tag, per-connection replay protection) and
+//! scopes models, claims and quotas to the sending tenant.
 //!
 //! Everything is hand-rolled on `std::net` — the build environment is
 //! offline. The server is a readiness-driven event loop: one thread
@@ -42,5 +45,5 @@
 mod client;
 mod server;
 
-pub use client::{ClientConfig, DisputeClient, DocketTicket, PongInfo};
+pub use client::{ClientAuth, ClientConfig, DisputeClient, DocketTicket, PongInfo};
 pub use server::{JudgeServer, RunningServer, ServerConfig, ServerHandle};

@@ -8,9 +8,16 @@
 //! `rayon::spawn`. Responses are written by the pool workers through a
 //! per-connection [`ConnWriter`] (a `try_clone`d socket behind a mutex),
 //! so out-of-order completion across a connection's in-flight requests is
-//! the normal case — WDTP v2 correlation ids let the client match them
+//! the normal case — WDTP correlation ids let the client match them
 //! up. Idle connections therefore cost one file descriptor and a little
 //! state, not a parked thread.
+//!
+//! When a [`KeyRing`] is configured, each frame's tenant/sequence/tag
+//! fields (WDTP v4) are verified before the payload is decoded: a bad tag
+//! or a replayed sequence is answered with a structured `AuthFailed`
+//! fault and the connection stays open (framing is intact), while the
+//! offending frame is dropped without touching the service. Without a key
+//! ring the judge is open and every frame maps to the anonymous tenant.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
@@ -21,10 +28,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use wdte_core::error::{WatermarkError, WatermarkResult};
 use wdte_core::proto::{
-    self, DocketVerdict, PayloadDigest, Request, Response, WireFault, FRAME_HEADER_BYTES,
+    self, DocketVerdict, FrameHeader, PayloadDigest, Request, Response, WireFault, FRAME_HEADER_BYTES,
     FRAME_PRELUDE_BYTES, NO_CORRELATION,
 };
-use wdte_core::{persist, DisputeService, OwnershipClaim, SharedDispute, VerificationReport};
+use wdte_core::{
+    persist, DisputeService, KeyRing, OwnershipClaim, SharedDispute, TenantId, VerificationReport,
+};
 
 #[cfg(not(unix))]
 compile_error!("wdte-server's readiness loop is built on poll(2) and requires a unix target");
@@ -135,6 +144,12 @@ pub struct ServerConfig {
     /// that shared pool; `0` imposes no per-request limit (requests use
     /// the whole pool).
     pub worker_threads: usize,
+    /// Tenant keys for frame authentication. `None` (the default) serves
+    /// an open judge: the auth fields of each frame are ignored and every
+    /// request runs as the anonymous tenant. `Some` requires every frame
+    /// to carry a valid tenant id, a strictly increasing per-connection
+    /// sequence and an HMAC-SHA-256 tag over the payload.
+    pub key_ring: Option<Arc<KeyRing>>,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +161,7 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_pipeline: 64,
             worker_threads: 0,
+            key_ring: None,
         }
     }
 }
@@ -457,8 +473,8 @@ impl ConnWriter {
 
 /// Frame-reassembly state of one connection's read side.
 enum ReadState {
-    /// Collecting the 18-byte header; the magic + version prelude is
-    /// validated as soon as its 6 bytes arrive, so a v1 peer (whose
+    /// Collecting the 58-byte header; the magic + version prelude is
+    /// validated as soon as its 6 bytes arrive, so an older peer (whose
     /// header is shorter) is refused with a version error instead of a
     /// confusing truncation diagnostic.
     Header {
@@ -466,12 +482,8 @@ enum ReadState {
         filled: usize,
         prelude_checked: bool,
     },
-    /// Collecting `announced` payload bytes for frame `correlation_id`.
-    Payload {
-        correlation_id: u64,
-        announced: usize,
-        buf: Vec<u8>,
-    },
+    /// Collecting `header.announced` payload bytes for one frame.
+    Payload { header: FrameHeader, buf: Vec<u8> },
 }
 
 impl ReadState {
@@ -499,6 +511,11 @@ struct Conn {
     /// to deliver in-flight responses.
     read_closed: bool,
     last_activity: Instant,
+    /// Highest frame sequence accepted on this connection. Authenticated
+    /// frames must carry a strictly larger sequence, so a recorded frame
+    /// cannot be replayed within the connection (and a fresh connection
+    /// starts at 0, forcing the client to start counting from 1).
+    last_sequence: u64,
 }
 
 impl Conn {
@@ -521,7 +538,24 @@ impl Conn {
             in_flight: Arc::new(AtomicUsize::new(0)),
             read_closed: false,
             last_activity: Instant::now(),
+            last_sequence: 0,
         })
+    }
+
+    /// Resolves the tenant a frame runs as. An open judge (no key ring)
+    /// ignores the auth fields entirely; a keyed judge delegates to
+    /// [`KeyRing::verify_frame`] (tenant lookup, constant-time tag check,
+    /// strictly increasing sequence).
+    fn authenticate(
+        key_ring: Option<&KeyRing>,
+        header: &FrameHeader,
+        payload: &[u8],
+        last_sequence: u64,
+    ) -> WatermarkResult<TenantId> {
+        match key_ring {
+            None => Ok(TenantId::anonymous()),
+            Some(ring) => ring.verify_frame(header, payload, last_sequence),
+        }
     }
 
     /// Whether the pipeline cap forbids reading more requests for now.
@@ -572,31 +606,27 @@ impl Conn {
                             *prelude_checked = true;
                         }
                         if *filled == FRAME_HEADER_BYTES {
-                            let correlation_id = u64::from_le_bytes(
-                                buf[6..14].try_into().expect("header slice is 8 bytes"),
-                            );
-                            let announced = u32::from_le_bytes(
-                                buf[14..18].try_into().expect("header slice is 4 bytes"),
-                            ) as usize;
-                            if announced > config.max_frame_bytes {
-                                Self::send_fault(
-                                    &self.writer,
-                                    correlation_id,
-                                    &WatermarkError::FrameTooLarge {
-                                        size: announced as u64,
-                                        max: config.max_frame_bytes as u64,
-                                    },
-                                );
-                                return false;
-                            }
+                            let header = match proto::check_header(buf, config.max_frame_bytes) {
+                                Ok(header) => header,
+                                Err(err) => {
+                                    // The correlation id bytes are fixed
+                                    // by the layout even when the rest of
+                                    // the header is refused, so the fault
+                                    // can still name the request it kills.
+                                    let correlation_id = u64::from_le_bytes(
+                                        buf[6..14].try_into().expect("header slice is 8 bytes"),
+                                    );
+                                    Self::send_fault(&self.writer, correlation_id, &err);
+                                    return false;
+                                }
+                            };
                             // Reserve at most 64 KiB up front; the rest
                             // grows as bytes actually arrive, so a
                             // hostile prefix below the cap still cannot
                             // reserve more memory than the peer sends.
                             self.state = ReadState::Payload {
-                                correlation_id,
-                                announced,
-                                buf: Vec::with_capacity(announced.min(64 << 10)),
+                                buf: Vec::with_capacity(header.announced.min(64 << 10)),
+                                header,
                             };
                         }
                     }
@@ -607,31 +637,53 @@ impl Conn {
                         return false;
                     }
                 },
-                ReadState::Payload {
-                    correlation_id,
-                    announced,
-                    buf,
-                } => {
-                    if buf.len() == *announced {
-                        let correlation_id = *correlation_id;
+                ReadState::Payload { header, buf } => {
+                    if buf.len() == header.announced {
+                        let header = *header;
                         let payload = std::mem::take(buf);
                         self.state = ReadState::header();
+                        // Authenticate before decoding: a frame that
+                        // fails verification must not reach the service.
+                        // Framing is intact either way, so the failure is
+                        // answered inline and the connection kept; the
+                        // sequence floor only advances on success, so a
+                        // replayed frame stays refusable forever.
+                        let tenant = match Self::authenticate(
+                            config.key_ring.as_deref(),
+                            &header,
+                            &payload,
+                            self.last_sequence,
+                        ) {
+                            Ok(tenant) => {
+                                self.last_sequence = self.last_sequence.max(header.sequence);
+                                tenant
+                            }
+                            Err(err) => {
+                                let claimed = TenantId::from_field(&header.tenant)
+                                    .unwrap_or_else(|_| TenantId::anonymous());
+                                service.ledger().record_auth_failure(&claimed);
+                                Self::send_fault(&self.writer, header.correlation_id, &err);
+                                continue;
+                            }
+                        };
                         Self::dispatch(
                             service,
                             config,
                             &self.writer,
                             &self.in_flight,
-                            correlation_id,
+                            header.correlation_id,
+                            tenant,
                             payload,
                         );
                         continue;
                     }
-                    let want = (*announced - buf.len()).min(scratch.len());
+                    let announced = header.announced;
+                    let want = (announced - buf.len()).min(scratch.len());
                     match self.stream.read(&mut scratch[..want]) {
                         Ok(0) => {
                             Self::send_fault(
                                 &self.writer,
-                                *correlation_id,
+                                header.correlation_id,
                                 &WatermarkError::ProtocolViolation {
                                     detail: format!(
                                         "stream closed after {} of {announced} payload bytes",
@@ -669,13 +721,18 @@ impl Conn {
 
     /// Hands one complete frame to the worker pool. A payload that does
     /// not decode as a [`Request`] is answered inline and the connection
-    /// kept: framing is intact, so the next frame is readable.
+    /// kept: framing is intact, so the next frame is readable. The
+    /// tenant's in-flight quota is charged here, before the spawn, so a
+    /// tenant at its cap is refused with a structured fault instead of
+    /// queueing work.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         service: &Arc<DisputeService>,
         config: &ServerConfig,
         writer: &Arc<ConnWriter>,
         in_flight: &Arc<AtomicUsize>,
         correlation_id: u64,
+        tenant: TenantId,
         payload: Vec<u8>,
     ) {
         let request = match proto::decode_payload::<Request>(&payload) {
@@ -685,22 +742,37 @@ impl Conn {
                 return;
             }
         };
+        if let Err(err) = service.ledger().try_begin_request(&tenant, service.quotas()) {
+            Self::send_fault(writer, correlation_id, &err);
+            return;
+        }
         in_flight.fetch_add(1, Ordering::SeqCst);
         let service = Arc::clone(service);
         let writer = Arc::clone(writer);
         let in_flight = Arc::clone(in_flight);
         let width = config.worker_threads;
         rayon::spawn(move || {
-            /// Decrements on every exit path, including a panicking
-            /// handler, so a poisoned request can never wedge its
-            /// connection at the pipeline cap.
-            struct Guard(Arc<AtomicUsize>);
+            /// Decrements (and releases the tenant's in-flight slot) on
+            /// every exit path, including a panicking handler, so a
+            /// poisoned request can never wedge its connection at the
+            /// pipeline cap or leak quota.
+            struct Guard {
+                in_flight: Arc<AtomicUsize>,
+                service: Arc<DisputeService>,
+                tenant: TenantId,
+            }
             impl Drop for Guard {
                 fn drop(&mut self) {
-                    self.0.fetch_sub(1, Ordering::SeqCst);
+                    self.service.ledger().end_request(&self.tenant);
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             }
-            let _guard = Guard(in_flight);
+            let guard = Guard {
+                in_flight,
+                service: Arc::clone(&service),
+                tenant,
+            };
+            let tenant = &guard.tenant;
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if width > 0 {
                     // A scoped width override, not a thread spawn: the
@@ -710,9 +782,9 @@ impl Conn {
                         .num_threads(width)
                         .build()
                         .expect("the rayon shim never fails to build a pool handle")
-                        .install(|| handle_request(&service, request))
+                        .install(|| handle_request(&service, tenant, request))
                 } else {
-                    handle_request(&service, request)
+                    handle_request(&service, tenant, request)
                 }
             }))
             .unwrap_or_else(|_| Response::Error {
@@ -720,13 +792,27 @@ impl Conn {
                     detail: "judge panicked while serving the request".to_string(),
                 },
             });
+            // Release the slot *before* the response is written: a client
+            // that has already read this verdict must be able to pipeline
+            // its next request without racing the guard drop.
+            drop(guard);
             writer.send(correlation_id, &response);
         });
     }
 }
 
-/// Maps one request onto the shared service.
-fn handle_request(service: &DisputeService, request: Request) -> Response {
+/// Wire rendering of a service-layer refusal.
+fn fault_response(err: &WatermarkError) -> Response {
+    Response::Error {
+        fault: WireFault::from_error(err),
+    }
+}
+
+/// Maps one request onto the shared service as `tenant`. Every
+/// model-touching arm goes through the tenant-scoped (`*_as`) service
+/// entry points, so quotas are charged and namespaces enforced exactly
+/// once, here at the wire boundary.
+fn handle_request(service: &DisputeService, tenant: &TenantId, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong {
             protocol_version: proto::PROTOCOL_VERSION,
@@ -736,46 +822,63 @@ fn handle_request(service: &DisputeService, request: Request) -> Response {
         },
         Request::RegisterModel { model_id, model } => {
             let num_trees = model.num_trees() as u64;
-            let (digest, _compiled) = service.register_digested(model_id.clone(), &model);
-            Response::Registered {
-                model_id,
-                num_trees,
-                digest,
+            match service.register_digested_as(tenant, model_id.clone(), &model) {
+                Ok((digest, _compiled)) => Response::Registered {
+                    model_id,
+                    num_trees,
+                    digest,
+                },
+                Err(err) => fault_response(&err),
             }
         }
         Request::RegisterModelRef { model_id, digest } => {
-            match service.register_by_digest(model_id.clone(), digest) {
-                Some(compiled) => Response::Registered {
+            match service.register_by_digest_as(tenant, model_id.clone(), digest) {
+                Ok(Some(compiled)) => Response::Registered {
                     model_id,
                     num_trees: compiled.num_trees() as u64,
                     digest,
                 },
-                None => Response::NeedPayload {
+                Ok(None) => Response::NeedPayload {
                     digests: vec![digest],
                 },
+                Err(err) => fault_response(&err),
             }
         }
-        Request::Resolve { model_id, claim } => match service.resolve(&model_id, &claim) {
-            Ok(report) => Response::Resolved { report },
-            Err(err) => Response::Error {
-                fault: WireFault::from_error(&err),
-            },
+        Request::Resolve { model_id, claim } => match service.resolve_as(tenant, &model_id, &claim) {
+            Ok(report) => {
+                // A single resolution is a docket of one for accounting.
+                service.ledger().record_docket(tenant, 1);
+                Response::Resolved { report }
+            }
+            Err(err) => fault_response(&err),
         },
         Request::ResolveDocket { disputes } => {
             // Full-body dockets go through the same content cache and
             // dedup path as digest dockets: duplicate claims inside one
             // docket resolve once, and their bodies become available for
-            // later digest-only references.
-            let shared: Vec<SharedDispute> = disputes
-                .into_iter()
-                .map(|dispute| {
-                    let (digest, claim) = service.claims().insert(dispute.claim);
-                    SharedDispute::new(dispute.model_id, digest, claim)
-                })
-                .collect();
-            docket_response(service.resolve_docket_shared(&shared))
+            // later digest-only references. The docket-size check runs
+            // *before* any claim is cached, so an oversized docket cannot
+            // allocate claim bytes on its way to being refused.
+            if let Err(err) = service.check_docket_size(disputes.len()) {
+                return fault_response(&err);
+            }
+            let mut shared: Vec<SharedDispute> = Vec::with_capacity(disputes.len());
+            for dispute in disputes {
+                match service.claims().insert_for(tenant, service.quotas(), dispute.claim) {
+                    Ok((digest, claim)) => {
+                        shared.push(SharedDispute::new(dispute.model_id, digest, claim));
+                    }
+                    Err(err) => return fault_response(&err),
+                }
+            }
+            docket_response(service.resolve_docket_shared_as(tenant, &shared))
         }
         Request::ResolveDocketRef { bodies, disputes } => {
+            // Same ordering as the full-body path: an oversized docket is
+            // refused before any inlined body can allocate cache bytes.
+            if let Err(err) = service.check_docket_size(disputes.len()) {
+                return fault_response(&err);
+            }
             // Inlined bodies are looked up request-locally *first*: a
             // digest carried in this very request must resolve even if
             // the cache is too small to hold it, otherwise a client
@@ -783,42 +886,70 @@ fn handle_request(service: &DisputeService, request: Request) -> Response {
             let mut local: HashMap<PayloadDigest, Arc<OwnershipClaim>> =
                 HashMap::with_capacity(bodies.len());
             for body in bodies {
-                let (digest, claim) = service.claims().insert(body);
-                local.insert(digest, claim);
+                match service.claims().insert_for(tenant, service.quotas(), body) {
+                    Ok((digest, claim)) => {
+                        local.insert(digest, claim);
+                    }
+                    Err(err) => return fault_response(&err),
+                }
             }
             let mut missing: Vec<PayloadDigest> = Vec::new();
             let mut seen: HashSet<PayloadDigest> = HashSet::new();
             let mut shared: Vec<SharedDispute> = Vec::with_capacity(disputes.len());
+            let mut hits = 0u64;
+            let mut misses = 0u64;
             for dispute in disputes {
-                match local
-                    .get(&dispute.digest)
-                    .cloned()
-                    .or_else(|| service.claims().get(&dispute.digest))
-                {
+                if let Some(claim) = local.get(&dispute.digest).cloned() {
+                    shared.push(SharedDispute::new(dispute.model_id, dispute.digest, claim));
+                    continue;
+                }
+                match service.claims().get(&dispute.digest) {
                     Some(claim) => {
+                        hits += 1;
                         shared.push(SharedDispute::new(dispute.model_id, dispute.digest, claim));
                     }
                     None => {
+                        misses += 1;
                         if seen.insert(dispute.digest) {
                             missing.push(dispute.digest);
                         }
                     }
                 }
             }
+            service.ledger().record_cache_hits(tenant, hits);
+            service.ledger().record_cache_misses(tenant, misses);
             if !missing.is_empty() {
                 return Response::NeedPayload { digests: missing };
             }
-            docket_response(service.resolve_docket_shared(&shared))
+            docket_response(service.resolve_docket_shared_as(tenant, &shared))
         }
-        Request::Payload { claims } => Response::PayloadStored {
-            digests: claims.into_iter().map(|claim| service.claims().insert(claim).0).collect(),
-        },
+        Request::Payload { claims } => {
+            let mut digests: Vec<PayloadDigest> = Vec::with_capacity(claims.len());
+            for claim in claims {
+                match service.claims().insert_for(tenant, service.quotas(), claim) {
+                    Ok((digest, _claim)) => digests.push(digest),
+                    Err(err) => return fault_response(&err),
+                }
+            }
+            Response::PayloadStored { digests }
+        }
         Request::ListModels => Response::Models {
-            model_ids: service.model_ids(),
+            model_ids: service.model_ids_for(tenant),
         },
-        Request::Deregister { model_id } => {
-            let existed = service.deregister(&model_id).is_some();
-            Response::Deregistered { model_id, existed }
+        Request::Deregister { model_id } => match service.deregister_as(tenant, &model_id) {
+            Ok(existed) => Response::Deregistered { model_id, existed },
+            Err(err) => fault_response(&err),
+        },
+        Request::Stats => {
+            // The anonymous tenant is the operator's view (an open judge
+            // has no other identity); authenticated tenants see exactly
+            // their own row — stats never leak across namespaces.
+            let tenants = if tenant.is_anonymous() {
+                service.stats_all()
+            } else {
+                vec![service.stats_for(tenant)]
+            };
+            Response::Stats { tenants }
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Integration suite for the judge-as-a-service layer: loopback
 //! round-trips that must be bit-identical to in-process resolution, the
-//! WDTP v2 pipelining and content-addressing paths, and the protocol's
-//! negative paths (malformed frames, v1 peers, hostile length prefixes,
-//! unknown correlation ids, half-closed sockets).
+//! WDTP pipelining and content-addressing paths, frame authentication and
+//! tenant isolation, and the protocol's negative paths (malformed frames,
+//! old peers, hostile length prefixes, forged or replayed auth tags,
+//! quota refusals, unknown correlation ids, half-closed sockets).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -13,10 +14,12 @@ use std::time::{Duration, Instant};
 use wdte_core::error::WatermarkError;
 use wdte_core::proto::{self, DisputeRef, PayloadDigest, Request, Response, WireFault};
 use wdte_core::{
-    Dispute, DisputeService, OwnershipClaim, Signature, WatermarkConfig, WatermarkOutcome, Watermarker,
+    persist, Dispute, DisputeService, KeyRing, OwnershipClaim, Signature, TenantId, TenantQuotas,
+    WatermarkConfig, WatermarkOutcome, Watermarker,
 };
 use wdte_data::{Dataset, SyntheticSpec};
-use wdte_server::{ClientConfig, DisputeClient, JudgeServer, RunningServer, ServerConfig};
+use wdte_server::{ClientAuth, ClientConfig, DisputeClient, JudgeServer, RunningServer, ServerConfig};
+use wdte_trees::{ForestParams, RandomForest};
 
 fn embedded(seed: u64) -> (Dataset, WatermarkOutcome) {
     let dataset = SyntheticSpec::breast_cancer_like()
@@ -45,6 +48,56 @@ fn start_server(service: Arc<DisputeService>) -> RunningServer {
     JudgeServer::bind("127.0.0.1:0", service, ServerConfig::default())
         .expect("loopback bind succeeds")
         .spawn()
+}
+
+/// Cheap non-watermarked fixture for tests that only need wire parity or
+/// structural validity, not an upheld verdict — skips the expensive
+/// embedding loop.
+fn plain_fixture(seed: u64) -> (RandomForest, OwnershipClaim) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset = SyntheticSpec::breast_cancer_like().scaled(0.3).generate(&mut rng);
+    let (trigger, test) = dataset.split_train_test(0.2, &mut rng);
+    let model = RandomForest::fit(&dataset, &ForestParams::with_trees(8), &mut rng);
+    let claim = OwnershipClaim::new(Signature::random(8, 0.5, &mut rng), trigger, test);
+    (model, claim)
+}
+
+/// A two-tenant key ring shared by the authentication tests.
+fn two_tenant_ring() -> KeyRing {
+    KeyRing::parse("acme:correct horse battery staple\nglobex:hunter2\n").unwrap()
+}
+
+fn auth_for(ring: &KeyRing, name: &str) -> ClientAuth {
+    let tenant = TenantId::new(name).unwrap();
+    let secret = ring.key(&tenant).expect("tenant is enrolled").to_vec();
+    ClientAuth::new(tenant, secret)
+}
+
+fn keyed_server(service: Arc<DisputeService>, ring: KeyRing) -> RunningServer {
+    JudgeServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            key_ring: Some(Arc::new(ring)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("loopback bind succeeds")
+    .spawn()
+}
+
+/// Hand-builds one anonymous v4 header (sequence, tenant and tag all
+/// zero) announcing `announced` payload bytes.
+fn raw_anonymous_header(corr: u64, announced: u32) -> Vec<u8> {
+    let mut header = Vec::new();
+    header.extend_from_slice(proto::PROTO_MAGIC);
+    header.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&corr.to_le_bytes());
+    header.extend_from_slice(&0u64.to_le_bytes()); // sequence
+    header.extend_from_slice(&[0u8; 16]); // tenant
+    header.extend_from_slice(&[0u8; 16]); // tag
+    header.extend_from_slice(&announced.to_le_bytes());
+    header
 }
 
 /// Acceptance gate of the network layer: a 64-claim docket resolved
@@ -320,9 +373,9 @@ fn bad_magic_gets_an_error_response_and_a_closed_connection() {
     server.shutdown().unwrap();
 }
 
-/// A WDTP v1 peer has a 10-byte header (no correlation id). The v2 server
+/// A WDTP v1 peer has a 10-byte header (no correlation id). The server
 /// must refuse it with a version fault as soon as the 6-byte prelude
-/// arrives — not stall waiting for 18 header bytes or misparse the v1
+/// arrives — not stall waiting for the full v4 header or misparse the v1
 /// length prefix as correlation bits.
 #[test]
 fn v1_client_is_refused_with_a_version_fault() {
@@ -378,12 +431,7 @@ fn oversized_length_prefix_is_refused_without_reading_the_payload() {
     .unwrap()
     .spawn();
     let mut stream = raw_connection(&server);
-    let mut header = Vec::new();
-    header.extend_from_slice(proto::PROTO_MAGIC);
-    header.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
-    header.extend_from_slice(&77u64.to_le_bytes());
-    header.extend_from_slice(&u32::MAX.to_le_bytes());
-    stream.write_all(&header).unwrap();
+    stream.write_all(&raw_anonymous_header(77, u32::MAX)).unwrap();
     // No payload is ever sent — the server must answer from the header
     // alone instead of waiting for 4 GiB.
     match read_error_response(&mut stream) {
@@ -450,12 +498,8 @@ fn garbage_payload_in_a_valid_frame_keeps_the_connection_usable() {
     let mut stream = raw_connection(&server);
     // A well-framed payload that is not a decodable Request: framing stays
     // synchronized, so the server answers an error and keeps the socket.
-    let mut frame = Vec::new();
-    frame.extend_from_slice(proto::PROTO_MAGIC);
-    frame.extend_from_slice(&proto::PROTOCOL_VERSION.to_le_bytes());
-    frame.extend_from_slice(&21u64.to_le_bytes());
     let payload = [0x3Fu8; 16]; // unknown value tag
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut frame = raw_anonymous_header(21, payload.len() as u32);
     frame.extend_from_slice(&payload);
     // Follow up with a valid ping *on the same socket*.
     frame.extend_from_slice(&proto::encode_frame(22, &Request::Ping).unwrap());
@@ -847,4 +891,518 @@ fn a_transport_error_poisons_the_client_connection() {
     let mut fresh = DisputeClient::connect(server.addr()).unwrap();
     assert!(fresh.resolve("m", &claim).unwrap().verified);
     server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Frame authentication, tenant isolation, quotas (WDTP v4)
+// ---------------------------------------------------------------------------
+
+/// A keyed judge refuses anonymous frames with `AuthenticationFailed`,
+/// and — because framing is intact — keeps the connection open for a
+/// correctly authenticated retry.
+#[test]
+fn a_keyed_judge_refuses_anonymous_frames_but_keeps_the_connection() {
+    let ring = two_tenant_ring();
+    let auth = auth_for(&ring, "acme");
+    let server = keyed_server(Arc::new(DisputeService::builder().build().unwrap()), ring);
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    proto::write_message(reader.get_mut(), 1, &Request::Ping).unwrap();
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 1, "the refusal is attributed to the offending frame");
+    match response {
+        Response::Error { fault } => assert!(
+            matches!(fault.into_error(), WatermarkError::AuthenticationFailed { .. }),
+            "anonymous frames must fail authentication"
+        ),
+        other => panic!("expected an auth fault, got {other:?}"),
+    }
+
+    // The same socket, now with credentials: served normally.
+    let tenant = auth.tenant().clone();
+    let ring = two_tenant_ring();
+    let frame =
+        proto::encode_frame_auth(2, &Request::Ping, &tenant, 1, ring.key(&tenant).unwrap()).unwrap();
+    reader.get_mut().write_all(&frame).unwrap();
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 2);
+    assert!(matches!(response, Response::Pong { .. }));
+    server.shutdown().unwrap();
+}
+
+/// A frame tagged under the wrong key — and one whose genuine tag was
+/// truncated (trailing tag bytes zeroed) — are both refused without
+/// poisoning the connection or advancing the sequence floor.
+#[test]
+fn bad_and_truncated_tags_are_refused_without_poisoning_the_connection() {
+    let ring = two_tenant_ring();
+    let tenant = TenantId::new("acme").unwrap();
+    let key = ring.key(&tenant).unwrap().to_vec();
+    let server = keyed_server(Arc::new(DisputeService::builder().build().unwrap()), ring);
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    let expect_auth_fault = |reader: &mut BufReader<TcpStream>, want_corr: u64| {
+        let (corr, response): (u64, Response) =
+            proto::read_message(reader, proto::DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(corr, want_corr);
+        match response {
+            Response::Error { fault } => assert!(matches!(
+                fault.into_error(),
+                WatermarkError::AuthenticationFailed { .. }
+            )),
+            other => panic!("expected an auth fault, got {other:?}"),
+        }
+    };
+
+    // Wrong key: the tag never matches.
+    let forged = proto::encode_frame_auth(7, &Request::Ping, &tenant, 1, b"not the key").unwrap();
+    reader.get_mut().write_all(&forged).unwrap();
+    expect_auth_fault(&mut reader, 7);
+
+    // Genuine tag with its second half zeroed — a truncated MAC must be
+    // treated as no MAC at all.
+    let mut truncated = proto::encode_frame_auth(8, &Request::Ping, &tenant, 1, &key).unwrap();
+    for byte in &mut truncated[46..54] {
+        *byte = 0;
+    }
+    reader.get_mut().write_all(&truncated).unwrap();
+    expect_auth_fault(&mut reader, 8);
+
+    // Sequence 1 is still available: the refused frames must not have
+    // advanced the replay floor.
+    let genuine = proto::encode_frame_auth(9, &Request::Ping, &tenant, 1, &key).unwrap();
+    reader.get_mut().write_all(&genuine).unwrap();
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 9);
+    assert!(matches!(response, Response::Pong { .. }));
+    server.shutdown().unwrap();
+}
+
+/// Replaying a previously accepted frame — a byte-identical copy, genuine
+/// tag included — is refused: the sequence must be strictly increasing
+/// within a connection.
+#[test]
+fn a_replayed_frame_is_refused_by_the_sequence_check() {
+    let ring = two_tenant_ring();
+    let tenant = TenantId::new("acme").unwrap();
+    let key = ring.key(&tenant).unwrap().to_vec();
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = keyed_server(Arc::clone(&service), ring);
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    let frame = proto::encode_frame_auth(11, &Request::Ping, &tenant, 1, &key).unwrap();
+    reader.get_mut().write_all(&frame).unwrap();
+    let (_, first): (u64, Response) = proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(first, Response::Pong { .. }));
+
+    // The identical bytes again: same genuine tag, same stale sequence.
+    reader.get_mut().write_all(&frame).unwrap();
+    let (corr, replayed): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 11);
+    match replayed {
+        Response::Error { fault } => match fault.into_error() {
+            WatermarkError::AuthenticationFailed { detail } => {
+                assert!(detail.contains("replayed"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected an auth failure, got {other:?}"),
+        },
+        other => panic!("expected an auth fault, got {other:?}"),
+    }
+    // The refusal is visible in the tenant's accounting.
+    assert!(service.ledger().counters(&tenant).auth_failures >= 1);
+
+    // The connection survives; the next sequence is accepted.
+    let next = proto::encode_frame_auth(12, &Request::Ping, &tenant, 2, &key).unwrap();
+    reader.get_mut().write_all(&next).unwrap();
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 12);
+    assert!(matches!(response, Response::Pong { .. }));
+    server.shutdown().unwrap();
+}
+
+/// Tenants are namespaces: a model registered by one tenant is invisible
+/// to another — resolution and deregistration are `Forbidden`, listings
+/// are empty — while the owner's verdicts stay bit-identical to
+/// in-process resolution.
+#[test]
+fn cross_tenant_model_access_is_forbidden() {
+    let (model, claim) = plain_fixture(41);
+    let ring = two_tenant_ring();
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = keyed_server(Arc::clone(&service), two_tenant_ring());
+
+    let mut acme = DisputeClient::connect_authenticated(server.addr(), auth_for(&ring, "acme")).unwrap();
+    let mut globex =
+        DisputeClient::connect_authenticated(server.addr(), auth_for(&ring, "globex")).unwrap();
+
+    acme.register_model("m", &model).unwrap();
+    assert_eq!(acme.list_models().unwrap(), ["m"]);
+
+    // The in-process reference, resolved in acme's namespace.
+    let reference = service.resolve_as(&TenantId::new("acme").unwrap(), "m", &claim).unwrap();
+    assert_eq!(acme.resolve("m", &claim).unwrap(), reference);
+
+    // globex sees nothing of it.
+    assert_eq!(globex.list_models().unwrap(), Vec::<String>::new());
+    assert!(matches!(
+        globex.resolve("m", &claim).unwrap_err(),
+        WatermarkError::Forbidden { .. }
+    ));
+    assert!(matches!(
+        globex.deregister("m").unwrap_err(),
+        WatermarkError::Forbidden { .. }
+    ));
+    // And an id registered nowhere stays UnknownModel, not Forbidden.
+    assert!(matches!(
+        globex.resolve("nowhere", &claim).unwrap_err(),
+        WatermarkError::UnknownModel { .. }
+    ));
+
+    // Stats are scoped: each tenant sees exactly its own row.
+    let acme_stats = acme.stats().unwrap();
+    assert_eq!(acme_stats.len(), 1);
+    assert_eq!(acme_stats[0].tenant, "acme");
+    assert_eq!(acme_stats[0].models, 1);
+    let globex_stats = globex.stats().unwrap();
+    assert_eq!(globex_stats.len(), 1);
+    assert_eq!(globex_stats[0].tenant, "globex");
+    assert_eq!(globex_stats[0].models, 0);
+    server.shutdown().unwrap();
+}
+
+/// The models, docket and claim-bytes quotas each refuse with a typed
+/// `QuotaExceeded` naming the exhausted axis, and a refusal never poisons
+/// the connection.
+#[test]
+fn quota_refusals_name_the_axis_and_keep_the_connection() {
+    let (model, claim) = plain_fixture(42);
+    let quotas = TenantQuotas {
+        max_models: 1,
+        max_docket: 2,
+        max_claim_bytes: 1,
+        max_in_flight: 0,
+    };
+    let service = Arc::new(DisputeService::builder().tenant_quotas(quotas).build().unwrap());
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+
+    // Models axis: the second distinct registration is refused...
+    client.register_model("first", &model).unwrap();
+    match client.register_model("second", &model).unwrap_err() {
+        WatermarkError::QuotaExceeded {
+            resource,
+            used,
+            limit,
+        } => {
+            assert_eq!(resource, "models");
+            assert_eq!((used, limit), (2, 1));
+        }
+        other => panic!("expected a models quota refusal, got {other:?}"),
+    }
+    // ...but re-registering the held id is not growth.
+    client.register_model("first", &model).unwrap();
+
+    // Docket axis: checked before any claim body is cached.
+    let oversized: Vec<Dispute> = (0..3).map(|_| Dispute::new("first", claim.clone())).collect();
+    match client.resolve_docket(&oversized).unwrap_err() {
+        WatermarkError::QuotaExceeded { resource, .. } => assert_eq!(resource, "docket"),
+        other => panic!("expected a docket quota refusal, got {other:?}"),
+    }
+    assert_eq!(service.claims().len(), 0, "refused dockets cache nothing");
+
+    // Claim-bytes axis: a docket within the size cap still cannot
+    // allocate cache bytes beyond the tenant's budget.
+    let docket: Vec<Dispute> = (0..2).map(|_| Dispute::new("first", claim.clone())).collect();
+    match client.resolve_docket(&docket).unwrap_err() {
+        WatermarkError::QuotaExceeded { resource, .. } => assert_eq!(resource, "claim-bytes"),
+        other => panic!("expected a claim-bytes quota refusal, got {other:?}"),
+    }
+    assert_eq!(service.claims().len(), 0);
+
+    // The connection survived every refusal.
+    assert!(!client.is_broken());
+    assert_eq!(client.list_models().unwrap(), ["first"]);
+    server.shutdown().unwrap();
+}
+
+/// The in-flight quota refuses the second of two pipelined requests while
+/// the first still occupies the tenant's only slot — before any work is
+/// spawned for it.
+#[test]
+fn the_in_flight_quota_sheds_pipelined_load() {
+    let mut rng = SmallRng::seed_from_u64(43);
+    let dataset = SyntheticSpec::breast_cancer_like().scaled(0.3).generate(&mut rng);
+    let (trigger, test) = dataset.split_train_test(0.2, &mut rng);
+    let model = RandomForest::fit(&dataset, &ForestParams::with_trees(8), &mut rng);
+    let quotas = TenantQuotas {
+        max_in_flight: 1,
+        ..TenantQuotas::default()
+    };
+    let service = Arc::new(DisputeService::builder().tenant_quotas(quotas).build().unwrap());
+    service.register("m", &model);
+    let server = start_server(Arc::clone(&service));
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    // One slow docket and one ping in a single write burst: the ping is
+    // dispatched while the docket still holds the only in-flight slot.
+    // Each dispute carries a *distinct* signature so the service cannot
+    // deduplicate them — 64 genuine resolutions keep the worker busy far
+    // beyond the event loop's hop from the docket dispatch to the ping
+    // dispatch. The overlap still depends on both frames reaching one
+    // socket read (loopback may split the burst and let the docket
+    // finish in the gap), so the burst retries until the shed is
+    // observed — each round also re-proves the slot was released.
+    let docket = Request::ResolveDocket {
+        disputes: (0..64)
+            .map(|_| {
+                let claim = OwnershipClaim::new(
+                    Signature::random(8, 0.5, &mut rng),
+                    trigger.clone(),
+                    test.clone(),
+                );
+                Dispute::new("m", claim)
+            })
+            .collect(),
+    };
+    let mut shed = None;
+    for round in 0..50u64 {
+        let (docket_corr, ping_corr) = (200 + 2 * round, 201 + 2 * round);
+        let mut burst = proto::encode_frame(docket_corr, &docket).unwrap();
+        burst.extend_from_slice(&proto::encode_frame(ping_corr, &Request::Ping).unwrap());
+        reader.get_mut().write_all(&burst).unwrap();
+
+        let mut docket_response = None;
+        let mut ping_response = None;
+        for _ in 0..2 {
+            let (corr, response): (u64, Response) =
+                proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+                    .unwrap()
+                    .unwrap();
+            if corr == docket_corr {
+                docket_response = Some(response);
+            } else {
+                assert_eq!(corr, ping_corr, "response for a request never sent");
+                ping_response = Some(response);
+            }
+        }
+        match docket_response.expect("the docket is always served") {
+            Response::Docket { .. } => {}
+            other => panic!("the docket itself must never be refused, got {other:?}"),
+        }
+        match ping_response.expect("the ping is always answered") {
+            Response::Error { fault } => {
+                match fault.into_error() {
+                    WatermarkError::QuotaExceeded { resource, .. } => {
+                        assert_eq!(resource, "in-flight")
+                    }
+                    other => panic!("expected an in-flight quota refusal, got {other:?}"),
+                }
+                shed = Some(round);
+                break;
+            }
+            // Pong: the docket finished before the ping dispatched
+            // (split burst) — the slot demonstrably freed, go again.
+            Response::Pong { .. } => {}
+            other => panic!("unexpected ping response {other:?}"),
+        }
+    }
+    shed.expect("50 pipelined bursts against a 1-slot quota never overlapped");
+
+    // The slot was released: a fresh request is served.
+    proto::write_message(reader.get_mut(), 202, &Request::Ping).unwrap();
+    let (corr, response): (u64, Response) =
+        proto::read_message(&mut reader, proto::DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+    assert_eq!(corr, 202);
+    assert!(matches!(response, Response::Pong { .. }));
+    server.shutdown().unwrap();
+}
+
+/// A judge whose model-cache budget holds one compiled forest keeps
+/// serving both registered models over the wire: the LRU one is evicted
+/// and transparently recompiled from its artefact on demand, verdicts
+/// bit-identical throughout.
+#[test]
+fn evicted_models_recompile_transparently_over_the_wire() {
+    let (model, claim) = plain_fixture(44);
+    let dir = std::env::temp_dir().join(format!("wdte-wire-evict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.wdte");
+    let path_b = dir.join("b.wdte");
+    persist::save(&path_a, &model, persist::Format::Binary).unwrap();
+    persist::save(&path_b, &model, persist::Format::Binary).unwrap();
+
+    // A 1-byte budget keeps only the most recently published model
+    // resident (the budget never evicts the model being published).
+    let service = Arc::new(DisputeService::builder().model_cache_bytes(1).build().unwrap());
+    service.register_from_file("a", &path_a).unwrap();
+    service.register_from_file("b", &path_b).unwrap();
+
+    let reference = {
+        let plain = DisputeService::builder().build().unwrap();
+        plain.register("any", &model);
+        plain.resolve("any", &claim).unwrap()
+    };
+
+    let server = start_server(Arc::clone(&service));
+    let mut client = DisputeClient::connect(server.addr()).unwrap();
+    // Alternating resolutions force evict → recompile each time.
+    for round in 0..3 {
+        for id in ["a", "b"] {
+            assert_eq!(
+                client.resolve(id, &claim).unwrap(),
+                reference,
+                "round {round}, model {id}: recompiled verdicts must not drift"
+            );
+        }
+    }
+    let anonymous = TenantId::anonymous();
+    let counters = service.ledger().counters(&anonymous);
+    assert!(
+        counters.evictions >= 5,
+        "alternating under a 1-byte budget must evict every round (saw {})",
+        counters.evictions
+    );
+    assert!(
+        counters.cache_misses >= 5,
+        "every eviction shows up as a later recompile miss (saw {})",
+        counters.cache_misses
+    );
+    // Both models are still *registered* — eviction only drops residency.
+    assert_eq!(client.list_models().unwrap(), ["a", "b"]);
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown().unwrap();
+}
+
+/// Deregistering a model drops its cached claim bodies: a digest-only
+/// docket that resolved before the deregistration demands the payload
+/// again afterwards — stale digests can never be served against a new
+/// model under the same id.
+#[test]
+fn deregistration_drops_cached_claims_over_the_wire() {
+    let (model, claim) = plain_fixture(45);
+    let digest = PayloadDigest::of_claim(&claim);
+    let service = Arc::new(DisputeService::builder().build().unwrap());
+    let server = start_server(Arc::clone(&service));
+    let mut reader = BufReader::new(raw_connection(&server));
+
+    let (_, registered) = exchange(
+        &mut reader,
+        1,
+        &Request::RegisterModel {
+            model_id: "m".to_string(),
+            model: model.clone(),
+        },
+    );
+    assert!(matches!(registered, Response::Registered { .. }));
+
+    // Full-body docket caches the claim and associates it with "m".
+    let (_, first) = exchange(
+        &mut reader,
+        2,
+        &Request::ResolveDocket {
+            disputes: vec![Dispute::new("m", claim.clone())],
+        },
+    );
+    assert!(matches!(first, Response::Docket { .. }));
+    // Digest-only resolves while the association lives.
+    let by_ref = Request::ResolveDocketRef {
+        bodies: vec![],
+        disputes: vec![DisputeRef::new("m", digest)],
+    };
+    let (_, second) = exchange(&mut reader, 3, &by_ref);
+    assert!(matches!(second, Response::Docket { .. }));
+
+    let (_, gone) = exchange(
+        &mut reader,
+        4,
+        &Request::Deregister {
+            model_id: "m".to_string(),
+        },
+    );
+    assert_eq!(
+        gone,
+        Response::Deregistered {
+            model_id: "m".to_string(),
+            existed: true
+        }
+    );
+    assert_eq!(service.claims().len(), 0, "the model's claims died with it");
+
+    // Re-register under the same id: the old digest must NOT resolve from
+    // a stale cache entry — the judge demands the body afresh.
+    let (_, re_registered) = exchange(
+        &mut reader,
+        5,
+        &Request::RegisterModel {
+            model_id: "m".to_string(),
+            model,
+        },
+    );
+    assert!(matches!(re_registered, Response::Registered { .. }));
+    let (_, demanded) = exchange(&mut reader, 6, &by_ref);
+    assert_eq!(
+        demanded,
+        Response::NeedPayload {
+            digests: vec![digest]
+        }
+    );
+    server.shutdown().unwrap();
+}
+
+/// An authenticated client and an anonymous client of an open judge get
+/// bit-identical verdicts for the same docket: authentication wraps the
+/// frames, never the resolution.
+#[test]
+fn authenticated_verdicts_are_bit_identical_to_anonymous_ones() {
+    let (model, claim) = plain_fixture(46);
+    let docket: Vec<Dispute> = (0..4)
+        .map(|i| Dispute::new(if i == 2 { "ghost" } else { "m" }, claim.clone()))
+        .collect();
+
+    // Anonymous service + open judge.
+    let open_service = Arc::new(DisputeService::builder().build().unwrap());
+    open_service.register("m", &model);
+    let open = start_server(Arc::clone(&open_service));
+    let mut anonymous = DisputeClient::connect(open.addr()).unwrap();
+    let plain_verdicts = anonymous.resolve_docket(&docket).unwrap();
+
+    // Keyed judge, same docket resolved as a tenant.
+    let ring = two_tenant_ring();
+    let keyed_service = Arc::new(DisputeService::builder().build().unwrap());
+    let keyed = keyed_server(Arc::clone(&keyed_service), two_tenant_ring());
+    let mut tenant_client =
+        DisputeClient::connect_authenticated(keyed.addr(), auth_for(&ring, "acme")).unwrap();
+    tenant_client.register_model("m", &model).unwrap();
+    let auth_verdicts = tenant_client.resolve_docket(&docket).unwrap();
+
+    assert_eq!(
+        auth_verdicts, plain_verdicts,
+        "authentication must never change a verdict"
+    );
+    // The tenant's accounting saw the docket.
+    let stats = tenant_client.stats().unwrap();
+    assert_eq!(stats[0].tenant, "acme");
+    assert_eq!(stats[0].dockets, 1);
+    assert_eq!(stats[0].claims, 4);
+    open.shutdown().unwrap();
+    keyed.shutdown().unwrap();
 }
