@@ -20,8 +20,8 @@
 //! scaling_smoke [--workers 1,2,4] [--claims N] [--samples N]
 //!               [--shard-rows N] [--kernel NAME] [--out PATH]
 //!               [--enforce-speedup X.Y]
-//! scaling_smoke --wire [--auth] [--connections C] [--dockets D] [--claims N]
-//!               [--out PATH] [--enforce-claims-per-sec X]
+//! scaling_smoke --wire [--auth] [--fleet N] [--connections C] [--dockets D]
+//!               [--claims N] [--out PATH] [--enforce-claims-per-sec X]
 //! ```
 //!
 //! `--kernel NAME` picks the batch-inference kernel the service runs
@@ -49,6 +49,14 @@
 //! an `--auth` run against an anonymous one isolates the authentication
 //! overhead of the wire path.
 //!
+//! `--fleet N` (wire mode only) fronts `N` in-process backend judges with
+//! a consistent-hash [`JudgeRouter`] and drives the identical open-loop
+//! load through it. The docket cycles four replicated model ids, so every
+//! docket is split into per-backend shards and stitched back — the
+//! reported claims/s prices the router's split/stitch and re-signing
+//! overhead against the single-judge `--wire` rows, under the same
+//! bit-identity gate.
+//!
 //! Exit codes: `2` = bit-identity violation (always fatal, both modes),
 //! `3` = a measured floor was missed — the widest run fell below
 //! `--enforce-speedup` in scaling mode (CI passes a generous `0.85` so
@@ -67,7 +75,7 @@ use wdte_core::{
     WatermarkConfig, WatermarkOutcome, WatermarkResult, Watermarker,
 };
 use wdte_data::SyntheticSpec;
-use wdte_server::{ClientAuth, DisputeClient, JudgeServer, ServerConfig};
+use wdte_server::{ClientAuth, DisputeClient, JudgeRouter, JudgeServer, RouterConfig, ServerConfig};
 
 struct Args {
     workers: Vec<usize>,
@@ -89,6 +97,10 @@ struct Args {
     connections: usize,
     dockets: usize,
     enforce_claims_per_sec: Option<f64>,
+    /// Wire mode only: put a consistent-hash router in front of this many
+    /// in-process backend judges and drive the identical open-loop load
+    /// through the fleet (`0` = no router, one judge).
+    fleet: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -107,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         connections: 4,
         dockets: 16,
         enforce_claims_per_sec: None,
+        fleet: 0,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -162,6 +175,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--dockets must be at least 1".into());
                 }
             }
+            "--fleet" => {
+                args.fleet = value("--fleet")?.parse().map_err(|e| format!("--fleet: {e}"))?;
+                if args.fleet < 2 {
+                    return Err("--fleet needs at least 2 backends".into());
+                }
+            }
             "--enforce-claims-per-sec" => {
                 args.enforce_claims_per_sec = Some(
                     value("--enforce-claims-per-sec")?
@@ -185,8 +204,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: scaling_smoke [--workers 1,2,4] [--claims N] [--samples N] \
                      [--shard-rows N] [--kernel scalar|blocked|quantized|auto] [--out PATH] \
                      [--enforce-speedup X.Y]\n\
-                     \x20      scaling_smoke --wire [--auth] [--connections C] [--dockets D] \
-                     [--claims N] [--out PATH] [--enforce-claims-per-sec X]"
+                     \x20      scaling_smoke --wire [--auth] [--fleet N] [--connections C] \
+                     [--dockets D] [--claims N] [--out PATH] [--enforce-claims-per-sec X]"
                 );
                 std::process::exit(0);
             }
@@ -301,7 +320,22 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// verdict arrival. Hard-fails on any verdict that differs from the
 /// in-process reference.
 fn wire_mode(args: &Args) -> ExitCode {
-    let (service, docket, outcome) = build_docket(args.claims, args.shard_rows, args.kernel, false);
+    let (service, mut docket, outcome) = build_docket(args.claims, args.shard_rows, args.kernel, false);
+    // With --fleet the docket cycles several replicated model ids, so the
+    // router genuinely splits every docket into per-backend shards.
+    let model_ids: Vec<String> = if args.fleet > 0 {
+        (0..4).map(|i| format!("scaling-deployment-{i}")).collect()
+    } else {
+        vec!["scaling-deployment".to_string()]
+    };
+    if args.fleet > 0 {
+        for (i, dispute) in docket.iter_mut().enumerate() {
+            dispute.model_id = model_ids[i % model_ids.len()].clone();
+        }
+        for id in &model_ids {
+            service.register(id.clone(), &outcome.model);
+        }
+    }
     // One in-process reference resolution; every served docket must match
     // its fingerprint bit for bit.
     let reference_fp = fingerprint(&service.resolve_many(&docket));
@@ -310,37 +344,83 @@ fn wire_mode(args: &Args) -> ExitCode {
     // generator authenticates as it: same workload, every frame tagged.
     let tenant = TenantId::new("bench").expect("the bench tenant id is valid");
     let secret = b"scaling-smoke shared secret".to_vec();
-    if args.auth {
-        // Models are tenant-namespaced: the fixture registration above
-        // lives in the anonymous namespace, so the bench tenant needs its
-        // own registration of the same model (the compiled forest is
-        // shared — this adds a namespace entry, not a second compile).
-        service
-            .register_digested_as(&tenant, "scaling-deployment".to_string(), &outcome.model)
-            .expect("the bench tenant registration is within quota");
-    }
-    let config = if args.auth {
+    let key_ring = args.auth.then(|| {
         let mut ring = KeyRing::default();
         ring.insert(tenant.clone(), secret.clone());
-        ServerConfig {
-            key_ring: Some(Arc::new(ring)),
+        Arc::new(ring)
+    });
+    // The judge processes under load: the one shared fixture service, or
+    // `--fleet` fresh services each replicating every model id (so any
+    // backend can serve any shard).
+    let serving: Vec<Arc<DisputeService>> = if args.fleet > 0 {
+        (0..args.fleet)
+            .map(|_| {
+                let backend = DisputeService::builder()
+                    .batch_shard_rows(args.shard_rows)
+                    .kernel(args.kernel)
+                    .build()
+                    .expect("an empty builder always builds");
+                for id in &model_ids {
+                    backend.register(id.clone(), &outcome.model);
+                    if args.auth {
+                        // Models are tenant-namespaced: the bench tenant
+                        // needs its own entry (shared compiled forest, no
+                        // second compile).
+                        backend
+                            .register_digested_as(&tenant, id.clone(), &outcome.model)
+                            .expect("the bench tenant registration is within quota");
+                    }
+                }
+                Arc::new(backend)
+            })
+            .collect()
+    } else {
+        if args.auth {
+            service
+                .register_digested_as(&tenant, "scaling-deployment".to_string(), &outcome.model)
+                .expect("the bench tenant registration is within quota");
+        }
+        vec![Arc::clone(&service)]
+    };
+    let mut servers = Vec::with_capacity(serving.len());
+    for backend in serving {
+        let config = ServerConfig {
+            key_ring: key_ring.clone(),
             ..ServerConfig::default()
+        };
+        match JudgeServer::bind("127.0.0.1:0", backend, config) {
+            Ok(server) => servers.push(server.spawn()),
+            Err(err) => {
+                eprintln!("scaling_smoke: could not bind a loopback judge: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let router = if args.fleet > 0 {
+        let config = RouterConfig {
+            backends: servers.iter().map(|s| s.addr().to_string()).collect(),
+            key_ring: key_ring.clone(),
+            ..RouterConfig::default()
+        };
+        match JudgeRouter::bind("127.0.0.1:0", config) {
+            Ok(router) => Some(router.spawn()),
+            Err(err) => {
+                eprintln!("scaling_smoke: could not bind the loopback router: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     } else {
-        ServerConfig::default()
+        None
     };
-    let server = match JudgeServer::bind("127.0.0.1:0", Arc::clone(&service), config) {
-        Ok(server) => server.spawn(),
-        Err(err) => {
-            eprintln!("scaling_smoke: could not bind the loopback judge: {err}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let addr = server.addr();
+    let addr = router.as_ref().map_or_else(|| servers[0].addr(), |r| r.addr());
     let (connections, dockets) = (args.connections, args.dockets);
+    let topology = match args.fleet {
+        0 => "loopback judge".to_string(),
+        n => format!("router over {n} loopback judges"),
+    };
     println!(
         "scaling_smoke --wire: {connections} connections x {dockets} pipelined dockets x {} \
-         claims against the {} loopback judge at {addr}",
+         claims against the {} {topology} at {addr}",
         args.claims,
         if args.auth { "authenticated" } else { "open" }
     );
@@ -389,7 +469,12 @@ fn wire_mode(args: &Args) -> ExitCode {
             Err(message) => {
                 eprintln!("scaling_smoke: {message}");
                 bit_identity_violated |= message.contains("BIT-IDENTITY");
-                server.handle().shutdown();
+                if let Some(router) = &router {
+                    router.handle().shutdown();
+                }
+                for server in &servers {
+                    server.handle().shutdown();
+                }
                 return if bit_identity_violated {
                     ExitCode::from(2)
                 } else {
@@ -399,7 +484,12 @@ fn wire_mode(args: &Args) -> ExitCode {
         }
     }
     let wall = started.elapsed();
-    server.shutdown().expect("the loopback judge shuts down cleanly");
+    if let Some(router) = router {
+        router.shutdown().expect("the loopback router shuts down cleanly");
+    }
+    for server in servers {
+        server.shutdown().expect("the loopback judge shuts down cleanly");
+    }
 
     let total_claims = connections * dockets * args.claims;
     let claims_per_sec = total_claims as f64 / wall.as_secs_f64();
@@ -417,16 +507,25 @@ fn wire_mode(args: &Args) -> ExitCode {
 
     let out = if args.out_was_set {
         args.out.clone()
+    } else if args.fleet > 0 {
+        "target/bench-results/wire_fleet_load.json".to_string()
     } else {
         "target/bench-results/wire_load.json".to_string()
     };
     let artifact = format!(
-        "{{\n  \"mode\": \"open_loop_wire\",\n  \"auth\": {},\n  \"connections\": {connections},\n  \
+        "{{\n  \"mode\": \"{}\",\n  \"auth\": {},\n  \"backends\": {},\n  \
+         \"connections\": {connections},\n  \
          \"dockets_per_connection\": {dockets},\n  \"claims_per_docket\": {},\n  \
          \"total_claims\": {total_claims},\n  \"wall_ms\": {:.3},\n  \
          \"claims_per_sec\": {claims_per_sec:.0},\n  \"docket_latency_ms\": {{ \
          \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n  \"bit_identical\": true\n}}\n",
+        if args.fleet > 0 {
+            "open_loop_wire_fleet"
+        } else {
+            "open_loop_wire"
+        },
         args.auth,
+        args.fleet.max(1),
         args.claims,
         wall.as_secs_f64() * 1e3,
         p50.as_secs_f64() * 1e3,

@@ -1,0 +1,294 @@
+//! Fleet-level placement: consistent hashing of `(tenant, model id)`
+//! across backend judges, plus the docket split/stitch bookkeeping a
+//! router needs to fan one docket out and reassemble its verdicts in
+//! input order.
+//!
+//! The hash ring is the contract between every router and every client of
+//! the fleet: placement depends only on the backend count, the replica
+//! count and the key — never on process state — so any router instance
+//! (or an operator with a shell) can compute where a model lives. The
+//! ring places `replicas` virtual points per backend; looking up a key
+//! walks clockwise from the key's own hash to the first point. Removing a
+//! backend therefore remaps *only* the keys that were homed on it: every
+//! other key's first surviving candidate is unchanged, which is exactly
+//! the property that makes bounded retry-on-sibling safe — see
+//! [`HashRing::candidates`].
+//!
+//! Hashes are 64-bit FNV-1a with domain-separation prefixes, matching the
+//! digest discipline of [`crate::proto::PayloadDigest`]: stable across
+//! processes, architectures and runs, with no `RandomState`-style
+//! per-process seeding that would desynchronise routers.
+
+use crate::error::{WatermarkError, WatermarkResult};
+use crate::tenant::TenantId;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Domain prefix for ring point hashes (backend × replica).
+const RING_DOMAIN: &[u8] = b"wdtp:ring";
+/// Domain prefix for key hashes (tenant × model id).
+const KEY_DOMAIN: &[u8] = b"wdtp:place";
+
+fn fnv1a(domain: &[u8], parts: &[&[u8]]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(domain);
+    for part in parts {
+        // Length-prefix every part so ("ab","c") and ("a","bc") cannot
+        // collide by concatenation.
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part);
+    }
+    // FNV-1a output over short, low-entropy inputs (sequential backend /
+    // replica integers) is too correlated to spread ring points evenly;
+    // a splitmix64-style finalizer decorrelates the positions without
+    // giving up determinism.
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// A consistent-hash ring over `backends` judge processes, `replicas`
+/// virtual points each. Placement of a `(tenant, model id)` key is a
+/// pure function of the ring shape and the key, so every router (and
+/// every future router restart) computes identical homes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point hash, backend index)` sorted by hash; ties broken by
+    /// backend index so construction order cannot matter.
+    points: Vec<(u64, u32)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over `backends` judges with `replicas` virtual
+    /// points each. At least one backend and one replica are required —
+    /// an empty ring has no possible placement.
+    pub fn new(backends: usize, replicas: usize) -> WatermarkResult<Self> {
+        if backends == 0 || replicas == 0 {
+            return Err(WatermarkError::ProtocolViolation {
+                detail: format!(
+                    "a hash ring needs at least one backend and one replica \
+                     (got {backends} backends x {replicas} replicas)"
+                ),
+            });
+        }
+        let mut points = Vec::with_capacity(backends * replicas);
+        for backend in 0..backends {
+            for replica in 0..replicas {
+                let hash = fnv1a(
+                    RING_DOMAIN,
+                    &[&(backend as u64).to_le_bytes(), &(replica as u64).to_le_bytes()],
+                );
+                points.push((hash, backend as u32));
+            }
+        }
+        points.sort_unstable();
+        Ok(Self { points, backends })
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Hash position of a `(tenant, model id)` key.
+    fn key_hash(tenant: &TenantId, model_id: &str) -> u64 {
+        fnv1a(KEY_DOMAIN, &[tenant.as_str().as_bytes(), model_id.as_bytes()])
+    }
+
+    /// The backend a `(tenant, model id)` key is homed on: the owner of
+    /// the first ring point at or clockwise-after the key's hash.
+    pub fn home(&self, tenant: &TenantId, model_id: &str) -> usize {
+        let hash = Self::key_hash(tenant, model_id);
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, backend) = self.points[at % self.points.len()];
+        backend as usize
+    }
+
+    /// Every backend in ring order starting from the key's home: the
+    /// first entry is [`home`](Self::home), the second is the sibling a
+    /// router retries on when the home is unreachable, and so on until
+    /// every backend has appeared once. The order is deterministic per
+    /// key, so concurrent routers retry onto the *same* sibling — on a
+    /// fleet whose backends replicated a shared warm start, the sibling
+    /// holds the model too and the verdict stays bit-identical.
+    pub fn candidates(&self, tenant: &TenantId, model_id: &str) -> Vec<usize> {
+        let hash = Self::key_hash(tenant, model_id);
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for offset in 0..self.points.len() {
+            let (_, backend) = self.points[(start + offset) % self.points.len()];
+            let backend = backend as usize;
+            if !seen[backend] {
+                seen[backend] = true;
+                order.push(backend);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Splits docket positions `0..total` into per-backend shards. `assign`
+/// maps a dispute index to its backend; the returned list holds, per
+/// backend that received anything, the original indices of its disputes
+/// in input order. Shards come out ordered by backend index, so two
+/// routers splitting the same docket produce the same shards.
+pub fn split_indices(total: usize, mut assign: impl FnMut(usize) -> usize) -> Vec<(usize, Vec<usize>)> {
+    let mut shards: Vec<(usize, Vec<usize>)> = Vec::new();
+    for index in 0..total {
+        let backend = assign(index);
+        match shards.binary_search_by_key(&backend, |&(b, _)| b) {
+            Ok(at) => shards[at].1.push(index),
+            Err(at) => shards.insert(at, (backend, vec![index])),
+        }
+    }
+    shards
+}
+
+/// Scatters one shard's verdicts back into the full docket's slots:
+/// `values[k]` lands at `slots[indices[k]]`. Refuses length mismatches,
+/// out-of-range indices and double-filled slots — any of those means the
+/// shard bookkeeping (or the backend's verdict count) is corrupt, and a
+/// router must fail the docket rather than misattribute verdicts.
+pub fn scatter<T>(slots: &mut [Option<T>], indices: &[usize], values: Vec<T>) -> WatermarkResult<()> {
+    if indices.len() != values.len() {
+        return Err(WatermarkError::ProtocolViolation {
+            detail: format!(
+                "shard answered {} verdicts for {} disputes",
+                values.len(),
+                indices.len()
+            ),
+        });
+    }
+    let total = slots.len();
+    for (&index, value) in indices.iter().zip(values) {
+        let slot = slots.get_mut(index).ok_or_else(|| WatermarkError::ProtocolViolation {
+            detail: format!("shard names dispute {index} of a {total}-dispute docket"),
+        })?;
+        if slot.is_some() {
+            return Err(WatermarkError::ProtocolViolation {
+                detail: format!("dispute {index} received two verdicts"),
+            });
+        }
+        *slot = Some(value);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str) -> TenantId {
+        TenantId::new(name).unwrap()
+    }
+
+    #[test]
+    fn empty_rings_are_refused() {
+        assert!(HashRing::new(0, 64).is_err());
+        assert!(HashRing::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_covers_every_backend() {
+        let ring = HashRing::new(4, 64).unwrap();
+        let again = HashRing::new(4, 64).unwrap();
+        let mut hit = [0usize; 4];
+        for i in 0..1000 {
+            let id = format!("model-{i}");
+            let home = ring.home(&TenantId::anonymous(), &id);
+            assert_eq!(home, again.home(&TenantId::anonymous(), &id));
+            hit[home] += 1;
+        }
+        // 64 virtual points per backend spread 1000 keys widely enough
+        // that no backend can end up starved or hoarding.
+        for (backend, count) in hit.iter().enumerate() {
+            assert!(
+                (100..=500).contains(count),
+                "backend {backend} received {count} of 1000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_is_part_of_the_key() {
+        let ring = HashRing::new(8, 64).unwrap();
+        let spread: std::collections::HashSet<usize> = (0..32)
+            .map(|i| ring.home(&tenant(&format!("t{i}")), "shared-model-id"))
+            .collect();
+        assert!(spread.len() > 1, "tenant must influence placement");
+    }
+
+    #[test]
+    fn candidates_start_at_home_and_enumerate_every_backend_once() {
+        let ring = HashRing::new(5, 32).unwrap();
+        for i in 0..50 {
+            let id = format!("m{i}");
+            let candidates = ring.candidates(&TenantId::anonymous(), &id);
+            assert_eq!(candidates[0], ring.home(&TenantId::anonymous(), &id));
+            let mut sorted = candidates.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    /// The consistency property that makes retry-on-sibling safe: for a
+    /// key NOT homed on a dead backend, skipping that backend leaves the
+    /// chosen backend unchanged.
+    #[test]
+    fn skipping_a_dead_backend_only_remaps_its_own_keys() {
+        let ring = HashRing::new(3, 64).unwrap();
+        let dead = 1usize;
+        for i in 0..200 {
+            let id = format!("m{i}");
+            let candidates = ring.candidates(&TenantId::anonymous(), &id);
+            let surviving = candidates.iter().copied().find(|&b| b != dead).unwrap();
+            if candidates[0] != dead {
+                assert_eq!(surviving, candidates[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_input_order_and_scatter_restores_it() {
+        let total = 17;
+        let shards = split_indices(total, |i| i % 3);
+        assert_eq!(shards.len(), 3);
+        for (backend, indices) in &shards {
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+            assert!(indices.iter().all(|i| i % 3 == *backend));
+        }
+        let mut slots: Vec<Option<usize>> = vec![None; total];
+        for (_, indices) in &shards {
+            // The shard's "verdicts" are just the original indices, so a
+            // correct scatter reproduces the identity.
+            scatter(&mut slots, indices, indices.clone()).unwrap();
+        }
+        let stitched: Vec<usize> = slots.into_iter().map(Option::unwrap).collect();
+        assert_eq!(stitched, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_refuses_corrupt_shards() {
+        let mut slots: Vec<Option<u8>> = vec![None; 3];
+        assert!(scatter(&mut slots, &[0, 1], vec![7]).is_err());
+        assert!(scatter(&mut slots, &[9], vec![7]).is_err());
+        scatter(&mut slots, &[2], vec![7]).unwrap();
+        assert!(scatter(&mut slots, &[2], vec![8]).is_err());
+    }
+}

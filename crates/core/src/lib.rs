@@ -30,6 +30,10 @@
 //! * [`tenant`] — the multi-tenant layer: HMAC-SHA-256 frame
 //!   authentication, per-tenant namespaces and quotas, and the accounting
 //!   behind the `Stats` request.
+//! * [`fleet`] — horizontal-scale placement: the consistent-hash ring
+//!   that assigns `(tenant, model id)` keys to backend judges, and the
+//!   docket split/stitch helpers a fleet router uses to fan one docket
+//!   across backends and reassemble verdicts in input order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,7 @@
 pub mod attack;
 pub mod config;
 pub mod error;
+pub mod fleet;
 pub mod persist;
 pub mod proto;
 pub mod service;
@@ -53,6 +58,7 @@ pub use attack::{
 };
 pub use config::{WatermarkConfig, WeightSchedule, MAX_TRIGGER_WEIGHT};
 pub use error::{WatermarkError, WatermarkResult};
+pub use fleet::HashRing;
 pub use persist::{Format, FORMAT_VERSION};
 pub use proto::{
     DisputeRef, DocketVerdict, PayloadDigest, Request, Response, WireFault, PROTOCOL_VERSION,

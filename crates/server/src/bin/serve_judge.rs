@@ -53,11 +53,29 @@
 //! runs (`scalar`, `blocked`, `quantized`, or the default `auto`, which
 //! microprobes candidates on each model's first batch). Kernel choice
 //! never changes verdicts — only throughput.
+//!
+//! ## Router mode
+//!
+//! `--router --backends HOST:PORT,HOST:PORT,...` serves the *fleet
+//! router* instead of a judge: requests are consistent-hashed by
+//! `(tenant, model id)` across the listed backend judges, dockets are
+//! split into per-backend shards and stitched back in input order, and
+//! a dead backend degrades to bounded sibling retry
+//! (`--retry-siblings`) or typed faults. `--spawn-backends N` launches
+//! N child `serve_judge` processes on ephemeral ports (inheriting
+//! `--warm-start`, `--kernel`, `--key-file`, cache and quota flags, so
+//! every backend replicates the same warm start) and routes across
+//! them; the children are killed when the router exits cleanly.
+//! `--ring-replicas` sets the virtual points per backend and
+//! `--health-interval-secs` the cadence of the TCP health probe. The
+//! same `--key-file` both verifies client frames at the router and
+//! signs the router's requests towards the backends.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use wdte_core::{DisputeService, Kernel, KeyRing, TenantQuotas};
-use wdte_server::{JudgeServer, ServerConfig};
+use wdte_server::{JudgeRouter, JudgeServer, RouterConfig, ServerConfig};
 
 struct Args {
     addr: String,
@@ -75,6 +93,12 @@ struct Args {
     key_file: Option<String>,
     quotas: TenantQuotas,
     stats_interval_secs: u64,
+    router: bool,
+    backends: Vec<String>,
+    spawn_backends: usize,
+    ring_replicas: usize,
+    retry_siblings: usize,
+    health_interval_secs: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +118,12 @@ fn parse_args() -> Result<Args, String> {
         key_file: None,
         quotas: TenantQuotas::default(),
         stats_interval_secs: 60,
+        router: false,
+        backends: Vec::new(),
+        spawn_backends: 0,
+        ring_replicas: 64,
+        retry_siblings: 1,
+        health_interval_secs: 1,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -171,6 +201,29 @@ fn parse_args() -> Result<Args, String> {
             "--kernel" => {
                 args.kernel = value("--kernel")?.parse().map_err(|e| format!("--kernel: {e}"))?
             }
+            "--router" => args.router = true,
+            "--backends" => args
+                .backends
+                .extend(value("--backends")?.split(',').map(|s| s.trim().to_string())),
+            "--spawn-backends" => {
+                args.spawn_backends = value("--spawn-backends")?
+                    .parse()
+                    .map_err(|e| format!("--spawn-backends: {e}"))?
+            }
+            "--ring-replicas" => {
+                args.ring_replicas =
+                    value("--ring-replicas")?.parse().map_err(|e| format!("--ring-replicas: {e}"))?
+            }
+            "--retry-siblings" => {
+                args.retry_siblings = value("--retry-siblings")?
+                    .parse()
+                    .map_err(|e| format!("--retry-siblings: {e}"))?
+            }
+            "--health-interval-secs" => {
+                args.health_interval_secs = value("--health-interval-secs")?
+                    .parse()
+                    .map_err(|e| format!("--health-interval-secs: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve_judge [--addr HOST:PORT] [--warm-start DIR]... \
@@ -185,7 +238,13 @@ fn parse_args() -> Result<Args, String> {
                      [--key-file PATH (tenant:secret lines; enables authentication)] \
                      [--quota-models N] [--quota-docket N] [--quota-claim-mb N] \
                      [--quota-in-flight N (all quotas per tenant; 0 = unlimited)] \
-                     [--stats-interval-secs N (per-tenant accounting log; 0 = never)]"
+                     [--stats-interval-secs N (per-tenant accounting log; 0 = never)] \
+                     [--router (serve the fleet router instead of a judge)] \
+                     [--backends HOST:PORT,... (router backends, comma-separated)] \
+                     [--spawn-backends N (launch N child judges on ephemeral ports)] \
+                     [--ring-replicas N (virtual ring points per backend)] \
+                     [--retry-siblings N (failover attempts beyond the home backend)] \
+                     [--health-interval-secs N (backend TCP probe cadence)]"
                 );
                 std::process::exit(0);
             }
@@ -193,6 +252,171 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Launches `count` child `serve_judge` processes on ephemeral ports,
+/// inheriting the service-shaping flags so every backend replicates the
+/// same warm start, and returns their bound addresses (discovered via
+/// per-child `--port-file`s).
+fn spawn_backends(args: &Args, count: usize) -> Result<(Vec<std::process::Child>, Vec<String>), String> {
+    let exe = std::env::current_exe().map_err(|err| format!("cannot locate own binary: {err}"))?;
+    let mut children = Vec::with_capacity(count);
+    let mut port_files = Vec::with_capacity(count);
+    for index in 0..count {
+        let port_file =
+            std::env::temp_dir().join(format!("wdte-fleet-{}-{index}.port", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--stats-interval-secs")
+            .arg("0")
+            .arg("--workers")
+            .arg(args.workers.to_string())
+            .arg("--kernel")
+            .arg(args.kernel.to_string());
+        for dir in &args.warm_start {
+            cmd.arg("--warm-start").arg(dir);
+        }
+        if let Some(path) = &args.key_file {
+            cmd.arg("--key-file").arg(path);
+        }
+        if let Some(max) = args.max_docket {
+            cmd.arg("--max-docket").arg(max.to_string());
+        }
+        if let Some(rows) = args.shard_rows {
+            cmd.arg("--shard-rows").arg(rows.to_string());
+        }
+        if let Some(mb) = args.claim_cache_mb {
+            cmd.arg("--claim-cache-mb").arg(mb.to_string());
+        }
+        if let Some(mb) = args.model_cache_mb {
+            cmd.arg("--model-cache-mb").arg(mb.to_string());
+        }
+        if args.quotas.max_models > 0 {
+            cmd.arg("--quota-models").arg(args.quotas.max_models.to_string());
+        }
+        if args.quotas.max_docket > 0 {
+            cmd.arg("--quota-docket").arg(args.quotas.max_docket.to_string());
+        }
+        if args.quotas.max_claim_bytes > 0 {
+            cmd.arg("--quota-claim-mb").arg((args.quotas.max_claim_bytes >> 20).to_string());
+        }
+        if args.quotas.max_in_flight > 0 {
+            cmd.arg("--quota-in-flight").arg(args.quotas.max_in_flight.to_string());
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(err) => {
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(format!("could not spawn backend {index}: {err}"));
+            }
+        }
+        port_files.push(port_file);
+    }
+    // Discover each child's bound address race-free: the child writes the
+    // port file via write-then-rename only after it is listening.
+    let mut backends = Vec::with_capacity(count);
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    for (index, port_file) in port_files.iter().enumerate() {
+        loop {
+            if let Ok(contents) = std::fs::read_to_string(port_file) {
+                backends.push(contents.trim().to_string());
+                let _ = std::fs::remove_file(port_file);
+                break;
+            }
+            let died = children[index].try_wait().map(|status| status.is_some()).unwrap_or(true);
+            if died || std::time::Instant::now() >= deadline {
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(format!("backend {index} never came up"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    Ok((children, backends))
+}
+
+/// Serves the fleet router: health-checked consistent-hash routing of
+/// WDTP requests across the configured (or freshly spawned) backends.
+fn run_router(args: Args, key_ring: Option<Arc<KeyRing>>) -> ExitCode {
+    let mut backends = args.backends.clone();
+    let mut children = Vec::new();
+    if args.spawn_backends > 0 {
+        match spawn_backends(&args, args.spawn_backends) {
+            Ok((spawned, addrs)) => {
+                children = spawned;
+                backends.extend(addrs);
+            }
+            Err(message) => {
+                eprintln!("serve_judge: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if backends.is_empty() {
+        eprintln!("serve_judge: --router needs --backends and/or --spawn-backends");
+        return ExitCode::FAILURE;
+    }
+    let mut config = RouterConfig {
+        backends: backends.clone(),
+        ring_replicas: args.ring_replicas,
+        retry_siblings: args.retry_siblings,
+        health_interval: Duration::from_secs(args.health_interval_secs.max(1)),
+        key_ring: key_ring.clone(),
+        ..RouterConfig::default()
+    };
+    if let Some(secs) = args.read_timeout_secs {
+        config.read_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    let router = match JudgeRouter::bind(args.addr.as_str(), config) {
+        Ok(router) => router,
+        Err(err) => {
+            eprintln!("serve_judge: {err}");
+            for mut child in children {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = router.local_addr();
+    let auth = match &key_ring {
+        Some(ring) => format!("authenticated, {} tenants", ring.len()),
+        None => "open".to_string(),
+    };
+    println!(
+        "serve_judge router listening on {addr} (backends [{}], protocol v{}, {auth})",
+        backends.join(", "),
+        wdte_core::PROTOCOL_VERSION,
+    );
+    if let Some(path) = &args.port_file {
+        let tmp = format!("{path}.tmp");
+        let write = std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(err) = write {
+            eprintln!("serve_judge: could not write --port-file {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let result = router.serve();
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("serve_judge: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -227,6 +451,10 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+
+    if args.router || args.spawn_backends > 0 {
+        return run_router(args, key_ring);
+    }
 
     let mut builder = DisputeService::builder().kernel(args.kernel).tenant_quotas(args.quotas);
     if let Some(rows) = args.shard_rows {

@@ -15,6 +15,7 @@ use serde::{Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 use wdte_core::error::{WatermarkError, WatermarkResult};
 use wdte_core::proto::{self, DisputeRef, PayloadDigest, Request, Response, NO_CORRELATION};
@@ -197,7 +198,7 @@ impl DocketTicket {
 struct PendingDocket {
     model_ids: Vec<String>,
     digests: Vec<PayloadDigest>,
-    bodies: HashMap<PayloadDigest, OwnershipClaim>,
+    bodies: HashMap<PayloadDigest, Arc<OwnershipClaim>>,
     retries: u8,
 }
 
@@ -206,6 +207,24 @@ struct PendingDocket {
 /// answers from the request-local bodies alone — a third demand means the
 /// peer is not honouring the protocol.
 const MAX_NEED_PAYLOAD_RETRIES: u8 = 3;
+
+/// Outcome of redeeming a docket ticket with
+/// [`DisputeClient::recv_docket_outcome`], the variant of
+/// [`DisputeClient::recv_docket`] that does **not** treat an
+/// unrecoverable `NeedPayload` as a protocol violation. A fleet router
+/// sends dockets whose claim bodies it never held (the end client keeps
+/// them), so "the judge wants bodies I cannot supply" is an expected
+/// answer it relays upstream rather than an error.
+#[derive(Debug)]
+pub enum DocketOutcome {
+    /// The docket resolved: one verdict per dispute, in input order.
+    Verdicts(Vec<WatermarkResult<VerificationReport>>),
+    /// The judge is missing claim bodies this client could not inline
+    /// from its retained copies. The caller owns recovery: upload the
+    /// named bodies (or relay the demand to whoever holds them) and send
+    /// a fresh docket. The ticket is consumed either way.
+    NeedPayload(Vec<PayloadDigest>),
+}
 
 /// A typed client driving one connection to a
 /// [`JudgeServer`](crate::JudgeServer). Results are exactly what the
@@ -619,7 +638,7 @@ impl DisputeClient {
         let correlation_id = self.next_id();
         let mut model_ids = Vec::with_capacity(disputes.len());
         let mut digests = Vec::with_capacity(disputes.len());
-        let mut bodies: HashMap<PayloadDigest, OwnershipClaim> = HashMap::new();
+        let mut bodies: HashMap<PayloadDigest, Arc<OwnershipClaim>> = HashMap::new();
         let mut refs = Vec::with_capacity(disputes.len());
         let mut inline: Vec<&OwnershipClaim> = Vec::new();
         let mut inline_digests: HashSet<PayloadDigest> = HashSet::new();
@@ -628,7 +647,7 @@ impl DisputeClient {
             if !self.sent_claims.contains(&digest) && inline_digests.insert(digest) {
                 inline.push(&dispute.claim);
             }
-            bodies.entry(digest).or_insert_with(|| dispute.claim.clone());
+            bodies.entry(digest).or_insert_with(|| Arc::new(dispute.claim.clone()));
             refs.push(DisputeRef::new(dispute.model_id.clone(), digest));
             model_ids.push(dispute.model_id.clone());
             digests.push(digest);
@@ -655,6 +674,70 @@ impl DisputeClient {
         Ok(DocketTicket { correlation_id })
     }
 
+    /// [`send_docket`](Self::send_docket) from pre-digested parts: the
+    /// dispute list is given as digest references and the claim bodies as
+    /// a shared digest-addressed map, so a router fanning one docket out
+    /// to several backends shares each body across shards instead of
+    /// deep-copying it per backend. Bodies the judge has not seen on this
+    /// connection are inlined (first-reference order); everything else
+    /// travels digest-only. A referenced digest absent from `bodies` is
+    /// sent as a bare reference — if the judge does not hold it either,
+    /// the demand surfaces via
+    /// [`recv_docket_outcome`](Self::recv_docket_outcome).
+    pub fn send_docket_ref(
+        &mut self,
+        bodies: &HashMap<PayloadDigest, Arc<OwnershipClaim>>,
+        disputes: &[DisputeRef],
+    ) -> WatermarkResult<DocketTicket> {
+        self.ensure_usable()?;
+        let correlation_id = self.next_id();
+        let mut model_ids = Vec::with_capacity(disputes.len());
+        let mut digests = Vec::with_capacity(disputes.len());
+        let mut retained: HashMap<PayloadDigest, Arc<OwnershipClaim>> = HashMap::new();
+        let mut inline: Vec<&OwnershipClaim> = Vec::new();
+        let mut inline_digests: HashSet<PayloadDigest> = HashSet::new();
+        for dispute in disputes {
+            let digest = dispute.digest;
+            if let Some(body) = bodies.get(&digest) {
+                if !self.sent_claims.contains(&digest) && inline_digests.insert(digest) {
+                    inline.push(body.as_ref());
+                }
+                retained.entry(digest).or_insert_with(|| Arc::clone(body));
+            }
+            model_ids.push(dispute.model_id.clone());
+            digests.push(digest);
+        }
+        let frame = self.encode_request(
+            correlation_id,
+            &BorrowedResolveDocketRef {
+                bodies: &inline,
+                disputes,
+            },
+        )?;
+        self.write_frame(&frame)?;
+        self.sent_claims.extend(inline_digests);
+        self.outstanding.insert(correlation_id);
+        self.pending.insert(
+            correlation_id,
+            PendingDocket {
+                model_ids,
+                digests,
+                bodies: retained,
+                retries: 0,
+            },
+        );
+        Ok(DocketTicket { correlation_id })
+    }
+
+    /// One sequential request/response exchange with an arbitrary
+    /// [`Request`], for callers that speak the protocol directly — the
+    /// fleet router forwards single-model requests to the homed backend
+    /// this way. In-flight docket responses are stashed while waiting,
+    /// exactly as for the typed methods.
+    pub fn raw_request(&mut self, request: &Request) -> WatermarkResult<Response> {
+        self.call(request)
+    }
+
     /// Waits for the verdicts of one in-flight docket: one verdict per
     /// dispute in input order, exactly as `DisputeService::resolve_many`
     /// returns them in process. Responses for *other* in-flight tickets
@@ -666,6 +749,38 @@ impl DisputeClient {
         &mut self,
         ticket: DocketTicket,
     ) -> WatermarkResult<Vec<WatermarkResult<VerificationReport>>> {
+        match self.recv_docket_inner(ticket, false)? {
+            DocketOutcome::Verdicts(verdicts) => Ok(verdicts),
+            // With `surface` off the inner loop recovers or errors; it
+            // never hands the demand back.
+            DocketOutcome::NeedPayload(_) => Err(WatermarkError::ProtocolViolation {
+                detail: "recv_docket surfaced a NeedPayload it should have recovered".to_string(),
+            }),
+        }
+    }
+
+    /// [`recv_docket`](Self::recv_docket) for callers that do not hold
+    /// every claim body themselves — a fleet router forwarding dockets
+    /// whose bodies live with the end client. Demands this client can
+    /// satisfy from its retained copies are still recovered
+    /// transparently; a demand naming *any* body it cannot supply is
+    /// returned as [`DocketOutcome::NeedPayload`] (the full demanded
+    /// list, so the upstream holder can inline everything in one retry).
+    /// The ticket is consumed in every case.
+    pub fn recv_docket_outcome(&mut self, ticket: DocketTicket) -> WatermarkResult<DocketOutcome> {
+        self.recv_docket_inner(ticket, true)
+    }
+
+    /// The shared receive loop behind [`recv_docket`](Self::recv_docket)
+    /// and [`recv_docket_outcome`](Self::recv_docket_outcome). `surface`
+    /// selects what happens when the judge demands a body the pending
+    /// docket does not retain: hand the demand back (`true`) or treat it
+    /// as a protocol violation (`false`).
+    fn recv_docket_inner(
+        &mut self,
+        ticket: DocketTicket,
+        surface: bool,
+    ) -> WatermarkResult<DocketOutcome> {
         let correlation_id = ticket.correlation_id;
         if !self.pending.contains_key(&correlation_id) {
             return Err(WatermarkError::ProtocolViolation {
@@ -684,13 +799,25 @@ impl DisputeClient {
             match response {
                 Response::Docket { verdicts } => {
                     self.finish(correlation_id);
-                    return Ok(verdicts.into_iter().map(proto::DocketVerdict::into_result).collect());
+                    return Ok(DocketOutcome::Verdicts(
+                        verdicts.into_iter().map(proto::DocketVerdict::into_result).collect(),
+                    ));
                 }
                 Response::NeedPayload { digests } => {
                     // Those bodies are gone from the judge's cache; stop
                     // referencing them digest-only in future dockets too.
                     for digest in &digests {
                         self.sent_claims.remove(digest);
+                    }
+                    if surface {
+                        let entry = self
+                            .pending
+                            .get(&correlation_id)
+                            .expect("the pending entry was checked above");
+                        if digests.iter().any(|digest| !entry.bodies.contains_key(digest)) {
+                            self.finish(correlation_id);
+                            return Ok(DocketOutcome::NeedPayload(digests));
+                        }
                     }
                     let frame = match self.build_resend(correlation_id, &digests) {
                         Ok(frame) => frame,
@@ -789,15 +916,17 @@ impl DisputeClient {
             });
         }
         let inline: Vec<&OwnershipClaim> = if entry.retries >= 2 {
-            entry.bodies.values().collect()
+            entry.bodies.values().map(Arc::as_ref).collect()
         } else {
             missing
                 .iter()
                 .map(|digest| {
-                    entry.bodies.get(digest).ok_or_else(|| WatermarkError::ProtocolViolation {
-                        detail: format!(
-                            "judge demanded body {digest}, which this docket never referenced"
-                        ),
+                    entry.bodies.get(digest).map(Arc::as_ref).ok_or_else(|| {
+                        WatermarkError::ProtocolViolation {
+                            detail: format!(
+                                "judge demanded body {digest}, which this docket never referenced"
+                            ),
+                        }
                     })
                 })
                 .collect::<WatermarkResult<_>>()?

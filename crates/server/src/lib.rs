@@ -23,6 +23,14 @@
 //! once, later requests reference them by digest and the judge answers a
 //! miss with `NeedPayload`.
 //!
+//! For horizontal scale, a [`JudgeRouter`] fronts N backend judge
+//! processes: it consistent-hashes `(tenant, model id)` keys across the
+//! fleet (the [`wdte_core::fleet`] ring), splits dockets into
+//! per-backend shards, stitches verdicts back into input order, and
+//! degrades a dead backend to bounded retry-on-sibling or typed faults —
+//! never a hung connection. Clients speak to the router exactly as to a
+//! single judge.
+//!
 //! ```rust,ignore
 //! // Judge process:
 //! let service = Arc::new(DisputeService::builder().warm_start_dir("results/models").build()?);
@@ -43,7 +51,9 @@
 #![warn(missing_docs)]
 
 mod client;
+mod router;
 mod server;
 
-pub use client::{ClientAuth, ClientConfig, DisputeClient, DocketTicket, PongInfo};
+pub use client::{ClientAuth, ClientConfig, DisputeClient, DocketOutcome, DocketTicket, PongInfo};
+pub use router::{JudgeRouter, RouterConfig, RouterHandle, RunningRouter};
 pub use server::{JudgeServer, RunningServer, ServerConfig, ServerHandle};

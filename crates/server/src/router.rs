@@ -1,0 +1,939 @@
+//! The fleet front door: a router that consistent-hashes
+//! `(tenant, model id)` keys across N backend judge processes and
+//! forwards WDTP requests through per-backend [`DisputeClient`]s.
+//!
+//! The router terminates the protocol rather than shuffling raw bytes —
+//! it has to, because splitting one docket across backends produces
+//! frames the end client never signed. Pass-through is *semantic*:
+//! client frames are verified against the same key ring the backends
+//! use (identical per-connection sequence floors and replay rules),
+//! requests are re-signed towards each backend with the tenant's own
+//! secret, correlation ids are echoed back unchanged, and a backend's
+//! `NeedPayload` demand for claim bodies the router never held is
+//! relayed upstream so the end client's content-addressed retry logic
+//! works exactly as against a single judge.
+//!
+//! Placement is the [`HashRing`] of `wdte_core::fleet`: deterministic,
+//! process-independent, and minimally disruptive on backend loss. A
+//! docket is split into per-backend shards with
+//! [`fleet::split_indices`], the shards travel concurrently (all sends
+//! before any receive), and verdicts are stitched back into input order
+//! with [`fleet::scatter`]. On a fleet whose backends warm-started from
+//! a shared manifest, every backend holds every model, so a dead
+//! backend degrades to bounded retry-on-sibling with bit-identical
+//! verdicts; models only the dead backend knew degrade to *typed*
+//! faults for exactly their disputes — never a hung connection.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wdte_core::error::{WatermarkError, WatermarkResult};
+use wdte_core::fleet::{self, HashRing};
+use wdte_core::proto::{
+    self, DisputeRef, DocketVerdict, PayloadDigest, Request, Response, WireFault, NO_CORRELATION,
+};
+use wdte_core::{persist, KeyRing, OwnershipClaim, TenantId, TenantStatsEntry};
+
+use crate::client::{ClientAuth, ClientConfig, DisputeClient, DocketOutcome};
+
+/// Tuning knobs of a [`JudgeRouter`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Addresses of the backend judge processes, in ring order. The ring
+    /// is built over the *positions* of this list, so every router (and
+    /// every router restart) given the same list computes identical
+    /// placement. At least one backend is required.
+    pub backends: Vec<String>,
+    /// Virtual ring points per backend; more points spread keys more
+    /// evenly at slightly higher lookup cost.
+    pub ring_replicas: usize,
+    /// How many sibling backends to try (beyond the home) before a
+    /// request or docket shard is failed with a typed fault. `0`
+    /// disables failover entirely.
+    pub retry_siblings: usize,
+    /// Interval of the background health monitor, which TCP-probes every
+    /// backend and flips its healthy flag. The probe is connect-only —
+    /// keyed backends refuse anonymous frames, so a protocol-level ping
+    /// would demote healthy keyed fleets.
+    pub health_interval: Duration,
+    /// Receiver-side cap on one frame's payload, applied to both client
+    /// frames and backend responses.
+    pub max_frame_bytes: usize,
+    /// Idle deadline on a client connection: a connection that sends no
+    /// frame for this long is closed. `None` keeps idle clients forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-frame write deadline towards clients and backends.
+    pub write_timeout: Option<Duration>,
+    /// Read deadline on backend responses. `None` (the default) waits as
+    /// long as the backend needs — a large docket shard legitimately
+    /// takes a while, and a *dead* backend fails the read immediately
+    /// rather than timing out.
+    pub backend_read_timeout: Option<Duration>,
+    /// Per-attempt TCP connect deadline for backend connections and
+    /// health probes.
+    pub connect_timeout: Duration,
+    /// Tenant keys for frame authentication, shared with the backends.
+    /// `None` runs an open fleet (anonymous frames end to end); `Some`
+    /// verifies every client frame here at the edge and re-signs each
+    /// backend request with the same tenant secret.
+    pub key_ring: Option<Arc<KeyRing>>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            backends: Vec::new(),
+            ring_replicas: 64,
+            retry_siblings: 1,
+            health_interval: Duration::from_secs(1),
+            max_frame_bytes: proto::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            backend_read_timeout: None,
+            connect_timeout: Duration::from_secs(1),
+            key_ring: None,
+        }
+    }
+}
+
+/// One backend judge as the router tracks it.
+#[derive(Debug)]
+struct Backend {
+    addr: String,
+    /// Flipped by the background health monitor (TCP probe) and by
+    /// passive demotion when a request-path transport failure proves the
+    /// backend is gone. An unhealthy backend is skipped by placement
+    /// until a probe succeeds again.
+    healthy: AtomicBool,
+}
+
+/// State shared between the accept loop, the health monitor and every
+/// connection handler thread.
+#[derive(Debug)]
+struct RouterShared {
+    ring: HashRing,
+    backends: Vec<Backend>,
+    key_ring: Option<Arc<KeyRing>>,
+    retry_siblings: usize,
+    max_frame_bytes: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    backend_read_timeout: Option<Duration>,
+    connect_timeout: Duration,
+    health_interval: Duration,
+    stop: Arc<AtomicBool>,
+}
+
+impl RouterShared {
+    fn healthy(&self, backend: usize) -> bool {
+        self.backends[backend].healthy.load(Ordering::Relaxed)
+    }
+
+    /// Passive demotion: a request-path transport failure is stronger
+    /// evidence than a stale probe, so the flag drops immediately; the
+    /// monitor re-promotes once probes succeed again.
+    fn demote(&self, backend: usize) {
+        self.backends[backend].healthy.store(false, Ordering::Relaxed);
+    }
+
+    /// The typed fault a dispute receives when the backend holding its
+    /// model cannot be reached (directly or via siblings).
+    fn unreachable(&self, home: usize, model_id: &str) -> WatermarkError {
+        WatermarkError::Remote {
+            message: format!(
+                "model `{model_id}` is homed on backend {home} ({}), which is unreachable",
+                self.backends[home].addr
+            ),
+        }
+    }
+}
+
+/// Cloneable remote control for a serving [`JudgeRouter`]: signals the
+/// accept loop to stop from any thread.
+#[derive(Debug, Clone)]
+pub struct RouterHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl RouterHandle {
+    /// Requests shutdown. The accept loop is blocking, so a nudge
+    /// connection (to the loopback rendering of the bound address, for
+    /// the same reason as [`ServerHandle`](crate::ServerHandle)) wakes
+    /// it; connection handler threads notice the flag at their next
+    /// frame boundary.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let ip = if self.addr.ip().is_unspecified() {
+            match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.addr.ip()
+        };
+        let nudge = SocketAddr::new(ip, self.addr.port());
+        let _ = TcpStream::connect_timeout(&nudge, Duration::from_millis(250));
+    }
+}
+
+/// A bound, not-yet-serving fleet router. [`serve`](JudgeRouter::serve)
+/// blocks the calling thread; [`spawn`](JudgeRouter::spawn) serves from
+/// a background thread and returns a [`RunningRouter`].
+#[derive(Debug)]
+pub struct JudgeRouter {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl JudgeRouter {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Refuses an empty backend list — a router with nowhere to route is
+    /// a misconfiguration, not a degraded fleet.
+    pub fn bind(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        config: RouterConfig,
+    ) -> WatermarkResult<Self> {
+        let ring = HashRing::new(config.backends.len(), config.ring_replicas)?;
+        let listener = TcpListener::bind(&addr).map_err(|err| WatermarkError::Io {
+            path: addr.to_string(),
+            message: err.to_string(),
+        })?;
+        let backends = config
+            .backends
+            .into_iter()
+            .map(|addr| Backend {
+                addr,
+                healthy: AtomicBool::new(true),
+            })
+            .collect();
+        Ok(Self {
+            listener,
+            shared: Arc::new(RouterShared {
+                ring,
+                backends,
+                key_ring: config.key_ring,
+                retry_siblings: config.retry_siblings,
+                max_frame_bytes: config.max_frame_bytes,
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+                backend_read_timeout: config.backend_read_timeout,
+                connect_timeout: config.connect_timeout,
+                health_interval: config.health_interval,
+                stop: Arc::new(AtomicBool::new(false)),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("a bound listener has a local address")
+    }
+
+    /// A shutdown handle for this router.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            stop: Arc::clone(&self.shared.stop),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Runs the accept loop until [`RouterHandle::shutdown`] is called,
+    /// blocking the calling thread. Each client connection is served by
+    /// its own thread: a handful of claimant connections each fanning
+    /// out to N backends is thread-per-connection's sweet spot, and the
+    /// docket parallelism lives in the fan-out, not the accept path.
+    pub fn serve(self) -> WatermarkResult<()> {
+        let JudgeRouter { listener, shared } = self;
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || health_monitor(&shared))
+        };
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || serve_connection(&shared, stream));
+                }
+                Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Persistent accept failures (fd exhaustion) must not
+                    // spin the loop at 100% CPU.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        let _ = monitor.join();
+        Ok(())
+    }
+
+    /// Serves from a background thread, returning immediately.
+    pub fn spawn(self) -> RunningRouter {
+        let addr = self.local_addr();
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.serve());
+        RunningRouter { addr, handle, join }
+    }
+}
+
+/// A [`JudgeRouter`] serving from a background thread.
+#[derive(Debug)]
+pub struct RunningRouter {
+    addr: SocketAddr,
+    handle: RouterHandle,
+    join: std::thread::JoinHandle<WatermarkResult<()>>,
+}
+
+impl RunningRouter {
+    /// The address the router is reachable on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable shutdown handle.
+    pub fn handle(&self) -> RouterHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(self) -> WatermarkResult<()> {
+        self.handle.shutdown();
+        self.join.join().map_err(|_| WatermarkError::Remote {
+            message: "judge router thread panicked".to_string(),
+        })?
+    }
+}
+
+/// TCP-probes every backend, then sleeps `health_interval` (in short
+/// slices, so shutdown is prompt), until stopped.
+fn health_monitor(shared: &RouterShared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            let alive = probe(&backend.addr, shared.connect_timeout);
+            backend.healthy.store(alive, Ordering::Relaxed);
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.health_interval {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let nap = (shared.health_interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+    }
+}
+
+/// Connect-only liveness probe. Deliberately below the protocol: a keyed
+/// backend refuses anonymous frames, so any frame-level probe would need
+/// tenant credentials the monitor has no business holding.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    match addr.to_socket_addrs() {
+        Ok(addrs) => addrs.into_iter().any(|addr| TcpStream::connect_timeout(&addr, timeout).is_ok()),
+        Err(_) => false,
+    }
+}
+
+/// Per-client-connection routing state: the backend clients opened on
+/// behalf of this connection, keyed by `(backend, tenant)` because each
+/// backend connection authenticates as one tenant and carries its own
+/// sequence counter.
+struct ConnState {
+    clients: HashMap<(usize, String), DisputeClient>,
+    /// Highest frame sequence accepted from the client on this
+    /// connection — the same replay floor a backend judge keeps, so the
+    /// router is exactly as strict as the judge it fronts.
+    last_sequence: u64,
+}
+
+/// Returns a usable (fresh or cached, never broken) client for
+/// `backend` as `tenant`, demoting the backend if the connect fails.
+fn backend_client<'a>(
+    shared: &RouterShared,
+    state: &'a mut ConnState,
+    backend: usize,
+    tenant: &TenantId,
+) -> WatermarkResult<&'a mut DisputeClient> {
+    let key = (backend, tenant.as_str().to_string());
+    let reusable = state.clients.get(&key).is_some_and(|client| !client.is_broken());
+    if !reusable {
+        let auth = match &shared.key_ring {
+            Some(ring) if !tenant.is_anonymous() => {
+                let secret = ring.key(tenant).ok_or_else(|| WatermarkError::ProtocolViolation {
+                    detail: format!("tenant `{tenant}` is missing from the router's key ring"),
+                })?;
+                Some(ClientAuth::new(tenant.clone(), secret.to_vec()))
+            }
+            _ => None,
+        };
+        let config = ClientConfig {
+            connect_attempts: 1,
+            connect_timeout: Some(shared.connect_timeout),
+            read_timeout: shared.backend_read_timeout,
+            write_timeout: shared.write_timeout,
+            max_frame_bytes: shared.max_frame_bytes,
+            auth,
+            ..ClientConfig::default()
+        };
+        let addr: &str = &shared.backends[backend].addr;
+        match DisputeClient::connect_with(addr, config) {
+            Ok(client) => {
+                state.clients.insert(key.clone(), client);
+            }
+            Err(err) => {
+                shared.demote(backend);
+                return Err(err);
+            }
+        }
+    }
+    Ok(state.clients.get_mut(&key).expect("the entry was just inserted or verified"))
+}
+
+/// Wire rendering of a routing-layer refusal.
+fn fault_response(err: &WatermarkError) -> Response {
+    Response::Error {
+        fault: WireFault::from_error(err),
+    }
+}
+
+/// Serves one client connection to completion: read a frame,
+/// authenticate it, route the request, answer under the client's
+/// correlation id. Requests are handled one at a time per connection —
+/// pipelined clients still overlap across *connections*, and one
+/// docket's parallelism comes from its backend fan-out.
+fn serve_connection(shared: &RouterShared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(shared.read_timeout);
+    let _ = stream.set_write_timeout(shared.write_timeout);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut state = ConnState {
+        clients: HashMap::new(),
+        last_sequence: 0,
+    };
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (header, payload) = match proto::read_frame(&mut reader, shared.max_frame_bytes) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF between frames: the client is done.
+            Ok(None) => return,
+            // Torn frame, oversized payload, bad magic, or the idle
+            // deadline: framing is unrecoverable either way.
+            Err(err) => {
+                send_response(&mut writer, NO_CORRELATION, &fault_response(&err));
+                return;
+            }
+        };
+        let tenant = match &shared.key_ring {
+            None => TenantId::anonymous(),
+            Some(ring) => match ring.verify_frame(&header, &payload, state.last_sequence) {
+                Ok(tenant) => tenant,
+                // Framing is intact, so the refusal is answered inline
+                // and the connection kept — same policy as the judge.
+                Err(err) => {
+                    if !send_response(&mut writer, header.correlation_id, &fault_response(&err)) {
+                        return;
+                    }
+                    continue;
+                }
+            },
+        };
+        state.last_sequence = state.last_sequence.max(header.sequence);
+        let request = match proto::decode_payload::<Request>(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                if !send_response(&mut writer, header.correlation_id, &fault_response(&err)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = route_request(shared, &mut state, &tenant, request);
+        if !send_response(&mut writer, header.correlation_id, &response) {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame to the client; `false` means the client is
+/// gone and the connection should be dropped. Responses travel
+/// anonymous, exactly as a judge's do.
+fn send_response(writer: &mut TcpStream, correlation_id: u64, response: &Response) -> bool {
+    let frame = match proto::encode_frame(correlation_id, response) {
+        Ok(frame) => frame,
+        Err(err) => match proto::encode_frame(correlation_id, &fault_response(&err)) {
+            Ok(frame) => frame,
+            Err(_) => return false,
+        },
+    };
+    writer.write_all(&frame).and_then(|()| writer.flush()).is_ok()
+}
+
+/// Maps one decoded request onto the fleet.
+fn route_request(
+    shared: &RouterShared,
+    state: &mut ConnState,
+    tenant: &TenantId,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Ping => aggregate_ping(shared, state, tenant),
+        // Single-model requests go to the key's home backend, with
+        // bounded failover onto ring siblings.
+        Request::RegisterModel { .. } | Request::RegisterModelRef { .. } | Request::Resolve { .. } => {
+            let model_id = match &request {
+                Request::RegisterModel { model_id, .. }
+                | Request::RegisterModelRef { model_id, .. }
+                | Request::Resolve { model_id, .. } => model_id.clone(),
+                _ => unreachable!("the outer match admits only model-bearing arms"),
+            };
+            route_single(shared, state, tenant, &model_id, &request)
+        }
+        Request::ResolveDocket { disputes } => {
+            // Unify onto the ref form the backends already speak: digest
+            // every body once, share it across whichever shards reference
+            // it, and let the per-backend clients decide what to inline.
+            let mut bodies: HashMap<PayloadDigest, Arc<OwnershipClaim>> =
+                HashMap::with_capacity(disputes.len());
+            let mut refs = Vec::with_capacity(disputes.len());
+            for dispute in disputes {
+                let digest = PayloadDigest::of_claim(&dispute.claim);
+                bodies.entry(digest).or_insert_with(|| Arc::new(dispute.claim));
+                refs.push(DisputeRef::new(dispute.model_id, digest));
+            }
+            route_docket(shared, state, tenant, &bodies, refs)
+        }
+        Request::ResolveDocketRef { bodies, disputes } => {
+            let mut map: HashMap<PayloadDigest, Arc<OwnershipClaim>> =
+                HashMap::with_capacity(bodies.len());
+            for body in bodies {
+                let digest = PayloadDigest::of_claim(&body);
+                map.entry(digest).or_insert_with(|| Arc::new(body));
+            }
+            route_docket(shared, state, tenant, &map, disputes)
+        }
+        Request::Payload { claims } => {
+            // Replicate stored bodies to every reachable backend so
+            // later digest-only references resolve wherever their
+            // dispute lands.
+            let digests: Vec<PayloadDigest> = claims.iter().map(PayloadDigest::of_claim).collect();
+            let request = Request::Payload { claims };
+            let (successes, first_failure) = broadcast(shared, state, tenant, &request);
+            if successes == 0 {
+                return first_failure.unwrap_or_else(|| fault_response(&no_backends_error(shared)));
+            }
+            Response::PayloadStored { digests }
+        }
+        Request::ListModels => {
+            let mut union: BTreeSet<String> = BTreeSet::new();
+            let mut answered = 0usize;
+            let request = Request::ListModels;
+            for backend in 0..shared.backends.len() {
+                let Some(response) = backend_call(shared, state, tenant, backend, &request) else {
+                    continue;
+                };
+                match response {
+                    Response::Models { model_ids } => {
+                        answered += 1;
+                        union.extend(model_ids);
+                    }
+                    Response::Error { fault } => return Response::Error { fault },
+                    other => return fault_response(&unexpected(&other, "Models")),
+                }
+            }
+            if answered == 0 {
+                return fault_response(&no_backends_error(shared));
+            }
+            Response::Models {
+                model_ids: union.into_iter().collect(),
+            }
+        }
+        Request::Deregister { model_id } => {
+            // Broadcast: replicated warm starts put the model on every
+            // backend, and degradation-era registrations may have landed
+            // it on a sibling.
+            let mut existed = false;
+            let mut answered = 0usize;
+            let request = Request::Deregister {
+                model_id: model_id.clone(),
+            };
+            for backend in 0..shared.backends.len() {
+                let Some(response) = backend_call(shared, state, tenant, backend, &request) else {
+                    continue;
+                };
+                match response {
+                    Response::Deregistered { existed: here, .. } => {
+                        answered += 1;
+                        existed |= here;
+                    }
+                    Response::Error { fault } => return Response::Error { fault },
+                    other => return fault_response(&unexpected(&other, "Deregistered")),
+                }
+            }
+            if answered == 0 {
+                return fault_response(&no_backends_error(shared));
+            }
+            Response::Deregistered { model_id, existed }
+        }
+        Request::Stats => {
+            let mut merged: BTreeMap<String, TenantStatsEntry> = BTreeMap::new();
+            let mut answered = 0usize;
+            let request = Request::Stats;
+            for backend in 0..shared.backends.len() {
+                let Some(response) = backend_call(shared, state, tenant, backend, &request) else {
+                    continue;
+                };
+                match response {
+                    Response::Stats { tenants } => {
+                        answered += 1;
+                        for entry in tenants {
+                            merge_stats(merged.entry(entry.tenant.clone()).or_default(), entry);
+                        }
+                    }
+                    Response::Error { fault } => return Response::Error { fault },
+                    other => return fault_response(&unexpected(&other, "Stats")),
+                }
+            }
+            if answered == 0 {
+                return fault_response(&no_backends_error(shared));
+            }
+            Response::Stats {
+                tenants: merged.into_values().collect(),
+            }
+        }
+    }
+}
+
+/// The fault for "not a single backend could be reached".
+fn no_backends_error(shared: &RouterShared) -> WatermarkError {
+    WatermarkError::Remote {
+        message: format!(
+            "no reachable backend among the {} configured",
+            shared.backends.len()
+        ),
+    }
+}
+
+/// Converts an unexpected backend response kind into a typed error.
+fn unexpected(response: &Response, wanted: &str) -> WatermarkError {
+    WatermarkError::ProtocolViolation {
+        detail: format!("expected a {wanted} response, backend answered {response:?}"),
+    }
+}
+
+/// One best-effort call to one backend: `None` means the backend was
+/// skipped (unhealthy) or failed at the transport level (and has been
+/// demoted). Used by the broadcast/aggregate arms, which tolerate
+/// partial fleets.
+fn backend_call(
+    shared: &RouterShared,
+    state: &mut ConnState,
+    tenant: &TenantId,
+    backend: usize,
+    request: &Request,
+) -> Option<Response> {
+    if !shared.healthy(backend) {
+        return None;
+    }
+    let client = backend_client(shared, state, backend, tenant).ok()?;
+    match client.raw_request(request) {
+        Ok(response) => Some(response),
+        Err(_err) => {
+            if client.is_broken() {
+                shared.demote(backend);
+            }
+            None
+        }
+    }
+}
+
+/// Broadcasts one request to every healthy backend, returning how many
+/// succeeded and the first typed refusal (if any) for error reporting.
+fn broadcast(
+    shared: &RouterShared,
+    state: &mut ConnState,
+    tenant: &TenantId,
+    request: &Request,
+) -> (usize, Option<Response>) {
+    let mut successes = 0usize;
+    let mut first_failure = None;
+    for backend in 0..shared.backends.len() {
+        match backend_call(shared, state, tenant, backend, request) {
+            Some(Response::Error { fault }) => {
+                first_failure.get_or_insert(Response::Error { fault });
+            }
+            Some(_) => successes += 1,
+            None => {}
+        }
+    }
+    (successes, first_failure)
+}
+
+/// Sums every backend's pong into a fleet-wide view. The router answers
+/// its own protocol/format versions (it *is* the peer the client
+/// negotiates with); model and claim counts aggregate whatever part of
+/// the fleet is reachable — a ping is a liveness probe, so a degraded
+/// fleet still pongs.
+fn aggregate_ping(shared: &RouterShared, state: &mut ConnState, tenant: &TenantId) -> Response {
+    let mut models_registered = 0u64;
+    let mut claims_cached = 0u64;
+    for backend in 0..shared.backends.len() {
+        if let Some(Response::Pong {
+            models_registered: models,
+            claims_cached: claims,
+            ..
+        }) = backend_call(shared, state, tenant, backend, &Request::Ping)
+        {
+            models_registered += models;
+            claims_cached += claims;
+        }
+    }
+    Response::Pong {
+        protocol_version: proto::PROTOCOL_VERSION,
+        format_version: persist::FORMAT_VERSION,
+        models_registered,
+        claims_cached,
+    }
+}
+
+/// Routes one single-model request: home first, then ring siblings in
+/// deterministic order, skipping unhealthy backends, bounded by
+/// `1 + retry_siblings` actual attempts. A sibling answering
+/// `UnknownModel` for a key whose home is down is rewritten to the
+/// unreachable fault — the model may well exist, just behind a dead
+/// process, and "unknown" would mislead the claimant.
+fn route_single(
+    shared: &RouterShared,
+    state: &mut ConnState,
+    tenant: &TenantId,
+    model_id: &str,
+    request: &Request,
+) -> Response {
+    let candidates = shared.ring.candidates(tenant, model_id);
+    let home = candidates[0];
+    let max_attempts = 1 + shared.retry_siblings;
+    let mut attempts = 0usize;
+    for &backend in &candidates {
+        if attempts >= max_attempts {
+            break;
+        }
+        if !shared.healthy(backend) {
+            continue;
+        }
+        attempts += 1;
+        let client = match backend_client(shared, state, backend, tenant) {
+            Ok(client) => client,
+            Err(_err) => continue,
+        };
+        match client.raw_request(request) {
+            Ok(Response::Error { fault }) => {
+                if backend != home && matches!(fault, WireFault::UnknownModel { .. }) {
+                    return fault_response(&shared.unreachable(home, model_id));
+                }
+                return Response::Error { fault };
+            }
+            Ok(response) => return response,
+            Err(err) => {
+                if client.is_broken() {
+                    shared.demote(backend);
+                    continue;
+                }
+                // The connection is fine — the request itself could not
+                // be encoded; a sibling would refuse it identically.
+                return fault_response(&err);
+            }
+        }
+    }
+    fault_response(&shared.unreachable(home, model_id))
+}
+
+/// Splits one docket across the fleet and stitches the verdicts back in
+/// input order.
+///
+/// Within one round every shard is *sent* before any shard is
+/// *received*, so backends resolve concurrently. A shard lost to a
+/// transport failure demotes its backend and re-enters the next round,
+/// where its disputes re-route onto their next healthy candidates —
+/// `retry_siblings` bounds the extra rounds. A backend demanding claim
+/// bodies the router cannot supply turns the whole docket into one
+/// upstream `NeedPayload` (the client retries with bodies inlined); a
+/// typed refusal (quota, oversized shard) fails the whole docket, the
+/// same verdict a single judge would have given.
+fn route_docket(
+    shared: &RouterShared,
+    state: &mut ConnState,
+    tenant: &TenantId,
+    bodies: &HashMap<PayloadDigest, Arc<OwnershipClaim>>,
+    disputes: Vec<DisputeRef>,
+) -> Response {
+    let total = disputes.len();
+    let mut slots: Vec<Option<WatermarkResult<wdte_core::VerificationReport>>> = Vec::new();
+    slots.resize_with(total, || None);
+    let homes: Vec<usize> = disputes
+        .iter()
+        .map(|dispute| shared.ring.home(tenant, &dispute.model_id))
+        .collect();
+    let mut demanded: Vec<PayloadDigest> = Vec::new();
+    let mut demanded_seen: HashSet<PayloadDigest> = HashSet::new();
+    let mut pending: Vec<usize> = (0..total).collect();
+    // Backends that failed *this docket*: stronger than the shared
+    // healthy flag (which the monitor may flip back mid-docket) — a
+    // backend that already ate one shard of this docket never gets
+    // another.
+    let mut failed: HashSet<usize> = HashSet::new();
+    for _round in 0..=shared.retry_siblings {
+        if pending.is_empty() {
+            break;
+        }
+        // Assign every still-pending dispute to its first live
+        // candidate; usize::MAX marks "no candidate left".
+        let choices: Vec<usize> = pending
+            .iter()
+            .map(|&idx| {
+                shared
+                    .ring
+                    .candidates(tenant, &disputes[idx].model_id)
+                    .into_iter()
+                    .find(|&backend| !failed.contains(&backend) && shared.healthy(backend))
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        let mut plan: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (backend, positions) in fleet::split_indices(pending.len(), |pos| choices[pos]) {
+            let indices: Vec<usize> = positions.iter().map(|&pos| pending[pos]).collect();
+            if backend == usize::MAX {
+                // Out of candidates now; no later round can help.
+                for idx in indices {
+                    slots[idx] = Some(Err(shared.unreachable(homes[idx], &disputes[idx].model_id)));
+                }
+            } else {
+                plan.push((backend, indices));
+            }
+        }
+        // Send phase: every shard goes on the wire before any verdict is
+        // awaited, so the backends overlap.
+        let mut sent = Vec::with_capacity(plan.len());
+        let mut next_pending: Vec<usize> = Vec::new();
+        for (backend, indices) in plan {
+            let shard: Vec<DisputeRef> = indices.iter().map(|&idx| disputes[idx].clone()).collect();
+            match backend_client(shared, state, backend, tenant) {
+                Ok(client) => match client.send_docket_ref(bodies, &shard) {
+                    Ok(ticket) => sent.push((backend, indices, ticket)),
+                    Err(err) => {
+                        if client.is_broken() {
+                            shared.demote(backend);
+                            failed.insert(backend);
+                            next_pending.extend(indices);
+                        } else {
+                            return fault_response(&err);
+                        }
+                    }
+                },
+                Err(_err) => {
+                    failed.insert(backend);
+                    next_pending.extend(indices);
+                }
+            }
+        }
+        // Receive phase, in send order.
+        for (backend, indices, ticket) in sent {
+            let key = (backend, tenant.as_str().to_string());
+            let client = state
+                .clients
+                .get_mut(&key)
+                .expect("this shard was sent on this connection's client");
+            match client.recv_docket_outcome(ticket) {
+                Ok(DocketOutcome::Verdicts(verdicts)) => {
+                    if let Err(err) = fleet::scatter(&mut slots, &indices, verdicts) {
+                        return fault_response(&err);
+                    }
+                    for &idx in &indices {
+                        if backend != homes[idx]
+                            && matches!(slots[idx], Some(Err(WatermarkError::UnknownModel { .. })))
+                        {
+                            slots[idx] =
+                                Some(Err(shared.unreachable(homes[idx], &disputes[idx].model_id)));
+                        }
+                    }
+                }
+                Ok(DocketOutcome::NeedPayload(digests)) => {
+                    if digests.is_empty() {
+                        return fault_response(&WatermarkError::ProtocolViolation {
+                            detail: "backend demanded an empty payload list".to_string(),
+                        });
+                    }
+                    // The whole docket bounces as one NeedPayload; these
+                    // disputes leave the retry loop (the client's clean
+                    // resend covers them).
+                    for digest in digests {
+                        if demanded_seen.insert(digest) {
+                            demanded.push(digest);
+                        }
+                    }
+                }
+                Err(err) => {
+                    if client.is_broken() {
+                        shared.demote(backend);
+                        failed.insert(backend);
+                        next_pending.extend(indices);
+                    } else {
+                        // A typed whole-shard refusal (tenant quota,
+                        // oversized docket): the single-judge answer to
+                        // this docket would have been the same error.
+                        return fault_response(&err);
+                    }
+                }
+            }
+        }
+        pending = next_pending;
+    }
+    // Rounds exhausted with shards still unplaced.
+    for idx in pending {
+        slots[idx] = Some(Err(shared.unreachable(homes[idx], &disputes[idx].model_id)));
+    }
+    if !demanded.is_empty() {
+        return Response::NeedPayload { digests: demanded };
+    }
+    let verdicts: Vec<DocketVerdict> = slots
+        .into_iter()
+        .map(|slot| {
+            DocketVerdict::from_result(slot.unwrap_or_else(|| {
+                Err(WatermarkError::ProtocolViolation {
+                    detail: "a dispute fell through docket routing without a verdict".to_string(),
+                })
+            }))
+        })
+        .collect();
+    Response::Docket { verdicts }
+}
+
+/// Adds `from`'s counters into `into` (field-by-field sum), keeping the
+/// tenant name.
+fn merge_stats(into: &mut TenantStatsEntry, from: TenantStatsEntry) {
+    into.tenant = from.tenant;
+    into.models += from.models;
+    into.dockets += from.dockets;
+    into.claims += from.claims;
+    into.cache_hits += from.cache_hits;
+    into.cache_misses += from.cache_misses;
+    into.evictions += from.evictions;
+    into.auth_failures += from.auth_failures;
+    into.claim_bytes += from.claim_bytes;
+    into.in_flight += from.in_flight;
+}
